@@ -1,0 +1,78 @@
+// Ablation B: property-directed search vs optimize-then-glue.
+//
+// Sections 5 and 6 of the paper argue that Volcano's handling of physical
+// properties — requirements drive the search; enforcer costs are subtracted
+// from the branch-and-bound limit — dominates Starburst's approach of
+// optimizing first and patching "glue" operators onto the plan afterwards.
+// This bench runs the Figure 4 workload with ORDER BY requirements in both
+// modes and reports plan quality (estimated execution time) and
+// optimization time.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "relational/query_gen.h"
+#include "relational/rel_plan_cost.h"
+#include "search/optimizer.h"
+#include "support/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace volcano;
+  int queries = argc > 1 ? std::atoi(argv[1]) : 25;
+  int max_relations = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  std::printf(
+      "Ablation B: property-directed search vs optimize-then-glue "
+      "(Starburst-style); ORDER BY on every query, %d queries/level\n\n",
+      queries);
+  std::printf(
+      "rels | directed-exec-s  glue-exec-s   quality | directed-ms  glue-ms\n"
+      "-----+--------------------------------------- +--------------------\n");
+
+  for (int n = 2; n <= max_relations; ++n) {
+    double dir_exec = 0, glue_exec = 0, dir_ms = 0, glue_ms = 0;
+    int worse = 0;
+    for (int q = 0; q < queries; ++q) {
+      rel::WorkloadOptions wopts;
+      wopts.num_relations = n;
+      wopts.sorted_base_prob = 0.7;
+      wopts.order_by_prob = 1.0;
+      wopts.hub_attr_prob = 0.7;
+      rel::Workload w = rel::GenerateWorkload(
+          wopts, 3000u * n + static_cast<uint64_t>(q));
+
+      Timer t1;
+      Optimizer directed(*w.model);
+      StatusOr<PlanPtr> pd = directed.Optimize(*w.query, w.required);
+      dir_ms += t1.ElapsedMillis();
+
+      SearchOptions glue_opts;
+      glue_opts.glue_properties = true;
+      Timer t2;
+      Optimizer glued(*w.model, glue_opts);
+      StatusOr<PlanPtr> pg = glued.Optimize(*w.query, w.required);
+      glue_ms += t2.ElapsedMillis();
+
+      if (!pd.ok() || !pg.ok()) {
+        std::fprintf(stderr, "optimization failed\n");
+        return 1;
+      }
+      double d = w.model->cost_model().Total(rel::RecostPlan(**pd, *w.model));
+      double g = w.model->cost_model().Total(rel::RecostPlan(**pg, *w.model));
+      dir_exec += d;
+      glue_exec += g;
+      if (g > d * (1 + 1e-9)) ++worse;
+    }
+    std::printf("%4d | %15.4f %12.4f %6.2fx   | %11.3f %8.3f   (glue worse on "
+                "%d/%d)\n",
+                n, dir_exec / queries, glue_exec / queries,
+                glue_exec / dir_exec, dir_ms / queries, glue_ms / queries,
+                worse, queries);
+  }
+  std::printf(
+      "\nExpected: glue plans are never cheaper and lose whenever an\n"
+      "interesting order could have been produced en passant (merge joins,\n"
+      "stored sort orders); the gap widens with hub-heavy, ordered "
+      "queries.\n");
+  return 0;
+}

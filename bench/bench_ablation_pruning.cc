@@ -1,0 +1,107 @@
+// Ablation A: branch-and-bound pruning and memoization.
+//
+// Section 3 of the paper attributes the Volcano search engine's efficiency
+// to dynamic programming (winner memoization), memoized failures, and
+// branch-and-bound pruning with cost limits passed down ("tight upper
+// bounds also speed their optimization"). This bench flips one mechanism at
+// a time on the Figure 4 workload and reports optimization time and the
+// machine-independent effort counters. Plan cost is asserted unchanged —
+// these are pure accelerations.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+#include "support/timer.h"
+
+namespace volcano {
+namespace {
+
+struct Config {
+  const char* name;
+  SearchOptions options;
+};
+
+void RunLevel(int relations, int queries, const Config* configs,
+              int num_configs) {
+  std::vector<double> ms(num_configs, 0.0);
+  std::vector<double> fbp(num_configs, 0.0);
+  std::vector<double> cost(num_configs, 0.0);
+
+  for (int q = 0; q < queries; ++q) {
+    rel::WorkloadOptions wopts;
+    wopts.num_relations = relations;
+    wopts.sorted_base_prob = 0.5;
+    wopts.order_by_prob = 0.25;
+    rel::Workload w = rel::GenerateWorkload(
+        wopts, 2000u * relations + static_cast<uint64_t>(q));
+    for (int c = 0; c < num_configs; ++c) {
+      Timer t;
+      Optimizer opt(*w.model, configs[c].options);
+      StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+      ms[c] += t.ElapsedMillis();
+      if (!plan.ok()) {
+        std::fprintf(stderr, "config %s failed: %s\n", configs[c].name,
+                     plan.status().ToString().c_str());
+        std::exit(1);
+      }
+      fbp[c] += static_cast<double>(opt.stats().find_best_plan_calls);
+      cost[c] += w.model->cost_model().Total((*plan)->cost());
+    }
+  }
+
+  for (int c = 0; c < num_configs; ++c) {
+    // All configurations must return equally good plans.
+    if (std::abs(cost[c] - cost[0]) > 1e-6 * cost[0]) {
+      std::fprintf(stderr, "plan quality diverged for %s\n", configs[c].name);
+      std::exit(1);
+    }
+  }
+
+  std::printf("%4d |", relations);
+  for (int c = 0; c < num_configs; ++c) {
+    std::printf(" %9.3f (%8.0f)", ms[c] / queries, fbp[c] / queries);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace volcano
+
+int main(int argc, char** argv) {
+  using volcano::Config;
+  int queries = argc > 1 ? std::atoi(argv[1]) : 25;
+  int max_relations = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  Config configs[4];
+  configs[0].name = "full";
+  configs[1].name = "no branch-and-bound";
+  configs[1].options.branch_and_bound = false;
+  configs[2].name = "no failure memo";
+  configs[2].options.memoize_failures = false;
+  configs[3].name = "no b&b, no failure memo";
+  configs[3].options.branch_and_bound = false;
+  configs[3].options.memoize_failures = false;
+
+  std::printf(
+      "Ablation A: pruning & memoization (avg optimization ms, FindBestPlan "
+      "calls in parens; %d queries/level)\n\n",
+      queries);
+  std::printf("rels |");
+  for (const Config& c : configs) std::printf(" %20s", c.name);
+  std::printf("\n-----+-----------------------------------------------------"
+              "--------------------------------\n");
+  for (int n = 2; n <= max_relations; ++n) {
+    volcano::RunLevel(n, queries, configs, 4);
+  }
+  std::printf(
+      "\nAll configurations return plans of identical cost (asserted): the\n"
+      "mechanisms are pure accelerations. Failure memoization pays on its\n"
+      "own; branch-and-bound interacts with it — tight limits can fail a\n"
+      "goal that is later re-optimized with a looser limit, so with full\n"
+      "memoization its net effect on this workload is small (see\n"
+      "EXPERIMENTS.md for the discussion).\n");
+  return 0;
+}

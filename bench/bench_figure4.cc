@@ -1,0 +1,150 @@
+// Figure 4 reproduction: "Exhaustive Optimization Performance".
+//
+// The paper optimizes 50 random relational select-join queries per
+// complexity level (1 to 7 binary joins = 2 to 8 input relations, one
+// selection per input relation, all bushy shapes reachable) with both the
+// Volcano-generated and the EXODUS-generated optimizer, and reports (a) the
+// average optimization time and (b) the average estimated execution time of
+// the produced plans, on logarithmic axes. Expected shapes:
+//   * Volcano optimization effort grows ~exponentially (a straight line on
+//     the log axis), mirroring the count of equivalent logical expressions;
+//   * EXODUS is roughly an order of magnitude slower for complex queries,
+//     with a knee around 4 input relations where reanalysis starts to
+//     dominate, and aborts on some complex queries (node cap = the paper's
+//     "lack of memory"); aborted runs are excluded from the averages, as in
+//     the paper ("the data points represent only those queries for which the
+//     EXODUS optimizer generator completed");
+//   * plan quality is equal for moderately complex queries but
+//     significantly worse for EXODUS beyond ~4 relations, because EXODUS
+//     does not exploit physical properties and interesting orderings.
+//
+// Plan quality is compared apples-to-apples: both optimizers' plans are
+// re-costed bottom-up with the same relational cost model.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exodus/exodus_optimizer.h"
+#include "relational/query_gen.h"
+#include "relational/rel_plan_cost.h"
+#include "search/optimizer.h"
+#include "support/timer.h"
+
+namespace volcano {
+namespace {
+
+struct LevelResult {
+  int relations = 0;
+  int queries = 0;
+  double volcano_opt_ms = 0;
+  double exodus_opt_ms = 0;
+  double volcano_exec_s = 0;
+  double exodus_exec_s = 0;
+  double volcano_mexprs = 0;
+  double exodus_nodes = 0;
+  int exodus_aborts = 0;
+  int completed = 0;  // queries where EXODUS completed
+};
+
+LevelResult RunLevel(int relations, int queries, uint64_t seed_base) {
+  LevelResult out;
+  out.relations = relations;
+  out.queries = queries;
+
+  for (int q = 0; q < queries; ++q) {
+    rel::WorkloadOptions wopts;
+    wopts.num_relations = relations;
+    wopts.sorted_base_prob = 0.5;
+    wopts.order_by_prob = 0.25;
+    rel::Workload w =
+        rel::GenerateWorkload(wopts, seed_base + static_cast<uint64_t>(q));
+
+    // --- Volcano ------------------------------------------------------------
+    Timer t1;
+    Optimizer volcano(*w.model);
+    StatusOr<PlanPtr> vplan = volcano.Optimize(*w.query, w.required);
+    double vms = t1.ElapsedMillis();
+    if (!vplan.ok()) {
+      std::fprintf(stderr, "volcano failed: %s\n",
+                   vplan.status().ToString().c_str());
+      continue;
+    }
+    double vexec =
+        w.model->cost_model().Total(rel::RecostPlan(**vplan, *w.model));
+
+    // --- EXODUS -------------------------------------------------------------
+    Timer t2;
+    exodus::ExodusOptimizer ex(*w.model);
+    StatusOr<PlanPtr> eplan = ex.Optimize(*w.query, w.required);
+    double ems = t2.ElapsedMillis();
+
+    out.volcano_opt_ms += vms;
+    out.volcano_exec_s += vexec;
+    out.volcano_mexprs += static_cast<double>(volcano.stats().mexprs_created);
+
+    if (!eplan.ok()) {
+      ++out.exodus_aborts;
+      continue;
+    }
+    double eexec =
+        w.model->cost_model().Total(rel::RecostPlan(**eplan, *w.model));
+    out.exodus_opt_ms += ems;
+    out.exodus_exec_s += eexec;
+    out.exodus_nodes += static_cast<double>(ex.stats().mesh_nodes);
+    ++out.completed;
+  }
+
+  out.volcano_opt_ms /= out.queries;
+  out.volcano_exec_s /= out.queries;
+  out.volcano_mexprs /= out.queries;
+  if (out.completed > 0) {
+    out.exodus_opt_ms /= out.completed;
+    out.exodus_exec_s /= out.completed;
+    out.exodus_nodes /= out.completed;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace volcano
+
+int main(int argc, char** argv) {
+  int queries = 50;
+  int max_relations = 8;
+  if (argc > 1) queries = std::atoi(argv[1]);
+  if (argc > 2) max_relations = std::atoi(argv[2]);
+
+  std::printf(
+      "Figure 4: Exhaustive Optimization Performance "
+      "(%d queries per level, aborted EXODUS runs excluded)\n\n",
+      queries);
+  std::printf(
+      "%4s | %14s %14s %7s | %13s %13s %7s | %10s %12s %7s\n", "rels",
+      "volcano-opt-ms", "exodus-opt-ms", "ratio", "volcano-exec-s",
+      "exodus-exec-s", "ratio", "v-mexprs", "e-meshnodes", "aborts");
+  std::printf(
+      "-----+------------------------------------- +-------------------------"
+      "------------+--------------------------------\n");
+
+  for (int n = 2; n <= max_relations; ++n) {
+    volcano::LevelResult r =
+        volcano::RunLevel(n, queries, /*seed_base=*/1000u * n);
+    std::printf(
+        "%4d | %14.3f %14.3f %6.1fx | %13.4f %13.4f %6.2fx | %10.0f %12.0f "
+        "%4d/%d\n",
+        r.relations, r.volcano_opt_ms, r.exodus_opt_ms,
+        r.volcano_opt_ms > 0 ? r.exodus_opt_ms / r.volcano_opt_ms : 0.0,
+        r.volcano_exec_s, r.exodus_exec_s,
+        r.volcano_exec_s > 0 ? r.exodus_exec_s / r.volcano_exec_s : 0.0,
+        r.volcano_mexprs, r.exodus_nodes, r.exodus_aborts, r.queries);
+  }
+  std::printf(
+      "\nShape checks vs the paper: volcano-opt-ms should be ~straight on a\n"
+      "log axis (exponential in #relations); exodus/volcano optimization\n"
+      "ratio should reach ~an order of magnitude for complex queries with a\n"
+      "knee at 4 relations; exec-s should be equal for small queries and\n"
+      "favour Volcano for complex ones.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Micro-benchmarks (google-benchmark): the building blocks of the search —
+// memo insertion/deduplication, exploration (transformation closure),
+// pattern matching, and FindBestPlan as a function of query size.
+
+#include <benchmark/benchmark.h>
+
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+
+namespace volcano {
+namespace {
+
+rel::Workload MakeChain(int relations, uint64_t seed) {
+  rel::WorkloadOptions wopts;
+  wopts.num_relations = relations;
+  wopts.hub_attr_prob = 0.0;
+  wopts.sorted_base_prob = 0.5;
+  return rel::GenerateWorkload(wopts, seed);
+}
+
+void BM_MemoInsertQuery(benchmark::State& state) {
+  rel::Workload w = MakeChain(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    Memo memo(*w.model);
+    benchmark::DoNotOptimize(memo.InsertQuery(*w.query));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.query->TreeSize()));
+}
+BENCHMARK(BM_MemoInsertQuery)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MemoDuplicateDetection(benchmark::State& state) {
+  // Second insertion of the same tree exercises only the hash-consing path.
+  rel::Workload w = MakeChain(8, 2);
+  Memo memo(*w.model);
+  memo.InsertQuery(*w.query);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memo.InsertQuery(*w.query));
+  }
+}
+BENCHMARK(BM_MemoDuplicateDetection);
+
+void BM_Exploration(benchmark::State& state) {
+  // Full transformation closure of the root class (no implementation work):
+  // insert + optimize with an impossible property so only exploration runs.
+  int n = static_cast<int>(state.range(0));
+  rel::Workload w = MakeChain(n, 3);
+  for (auto _ : state) {
+    Optimizer opt(*w.model);
+    StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_Exploration)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_FindBestPlanWarmMemo(benchmark::State& state) {
+  // Re-optimizing an already-optimized goal measures the pure look-up path
+  // ("if the pair LogExpr and PhysProp is in the look-up table ...").
+  rel::Workload w = MakeChain(6, 4);
+  Optimizer opt(*w.model);
+  GroupId root = opt.AddQuery(*w.query);
+  VOLCANO_CHECK(opt.OptimizeGroup(root, w.required).ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.OptimizeGroup(root, w.required).ok());
+  }
+}
+BENCHMARK(BM_FindBestPlanWarmMemo);
+
+void BM_OptimizeOrderBy(benchmark::State& state) {
+  // End-to-end optimization with an ORDER BY requirement (enforcers and
+  // excluding property vectors on the hot path).
+  int n = static_cast<int>(state.range(0));
+  rel::WorkloadOptions wopts;
+  wopts.num_relations = n;
+  wopts.order_by_prob = 1.0;
+  wopts.sorted_base_prob = 0.5;
+  rel::Workload w = rel::GenerateWorkload(wopts, 5);
+  for (auto _ : state) {
+    Optimizer opt(*w.model);
+    benchmark::DoNotOptimize(opt.Optimize(*w.query, w.required).ok());
+  }
+}
+BENCHMARK(BM_OptimizeOrderBy)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace volcano
+
+BENCHMARK_MAIN();

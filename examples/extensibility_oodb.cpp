@@ -1,0 +1,86 @@
+// Extensibility: a complete object-oriented data model on the unmodified
+// search engine.
+//
+// The paper's extensibility claim is that the engine is data model
+// independent: "for query optimization in object-oriented systems, we plan
+// on defining 'assembledness' of complex objects in memory as a physical
+// property and using the assembly operator ... as the enforcer for this
+// property" (section 4.1). The model lives in src/oodb/ and — unlike the
+// relational model — is registered EXCLUSIVELY through the optimizer
+// generator (src/oodb/oodb.model -> optgen -> generated registration;
+// support functions in oodb_model.cc):
+//
+//   logical algebra   EXTENT(Class)            all objects of a class
+//                     TRAVERSE(ref)(input)     follow a reference attribute
+//   physical algebra  EXTENT_SCAN              sequential extent read
+//                     NAIVE_TRAVERSE           pointer chasing (random I/O)
+//                     CLUSTERED_TRAVERSE       requires assembled input
+//   enforcer          ASSEMBLY                 delivers "assembled" objects
+//   physical property assembledness (not a sort order!)
+//
+// The optimizer decides where assembly pays off; with expensive assembly it
+// falls back to pointer chasing.
+//
+//   $ ./build/examples/extensibility_oodb
+
+#include <cstdio>
+
+#include "oodb/oodb_model.h"
+#include "search/optimizer.h"
+
+int main() {
+  using namespace volcano;
+
+  oodb::OodbModel model;
+  model.AddClass("Employee", 20000, 96);
+  model.AddClass("Department", 500, 96);
+  model.AddClass("Floor", 40, 96);
+
+  // The Open OODB-style path expression employee.department.floor:
+  ExprPtr path1 = model.Traverse(model.Extent("Employee"), "department");
+  ExprPtr path2 = model.Traverse(path1, "floor");
+
+  std::printf(
+      "A second data model (object algebra, 'assembledness' physical\n"
+      "property, ASSEMBLY enforcer), generated from src/oodb/oodb.model and\n"
+      "running on the unmodified search engine.\n\n");
+
+  {
+    Optimizer opt(model);
+    StatusOr<PlanPtr> plan = opt.Optimize(*path1, nullptr);
+    VOLCANO_CHECK(plan.ok());
+    std::printf("single traversal employee.department:\n%s\n",
+                PlanToString(**plan, model.registry(), model.cost_model())
+                    .c_str());
+  }
+  {
+    Optimizer opt(model);
+    StatusOr<PlanPtr> plan = opt.Optimize(*path2, nullptr);
+    VOLCANO_CHECK(plan.ok());
+    std::printf("deep path employee.department.floor:\n%s\n",
+                PlanToString(**plan, model.registry(), model.cost_model())
+                    .c_str());
+  }
+  {
+    // Make assembling objects very expensive: the optimizer abandons the
+    // clustered strategy and chases pointers instead.
+    oodb::OodbCostParams costly;
+    costly.assembly_per_object = 1e-3;
+    oodb::OodbModel expensive(costly);
+    expensive.AddClass("Employee", 20000, 96);
+    ExprPtr path = expensive.Traverse(expensive.Extent("Employee"),
+                                      "department");
+    Optimizer opt(expensive);
+    StatusOr<PlanPtr> plan = opt.Optimize(*path, nullptr);
+    VOLCANO_CHECK(plan.ok());
+    std::printf("with expensive assembly (1 ms/object):\n%s\n",
+                PlanToString(**plan, expensive.registry(),
+                             expensive.cost_model())
+                    .c_str());
+  }
+  std::printf(
+      "The optimizer places the ASSEMBLY enforcer exactly where paying the\n"
+      "assembly cost unlocks cheap clustered traversals — the paper's\n"
+      "section 4.1 scenario — and skips it when it cannot pay off.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// The generator paradigm, end to end (paper, Figure 1).
+//
+// Parses a model specification, generates optimizer C++ source code, and
+// shows how the committed relational model uses exactly this output: the
+// registry built by the generated code drives a real optimization.
+//
+//   $ ./build/examples/generator_demo
+
+#include <cstdio>
+
+#include "gen/codegen.h"
+#include "gen/parser.h"
+#include "relational/generated/gen_rel_model.h"
+#include "search/optimizer.h"
+
+static const char kSpec[] = R"(
+// A small algebra for demonstration.
+model demo;
+
+operator GET 0;
+operator JOIN 2;
+
+algorithm SCAN 0;
+algorithm NESTED_LOOPS 2;
+
+enforcer SORT;
+
+transformation commute: JOIN(?a, ?b) -> JOIN(?b, ?a) apply CommuteApply;
+
+implementation get_scan: GET -> SCAN
+  applicability ScanApplicability cost ScanCost;
+implementation join_nl: JOIN(?a, ?b) -> NESTED_LOOPS
+  applicability NlApplicability cost NlCost;
+
+enforcer_rule sort: SORT enforce SortEnforce cost SortCost;
+)";
+
+int main() {
+  using namespace volcano;
+
+  // --- 1. model specification -> optimizer source code ----------------------
+  StatusOr<gen::ModelSpec> spec = gen::ParseModelSpec(kSpec);
+  if (!spec.ok()) {
+    std::printf("parse error: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parsed model '%s': %zu operators, %zu transformations, "
+              "%zu implementations, %zu enforcer rules\n\n",
+              spec->model_name.c_str(), spec->operators.size(),
+              spec->transformations.size(), spec->implementations.size(),
+              spec->enforcers.size());
+
+  StatusOr<gen::GeneratedCode> code = gen::GenerateOptimizerCode(*spec);
+  VOLCANO_CHECK(code.ok());
+  std::printf("generated %s (%zu bytes) and %s (%zu bytes)\n",
+              code->header_name.c_str(), code->header.size(),
+              code->source_name.c_str(), code->source.size());
+  std::printf("--- %s (excerpt) ---\n%.*s...\n\n", code->header_name.c_str(),
+              1100, code->header.c_str());
+
+  // --- 2. the same pipeline, applied to the committed relational model ------
+  // src/relational/relational.model was run through optgen; the output is
+  // committed under src/relational/generated/ and linked into this binary.
+  rel::Catalog catalog;
+  VOLCANO_CHECK(catalog.AddRelation("emp", 3000, 100, 2).ok());
+  VOLCANO_CHECK(catalog.AddRelation("dept", 500, 100, 2).ok());
+  rel::GenRelModel model(catalog);
+
+  Symbol e_dept = catalog.symbols().Lookup("emp.a1");
+  Symbol d_key = catalog.symbols().Lookup("dept.a0");
+  ExprPtr query = model.inner().Join(model.inner().Get("emp"),
+                                     model.inner().Get("dept"), e_dept,
+                                     d_key);
+
+  Optimizer optimizer(model);  // driven by the GENERATED rule tables
+  StatusOr<PlanPtr> plan = optimizer.Optimize(*query, nullptr);
+  VOLCANO_CHECK(plan.ok());
+  std::printf("optimizer built from generated code produced:\n%s",
+              PlanToString(**plan, model.registry(), model.cost_model())
+                  .c_str());
+  std::printf(
+      "\n(tests assert this optimizer's plans are byte-identical to the\n"
+      "handwritten model's plans; regenerate with:\n"
+      "  ./build/src/gen/optgen src/relational/relational.model \\\n"
+      "      src/relational/generated relational/generated/)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Interesting orders and physical properties.
+//
+// Demonstrates the core of the paper's search-engine contribution: winners
+// are kept per (equivalence class, physical property vector), enforcers
+// compete with order-delivering algorithms, and the excluding physical
+// property vector keeps merge-join from qualifying redundantly below a sort.
+// The same class is optimized for several different requested orders and
+// the chosen plans diverge accordingly.
+//
+//   $ ./build/examples/interesting_orders
+
+#include <cstdio>
+
+#include "relational/rel_model.h"
+#include "search/optimizer.h"
+
+int main() {
+  using namespace volcano;
+
+  rel::Catalog catalog;
+  VOLCANO_CHECK(catalog.AddRelation("part", 4000, 100, 2).ok());
+  VOLCANO_CHECK(catalog.AddRelation("supply", 6000, 100, 2).ok());
+  Symbol p_key = catalog.symbols().Lookup("part.a0");
+  Symbol p_size = catalog.symbols().Lookup("part.a1");
+  Symbol s_part = catalog.symbols().Lookup("supply.a0");
+  // Both files are stored sorted on the join key: merge join needs no sorts.
+  VOLCANO_CHECK(
+      catalog.SetSortedOn(catalog.symbols().Lookup("part"), {p_key}).ok());
+  VOLCANO_CHECK(
+      catalog.SetSortedOn(catalog.symbols().Lookup("supply"), {s_part}).ok());
+
+  rel::RelModel model(catalog);
+  ExprPtr query =
+      model.Join(model.Get("part"), model.Get("supply"), p_key, s_part);
+
+  Optimizer optimizer(model);
+  GroupId root = optimizer.AddQuery(*query);
+
+  struct Goal {
+    const char* label;
+    PhysPropsPtr props;
+  };
+  Goal goals[] = {
+      {"no requirement        ", model.AnyProps()},
+      {"ORDER BY part.a0      ", model.Sorted({p_key})},
+      {"ORDER BY part.a1      ", model.Sorted({p_size})},
+      {"ORDER BY part.a0,a1   ", model.Sorted({p_key, p_size})},
+  };
+
+  std::printf("query: %s\n\n", model.ExprToString(*query).c_str());
+  for (const Goal& goal : goals) {
+    StatusOr<PlanPtr> plan = optimizer.OptimizeGroup(root, goal.props);
+    if (!plan.ok()) {
+      std::printf("%s -> %s\n", goal.label,
+                  plan.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s -> cost %-22s  %s\n", goal.label,
+                model.cost_model().ToString((*plan)->cost()).c_str(),
+                PlanToLine(**plan, model.registry()).c_str());
+  }
+
+  std::printf(
+      "\nNote how the requirement changes the plan: the key order comes\n"
+      "free from the stored files (merge join, no sorts) and even the\n"
+      "no-requirement goal profits; other orders are established by the\n"
+      "SORT enforcer; and the excluding property vector guarantees no plan\n"
+      "ever sorts the output of a merge join that already delivers the\n"
+      "same order.\n");
+
+  std::printf("\nmemo after all four goals (winners per property vector):\n%s",
+              optimizer.memo().ToString().c_str());
+  return 0;
+}

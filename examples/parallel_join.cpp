@@ -1,0 +1,52 @@
+// Parallelism via physical properties: partitioning is the second component
+// of the property vector, Volcano's EXCHANGE operator is its enforcer, and a
+// partitioned hash join requires "compatible partitioning rules" on both
+// inputs (paper sections 3 and 4.1). The optimizer decides where going
+// parallel pays for the repartitioning.
+//
+//   $ ./build/examples/parallel_join
+
+#include <cstdio>
+
+#include "relational/rel_model.h"
+#include "search/optimizer.h"
+
+int main() {
+  using namespace volcano;
+
+  rel::Catalog catalog;
+  VOLCANO_CHECK(catalog.AddRelation("big1", 500000, 100, 2).ok());
+  VOLCANO_CHECK(catalog.AddRelation("big2", 400000, 100, 2).ok());
+  VOLCANO_CHECK(catalog.AddRelation("tiny", 800, 100, 2).ok());
+  Symbol b1 = catalog.symbols().Lookup("big1.a0");
+  Symbol b2 = catalog.symbols().Lookup("big2.a0");
+  Symbol b2k = catalog.symbols().Lookup("big2.a1");
+  Symbol tk = catalog.symbols().Lookup("tiny.a0");
+
+  for (int ways : {1, 4, 16}) {
+    rel::RelModelOptions opts;
+    opts.enable_parallelism = ways > 1;
+    opts.parallel_ways = ways;
+    rel::RelModel model(catalog, opts);
+
+    // (big1 ⋈ big2) ⋈ tiny, result gathered into one stream.
+    ExprPtr q = model.Join(model.Get("big1"), model.Get("big2"), b1, b2);
+    q = model.Join(std::move(q), model.Get("tiny"), b2k, tk);
+    PhysPropsPtr required = ways > 1 ? model.Serial() : model.AnyProps();
+
+    Optimizer opt(model);
+    StatusOr<PlanPtr> plan = opt.Optimize(*q, required);
+    VOLCANO_CHECK(plan.ok());
+    std::printf("=== degree of parallelism: %d ===\n", ways);
+    std::printf("%s\n",
+                PlanToString(**plan, model.registry(), model.cost_model())
+                    .c_str());
+  }
+  std::printf(
+      "With parallelism enabled the optimizer inserts EXCHANGE operators\n"
+      "exactly where repartitioning pays: both joins run partitioned, each\n"
+      "input is shuffled once, and a final merge exchange gathers the serial\n"
+      "result the query requires. No search-engine code knows what\n"
+      "'partitioned' means — only the property vector ADT does.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Star-schema joins: Volcano versus the EXODUS-style baseline on the same
+// query, with both plans executed to verify they compute the same result.
+//
+// A fact table joins three dimensions on the same foreign-key column — the
+// hub pattern that makes interesting orders matter: once the fact table is
+// sorted (or stored sorted) on the hub key, merge joins chain without
+// re-sorting. The property-blind EXODUS baseline cannot see this.
+//
+//   $ ./build/examples/star_join
+
+#include <cstdio>
+
+#include "exec/datagen.h"
+#include "exec/plan_exec.h"
+#include "exodus/exodus_optimizer.h"
+#include "relational/rel_plan_cost.h"
+#include "search/optimizer.h"
+
+int main() {
+  using namespace volcano;
+
+  rel::Catalog catalog;
+  VOLCANO_CHECK(catalog.AddRelation("fact", 7200, 100, 4).ok());
+  VOLCANO_CHECK(catalog.AddRelation("dim1", 1200, 100, 2).ok());
+  VOLCANO_CHECK(catalog.AddRelation("dim2", 1500, 100, 2).ok());
+  VOLCANO_CHECK(catalog.AddRelation("dim3", 2000, 100, 2).ok());
+
+  Symbol hub = catalog.symbols().Lookup("fact.a0");
+  Symbol k1 = catalog.symbols().Lookup("dim1.a0");
+  Symbol k2 = catalog.symbols().Lookup("dim2.a0");
+  Symbol k3 = catalog.symbols().Lookup("dim3.a0");
+  // All files are stored in key order (the usual primary-key layout): the
+  // merge-join chain needs no sorts at all, but only a property-aware
+  // optimizer can know that.
+  VOLCANO_CHECK(
+      catalog.SetSortedOn(catalog.symbols().Lookup("fact"), {hub}).ok());
+  VOLCANO_CHECK(
+      catalog.SetSortedOn(catalog.symbols().Lookup("dim1"), {k1}).ok());
+  VOLCANO_CHECK(
+      catalog.SetSortedOn(catalog.symbols().Lookup("dim2"), {k2}).ok());
+  VOLCANO_CHECK(
+      catalog.SetSortedOn(catalog.symbols().Lookup("dim3"), {k3}).ok());
+
+  rel::RelModel model(catalog);
+
+  // fact JOIN dim1 JOIN dim2 JOIN dim3, all on fact.a0, ORDER BY fact.a0.
+  ExprPtr q = model.Get("fact");
+  q = model.Join(std::move(q), model.Get("dim1"), hub, k1);
+  q = model.Join(std::move(q), model.Get("dim2"), hub, k2);
+  q = model.Join(std::move(q), model.Get("dim3"), hub, k3);
+  PhysPropsPtr required = model.Sorted({hub});
+
+  std::printf("query: %s\nrequired: %s\n\n",
+              model.ExprToString(*q).c_str(), required->ToString().c_str());
+
+  Optimizer volcano(model);
+  StatusOr<PlanPtr> vplan = volcano.Optimize(*q, required);
+  VOLCANO_CHECK(vplan.ok());
+  exodus::ExodusOptimizer exodus(model);
+  StatusOr<PlanPtr> eplan = exodus.Optimize(*q, required);
+  VOLCANO_CHECK(eplan.ok());
+
+  double vcost = model.cost_model().Total(rel::RecostPlan(**vplan, model));
+  double ecost = model.cost_model().Total(rel::RecostPlan(**eplan, model));
+
+  std::printf("Volcano plan (estimated %.3f s):\n%s\n", vcost,
+              PlanToString(**vplan, model.registry(), model.cost_model())
+                  .c_str());
+  std::printf("EXODUS-style plan (estimated %.3f s, %.2fx):\n%s\n", ecost,
+              ecost / vcost,
+              PlanToString(**eplan, model.registry(), model.cost_model())
+                  .c_str());
+
+  // Execute both plans and confirm they agree.
+  exec::Database db = exec::GenerateDatabase(catalog, /*seed=*/7);
+  std::vector<exec::Row> vrows = exec::ExecutePlan(**vplan, model, db);
+  std::vector<exec::Row> erows = exec::ExecutePlan(**eplan, model, db);
+  exec::Schema vschema = exec::PlanSchema(**vplan, model, db);
+  exec::Schema eschema = exec::PlanSchema(**eplan, model, db);
+  bool same = exec::SameMultiset(
+      exec::ReorderToSchema(erows, eschema, vschema), vrows);
+  std::printf("executed both plans: %zu rows each, results %s\n",
+              vrows.size(), same ? "IDENTICAL" : "DIFFER (bug!)");
+  return same ? 0 : 1;
+}

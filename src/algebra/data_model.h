@@ -1,0 +1,60 @@
+// The data model interface: everything the optimizer implementor supplies.
+//
+// Section 2.2 of the paper enumerates what an optimizer implementor provides:
+// (1) logical operators, (2) transformation rules, (3) algorithms and
+// enforcers, (4) implementation rules, (5) a cost ADT, (6) a logical
+// properties ADT, (7) a physical property vector ADT, (8) applicability
+// functions, (9) cost functions, (10) property functions. In this library
+// items 1 and 3 live in the OperatorRegistry, items 2, 4, 8 and 9 in the
+// RuleSet (rules carry their own condition/applicability/cost code), items
+// 5-7 are the Cost/LogicalProps/PhysProps ADTs, and item 10 plus the glue is
+// this interface. A generated optimizer is simply a DataModel implementation
+// linked with the search engine.
+
+#ifndef VOLCANO_ALGEBRA_DATA_MODEL_H_
+#define VOLCANO_ALGEBRA_DATA_MODEL_H_
+
+#include <vector>
+
+#include "algebra/cost.h"
+#include "algebra/op_arg.h"
+#include "algebra/operator_def.h"
+#include "algebra/properties.h"
+
+namespace volcano {
+
+class RuleSet;
+
+/// A complete model specification bound to the search engine. Instances are
+/// immutable once handed to an Optimizer.
+class DataModel {
+ public:
+  virtual ~DataModel() = default;
+
+  /// Logical operators, algorithms, and enforcers of this model.
+  virtual const OperatorRegistry& registry() const = 0;
+
+  /// Transformation, implementation, and enforcer rules.
+  virtual const RuleSet& rule_set() const = 0;
+
+  /// Cost arithmetic and comparison.
+  virtual const CostModel& cost_model() const = 0;
+
+  /// Property function for logical operators: derives the logical properties
+  /// of an expression's result from the operator, its argument, and the
+  /// logical properties of its inputs. Called once per equivalence class
+  /// ("the schema of an intermediate result can be determined independently
+  /// of which one of many equivalent algebra expressions creates it").
+  /// Selectivity estimation is encapsulated here (paper, section 2.2).
+  virtual LogicalPropsPtr DeriveLogicalProps(
+      OperatorId op, const OpArg* arg,
+      const std::vector<LogicalPropsPtr>& inputs) const = 0;
+
+  /// The vacuous physical property vector: "no requirement". Every delivered
+  /// property vector must Cover it.
+  virtual PhysPropsPtr AnyProps() const = 0;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_ALGEBRA_DATA_MODEL_H_

@@ -1,0 +1,58 @@
+// Logical algebra expressions (query trees).
+//
+// "The user queries to be optimized by a generated optimizer are specified as
+// an algebra expression (tree) of logical operators" (paper, section 2.2).
+// Expr is the immutable input representation handed to the optimizer; the
+// optimizer copies it into the memo, where each node becomes a
+// multi-expression in an equivalence class.
+
+#ifndef VOLCANO_ALGEBRA_EXPR_H_
+#define VOLCANO_ALGEBRA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/ids.h"
+#include "algebra/op_arg.h"
+
+namespace volcano {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable logical algebra expression node.
+class Expr {
+ public:
+  Expr(OperatorId op, OpArgPtr arg, std::vector<ExprPtr> inputs)
+      : op_(op), arg_(std::move(arg)), inputs_(std::move(inputs)) {}
+
+  /// Builder convenience.
+  static ExprPtr Make(OperatorId op, OpArgPtr arg,
+                      std::vector<ExprPtr> inputs = {}) {
+    return std::make_shared<Expr>(op, std::move(arg), std::move(inputs));
+  }
+
+  OperatorId op() const { return op_; }
+  const OpArgPtr& arg() const { return arg_; }
+  const std::vector<ExprPtr>& inputs() const { return inputs_; }
+  size_t num_inputs() const { return inputs_.size(); }
+  const ExprPtr& input(size_t i) const { return inputs_[i]; }
+
+  /// Number of nodes in the tree.
+  size_t TreeSize() const {
+    size_t n = 1;
+    for (const auto& in : inputs_) n += in->TreeSize();
+    return n;
+  }
+
+ private:
+  OperatorId op_;
+  OpArgPtr arg_;
+  std::vector<ExprPtr> inputs_;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_ALGEBRA_EXPR_H_

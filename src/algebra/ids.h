@@ -1,0 +1,30 @@
+// Small identifier types shared across the optimizer framework.
+
+#ifndef VOLCANO_ALGEBRA_IDS_H_
+#define VOLCANO_ALGEBRA_IDS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace volcano {
+
+/// Identifies an operator (logical operator, algorithm, or enforcer) in the
+/// OperatorRegistry. Dense, starting at 0.
+using OperatorId = uint32_t;
+
+/// Identifies an equivalence class (group) in the memo. Group ids are only
+/// meaningful after normalization through Memo::Find() because classes can be
+/// merged when a transformation derives an expression that already exists in
+/// a different class (paper, Figure 3 discussion).
+using GroupId = uint32_t;
+
+/// Identifies a rule within a RuleSet.
+using RuleId = uint32_t;
+
+inline constexpr OperatorId kInvalidOperator =
+    std::numeric_limits<OperatorId>::max();
+inline constexpr GroupId kInvalidGroup = std::numeric_limits<GroupId>::max();
+
+}  // namespace volcano
+
+#endif  // VOLCANO_ALGEBRA_IDS_H_

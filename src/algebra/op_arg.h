@@ -1,0 +1,65 @@
+// Operator arguments.
+//
+// Logical operators and physical algorithms carry data-model-specific
+// arguments (a relation name for GET, a predicate for SELECT/FILTER, a sort
+// specification for SORT). The search engine treats arguments as opaque
+// values with hash/equality/printing, which is what lets the memo detect
+// "redundant (i.e., multiple equivalent) derivations of the same logical
+// expressions" (paper, section 3) without understanding the data model.
+
+#ifndef VOLCANO_ALGEBRA_OP_ARG_H_
+#define VOLCANO_ALGEBRA_OP_ARG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <typeinfo>
+
+namespace volcano {
+
+/// Abstract, immutable operator argument. Model-specific subclasses must
+/// implement value hashing and equality; two logical expressions are the same
+/// memo entry iff operator, argument, and input groups all match.
+class OpArg {
+ public:
+  virtual ~OpArg() = default;
+
+  /// Value hash; must agree with Equals.
+  virtual uint64_t Hash() const = 0;
+
+  /// Value equality. `other` is guaranteed by callers to be compared only
+  /// against arguments of operators from the same data model; implementations
+  /// should still type-check (dynamic_cast or type tag).
+  virtual bool Equals(const OpArg& other) const = 0;
+
+  /// Human-readable rendering for plan/expression dumps.
+  virtual std::string ToString() const = 0;
+};
+
+using OpArgPtr = std::shared_ptr<const OpArg>;
+
+/// Hash of a possibly-null argument pointer.
+inline uint64_t HashOpArg(const OpArg* arg) {
+  return arg == nullptr ? 0x5851f42d4c957f2dULL : arg->Hash();
+}
+
+/// Equality of possibly-null argument pointers.
+inline bool OpArgEquals(const OpArg* a, const OpArg* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->Equals(*b);
+}
+
+/// Convenience subclass for argument types that want typeid-based checking.
+template <typename Derived>
+class TypedOpArg : public OpArg {
+ public:
+  bool Equals(const OpArg& other) const final {
+    const auto* d = dynamic_cast<const Derived*>(&other);
+    return d != nullptr && static_cast<const Derived*>(this)->EqualsImpl(*d);
+  }
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_ALGEBRA_OP_ARG_H_

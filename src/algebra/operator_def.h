@@ -1,0 +1,105 @@
+// Operator registry: the logical and the physical algebra.
+//
+// The paper's first design decision (section 2.1): the optimizer uses two
+// algebras, a logical algebra of operators and a physical algebra of
+// algorithms, plus enforcers — physical operators with no logical equivalent
+// whose "purpose is not to perform any logical data manipulation but to
+// enforce physical properties" (section 2.2). The registry is the generated
+// optimizer's declaration table: the optimizer generator emits one
+// Register*() call per declaration in the model specification.
+
+#ifndef VOLCANO_ALGEBRA_OPERATOR_DEF_H_
+#define VOLCANO_ALGEBRA_OPERATOR_DEF_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/ids.h"
+#include "support/status.h"
+
+namespace volcano {
+
+/// Which algebra an operator belongs to.
+enum class OpClass {
+  kLogical,   ///< logical algebra operator (query side)
+  kPhysical,  ///< algorithm of the physical algebra (plan side)
+  kEnforcer,  ///< physical operator enforcing properties (sort, exchange, ...)
+};
+
+inline const char* OpClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kLogical: return "logical";
+    case OpClass::kPhysical: return "physical";
+    case OpClass::kEnforcer: return "enforcer";
+  }
+  return "?";
+}
+
+/// Static description of one operator.
+struct OperatorDef {
+  OperatorId id = kInvalidOperator;
+  std::string name;
+  int arity = 0;  ///< number of inputs; the framework places no upper bound
+  OpClass op_class = OpClass::kLogical;
+};
+
+/// Dense registry of all operators of one data model. Logical operators,
+/// algorithms, and enforcers share one id space so plans and expressions can
+/// be printed uniformly.
+class OperatorRegistry {
+ public:
+  /// Registers a logical operator with the given input count.
+  OperatorId RegisterLogical(std::string_view name, int arity) {
+    return Register(name, arity, OpClass::kLogical);
+  }
+
+  /// Registers an algorithm (physical algebra operator).
+  OperatorId RegisterAlgorithm(std::string_view name, int arity) {
+    return Register(name, arity, OpClass::kPhysical);
+  }
+
+  /// Registers an enforcer. Enforcers are always unary: they re-shape the
+  /// physical representation of a single intermediate result.
+  OperatorId RegisterEnforcer(std::string_view name) {
+    return Register(name, 1, OpClass::kEnforcer);
+  }
+
+  const OperatorDef& Get(OperatorId id) const {
+    VOLCANO_CHECK(id < defs_.size());
+    return defs_[id];
+  }
+
+  const std::string& Name(OperatorId id) const { return Get(id).name; }
+  int Arity(OperatorId id) const { return Get(id).arity; }
+  OpClass ClassOf(OperatorId id) const { return Get(id).op_class; }
+  bool IsLogical(OperatorId id) const {
+    return ClassOf(id) == OpClass::kLogical;
+  }
+
+  /// Finds an operator by name; kInvalidOperator if absent.
+  OperatorId Lookup(std::string_view name) const {
+    auto it = by_name_.find(std::string(name));
+    return it == by_name_.end() ? kInvalidOperator : it->second;
+  }
+
+  size_t size() const { return defs_.size(); }
+
+ private:
+  OperatorId Register(std::string_view name, int arity, OpClass cls) {
+    VOLCANO_CHECK(arity >= 0);
+    VOLCANO_CHECK(by_name_.find(std::string(name)) == by_name_.end());
+    OperatorId id = static_cast<OperatorId>(defs_.size());
+    defs_.push_back(OperatorDef{id, std::string(name), arity, cls});
+    by_name_.emplace(std::string(name), id);
+    return id;
+  }
+
+  std::vector<OperatorDef> defs_;
+  std::unordered_map<std::string, OperatorId> by_name_;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_ALGEBRA_OPERATOR_DEF_H_

@@ -1,0 +1,78 @@
+// Logical properties and physical property vectors.
+//
+// "Logical properties can be derived from the logical algebra expression and
+// include schema, expected size, etc., while physical properties depend on
+// algorithms, e.g., sort order, partitioning, etc. ... Logical properties
+// are attached to equivalence classes ... whereas physical properties are
+// attached to specific plans and algorithm choices. The set of physical
+// properties is summarized for each intermediate result in a physical
+// property vector, which is defined by the optimizer implementor and treated
+// as an abstract data type by the Volcano optimizer generator and its search
+// engine." (paper, section 2.2)
+
+#ifndef VOLCANO_ALGEBRA_PROPERTIES_H_
+#define VOLCANO_ALGEBRA_PROPERTIES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace volcano {
+
+/// Model-defined logical properties of an equivalence class (schema,
+/// cardinality, ...). The engine only stores and prints them; all semantic
+/// interpretation happens in model code (property functions, cost functions,
+/// applicability functions).
+class LogicalProps {
+ public:
+  virtual ~LogicalProps() = default;
+  virtual std::string ToString() const = 0;
+};
+
+using LogicalPropsPtr = std::shared_ptr<const LogicalProps>;
+
+/// Model-defined physical property vector (sort order, partitioning,
+/// compression status, ...). The engine needs exactly the comparison
+/// functions the paper lists — equality (to index winners per property
+/// vector in the memo) and cover (to test whether delivered properties
+/// satisfy required ones).
+class PhysProps {
+ public:
+  virtual ~PhysProps() = default;
+
+  /// Value hash; must agree with Equals.
+  virtual uint64_t Hash() const = 0;
+
+  /// Value equality against another vector of the same model.
+  virtual bool Equals(const PhysProps& other) const = 0;
+
+  /// Returns true if properties described by *this* vector satisfy (cover)
+  /// the `required` vector. Covers is reflexive and transitive; e.g. sorted
+  /// on (A,B) covers sorted on (A) and covers "no requirement".
+  virtual bool Covers(const PhysProps& required) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+using PhysPropsPtr = std::shared_ptr<const PhysProps>;
+
+/// Hash-map key wrapper so the memo can index winners by property vector
+/// without knowing the model's property representation.
+struct PhysPropsKey {
+  PhysPropsPtr props;
+
+  friend bool operator==(const PhysPropsKey& a, const PhysPropsKey& b) {
+    return a.props->Equals(*b.props);
+  }
+};
+
+}  // namespace volcano
+
+template <>
+struct std::hash<volcano::PhysPropsKey> {
+  size_t operator()(const volcano::PhysPropsKey& k) const {
+    return static_cast<size_t>(k.props->Hash());
+  }
+};
+
+#endif  // VOLCANO_ALGEBRA_PROPERTIES_H_

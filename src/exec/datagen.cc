@@ -1,0 +1,58 @@
+#include "exec/datagen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace volcano::exec {
+
+Table GenerateTable(const rel::RelationInfo& info, uint64_t seed) {
+  Rng rng(seed ^ (uint64_t{info.name.id()} << 32));
+  Table t;
+  std::vector<Symbol> attrs;
+  attrs.reserve(info.attributes.size());
+  for (const auto& a : info.attributes) attrs.push_back(a.name);
+  t.schema = Schema(std::move(attrs));
+
+  auto n = static_cast<size_t>(info.cardinality);
+  t.rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    row.reserve(info.attributes.size());
+    for (const auto& a : info.attributes) {
+      auto domain =
+          static_cast<uint64_t>(std::max(1.0, a.distinct_values));
+      row.push_back(static_cast<int64_t>(rng.Uniform(domain)));
+    }
+    t.rows.push_back(std::move(row));
+  }
+
+  if (!info.sorted_on.empty()) {
+    std::vector<int> cols;
+    for (Symbol attr : info.sorted_on) {
+      int c = t.schema.IndexOf(attr);
+      VOLCANO_CHECK(c >= 0);
+      cols.push_back(c);
+    }
+    std::sort(t.rows.begin(), t.rows.end(),
+              [&](const Row& a, const Row& b) {
+                for (int c : cols) {
+                  if (a[c] != b[c]) return a[c] < b[c];
+                }
+                return false;
+              });
+  }
+  return t;
+}
+
+Database GenerateDatabase(const rel::Catalog& catalog, uint64_t seed) {
+  Database db;
+  for (Symbol name : catalog.RelationNames()) {
+    const rel::RelationInfo* info = catalog.FindRelation(name);
+    db.Put(name, GenerateTable(*info, seed));
+  }
+  return db;
+}
+
+}  // namespace volcano::exec

@@ -1,0 +1,28 @@
+// Synthetic data generation for catalog relations.
+//
+// Produces table instances whose statistics match the catalog: the stated
+// cardinality, attribute values drawn uniformly from [0, distinct_values),
+// and rows physically ordered by the relation's declared stored sort order.
+// This is the synthetic stand-in for the paper's "test relations [of] 1,200
+// to 7,200 records" — the same code path (scan, filter, join algorithms) is
+// exercised with data that honours the optimizer's statistical assumptions.
+
+#ifndef VOLCANO_EXEC_DATAGEN_H_
+#define VOLCANO_EXEC_DATAGEN_H_
+
+#include <cstdint>
+
+#include "exec/table.h"
+#include "relational/catalog.h"
+
+namespace volcano::exec {
+
+/// Materializes one relation.
+Table GenerateTable(const rel::RelationInfo& info, uint64_t seed);
+
+/// Materializes every relation in the catalog.
+Database GenerateDatabase(const rel::Catalog& catalog, uint64_t seed);
+
+}  // namespace volcano::exec
+
+#endif  // VOLCANO_EXEC_DATAGEN_H_

@@ -1,0 +1,578 @@
+#include "exec/iterators.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace volcano::exec {
+
+// --- helpers (iterator.h) ----------------------------------------------------
+
+std::vector<Row> Drain(Iterator& it) {
+  std::vector<Row> out;
+  it.Open();
+  Row row;
+  while (it.Next(&row)) out.push_back(row);
+  it.Close();
+  return out;
+}
+
+bool SameMultiset(std::vector<Row> a, std::vector<Row> b) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+bool IsSortedBy(const std::vector<Row>& rows, const std::vector<int>& cols) {
+  for (size_t i = 1; i < rows.size(); ++i) {
+    for (int c : cols) {
+      if (rows[i - 1][c] < rows[i][c]) break;
+      if (rows[i - 1][c] > rows[i][c]) return false;
+    }
+  }
+  return true;
+}
+
+// --- FilterIterator ----------------------------------------------------------
+
+FilterIterator::FilterIterator(IteratorPtr input, const rel::SelectArg& pred)
+    : input_(std::move(input)), pred_(pred) {}
+
+void FilterIterator::Open() {
+  input_->Open();
+  col_ = input_->schema().IndexOf(pred_.attr());
+  VOLCANO_CHECK(col_ >= 0);
+}
+
+bool FilterIterator::Next(Row* row) {
+  while (input_->Next(row)) {
+    if (pred_.Eval((*row)[col_])) return true;
+  }
+  return false;
+}
+
+void FilterIterator::Close() { input_->Close(); }
+
+// --- SortIterator ------------------------------------------------------------
+
+SortIterator::SortIterator(IteratorPtr input, std::vector<Symbol> order)
+    : input_(std::move(input)), order_(std::move(order)) {}
+
+void SortIterator::Open() {
+  rows_ = Drain(*input_);
+  std::vector<int> cols;
+  for (Symbol attr : order_) {
+    int c = input_->schema().IndexOf(attr);
+    VOLCANO_CHECK(c >= 0);
+    cols.push_back(c);
+  }
+  std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
+    for (int c : cols) {
+      if (a[c] != b[c]) return a[c] < b[c];
+    }
+    return false;
+  });
+  pos_ = 0;
+}
+
+bool SortIterator::Next(Row* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = rows_[pos_++];
+  return true;
+}
+
+void SortIterator::Close() {
+  rows_.clear();
+  rows_.shrink_to_fit();
+}
+
+// --- MergeJoinIterator -------------------------------------------------------
+
+MergeJoinIterator::MergeJoinIterator(IteratorPtr left, IteratorPtr right,
+                                     Symbol left_attr, Symbol right_attr)
+    : left_(std::move(left)), right_(std::move(right)) {
+  lcol_ = left_->schema().IndexOf(left_attr);
+  rcol_ = right_->schema().IndexOf(right_attr);
+  VOLCANO_CHECK(lcol_ >= 0 && rcol_ >= 0);
+  schema_ = Schema::Concat(left_->schema(), right_->schema());
+}
+
+void MergeJoinIterator::Open() {
+  left_->Open();
+  right_->Open();
+  lvalid_ = left_->Next(&lrow_);
+  rvalid_ = right_->Next(&rrow_);
+  rgroup_valid_ = false;
+  rpos_ = 0;
+}
+
+bool MergeJoinIterator::FillRightGroup(int64_t key) {
+  // Advance the right input to `key`, then buffer the whole value group so
+  // duplicate left keys can re-scan it.
+  while (rvalid_ && rrow_[rcol_] < key) rvalid_ = right_->Next(&rrow_);
+  if (!rvalid_ || rrow_[rcol_] != key) return false;
+  rgroup_.clear();
+  while (rvalid_ && rrow_[rcol_] == key) {
+    rgroup_.push_back(rrow_);
+    rvalid_ = right_->Next(&rrow_);
+  }
+  rgroup_key_ = key;
+  rgroup_valid_ = true;
+  rpos_ = 0;
+  return true;
+}
+
+bool MergeJoinIterator::Next(Row* row) {
+  while (true) {
+    if (!lvalid_) return false;
+    int64_t key = lrow_[lcol_];
+    if (!rgroup_valid_ || rgroup_key_ != key) {
+      // Both inputs are sorted ascending, so a new left key is always at or
+      // beyond the buffered group; fetch the group for this key.
+      if (!FillRightGroup(key)) {
+        if (!rvalid_) return false;  // right exhausted: no further matches
+        lvalid_ = left_->Next(&lrow_);  // no right rows with this key
+        continue;
+      }
+    }
+    if (rpos_ < rgroup_.size()) {
+      *row = lrow_;
+      const Row& r = rgroup_[rpos_++];
+      row->insert(row->end(), r.begin(), r.end());
+      return true;
+    }
+    // Group exhausted for this left row; a duplicate left key re-scans it.
+    lvalid_ = left_->Next(&lrow_);
+    rpos_ = 0;
+  }
+}
+
+void MergeJoinIterator::Close() {
+  left_->Close();
+  right_->Close();
+  rgroup_.clear();
+}
+
+// --- HashJoinIterator --------------------------------------------------------
+
+HashJoinIterator::HashJoinIterator(IteratorPtr left, IteratorPtr right,
+                                   Symbol left_attr, Symbol right_attr)
+    : left_(std::move(left)), right_(std::move(right)) {
+  lcol_ = left_->schema().IndexOf(left_attr);
+  rcol_ = right_->schema().IndexOf(right_attr);
+  VOLCANO_CHECK(lcol_ >= 0 && rcol_ >= 0);
+  schema_ = Schema::Concat(left_->schema(), right_->schema());
+}
+
+void HashJoinIterator::Open() {
+  left_->Open();
+  Row row;
+  while (left_->Next(&row)) {
+    int64_t key = row[lcol_];
+    hash_.emplace(key, std::move(row));
+    row.clear();
+  }
+  left_->Close();
+  right_->Open();
+  rvalid_ = false;
+  in_match_ = false;
+}
+
+bool HashJoinIterator::Next(Row* row) {
+  while (true) {
+    if (in_match_) {
+      if (match_range_.first != match_range_.second) {
+        *row = match_range_.first->second;
+        row->insert(row->end(), rrow_.begin(), rrow_.end());
+        ++match_range_.first;
+        return true;
+      }
+      in_match_ = false;
+    }
+    rvalid_ = right_->Next(&rrow_);
+    if (!rvalid_) return false;
+    match_range_ = hash_.equal_range(rrow_[rcol_]);
+    in_match_ = true;
+  }
+}
+
+void HashJoinIterator::Close() {
+  right_->Close();
+  hash_.clear();
+}
+
+// --- MultiHashJoinIterator -----------------------------------------------------
+
+MultiHashJoinIterator::MultiHashJoinIterator(IteratorPtr a, IteratorPtr b,
+                                             IteratorPtr c,
+                                             const rel::MultiJoinArg& arg)
+    : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)), arg_(arg) {
+  a_inner_col_ = a_->schema().IndexOf(arg_.inner_left());
+  b_inner_col_ = b_->schema().IndexOf(arg_.inner_right());
+  Schema ab = Schema::Concat(a_->schema(), b_->schema());
+  ab_outer_col_ = ab.IndexOf(arg_.outer_left());
+  c_outer_col_ = c_->schema().IndexOf(arg_.outer_right());
+  VOLCANO_CHECK(a_inner_col_ >= 0 && b_inner_col_ >= 0 &&
+                ab_outer_col_ >= 0 && c_outer_col_ >= 0);
+  schema_ = Schema::Concat(ab, c_->schema());
+}
+
+void MultiHashJoinIterator::Open() {
+  Row row;
+  b_->Open();
+  while (b_->Next(&row)) {
+    int64_t key = row[b_inner_col_];
+    b_hash_.emplace(key, std::move(row));
+    row.clear();
+  }
+  b_->Close();
+  c_->Open();
+  while (c_->Next(&row)) {
+    int64_t key = row[c_outer_col_];
+    c_hash_.emplace(key, std::move(row));
+    row.clear();
+  }
+  c_->Close();
+  a_->Open();
+  avalid_ = false;
+  in_b_ = false;
+  in_c_ = false;
+}
+
+bool MultiHashJoinIterator::Next(Row* row) {
+  while (true) {
+    if (in_c_) {
+      if (c_range_.first != c_range_.second) {
+        *row = ab_row_;
+        const Row& c = c_range_.first->second;
+        row->insert(row->end(), c.begin(), c.end());
+        ++c_range_.first;
+        return true;
+      }
+      in_c_ = false;
+    }
+    if (in_b_) {
+      if (b_range_.first != b_range_.second) {
+        // The intermediate (a, b) row exists only transiently here; it is
+        // never materialized into a table.
+        ab_row_ = arow_;
+        const Row& b = b_range_.first->second;
+        ab_row_.insert(ab_row_.end(), b.begin(), b.end());
+        ++b_range_.first;
+        c_range_ = c_hash_.equal_range(ab_row_[ab_outer_col_]);
+        in_c_ = true;
+        continue;
+      }
+      in_b_ = false;
+    }
+    avalid_ = a_->Next(&arow_);
+    if (!avalid_) return false;
+    b_range_ = b_hash_.equal_range(arow_[a_inner_col_]);
+    in_b_ = true;
+  }
+}
+
+void MultiHashJoinIterator::Close() {
+  a_->Close();
+  b_hash_.clear();
+  c_hash_.clear();
+}
+
+// --- ProjectIterator ---------------------------------------------------------
+
+ProjectIterator::ProjectIterator(IteratorPtr input, std::vector<Symbol> attrs)
+    : input_(std::move(input)), schema_(attrs) {
+  for (Symbol a : attrs) {
+    int c = input_->schema().IndexOf(a);
+    VOLCANO_CHECK(c >= 0);
+    cols_.push_back(c);
+  }
+}
+
+void ProjectIterator::Open() { input_->Open(); }
+
+bool ProjectIterator::Next(Row* row) {
+  Row in;
+  if (!input_->Next(&in)) return false;
+  row->clear();
+  row->reserve(cols_.size());
+  for (int c : cols_) row->push_back(in[c]);
+  return true;
+}
+
+void ProjectIterator::Close() { input_->Close(); }
+
+// --- ConcatIterator ------------------------------------------------------------
+
+ConcatIterator::ConcatIterator(IteratorPtr left, IteratorPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  VOLCANO_CHECK(left_->schema().size() == right_->schema().size());
+}
+
+void ConcatIterator::Open() {
+  left_->Open();
+  right_->Open();
+  on_right_ = false;
+}
+
+bool ConcatIterator::Next(Row* row) {
+  if (!on_right_) {
+    if (left_->Next(row)) return true;
+    on_right_ = true;
+  }
+  return right_->Next(row);
+}
+
+void ConcatIterator::Close() {
+  left_->Close();
+  right_->Close();
+}
+
+// --- HashAggIterator -----------------------------------------------------------
+
+HashAggIterator::HashAggIterator(IteratorPtr input, Symbol group_attr,
+                                 Symbol count_attr)
+    : input_(std::move(input)), schema_({group_attr, count_attr}) {
+  group_col_ = input_->schema().IndexOf(group_attr);
+  VOLCANO_CHECK(group_col_ >= 0);
+}
+
+void HashAggIterator::Open() {
+  std::unordered_map<int64_t, int64_t> counts;
+  input_->Open();
+  Row row;
+  while (input_->Next(&row)) ++counts[row[group_col_]];
+  input_->Close();
+  out_.clear();
+  out_.reserve(counts.size());
+  for (const auto& [group, count] : counts) out_.push_back(Row{group, count});
+  pos_ = 0;
+}
+
+bool HashAggIterator::Next(Row* row) {
+  if (pos_ >= out_.size()) return false;
+  *row = out_[pos_++];
+  return true;
+}
+
+void HashAggIterator::Close() {
+  out_.clear();
+  out_.shrink_to_fit();
+}
+
+// --- SortAggIterator -----------------------------------------------------------
+
+SortAggIterator::SortAggIterator(IteratorPtr input, Symbol group_attr,
+                                 Symbol count_attr)
+    : input_(std::move(input)), schema_({group_attr, count_attr}) {
+  group_col_ = input_->schema().IndexOf(group_attr);
+  VOLCANO_CHECK(group_col_ >= 0);
+}
+
+void SortAggIterator::Open() {
+  input_->Open();
+  pending_valid_ = input_->Next(&pending_);
+  done_ = false;
+}
+
+bool SortAggIterator::Next(Row* row) {
+  if (!pending_valid_ || done_) return false;
+  int64_t group = pending_[group_col_];
+  int64_t count = 1;
+  while (true) {
+    pending_valid_ = input_->Next(&pending_);
+    if (!pending_valid_) {
+      done_ = true;
+      break;
+    }
+    if (pending_[group_col_] != group) break;
+    ++count;
+  }
+  *row = Row{group, count};
+  return true;
+}
+
+void SortAggIterator::Close() { input_->Close(); }
+
+// --- MergeIntersectIterator --------------------------------------------------
+
+MergeIntersectIterator::MergeIntersectIterator(IteratorPtr left,
+                                               IteratorPtr right,
+                                               std::vector<Symbol> left_order,
+                                               std::vector<Symbol> right_order)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_order_(std::move(left_order)),
+      right_order_(std::move(right_order)) {
+  VOLCANO_CHECK(left_->schema().size() == right_->schema().size());
+  VOLCANO_CHECK(left_order_.size() == left_->schema().size());
+  VOLCANO_CHECK(right_order_.size() == right_->schema().size());
+}
+
+void MergeIntersectIterator::Open() {
+  lcols_.clear();
+  rcols_.clear();
+  for (Symbol a : left_order_) {
+    int c = left_->schema().IndexOf(a);
+    VOLCANO_CHECK(c >= 0);
+    lcols_.push_back(c);
+  }
+  for (Symbol a : right_order_) {
+    int c = right_->schema().IndexOf(a);
+    VOLCANO_CHECK(c >= 0);
+    rcols_.push_back(c);
+  }
+  left_->Open();
+  right_->Open();
+  lvalid_ = left_->Next(&lrow_);
+  rvalid_ = right_->Next(&rrow_);
+  have_last_ = false;
+}
+
+bool MergeIntersectIterator::Next(Row* row) {
+  auto compare = [&]() {
+    for (size_t i = 0; i < lcols_.size(); ++i) {
+      int64_t a = lrow_[lcols_[i]];
+      int64_t b = rrow_[rcols_[i]];
+      if (a != b) return a < b ? -1 : 1;
+    }
+    return 0;
+  };
+  while (lvalid_ && rvalid_) {
+    int c = compare();
+    if (c < 0) {
+      lvalid_ = left_->Next(&lrow_);
+    } else if (c > 0) {
+      rvalid_ = right_->Next(&rrow_);
+    } else {
+      Row match = lrow_;
+      lvalid_ = left_->Next(&lrow_);
+      rvalid_ = right_->Next(&rrow_);
+      if (have_last_ && match == last_) continue;  // duplicate elimination
+      last_ = match;
+      have_last_ = true;
+      *row = std::move(match);
+      return true;
+    }
+  }
+  return false;
+}
+
+void MergeIntersectIterator::Close() {
+  left_->Close();
+  right_->Close();
+}
+
+// --- SortDedupIterator -----------------------------------------------------------
+
+SortDedupIterator::SortDedupIterator(IteratorPtr input,
+                                     std::vector<Symbol> prefix_order)
+    : input_(std::move(input)), prefix_order_(std::move(prefix_order)) {}
+
+void SortDedupIterator::Open() {
+  rows_ = Drain(*input_);
+  // Sort columns: the required prefix first, then every remaining column so
+  // duplicates become adjacent.
+  std::vector<int> cols;
+  for (Symbol attr : prefix_order_) {
+    int c = input_->schema().IndexOf(attr);
+    VOLCANO_CHECK(c >= 0);
+    cols.push_back(c);
+  }
+  for (size_t i = 0; i < input_->schema().size(); ++i) {
+    int c = static_cast<int>(i);
+    if (std::find(cols.begin(), cols.end(), c) == cols.end()) {
+      cols.push_back(c);
+    }
+  }
+  std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
+    for (int c : cols) {
+      if (a[c] != b[c]) return a[c] < b[c];
+    }
+    return false;
+  });
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+  pos_ = 0;
+}
+
+bool SortDedupIterator::Next(Row* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = rows_[pos_++];
+  return true;
+}
+
+void SortDedupIterator::Close() {
+  rows_.clear();
+  rows_.shrink_to_fit();
+}
+
+// --- HashDedupIterator -----------------------------------------------------------
+
+HashDedupIterator::HashDedupIterator(IteratorPtr input)
+    : input_(std::move(input)) {}
+
+void HashDedupIterator::Open() {
+  std::set<Row> seen;
+  input_->Open();
+  Row row;
+  out_.clear();
+  while (input_->Next(&row)) {
+    if (seen.insert(row).second) out_.push_back(row);
+  }
+  input_->Close();
+  pos_ = 0;
+}
+
+bool HashDedupIterator::Next(Row* row) {
+  if (pos_ >= out_.size()) return false;
+  *row = out_[pos_++];
+  return true;
+}
+
+void HashDedupIterator::Close() {
+  out_.clear();
+  out_.shrink_to_fit();
+}
+
+// --- HashIntersectIterator ---------------------------------------------------
+
+HashIntersectIterator::HashIntersectIterator(IteratorPtr left,
+                                             IteratorPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  VOLCANO_CHECK(left_->schema().size() == right_->schema().size());
+}
+
+void HashIntersectIterator::Open() {
+  std::set<Row> lset;
+  {
+    left_->Open();
+    Row row;
+    while (left_->Next(&row)) lset.insert(row);
+    left_->Close();
+  }
+  out_.clear();
+  std::set<Row> emitted;
+  right_->Open();
+  Row row;
+  while (right_->Next(&row)) {
+    if (lset.count(row) != 0 && emitted.insert(row).second) {
+      out_.push_back(row);
+    }
+  }
+  right_->Close();
+  pos_ = 0;
+}
+
+bool HashIntersectIterator::Next(Row* row) {
+  if (pos_ >= out_.size()) return false;
+  *row = out_[pos_++];
+  return true;
+}
+
+void HashIntersectIterator::Close() {
+  out_.clear();
+  out_.shrink_to_fit();
+}
+
+}  // namespace volcano::exec

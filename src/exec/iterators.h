@@ -1,0 +1,303 @@
+// Physical operator iterators: scan, filter, sort, merge join, hybrid hash
+// join, project, merge/hash intersect.
+
+#ifndef VOLCANO_EXEC_ITERATORS_H_
+#define VOLCANO_EXEC_ITERATORS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/iterator.h"
+#include "relational/rel_args.h"
+
+namespace volcano::exec {
+
+/// Full scan of a stored table.
+class ScanIterator final : public Iterator {
+ public:
+  explicit ScanIterator(const Table& table) : table_(table) {}
+  void Open() override { pos_ = 0; }
+  bool Next(Row* row) override {
+    if (pos_ >= table_.rows.size()) return false;
+    *row = table_.rows[pos_++];
+    return true;
+  }
+  void Close() override {}
+  const Schema& schema() const override { return table_.schema; }
+
+ private:
+  const Table& table_;
+  size_t pos_ = 0;
+};
+
+/// Predicate filter; order preserving, fully pipelined.
+class FilterIterator final : public Iterator {
+ public:
+  FilterIterator(IteratorPtr input, const rel::SelectArg& pred);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return input_->schema(); }
+
+ private:
+  IteratorPtr input_;
+  rel::SelectArg pred_;
+  int col_ = -1;
+};
+
+/// Full sort (materializing); ascending on the given attributes
+/// major-to-minor.
+class SortIterator final : public Iterator {
+ public:
+  SortIterator(IteratorPtr input, std::vector<Symbol> order);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return input_->schema(); }
+
+ private:
+  IteratorPtr input_;
+  std::vector<Symbol> order_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Merge join on sorted inputs (equi-join, duplicate-correct: buffers the
+/// right-hand value group).
+class MergeJoinIterator final : public Iterator {
+ public:
+  MergeJoinIterator(IteratorPtr left, IteratorPtr right, Symbol left_attr,
+                    Symbol right_attr);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  bool FillRightGroup(int64_t key);
+
+  IteratorPtr left_;
+  IteratorPtr right_;
+  int lcol_ = -1;
+  int rcol_ = -1;
+  Schema schema_;
+  Row lrow_;
+  bool lvalid_ = false;
+  Row rrow_;
+  bool rvalid_ = false;
+  std::vector<Row> rgroup_;
+  int64_t rgroup_key_ = 0;
+  bool rgroup_valid_ = false;
+  size_t rpos_ = 0;
+};
+
+/// Hash join: builds on the left input, probes with the right. The paper's
+/// experiments assume it "proceeds without partition files"; this in-memory
+/// implementation matches that assumption.
+class HashJoinIterator final : public Iterator {
+ public:
+  HashJoinIterator(IteratorPtr left, IteratorPtr right, Symbol left_attr,
+                   Symbol right_attr);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  int lcol_ = -1;
+  int rcol_ = -1;
+  Schema schema_;
+  std::unordered_multimap<int64_t, Row> hash_;
+  Row rrow_;
+  bool rvalid_ = false;
+  std::pair<std::unordered_multimap<int64_t, Row>::iterator,
+            std::unordered_multimap<int64_t, Row>::iterator>
+      match_range_;
+  bool in_match_ = false;
+};
+
+/// Ternary multi-way hash join (MULTI_HASH_JOIN): builds hash tables on the
+/// second and third inputs and streams the first through both probes; the
+/// intermediate join result is never materialized.
+class MultiHashJoinIterator final : public Iterator {
+ public:
+  MultiHashJoinIterator(IteratorPtr a, IteratorPtr b, IteratorPtr c,
+                        const rel::MultiJoinArg& arg);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  using Multimap = std::unordered_multimap<int64_t, Row>;
+
+  IteratorPtr a_;
+  IteratorPtr b_;
+  IteratorPtr c_;
+  rel::MultiJoinArg arg_;
+  Schema schema_;
+  int a_inner_col_ = -1;   // inner-left attribute in a's schema
+  int b_inner_col_ = -1;   // inner-right attribute in b's schema
+  int ab_outer_col_ = -1;  // outer-left attribute in the (a,b) row
+  int c_outer_col_ = -1;   // outer-right attribute in c's schema
+  Multimap b_hash_;
+  Multimap c_hash_;
+  Row arow_;
+  bool avalid_ = false;
+  std::pair<Multimap::iterator, Multimap::iterator> b_range_;
+  bool in_b_ = false;
+  Row ab_row_;
+  std::pair<Multimap::iterator, Multimap::iterator> c_range_;
+  bool in_c_ = false;
+};
+
+/// Duplicate-preserving column projection; order preserving.
+class ProjectIterator final : public Iterator {
+ public:
+  ProjectIterator(IteratorPtr input, std::vector<Symbol> attrs);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr input_;
+  Schema schema_;
+  std::vector<int> cols_;
+};
+
+/// Set intersection of two fully sorted inputs (positional column
+/// correspondence, duplicates eliminated) — "an algorithm very similar to
+/// merge-join" (paper section 3). `left_order` / `right_order` give the
+/// column comparison order the inputs are sorted by (the optimizer may pick
+/// any of several alternative orders; the iterator must compare in the same
+/// one).
+class MergeIntersectIterator final : public Iterator {
+ public:
+  MergeIntersectIterator(IteratorPtr left, IteratorPtr right,
+                         std::vector<Symbol> left_order,
+                         std::vector<Symbol> right_order);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return left_->schema(); }
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  std::vector<Symbol> left_order_;
+  std::vector<Symbol> right_order_;
+  std::vector<int> lcols_, rcols_;
+  Row lrow_, rrow_;
+  bool lvalid_ = false, rvalid_ = false;
+  bool have_last_ = false;
+  Row last_;
+};
+
+/// Bag union: forwards all rows of the first input, then the second.
+class ConcatIterator final : public Iterator {
+ public:
+  ConcatIterator(IteratorPtr left, IteratorPtr right);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return left_->schema(); }
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  bool on_right_ = false;
+};
+
+/// Hash aggregation: GROUP BY one column, COUNT(*). Output rows are
+/// (group value, count) in unspecified order.
+class HashAggIterator final : public Iterator {
+ public:
+  HashAggIterator(IteratorPtr input, Symbol group_attr, Symbol count_attr);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr input_;
+  Schema schema_;
+  int group_col_ = -1;
+  std::vector<Row> out_;
+  size_t pos_ = 0;
+};
+
+/// Streaming aggregation over an input sorted on the grouping column;
+/// output stays sorted on it.
+class SortAggIterator final : public Iterator {
+ public:
+  SortAggIterator(IteratorPtr input, Symbol group_attr, Symbol count_attr);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  IteratorPtr input_;
+  Schema schema_;
+  int group_col_ = -1;
+  Row pending_;
+  bool pending_valid_ = false;
+  bool done_ = false;
+};
+
+/// Sort-based duplicate elimination: sorts by the given prefix order then
+/// all remaining columns, emits distinct rows (SORT_DEDUP enforcer).
+class SortDedupIterator final : public Iterator {
+ public:
+  SortDedupIterator(IteratorPtr input, std::vector<Symbol> prefix_order);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return input_->schema(); }
+
+ private:
+  IteratorPtr input_;
+  std::vector<Symbol> prefix_order_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Hash-based duplicate elimination (HASH_DEDUP enforcer); order-destroying.
+class HashDedupIterator final : public Iterator {
+ public:
+  explicit HashDedupIterator(IteratorPtr input);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return input_->schema(); }
+
+ private:
+  IteratorPtr input_;
+  std::vector<Row> out_;
+  size_t pos_ = 0;
+};
+
+/// Hash-based set intersection (duplicates eliminated).
+class HashIntersectIterator final : public Iterator {
+ public:
+  HashIntersectIterator(IteratorPtr left, IteratorPtr right);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return left_->schema(); }
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  std::vector<Row> out_;
+  size_t pos_ = 0;
+};
+
+}  // namespace volcano::exec
+
+#endif  // VOLCANO_EXEC_ITERATORS_H_

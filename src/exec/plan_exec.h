@@ -1,0 +1,50 @@
+// Compiling optimized plans into iterator trees, and a reference evaluator.
+//
+// BuildIterator maps each physical algebra operator of a plan to its
+// iterator; ExecutePlan drains the tree. EvalLogical evaluates the *logical*
+// expression naively (nested loops, no optimization) and serves as the
+// correctness oracle: every plan the optimizer produces for a query must
+// return the same multiset of tuples as the naive evaluation.
+
+#ifndef VOLCANO_EXEC_PLAN_EXEC_H_
+#define VOLCANO_EXEC_PLAN_EXEC_H_
+
+#include <vector>
+
+#include "algebra/expr.h"
+#include "exec/iterator.h"
+#include "relational/rel_model.h"
+#include "search/plan.h"
+
+namespace volcano::exec {
+
+/// Builds the iterator tree for a physical plan over `db`.
+IteratorPtr BuildIterator(const PlanNode& plan, const rel::RelModel& model,
+                          const Database& db);
+
+/// Builds and drains the plan.
+std::vector<Row> ExecutePlan(const PlanNode& plan, const rel::RelModel& model,
+                             const Database& db);
+
+/// Output schema of a plan (attribute order of ExecutePlan rows).
+Schema PlanSchema(const PlanNode& plan, const rel::RelModel& model,
+                  const Database& db);
+
+/// Reference evaluation of a logical expression (unoptimized nested-loop
+/// semantics). Returns rows in an unspecified order.
+std::vector<Row> EvalLogical(const Expr& expr, const rel::RelModel& model,
+                             const Database& db);
+
+/// Schema of the reference evaluation's rows.
+Schema LogicalSchema(const Expr& expr, const rel::RelModel& model,
+                     const Database& db);
+
+/// Permutes each row from `from` column order into `to` column order (the
+/// schemas must contain the same attributes). Plans reorder join inputs, so
+/// result comparisons must normalize the column order first.
+std::vector<Row> ReorderToSchema(const std::vector<Row>& rows,
+                                 const Schema& from, const Schema& to);
+
+}  // namespace volcano::exec
+
+#endif  // VOLCANO_EXEC_PLAN_EXEC_H_

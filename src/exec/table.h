@@ -1,0 +1,77 @@
+// In-memory tables and the tuple representation.
+//
+// The execution substrate: relations are vectors of fixed-width integer
+// tuples with a named schema. This stands in for Volcano's stored files;
+// 100-byte records of the paper's experiments are modeled by the catalog's
+// tuple_bytes (cost model) while execution works on the attribute values.
+
+#ifndef VOLCANO_EXEC_TABLE_H_
+#define VOLCANO_EXEC_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/intern.h"
+#include "support/status.h"
+
+namespace volcano::exec {
+
+/// One tuple: attribute values in schema order.
+using Row = std::vector<int64_t>;
+
+/// Ordered attribute list naming a row's columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Symbol> attrs) : attrs_(std::move(attrs)) {}
+
+  const std::vector<Symbol>& attrs() const { return attrs_; }
+  size_t size() const { return attrs_.size(); }
+  Symbol at(size_t i) const { return attrs_[i]; }
+
+  /// Column index of `attr`, or -1.
+  int IndexOf(Symbol attr) const {
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      if (attrs_[i] == attr) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Concatenation (join output schema).
+  static Schema Concat(const Schema& a, const Schema& b) {
+    std::vector<Symbol> attrs = a.attrs_;
+    attrs.insert(attrs.end(), b.attrs_.begin(), b.attrs_.end());
+    return Schema(std::move(attrs));
+  }
+
+ private:
+  std::vector<Symbol> attrs_;
+};
+
+/// A stored relation instance.
+struct Table {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+/// All stored relations of one database instance.
+class Database {
+ public:
+  void Put(Symbol relation, Table table) {
+    tables_[relation] = std::move(table);
+  }
+  const Table* Find(Symbol relation) const {
+    auto it = tables_.find(relation);
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<Symbol, Table> tables_;
+};
+
+}  // namespace volcano::exec
+
+#endif  // VOLCANO_EXEC_TABLE_H_

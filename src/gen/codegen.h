@@ -1,0 +1,37 @@
+// C++ code generation from a model specification.
+//
+// Emits a header/source pair that (a) registers the declared operators,
+// algorithms and enforcers, (b) declares a Support interface with one pure
+// virtual per named support function (the code the optimizer implementor
+// writes: condition code, applicability functions, cost functions, property
+// builders), and (c) defines one rule class per declared rule, delegating to
+// the Support interface, plus a RegisterRules function wiring everything
+// into a RuleSet. The output compiles against the volcano search engine —
+// the "optimizer source code" box of the paper's Figure 1.
+
+#ifndef VOLCANO_GEN_CODEGEN_H_
+#define VOLCANO_GEN_CODEGEN_H_
+
+#include <string>
+
+#include "gen/spec.h"
+#include "support/status.h"
+
+namespace volcano::gen {
+
+struct GeneratedCode {
+  std::string header;        ///< contents of <model>_gen.h
+  std::string source;        ///< contents of <model>_gen.cc
+  std::string header_name;   ///< suggested file name, e.g. "relational_gen.h"
+  std::string source_name;
+};
+
+/// Generates optimizer source code. `include_prefix` is prepended to the
+/// generated header's own include path (e.g. "relational/generated/").
+StatusOr<GeneratedCode> GenerateOptimizerCode(const ModelSpec& spec,
+                                              const std::string&
+                                                  include_prefix = "");
+
+}  // namespace volcano::gen
+
+#endif  // VOLCANO_GEN_CODEGEN_H_

@@ -1,0 +1,66 @@
+// optgen: the Volcano optimizer generator CLI.
+//
+// Usage: optgen <model-spec> <output-dir> [include-prefix]
+//
+// Reads a model specification, validates it, and writes <model>_gen.h and
+// <model>_gen.cc into the output directory. The emitted code compiles
+// against the volcano search engine; the optimizer implementor supplies the
+// generated Support interface.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gen/codegen.h"
+#include "gen/parser.h"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <model-spec> <output-dir> [include-prefix]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "optgen: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  volcano::StatusOr<volcano::gen::ModelSpec> spec =
+      volcano::gen::ParseModelSpec(buffer.str());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "optgen: %s: %s\n", argv[1],
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string include_prefix = argc > 3 ? argv[3] : "";
+  volcano::StatusOr<volcano::gen::GeneratedCode> code =
+      volcano::gen::GenerateOptimizerCode(*spec, include_prefix);
+  if (!code.ok()) {
+    std::fprintf(stderr, "optgen: %s\n", code.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string dir = argv[2];
+  for (const auto& [name, contents] :
+       {std::pair<std::string, const std::string&>{code->header_name,
+                                                   code->header},
+        std::pair<std::string, const std::string&>{code->source_name,
+                                                   code->source}}) {
+    std::string path = dir + "/" + name;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "optgen: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << contents;
+    std::printf("optgen: wrote %s (%zu bytes)\n", path.c_str(),
+                contents.size());
+  }
+  return 0;
+}

@@ -1,0 +1,427 @@
+#include "gen/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace volcano::gen {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kInt,
+    kColon,
+    kSemi,
+    kComma,
+    kLParen,
+    kRParen,
+    kQuestion,
+    kArrow,
+    kEnd,
+  };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back(Token{Token::Kind::kIdent,
+                            std::string(text_.substr(start, pos_ - start)),
+                            line_});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        out.push_back(Token{Token::Kind::kInt,
+                            std::string(text_.substr(start, pos_ - start)),
+                            line_});
+        continue;
+      }
+      if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+        out.push_back(Token{Token::Kind::kArrow, "->", line_});
+        pos_ += 2;
+        continue;
+      }
+      Token::Kind kind;
+      switch (c) {
+        case ':': kind = Token::Kind::kColon; break;
+        case ';': kind = Token::Kind::kSemi; break;
+        case ',': kind = Token::Kind::kComma; break;
+        case '(': kind = Token::Kind::kLParen; break;
+        case ')': kind = Token::Kind::kRParen; break;
+        case '?': kind = Token::Kind::kQuestion; break;
+        default:
+          return Status::InvalidArgument("line " + std::to_string(line_) +
+                                         ": unexpected character '" +
+                                         std::string(1, c) + "'");
+      }
+      out.push_back(Token{kind, std::string(1, c), line_});
+      ++pos_;
+    }
+    out.push_back(Token{Token::Kind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ModelSpec> Run() {
+    ModelSpec spec;
+    Status s = ExpectKeyword("model");
+    if (!s.ok()) return s;
+    StatusOr<std::string> name = ExpectIdent("model name");
+    if (!name.ok()) return name.status();
+    spec.model_name = *name;
+    s = Expect(Token::Kind::kSemi, "';'");
+    if (!s.ok()) return s;
+
+    while (Peek().kind != Token::Kind::kEnd) {
+      StatusOr<std::string> kw = ExpectIdent("declaration keyword");
+      if (!kw.ok()) return kw.status();
+      if (*kw == "operator" || *kw == "algorithm") {
+        StatusOr<OperatorSpec> op = ParseOperator(
+            *kw == "operator" ? OperatorSpec::Kind::kLogical
+                              : OperatorSpec::Kind::kAlgorithm);
+        if (!op.ok()) return op.status();
+        spec.operators.push_back(*op);
+      } else if (*kw == "enforcer") {
+        StatusOr<std::string> n = ExpectIdent("enforcer name");
+        if (!n.ok()) return n.status();
+        Status semi = Expect(Token::Kind::kSemi, "';'");
+        if (!semi.ok()) return semi;
+        spec.operators.push_back(
+            OperatorSpec{OperatorSpec::Kind::kEnforcer, *n, 1});
+      } else if (*kw == "transformation") {
+        StatusOr<TransformationSpec> t = ParseTransformation();
+        if (!t.ok()) return t.status();
+        spec.transformations.push_back(*t);
+      } else if (*kw == "implementation") {
+        StatusOr<ImplementationSpec> i = ParseImplementation();
+        if (!i.ok()) return i.status();
+        spec.implementations.push_back(*i);
+      } else if (*kw == "enforcer_rule") {
+        StatusOr<EnforcerSpec> e = ParseEnforcerRule();
+        if (!e.ok()) return e.status();
+        spec.enforcers.push_back(*e);
+      } else {
+        return Error("unknown declaration '" + *kw + "'");
+      }
+    }
+    return spec;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        "line " + std::to_string(Peek().line) + ": " + msg);
+  }
+
+  Status Expect(Token::Kind kind, const std::string& what) {
+    if (Peek().kind != kind) {
+      return Error("expected " + what + ", found '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdent(const std::string& what) {
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Error("expected " + what + ", found '" + Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (Peek().kind != Token::Kind::kIdent || Peek().text != kw) {
+      return Error("expected '" + kw + "', found '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  bool ConsumeKeyword(const std::string& kw) {
+    if (Peek().kind == Token::Kind::kIdent && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<OperatorSpec> ParseOperator(OperatorSpec::Kind kind) {
+    OperatorSpec op;
+    op.kind = kind;
+    StatusOr<std::string> name = ExpectIdent("operator name");
+    if (!name.ok()) return name.status();
+    op.name = *name;
+    if (Peek().kind != Token::Kind::kInt) {
+      return Error("expected arity, found '" + Peek().text + "'");
+    }
+    op.arity = std::stoi(Advance().text);
+    Status s = Expect(Token::Kind::kSemi, "';'");
+    if (!s.ok()) return s;
+    return op;
+  }
+
+  StatusOr<PatternSpec> ParsePattern() {
+    PatternSpec p;
+    if (Peek().kind == Token::Kind::kQuestion) {
+      Advance();
+      StatusOr<std::string> binder = ExpectIdent("binder name after '?'");
+      if (!binder.ok()) return binder.status();
+      p.is_any = true;
+      p.binder = *binder;
+      return p;
+    }
+    StatusOr<std::string> op = ExpectIdent("operator in pattern");
+    if (!op.ok()) return op.status();
+    p.op = *op;
+    if (Peek().kind == Token::Kind::kLParen) {
+      Advance();
+      while (true) {
+        StatusOr<PatternSpec> child = ParsePattern();
+        if (!child.ok()) return child.status();
+        p.children.push_back(*child);
+        if (Peek().kind == Token::Kind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      Status s = Expect(Token::Kind::kRParen, "')'");
+      if (!s.ok()) return s;
+    }
+    return p;
+  }
+
+  StatusOr<TransformationSpec> ParseTransformation() {
+    TransformationSpec t;
+    StatusOr<std::string> name = ExpectIdent("rule name");
+    if (!name.ok()) return name.status();
+    t.name = *name;
+    Status s = Expect(Token::Kind::kColon, "':'");
+    if (!s.ok()) return s;
+    StatusOr<PatternSpec> before = ParsePattern();
+    if (!before.ok()) return before.status();
+    t.before = *before;
+    s = Expect(Token::Kind::kArrow, "'->'");
+    if (!s.ok()) return s;
+    StatusOr<PatternSpec> after = ParsePattern();
+    if (!after.ok()) return after.status();
+    t.after = *after;
+    if (ConsumeKeyword("condition")) {
+      StatusOr<std::string> fn = ExpectIdent("condition function");
+      if (!fn.ok()) return fn.status();
+      t.condition_fn = *fn;
+    }
+    s = ExpectKeyword("apply");
+    if (!s.ok()) return s;
+    StatusOr<std::string> fn = ExpectIdent("apply function");
+    if (!fn.ok()) return fn.status();
+    t.apply_fn = *fn;
+    s = Expect(Token::Kind::kSemi, "';'");
+    if (!s.ok()) return s;
+    return t;
+  }
+
+  StatusOr<ImplementationSpec> ParseImplementation() {
+    ImplementationSpec i;
+    StatusOr<std::string> name = ExpectIdent("rule name");
+    if (!name.ok()) return name.status();
+    i.name = *name;
+    Status s = Expect(Token::Kind::kColon, "':'");
+    if (!s.ok()) return s;
+    StatusOr<PatternSpec> pattern = ParsePattern();
+    if (!pattern.ok()) return pattern.status();
+    i.pattern = *pattern;
+    s = Expect(Token::Kind::kArrow, "'->'");
+    if (!s.ok()) return s;
+    StatusOr<std::string> alg = ExpectIdent("algorithm name");
+    if (!alg.ok()) return alg.status();
+    i.algorithm = *alg;
+    s = ExpectKeyword("applicability");
+    if (!s.ok()) return s;
+    StatusOr<std::string> afn = ExpectIdent("applicability function");
+    if (!afn.ok()) return afn.status();
+    i.applicability_fn = *afn;
+    s = ExpectKeyword("cost");
+    if (!s.ok()) return s;
+    StatusOr<std::string> cfn = ExpectIdent("cost function");
+    if (!cfn.ok()) return cfn.status();
+    i.cost_fn = *cfn;
+    if (ConsumeKeyword("arg")) {
+      StatusOr<std::string> pfn = ExpectIdent("arg function");
+      if (!pfn.ok()) return pfn.status();
+      i.plan_arg_fn = *pfn;
+    }
+    s = Expect(Token::Kind::kSemi, "';'");
+    if (!s.ok()) return s;
+    return i;
+  }
+
+  StatusOr<EnforcerSpec> ParseEnforcerRule() {
+    EnforcerSpec e;
+    StatusOr<std::string> name = ExpectIdent("rule name");
+    if (!name.ok()) return name.status();
+    e.name = *name;
+    Status s = Expect(Token::Kind::kColon, "':'");
+    if (!s.ok()) return s;
+    StatusOr<std::string> enf = ExpectIdent("enforcer name");
+    if (!enf.ok()) return enf.status();
+    e.enforcer = *enf;
+    s = ExpectKeyword("enforce");
+    if (!s.ok()) return s;
+    StatusOr<std::string> efn = ExpectIdent("enforce function");
+    if (!efn.ok()) return efn.status();
+    e.enforce_fn = *efn;
+    s = ExpectKeyword("cost");
+    if (!s.ok()) return s;
+    StatusOr<std::string> cfn = ExpectIdent("cost function");
+    if (!cfn.ok()) return cfn.status();
+    e.cost_fn = *cfn;
+    if (ConsumeKeyword("arg")) {
+      StatusOr<std::string> pfn = ExpectIdent("arg function");
+      if (!pfn.ok()) return pfn.status();
+      e.plan_arg_fn = *pfn;
+    }
+    if (ConsumeKeyword("promise")) {
+      StatusOr<std::string> pfn = ExpectIdent("promise function");
+      if (!pfn.ok()) return pfn.status();
+      e.promise_fn = *pfn;
+    }
+    s = Expect(Token::Kind::kSemi, "';'");
+    if (!s.ok()) return s;
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Status ValidatePattern(const ModelSpec& spec, const PatternSpec& p,
+                       bool root_must_be_logical) {
+  if (p.is_any) return Status::OK();
+  const OperatorSpec* op = spec.FindOperator(p.op);
+  if (op == nullptr) {
+    return Status::InvalidArgument("pattern references undeclared operator " +
+                                   p.op);
+  }
+  if (root_must_be_logical && op->kind != OperatorSpec::Kind::kLogical) {
+    return Status::InvalidArgument("pattern operator " + p.op +
+                                   " is not a logical operator");
+  }
+  if (!p.children.empty() &&
+      static_cast<int>(p.children.size()) != op->arity) {
+    return Status::InvalidArgument("pattern for " + p.op + " has " +
+                                   std::to_string(p.children.size()) +
+                                   " children, operator arity is " +
+                                   std::to_string(op->arity));
+  }
+  for (const auto& child : p.children) {
+    Status s = ValidatePattern(spec, child, root_must_be_logical);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<ModelSpec> ParseModelSpec(std::string_view text) {
+  Lexer lexer(text);
+  StatusOr<std::vector<Token>> tokens = lexer.Run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  StatusOr<ModelSpec> spec = parser.Run();
+  if (!spec.ok()) return spec.status();
+  Status s = ValidateModelSpec(*spec);
+  if (!s.ok()) return s;
+  return spec;
+}
+
+Status ValidateModelSpec(const ModelSpec& spec) {
+  for (size_t i = 0; i < spec.operators.size(); ++i) {
+    for (size_t j = i + 1; j < spec.operators.size(); ++j) {
+      if (spec.operators[i].name == spec.operators[j].name) {
+        return Status::InvalidArgument("duplicate operator " +
+                                       spec.operators[i].name);
+      }
+    }
+  }
+  for (const auto& t : spec.transformations) {
+    Status s = ValidatePattern(spec, t.before, /*root_must_be_logical=*/true);
+    if (!s.ok()) return s;
+    s = ValidatePattern(spec, t.after, /*root_must_be_logical=*/true);
+    if (!s.ok()) return s;
+    if (t.before.is_any) {
+      return Status::InvalidArgument("transformation " + t.name +
+                                     " must match an operator, not '?'");
+    }
+  }
+  for (const auto& i : spec.implementations) {
+    Status s = ValidatePattern(spec, i.pattern, /*root_must_be_logical=*/true);
+    if (!s.ok()) return s;
+    const OperatorSpec* alg = spec.FindOperator(i.algorithm);
+    if (alg == nullptr || alg->kind != OperatorSpec::Kind::kAlgorithm) {
+      return Status::InvalidArgument("implementation " + i.name +
+                                     " targets unknown algorithm " +
+                                     i.algorithm);
+    }
+  }
+  for (const auto& e : spec.enforcers) {
+    const OperatorSpec* enf = spec.FindOperator(e.enforcer);
+    if (enf == nullptr || enf->kind != OperatorSpec::Kind::kEnforcer) {
+      return Status::InvalidArgument("enforcer rule " + e.name +
+                                     " names unknown enforcer " + e.enforcer);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace volcano::gen

@@ -1,0 +1,39 @@
+// Parser for the optimizer generator's model specification language.
+//
+// Grammar (';'-terminated declarations, '//' comments):
+//
+//   spec           := 'model' IDENT ';' decl*
+//   decl           := operator | algorithm | enforcer
+//                   | transformation | implementation | enforcer_rule
+//   operator       := 'operator' IDENT INT ';'
+//   algorithm      := 'algorithm' IDENT INT ';'
+//   enforcer       := 'enforcer' IDENT ';'
+//   transformation := 'transformation' IDENT ':' pattern '->' pattern
+//                     ('condition' IDENT)? 'apply' IDENT ';'
+//   implementation := 'implementation' IDENT ':' pattern '->' IDENT
+//                     'applicability' IDENT 'cost' IDENT ('arg' IDENT)? ';'
+//   enforcer_rule  := 'enforcer_rule' IDENT ':' IDENT 'enforce' IDENT
+//                     'cost' IDENT ('arg' IDENT)? ('promise' IDENT)? ';'
+//   pattern        := '?' IDENT | IDENT ('(' pattern (',' pattern)* ')')?
+
+#ifndef VOLCANO_GEN_PARSER_H_
+#define VOLCANO_GEN_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "gen/spec.h"
+#include "support/status.h"
+
+namespace volcano::gen {
+
+/// Parses a model specification; errors carry line numbers.
+StatusOr<ModelSpec> ParseModelSpec(std::string_view text);
+
+/// Validates cross-references: pattern operators declared, arities match,
+/// implementation targets are algorithms, enforcer rules name enforcers.
+Status ValidateModelSpec(const ModelSpec& spec);
+
+}  // namespace volcano::gen
+
+#endif  // VOLCANO_GEN_PARSER_H_

@@ -1,0 +1,85 @@
+// Model specification AST for the optimizer generator.
+//
+// "When the DBMS software is being built, a model specification is
+// translated into optimizer source code, which is then compiled and linked
+// with the other DBMS software" (paper, Figure 1). The specification
+// declares the logical operators, algorithms and enforcers, the
+// transformation and implementation rules (patterns plus the names of the
+// support functions the optimizer implementor writes), and the enforcer
+// rules. The generator emits C++ that registers all of it against the
+// search engine.
+
+#ifndef VOLCANO_GEN_SPEC_H_
+#define VOLCANO_GEN_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace volcano::gen {
+
+/// A pattern tree in the rule language: an operator name over sub-patterns,
+/// or a "?name" binding leaf.
+struct PatternSpec {
+  bool is_any = false;
+  std::string binder;    ///< leaf name without '?', e.g. "a"
+  std::string op;        ///< operator name for non-leaf nodes
+  std::vector<PatternSpec> children;
+};
+
+/// `operator NAME ARITY;` / `algorithm NAME ARITY;` / `enforcer NAME;`
+struct OperatorSpec {
+  enum class Kind { kLogical, kAlgorithm, kEnforcer };
+  Kind kind = Kind::kLogical;
+  std::string name;
+  int arity = 0;
+};
+
+/// `transformation name: PATTERN -> PATTERN [condition Fn] apply Fn;`
+struct TransformationSpec {
+  std::string name;
+  PatternSpec before;
+  PatternSpec after;          ///< documentation of the rewrite shape
+  std::string condition_fn;   ///< empty = unconditional
+  std::string apply_fn;       ///< support function building the result
+};
+
+/// `implementation name: PATTERN -> ALGORITHM applicability Fn cost Fn;`
+struct ImplementationSpec {
+  std::string name;
+  PatternSpec pattern;
+  std::string algorithm;
+  std::string applicability_fn;
+  std::string cost_fn;
+  std::string plan_arg_fn;  ///< optional: argument builder for the plan node
+};
+
+/// `enforcer_rule name: ENFORCER enforce Fn cost Fn [arg Fn] [promise Fn];`
+struct EnforcerSpec {
+  std::string name;
+  std::string enforcer;
+  std::string enforce_fn;
+  std::string cost_fn;
+  std::string plan_arg_fn;  ///< optional
+  std::string promise_fn;   ///< optional
+};
+
+/// A complete parsed model specification.
+struct ModelSpec {
+  std::string model_name;
+  std::vector<OperatorSpec> operators;
+  std::vector<TransformationSpec> transformations;
+  std::vector<ImplementationSpec> implementations;
+  std::vector<EnforcerSpec> enforcers;
+
+  const OperatorSpec* FindOperator(const std::string& name) const {
+    for (const auto& op : operators) {
+      if (op.name == name) return &op;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace volcano::gen
+
+#endif  // VOLCANO_GEN_SPEC_H_

@@ -1,0 +1,162 @@
+// The object-oriented path-expression data model.
+//
+// A second, non-relational data model on the unmodified search engine — the
+// paper's extensibility thesis made concrete. Its algebra:
+//
+//   logical   EXTENT(Class)           all objects of a class
+//             TRAVERSE(ref)(input)    follow a reference attribute
+//   physical  EXTENT_SCAN             sequential extent read
+//             NAIVE_TRAVERSE          pointer chasing (random I/O per object)
+//             CLUSTERED_TRAVERSE      requires assembled input, stays
+//                                     assembled
+//   enforcer  ASSEMBLY                establishes "assembledness"
+//
+// The physical property is *assembledness* (§4.1: "defining 'assembledness'
+// of complex objects in memory as a physical property and using the assembly
+// operator ... as the enforcer for this property") — not a sort order, which
+// is exactly the point: the engine never interprets properties.
+//
+// Unlike the relational model (whose generated registration coexists with a
+// handwritten one), this model is registered EXCLUSIVELY through the
+// optimizer generator: oodb.model → optgen → generated/oodb_gen.{h,cc}; the
+// support functions live in oodb_model.cc. Figure 1, end to end, for a
+// second data model.
+
+#ifndef VOLCANO_OODB_OODB_MODEL_H_
+#define VOLCANO_OODB_OODB_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/data_model.h"
+#include "algebra/expr.h"
+#include "oodb/generated/oodb_gen.h"
+#include "support/intern.h"
+
+namespace volcano::oodb {
+
+/// EXTENT[class name].
+class ExtentArg final : public TypedOpArg<ExtentArg> {
+ public:
+  ExtentArg(const SymbolTable& symbols, Symbol cls)
+      : symbols_(&symbols), cls_(cls) {}
+  Symbol cls() const { return cls_; }
+  uint64_t Hash() const override;
+  bool EqualsImpl(const ExtentArg& o) const { return cls_ == o.cls_; }
+  std::string ToString() const override { return symbols_->Name(cls_); }
+
+ private:
+  const SymbolTable* symbols_;
+  Symbol cls_;
+};
+
+/// TRAVERSE[reference attribute].
+class TraverseArg final : public TypedOpArg<TraverseArg> {
+ public:
+  TraverseArg(const SymbolTable& symbols, Symbol ref)
+      : symbols_(&symbols), ref_(ref) {}
+  Symbol ref() const { return ref_; }
+  uint64_t Hash() const override;
+  bool EqualsImpl(const TraverseArg& o) const { return ref_ == o.ref_; }
+  std::string ToString() const override { return symbols_->Name(ref_); }
+
+ private:
+  const SymbolTable* symbols_;
+  Symbol ref_;
+};
+
+/// Logical properties: object count and size.
+class OodbLogicalProps final : public LogicalProps {
+ public:
+  OodbLogicalProps(double cardinality, double object_bytes)
+      : cardinality_(cardinality), object_bytes_(object_bytes) {}
+  double cardinality() const { return cardinality_; }
+  double object_bytes() const { return object_bytes_; }
+  std::string ToString() const override {
+    return "objects=" + std::to_string(cardinality_);
+  }
+
+ private:
+  double cardinality_;
+  double object_bytes_;
+};
+
+/// The physical property vector: assembledness.
+class OodbPhysProps final : public PhysProps {
+ public:
+  explicit OodbPhysProps(bool assembled) : assembled_(assembled) {}
+  bool assembled() const { return assembled_; }
+  uint64_t Hash() const override { return assembled_ ? 0xA55E : 0x0; }
+  bool Equals(const PhysProps& other) const override;
+  bool Covers(const PhysProps& required) const override;
+  std::string ToString() const override {
+    return assembled_ ? "assembled" : "unassembled";
+  }
+
+ private:
+  bool assembled_;
+};
+
+/// A class (type) in the object schema.
+struct ClassInfo {
+  Symbol name;
+  double extent_size = 0;
+  double object_bytes = 0;
+};
+
+/// Cost constants (seconds per object).
+struct OodbCostParams {
+  double seq_io_per_object = 2e-6;       ///< extent scan
+  double random_io_per_object = 1e-4;    ///< pointer chase
+  double clustered_per_object = 4e-6;    ///< traversal of assembled objects
+  double assembly_per_object = 3e-5;     ///< the ASSEMBLY enforcer
+};
+
+/// The DataModel; rule tables come from the optgen-generated registration.
+class OodbModel final : public DataModel {
+ public:
+  explicit OodbModel(OodbCostParams params = {});
+  ~OodbModel() override;
+
+  void AddClass(std::string_view name, double extent_size,
+                double object_bytes);
+  const ClassInfo* FindClass(Symbol name) const;
+
+  // --- DataModel -----------------------------------------------------------
+  const OperatorRegistry& registry() const override { return registry_; }
+  const RuleSet& rule_set() const override { return rules_; }
+  const CostModel& cost_model() const override { return cost_model_; }
+  LogicalPropsPtr DeriveLogicalProps(
+      OperatorId op, const OpArg* arg,
+      const std::vector<LogicalPropsPtr>& inputs) const override;
+  PhysPropsPtr AnyProps() const override { return unassembled_; }
+
+  // --- model accessors -----------------------------------------------------
+  const gen_model::oodb::Ops& ops() const { return ops_; }
+  PhysPropsPtr Assembled() const { return assembled_; }
+  const OodbCostParams& params() const { return params_; }
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  // --- expression builders -------------------------------------------------
+  ExprPtr Extent(std::string_view cls) const;
+  ExprPtr Traverse(ExprPtr input, std::string_view ref);
+
+ private:
+  OodbCostParams params_;
+  OperatorRegistry registry_;
+  RuleSet rules_;
+  CostModel cost_model_;
+  SymbolTable symbols_;
+  std::vector<ClassInfo> classes_;
+  gen_model::oodb::Ops ops_;
+  std::unique_ptr<gen_model::oodb::Support> support_;
+  PhysPropsPtr unassembled_;
+  PhysPropsPtr assembled_;
+};
+
+}  // namespace volcano::oodb
+
+#endif  // VOLCANO_OODB_OODB_MODEL_H_

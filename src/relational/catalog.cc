@@ -1,0 +1,94 @@
+#include "relational/catalog.h"
+
+#include <algorithm>
+
+namespace volcano::rel {
+
+Status Catalog::AddRelation(RelationInfo info) {
+  if (!info.name.valid()) {
+    return Status::InvalidArgument("relation name must be a valid symbol");
+  }
+  if (relations_.find(info.name) != relations_.end()) {
+    return Status::AlreadyExists("relation already defined: " +
+                                 symbols_.Name(info.name));
+  }
+  if (info.cardinality < 0) {
+    return Status::InvalidArgument("negative cardinality");
+  }
+  for (const auto& a : info.attributes) {
+    if (attr_owner_.find(a.name) != attr_owner_.end()) {
+      return Status::AlreadyExists("attribute already defined: " +
+                                   symbols_.Name(a.name));
+    }
+  }
+  for (const auto& a : info.attributes) {
+    attr_owner_.emplace(a.name, info.name);
+    attr_distinct_.emplace(a.name, std::max(1.0, a.distinct_values));
+  }
+  Symbol name = info.name;
+  relations_.emplace(name, std::move(info));
+  return Status::OK();
+}
+
+StatusOr<Symbol> Catalog::AddRelation(std::string_view name,
+                                      double cardinality, double tuple_bytes,
+                                      int num_attrs,
+                                      const std::vector<double>& distincts) {
+  RelationInfo info;
+  info.name = symbols_.Intern(name);
+  info.cardinality = cardinality;
+  info.tuple_bytes = tuple_bytes;
+  for (int i = 0; i < num_attrs; ++i) {
+    AttributeInfo attr;
+    attr.name = symbols_.Intern(std::string(name) + ".a" + std::to_string(i));
+    double d = i < static_cast<int>(distincts.size()) ? distincts[i]
+                                                      : cardinality;
+    attr.distinct_values = std::max(1.0, std::min(d, cardinality));
+    info.attributes.push_back(attr);
+  }
+  Status s = AddRelation(std::move(info));
+  if (!s.ok()) return s;
+  return symbols_.Lookup(name);
+}
+
+Status Catalog::SetSortedOn(Symbol relation, std::vector<Symbol> order) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("unknown relation");
+  }
+  for (Symbol attr : order) {
+    if (!it->second.HasAttribute(attr)) {
+      return Status::InvalidArgument("sort attribute not in relation: " +
+                                     symbols_.Name(attr));
+    }
+  }
+  it->second.sorted_on = std::move(order);
+  return Status::OK();
+}
+
+Status Catalog::SetDistinct(Symbol attr, double distinct_values) {
+  auto it = attr_distinct_.find(attr);
+  if (it == attr_distinct_.end()) {
+    return Status::NotFound("unknown attribute");
+  }
+  if (distinct_values < 1.0) {
+    return Status::InvalidArgument("distinct count must be >= 1");
+  }
+  it->second = distinct_values;
+  auto rel = relations_.find(attr_owner_.at(attr));
+  VOLCANO_CHECK(rel != relations_.end());
+  for (auto& a : rel->second.attributes) {
+    if (a.name == attr) a.distinct_values = distinct_values;
+  }
+  return Status::OK();
+}
+
+std::vector<Symbol> Catalog::RelationNames() const {
+  std::vector<Symbol> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, info] : relations_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace volcano::rel

@@ -1,0 +1,106 @@
+// Catalog: relations, attributes, and statistics.
+//
+// The paper's experiments use "test relations [that] contained 1,200 to 7,200
+// records of 100 bytes" (section 4.2). The catalog stores per-relation
+// cardinality and width plus per-attribute distinct-value counts (the basis
+// of selectivity estimation, which the paper says is encapsulated in the
+// logical property functions), and optionally the stored sort order of the
+// file, which FILE_SCAN then delivers as a physical property.
+
+#ifndef VOLCANO_RELATIONAL_CATALOG_H_
+#define VOLCANO_RELATIONAL_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/intern.h"
+#include "support/status.h"
+
+namespace volcano::rel {
+
+/// One attribute. Attribute names are globally unique in this catalog (the
+/// conventional "R.a" is interned as a single symbol).
+struct AttributeInfo {
+  Symbol name;
+  double distinct_values = 1.0;  ///< statistics for selectivity estimation
+};
+
+/// One stored relation.
+struct RelationInfo {
+  Symbol name;
+  double cardinality = 0.0;
+  double tuple_bytes = 100.0;
+  std::vector<AttributeInfo> attributes;
+  /// Physical order of the stored file, major-to-minor; empty = unordered
+  /// heap file.
+  std::vector<Symbol> sorted_on;
+
+  bool HasAttribute(Symbol attr) const {
+    for (const auto& a : attributes) {
+      if (a.name == attr) return true;
+    }
+    return false;
+  }
+};
+
+/// A mutable schema catalog. Owns the symbol table used for all relation and
+/// attribute names of one database.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  /// Adds a relation; attribute names must be new, globally unique symbols.
+  Status AddRelation(RelationInfo info);
+
+  /// Convenience: creates a relation with `num_attrs` attributes named
+  /// "<rel>.a<i>" and the given distinct counts (clamped to cardinality).
+  StatusOr<Symbol> AddRelation(std::string_view name, double cardinality,
+                               double tuple_bytes, int num_attrs,
+                               const std::vector<double>& distincts = {});
+
+  const RelationInfo* FindRelation(Symbol name) const {
+    auto it = relations_.find(name);
+    return it == relations_.end() ? nullptr : &it->second;
+  }
+  const RelationInfo* FindRelation(std::string_view name) const {
+    return FindRelation(symbols_.Lookup(name));
+  }
+
+  /// Marks a relation's stored sort order.
+  Status SetSortedOn(Symbol relation, std::vector<Symbol> order);
+
+  /// Overrides an attribute's distinct-value statistic.
+  Status SetDistinct(Symbol attr, double distinct_values);
+
+  /// Relation owning an attribute; invalid Symbol if unknown.
+  Symbol RelationOf(Symbol attr) const {
+    auto it = attr_owner_.find(attr);
+    return it == attr_owner_.end() ? Symbol() : it->second;
+  }
+
+  /// Distinct-value count of an attribute; 1.0 if unknown.
+  double DistinctOf(Symbol attr) const {
+    auto it = attr_distinct_.find(attr);
+    return it == attr_distinct_.end() ? 1.0 : it->second;
+  }
+
+  size_t num_relations() const { return relations_.size(); }
+  std::vector<Symbol> RelationNames() const;
+
+ private:
+  SymbolTable symbols_;
+  std::unordered_map<Symbol, RelationInfo> relations_;
+  std::unordered_map<Symbol, Symbol> attr_owner_;
+  std::unordered_map<Symbol, double> attr_distinct_;
+};
+
+}  // namespace volcano::rel
+
+#endif  // VOLCANO_RELATIONAL_CATALOG_H_

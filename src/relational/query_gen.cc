@@ -1,0 +1,130 @@
+#include "relational/query_gen.h"
+
+#include <algorithm>
+#include <string>
+
+namespace volcano::rel {
+
+namespace {
+
+struct JoinEdge {
+  int partner;           // index of the relation already in the tree
+  Symbol partner_attr;   // join attribute on the partner side
+  int newcomer;          // index of the relation being added
+  Symbol newcomer_attr;  // join attribute on the newcomer side
+};
+
+}  // namespace
+
+Workload GenerateWorkload(const WorkloadOptions& options, uint64_t seed,
+                          const RelModelOptions& model_options) {
+  VOLCANO_CHECK(options.num_relations >= 1);
+  VOLCANO_CHECK(options.attrs_per_relation >= 1);
+  Rng rng(seed);
+
+  Workload w;
+  w.catalog = std::make_unique<Catalog>();
+
+  // --- relations -----------------------------------------------------------
+  std::vector<std::vector<Symbol>> attrs(options.num_relations);
+  for (int i = 0; i < options.num_relations; ++i) {
+    double card = rng.UniformDouble(options.min_cardinality,
+                                    options.max_cardinality);
+    std::vector<double> distincts;
+    for (int a = 0; a < options.attrs_per_relation; ++a) {
+      // Attribute 0 is key-like; the rest have coarser domains.
+      distincts.push_back(a == 0 ? card
+                                 : rng.UniformDouble(10.0, card * 0.5));
+    }
+    std::string name = "R" + std::to_string(i);
+    StatusOr<Symbol> rel = w.catalog->AddRelation(
+        name, card, options.tuple_bytes, options.attrs_per_relation,
+        distincts);
+    VOLCANO_CHECK(rel.ok());
+    w.relations.push_back(rel.value());
+    const RelationInfo* info = w.catalog->FindRelation(rel.value());
+    for (const auto& a : info->attributes) attrs[i].push_back(a.name);
+  }
+
+  // --- join spanning tree ----------------------------------------------------
+  // used_attr[i]: attributes of relation i already used by earlier edges.
+  std::vector<std::vector<Symbol>> used_attr(options.num_relations);
+  std::vector<JoinEdge> edges;
+  for (int i = 1; i < options.num_relations; ++i) {
+    JoinEdge e;
+    e.newcomer = i;
+    switch (options.join_graph) {
+      case WorkloadOptions::JoinGraph::kChain:
+        e.partner = i - 1;
+        break;
+      case WorkloadOptions::JoinGraph::kStar:
+        e.partner = 0;
+        break;
+      case WorkloadOptions::JoinGraph::kRandomTree:
+        e.partner = static_cast<int>(rng.Uniform(i));
+        break;
+    }
+    if (!used_attr[e.partner].empty() &&
+        rng.NextDouble() < options.hub_attr_prob) {
+      e.partner_attr = used_attr[e.partner][rng.Uniform(
+          used_attr[e.partner].size())];
+    } else {
+      e.partner_attr =
+          attrs[e.partner][rng.Uniform(attrs[e.partner].size())];
+    }
+    e.newcomer_attr = attrs[i][rng.Uniform(attrs[i].size())];
+    used_attr[e.partner].push_back(e.partner_attr);
+    used_attr[i].push_back(e.newcomer_attr);
+    edges.push_back(e);
+  }
+
+  // --- stored sort orders ------------------------------------------------------
+  for (int i = 0; i < options.num_relations; ++i) {
+    if (!used_attr[i].empty() &&
+        rng.NextDouble() < options.sorted_base_prob) {
+      Status s = w.catalog->SetSortedOn(w.relations[i], {used_attr[i][0]});
+      VOLCANO_CHECK(s.ok());
+    }
+  }
+
+  // --- model + expression -----------------------------------------------------
+  w.model = std::make_unique<RelModel>(*w.catalog, model_options);
+  const RelModel& model = *w.model;
+
+  auto leaf = [&](int i) -> ExprPtr {
+    ExprPtr e = model.Get(w.relations[i]);
+    if (!options.selections) return e;
+    Symbol attr = attrs[i][rng.Uniform(attrs[i].size())];
+    double sel = rng.UniformDouble(options.min_selectivity,
+                                   options.max_selectivity);
+    double distinct = w.catalog->DistinctOf(attr);
+    auto constant = static_cast<int64_t>(distinct * sel);
+    return model.Select(std::move(e), attr, CmpOp::kLess, constant, sel);
+  };
+
+  // Build the initial expression left-deep in edge order; the optimizer's
+  // transformation rules reach all other shapes.
+  ExprPtr root = leaf(0);
+  std::vector<bool> included(options.num_relations, false);
+  included[0] = true;
+  for (const JoinEdge& e : edges) {
+    // The partner is already included in `root` (edges add relations in
+    // index order and partner < newcomer).
+    VOLCANO_CHECK(included[e.partner]);
+    root = model.Join(std::move(root), leaf(e.newcomer), e.partner_attr,
+                      e.newcomer_attr);
+    included[e.newcomer] = true;
+  }
+  w.query = std::move(root);
+
+  // --- ORDER BY ----------------------------------------------------------------
+  if (!edges.empty() && rng.NextDouble() < options.order_by_prob) {
+    const JoinEdge& e = edges[rng.Uniform(edges.size())];
+    w.required = model.Sorted({e.partner_attr});
+  } else {
+    w.required = model.AnyProps();
+  }
+  return w;
+}
+
+}  // namespace volcano::rel

@@ -1,0 +1,76 @@
+// Random select-join workload generator.
+//
+// Reproduces the paper's experimental workload (section 4.2): "queries with
+// 1 to 7 binary joins, i.e., 2 to 8 input relations, and as many selections
+// as input relations", over "test relations [of] 1,200 to 7,200 records of
+// 100 bytes". Join predicates form a random spanning tree over the
+// relations (acyclic, no cross products); a hub probability controls how
+// often several joins share the same attribute of one relation, which
+// creates the interesting-order opportunities the paper's plan-quality
+// comparison depends on.
+
+#ifndef VOLCANO_RELATIONAL_QUERY_GEN_H_
+#define VOLCANO_RELATIONAL_QUERY_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "relational/catalog.h"
+#include "relational/rel_model.h"
+#include "support/rng.h"
+
+namespace volcano::rel {
+
+struct WorkloadOptions {
+  /// Shape of the join spanning tree.
+  enum class JoinGraph {
+    kRandomTree,  ///< each new relation joins a random earlier one
+    kChain,       ///< R0 - R1 - R2 - ...
+    kStar,        ///< every relation joins R0
+  };
+
+  int num_relations = 4;
+  JoinGraph join_graph = JoinGraph::kRandomTree;
+  double min_cardinality = 1200.0;
+  double max_cardinality = 7200.0;
+  double tuple_bytes = 100.0;
+  int attrs_per_relation = 3;
+
+  /// One selection per relation (the paper's setup) with selectivity drawn
+  /// uniformly from this range.
+  bool selections = true;
+  double min_selectivity = 0.1;
+  double max_selectivity = 0.9;
+
+  /// Probability that a new join edge reuses an attribute of the partner
+  /// relation that an earlier edge already joins on (star/hub pattern).
+  double hub_attr_prob = 0.5;
+
+  /// Probability that a base relation's file is stored sorted on its first
+  /// join attribute (FILE_SCAN then delivers that order for free).
+  double sorted_base_prob = 0.5;
+
+  /// Probability that the query carries an ORDER BY requirement on one of
+  /// its join attributes.
+  double order_by_prob = 0.0;
+};
+
+/// A generated query instance: its own catalog and model, the logical
+/// expression, and the required physical properties.
+struct Workload {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<RelModel> model;
+  ExprPtr query;
+  PhysPropsPtr required;  ///< never null; "any" when no ORDER BY
+  std::vector<Symbol> relations;
+};
+
+/// Generates one workload deterministically from `seed`.
+Workload GenerateWorkload(const WorkloadOptions& options, uint64_t seed,
+                          const RelModelOptions& model_options = {});
+
+}  // namespace volcano::rel
+
+#endif  // VOLCANO_RELATIONAL_QUERY_GEN_H_

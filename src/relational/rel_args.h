@@ -1,0 +1,319 @@
+// Operator arguments of the relational algebra.
+//
+// GET carries a relation name; SELECT a simple comparison predicate with its
+// selectivity; JOIN an equi-join predicate; SORT (the enforcer) a sort
+// order; PROJECT an attribute list. All are immutable value types with the
+// hash/equality the memo needs for duplicate detection.
+
+#ifndef VOLCANO_RELATIONAL_REL_ARGS_H_
+#define VOLCANO_RELATIONAL_REL_ARGS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/op_arg.h"
+#include "relational/rel_props.h"
+#include "support/hash.h"
+#include "support/intern.h"
+
+namespace volcano::rel {
+
+/// GET[relation] / FILE_SCAN[relation].
+class GetArg final : public TypedOpArg<GetArg> {
+ public:
+  GetArg(const SymbolTable& symbols, Symbol relation)
+      : symbols_(&symbols), relation_(relation) {}
+
+  static OpArgPtr Make(const SymbolTable& symbols, Symbol relation) {
+    return std::make_shared<GetArg>(symbols, relation);
+  }
+
+  Symbol relation() const { return relation_; }
+
+  uint64_t Hash() const override { return Mix64(0x11 ^ relation_.id()); }
+  bool EqualsImpl(const GetArg& o) const { return relation_ == o.relation_; }
+  std::string ToString() const override { return symbols_->Name(relation_); }
+
+ private:
+  const SymbolTable* symbols_;
+  Symbol relation_;
+};
+
+/// Comparison operator of a selection predicate.
+enum class CmpOp : uint8_t { kLess, kLessEq, kEq, kGreaterEq, kGreater };
+
+inline const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLess: return "<";
+    case CmpOp::kLessEq: return "<=";
+    case CmpOp::kEq: return "=";
+    case CmpOp::kGreaterEq: return ">=";
+    case CmpOp::kGreater: return ">";
+  }
+  return "?";
+}
+
+/// SELECT[attr cmp constant] / FILTER. Carries both the executable predicate
+/// (attribute, operator, constant) and the estimated selectivity used by the
+/// logical property function.
+class SelectArg final : public TypedOpArg<SelectArg> {
+ public:
+  SelectArg(const SymbolTable& symbols, Symbol attr, CmpOp op,
+            int64_t constant, double selectivity)
+      : symbols_(&symbols),
+        attr_(attr),
+        op_(op),
+        constant_(constant),
+        selectivity_(selectivity) {}
+
+  static OpArgPtr Make(const SymbolTable& symbols, Symbol attr, CmpOp op,
+                       int64_t constant, double selectivity) {
+    return std::make_shared<SelectArg>(symbols, attr, op, constant,
+                                       selectivity);
+  }
+
+  Symbol attr() const { return attr_; }
+  CmpOp op() const { return op_; }
+  int64_t constant() const { return constant_; }
+  double selectivity() const { return selectivity_; }
+
+  bool Eval(int64_t value) const {
+    switch (op_) {
+      case CmpOp::kLess: return value < constant_;
+      case CmpOp::kLessEq: return value <= constant_;
+      case CmpOp::kEq: return value == constant_;
+      case CmpOp::kGreaterEq: return value >= constant_;
+      case CmpOp::kGreater: return value > constant_;
+    }
+    return false;
+  }
+
+  uint64_t Hash() const override {
+    uint64_t h = Mix64(0x22 ^ attr_.id());
+    h = HashCombine(h, static_cast<uint64_t>(op_));
+    h = HashCombine(h, static_cast<uint64_t>(constant_));
+    return h;
+  }
+  bool EqualsImpl(const SelectArg& o) const {
+    return attr_ == o.attr_ && op_ == o.op_ && constant_ == o.constant_;
+  }
+  std::string ToString() const override {
+    return symbols_->Name(attr_) + " " + CmpOpName(op_) + " " +
+           std::to_string(constant_);
+  }
+
+ private:
+  const SymbolTable* symbols_;
+  Symbol attr_;
+  CmpOp op_;
+  int64_t constant_;
+  double selectivity_;
+};
+
+/// JOIN[left_attr = right_attr] / MERGE_JOIN / HYBRID_HASH_JOIN. By
+/// convention left_attr belongs to the schema of the first input and
+/// right_attr to the second; the commutativity rule swaps them together with
+/// the inputs.
+class JoinArg final : public TypedOpArg<JoinArg> {
+ public:
+  JoinArg(const SymbolTable& symbols, Symbol left_attr, Symbol right_attr)
+      : symbols_(&symbols), left_(left_attr), right_(right_attr) {}
+
+  static OpArgPtr Make(const SymbolTable& symbols, Symbol left_attr,
+                       Symbol right_attr) {
+    return std::make_shared<JoinArg>(symbols, left_attr, right_attr);
+  }
+
+  Symbol left_attr() const { return left_; }
+  Symbol right_attr() const { return right_; }
+
+  uint64_t Hash() const override {
+    return HashCombine(Mix64(0x33 ^ left_.id()), right_.id());
+  }
+  bool EqualsImpl(const JoinArg& o) const {
+    return left_ == o.left_ && right_ == o.right_;
+  }
+  std::string ToString() const override {
+    return symbols_->Name(left_) + " = " + symbols_->Name(right_);
+  }
+
+ private:
+  const SymbolTable* symbols_;
+  Symbol left_;
+  Symbol right_;
+};
+
+/// AGGREGATE[group_attr -> count_attr] / HASH_AGGREGATE / SORT_AGGREGATE:
+/// GROUP BY group_attr with a COUNT(*) column named count_attr.
+class AggArg final : public TypedOpArg<AggArg> {
+ public:
+  AggArg(const SymbolTable& symbols, Symbol group_attr, Symbol count_attr)
+      : symbols_(&symbols), group_(group_attr), count_(count_attr) {}
+
+  static OpArgPtr Make(const SymbolTable& symbols, Symbol group_attr,
+                       Symbol count_attr) {
+    return std::make_shared<AggArg>(symbols, group_attr, count_attr);
+  }
+
+  Symbol group_attr() const { return group_; }
+  Symbol count_attr() const { return count_; }
+
+  uint64_t Hash() const override {
+    return HashCombine(Mix64(0x99 ^ group_.id()), count_.id());
+  }
+  bool EqualsImpl(const AggArg& o) const {
+    return group_ == o.group_ && count_ == o.count_;
+  }
+  std::string ToString() const override {
+    return symbols_->Name(group_) + " -> count " + symbols_->Name(count_);
+  }
+
+ private:
+  const SymbolTable* symbols_;
+  Symbol group_;
+  Symbol count_;
+};
+
+/// MULTI_HASH_JOIN[p_inner, p_outer] — argument of the ternary multi-way
+/// join algorithm mapped from the two-level pattern JOIN(JOIN(?a,?b),?c).
+/// p_inner joins inputs a and b; p_outer joins (a ⋈ b) with c.
+class MultiJoinArg final : public TypedOpArg<MultiJoinArg> {
+ public:
+  MultiJoinArg(const SymbolTable& symbols, Symbol inner_left,
+               Symbol inner_right, Symbol outer_left, Symbol outer_right)
+      : symbols_(&symbols),
+        inner_left_(inner_left),
+        inner_right_(inner_right),
+        outer_left_(outer_left),
+        outer_right_(outer_right) {}
+
+  static OpArgPtr Make(const SymbolTable& symbols, Symbol inner_left,
+                       Symbol inner_right, Symbol outer_left,
+                       Symbol outer_right) {
+    return std::make_shared<MultiJoinArg>(symbols, inner_left, inner_right,
+                                          outer_left, outer_right);
+  }
+
+  Symbol inner_left() const { return inner_left_; }
+  Symbol inner_right() const { return inner_right_; }
+  Symbol outer_left() const { return outer_left_; }
+  Symbol outer_right() const { return outer_right_; }
+
+  uint64_t Hash() const override {
+    uint64_t h = Mix64(0x66 ^ inner_left_.id());
+    h = HashCombine(h, inner_right_.id());
+    h = HashCombine(h, outer_left_.id());
+    h = HashCombine(h, outer_right_.id());
+    return h;
+  }
+  bool EqualsImpl(const MultiJoinArg& o) const {
+    return inner_left_ == o.inner_left_ && inner_right_ == o.inner_right_ &&
+           outer_left_ == o.outer_left_ && outer_right_ == o.outer_right_;
+  }
+  std::string ToString() const override {
+    return symbols_->Name(inner_left_) + " = " +
+           symbols_->Name(inner_right_) + ", " +
+           symbols_->Name(outer_left_) + " = " +
+           symbols_->Name(outer_right_);
+  }
+
+ private:
+  const SymbolTable* symbols_;
+  Symbol inner_left_;
+  Symbol inner_right_;
+  Symbol outer_left_;
+  Symbol outer_right_;
+};
+
+/// EXCHANGE[partitioning] — the parallelism enforcer's plan argument
+/// (Volcano's exchange operator).
+class ExchangeArg final : public TypedOpArg<ExchangeArg> {
+ public:
+  ExchangeArg(const SymbolTable& symbols, Partitioning part)
+      : symbols_(&symbols), part_(part) {}
+
+  static OpArgPtr Make(const SymbolTable& symbols, Partitioning part) {
+    return std::make_shared<ExchangeArg>(symbols, part);
+  }
+
+  const Partitioning& partitioning() const { return part_; }
+
+  uint64_t Hash() const override { return Mix64(0xE0) ^ part_.Hash(); }
+  bool EqualsImpl(const ExchangeArg& o) const { return part_ == o.part_; }
+  std::string ToString() const override {
+    std::string s = part_.ToString(*symbols_);
+    return s.empty() ? "serial" : s;
+  }
+
+ private:
+  const SymbolTable* symbols_;
+  Partitioning part_;
+};
+
+/// SORT[order] — the enforcer's plan argument.
+class SortArg final : public TypedOpArg<SortArg> {
+ public:
+  SortArg(const SymbolTable& symbols, SortOrder order)
+      : symbols_(&symbols), order_(std::move(order)) {}
+
+  static OpArgPtr Make(const SymbolTable& symbols, SortOrder order) {
+    return std::make_shared<SortArg>(symbols, std::move(order));
+  }
+
+  const SortOrder& order() const { return order_; }
+
+  uint64_t Hash() const override { return Mix64(0x44) ^ order_.Hash(); }
+  bool EqualsImpl(const SortArg& o) const { return order_ == o.order_; }
+  std::string ToString() const override { return order_.ToString(*symbols_); }
+
+ private:
+  const SymbolTable* symbols_;
+  SortOrder order_;
+};
+
+/// PROJECT[attrs] (duplicate-preserving projection).
+class ProjectArg final : public TypedOpArg<ProjectArg> {
+ public:
+  ProjectArg(const SymbolTable& symbols, std::vector<Symbol> attrs)
+      : symbols_(&symbols), attrs_(std::move(attrs)) {}
+
+  static OpArgPtr Make(const SymbolTable& symbols,
+                       std::vector<Symbol> attrs) {
+    return std::make_shared<ProjectArg>(symbols, std::move(attrs));
+  }
+
+  const std::vector<Symbol>& attrs() const { return attrs_; }
+
+  bool Contains(Symbol attr) const {
+    for (Symbol a : attrs_) {
+      if (a == attr) return true;
+    }
+    return false;
+  }
+
+  uint64_t Hash() const override {
+    uint64_t h = Mix64(0x55);
+    for (Symbol a : attrs_) h = HashCombine(h, a.id());
+    return h;
+  }
+  bool EqualsImpl(const ProjectArg& o) const { return attrs_ == o.attrs_; }
+  std::string ToString() const override {
+    std::string s;
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      if (i) s += ", ";
+      s += symbols_->Name(attrs_[i]);
+    }
+    return s;
+  }
+
+ private:
+  const SymbolTable* symbols_;
+  std::vector<Symbol> attrs_;
+};
+
+}  // namespace volcano::rel
+
+#endif  // VOLCANO_RELATIONAL_REL_ARGS_H_

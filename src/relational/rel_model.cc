@@ -1,0 +1,331 @@
+#include "relational/rel_model.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "relational/rel_rules.h"
+
+namespace volcano::rel {
+
+RelModel::RelModel(const Catalog& catalog, RelModelOptions options)
+    : catalog_(catalog),
+      options_(options),
+      cost_model_(options.cost_params),
+      any_(RelPhysProps::Make(catalog.symbols())),
+      serial_(RelPhysProps::MakePartitioned(catalog.symbols(),
+                                            Partitioning::Serial())),
+      unique_any_(RelPhysProps::Make(catalog.symbols(), {}, {},
+                                     /*unique=*/true)) {
+  RegisterOperators();
+  RegisterRules();
+}
+
+void RelModel::RegisterOperators() {
+  ops_.get = registry_.RegisterLogical("GET", 0);
+  ops_.select = registry_.RegisterLogical("SELECT", 1);
+  ops_.join = registry_.RegisterLogical("JOIN", 2);
+  ops_.project = registry_.RegisterLogical("PROJECT", 1);
+  ops_.intersect = registry_.RegisterLogical("INTERSECT", 2);
+  ops_.union_all = registry_.RegisterLogical("UNION", 2);
+  ops_.aggregate = registry_.RegisterLogical("AGGREGATE", 1);
+
+  ops_.file_scan = registry_.RegisterAlgorithm("FILE_SCAN", 0);
+  ops_.filter = registry_.RegisterAlgorithm("FILTER", 1);
+  ops_.merge_join = registry_.RegisterAlgorithm("MERGE_JOIN", 2);
+  ops_.hash_join = registry_.RegisterAlgorithm("HYBRID_HASH_JOIN", 2);
+  ops_.project_op = registry_.RegisterAlgorithm("PROJECT_OP", 1);
+  ops_.merge_intersect = registry_.RegisterAlgorithm("MERGE_INTERSECT", 2);
+  ops_.hash_intersect = registry_.RegisterAlgorithm("HASH_INTERSECT", 2);
+  ops_.multi_hash_join = registry_.RegisterAlgorithm("MULTI_HASH_JOIN", 3);
+  ops_.concat = registry_.RegisterAlgorithm("CONCAT", 2);
+  ops_.hash_aggregate = registry_.RegisterAlgorithm("HASH_AGGREGATE", 1);
+  ops_.sort_aggregate = registry_.RegisterAlgorithm("SORT_AGGREGATE", 1);
+
+  if (options_.enable_parallelism) {
+    ops_.parallel_hash_join =
+        registry_.RegisterAlgorithm("PARALLEL_HASH_JOIN", 2);
+  }
+
+  ops_.sort = registry_.RegisterEnforcer("SORT");
+  ops_.sort_dedup = registry_.RegisterEnforcer("SORT_DEDUP");
+  ops_.hash_dedup = registry_.RegisterEnforcer("HASH_DEDUP");
+  if (options_.enable_parallelism) {
+    ops_.exchange = registry_.RegisterEnforcer("EXCHANGE");
+  }
+}
+
+void RelModel::RegisterRules() {
+  if (options_.enable_join_commute) {
+    rules_.AddTransformation(std::make_unique<JoinCommuteRule>(*this));
+  }
+  if (options_.enable_join_assoc_left) {
+    rules_.AddTransformation(std::make_unique<JoinAssocLeftRule>(*this));
+  }
+  if (options_.enable_join_assoc_right) {
+    rules_.AddTransformation(std::make_unique<JoinAssocRightRule>(*this));
+  }
+  if (options_.enable_select_pushdown) {
+    rules_.AddTransformation(
+        std::make_unique<SelectPushThroughJoinRule>(*this));
+  }
+  if (options_.enable_select_pullup) {
+    rules_.AddTransformation(std::make_unique<SelectPullFromJoinRule>(*this));
+  }
+  if (options_.enable_intersect_commute) {
+    rules_.AddTransformation(std::make_unique<IntersectCommuteRule>(*this));
+  }
+  if (options_.enable_union_commute) {
+    rules_.AddTransformation(std::make_unique<UnionCommuteRule>(*this));
+  }
+  if (options_.enable_select_through_aggregate) {
+    rules_.AddTransformation(
+        std::make_unique<SelectThroughAggregateRule>(*this));
+  }
+
+  rules_.AddImplementation(std::make_unique<GetToFileScanRule>(*this));
+  rules_.AddImplementation(std::make_unique<SelectToFilterRule>(*this));
+  rules_.AddImplementation(std::make_unique<JoinToMergeJoinRule>(*this));
+  rules_.AddImplementation(std::make_unique<JoinToHashJoinRule>(*this));
+  rules_.AddImplementation(std::make_unique<ProjectRule>(*this));
+  rules_.AddImplementation(
+      std::make_unique<IntersectToMergeIntersectRule>(*this));
+  rules_.AddImplementation(
+      std::make_unique<IntersectToHashIntersectRule>(*this));
+  if (options_.enable_multiway_join) {
+    rules_.AddImplementation(
+        std::make_unique<JoinToMultiHashJoinRule>(*this));
+  }
+  rules_.AddImplementation(std::make_unique<UnionToConcatRule>(*this));
+  rules_.AddImplementation(std::make_unique<AggToHashAggRule>(*this));
+  rules_.AddImplementation(std::make_unique<AggToSortAggRule>(*this));
+
+  if (options_.enable_parallelism) {
+    rules_.AddImplementation(
+        std::make_unique<JoinToParallelHashJoinRule>(*this));
+  }
+
+  rules_.AddEnforcer(std::make_unique<SortEnforcerRule>(*this));
+  rules_.AddEnforcer(std::make_unique<SortDedupEnforcerRule>(*this));
+  rules_.AddEnforcer(std::make_unique<HashDedupEnforcerRule>(*this));
+  if (options_.enable_parallelism) {
+    rules_.AddEnforcer(std::make_unique<ExchangeEnforcerRule>(*this));
+  }
+}
+
+LogicalPropsPtr RelModel::DeriveLogicalProps(
+    OperatorId op, const OpArg* arg,
+    const std::vector<LogicalPropsPtr>& inputs) const {
+  const SymbolTable& symbols = catalog_.symbols();
+
+  if (op == ops_.get) {
+    const auto& get = static_cast<const GetArg&>(*arg);
+    const RelationInfo* rel = catalog_.FindRelation(get.relation());
+    VOLCANO_CHECK(rel != nullptr);
+    std::vector<ColumnInfo> schema;
+    schema.reserve(rel->attributes.size());
+    for (const auto& a : rel->attributes) {
+      schema.push_back(ColumnInfo{a.name, a.distinct_values});
+    }
+    return std::make_shared<RelLogicalProps>(symbols, std::move(schema),
+                                             rel->cardinality,
+                                             rel->tuple_bytes);
+  }
+
+  if (op == ops_.select) {
+    const auto& sel = static_cast<const SelectArg&>(*arg);
+    const RelLogicalProps& in = AsRel(*inputs[0]);
+    double card = in.cardinality() * sel.selectivity();
+    std::vector<ColumnInfo> schema = in.schema();
+    for (auto& c : schema) {
+      if (c.name == sel.attr()) c.distinct_values *= sel.selectivity();
+      c.distinct_values = std::max(1.0, std::min(c.distinct_values, card));
+    }
+    return std::make_shared<RelLogicalProps>(symbols, std::move(schema), card,
+                                             in.tuple_bytes());
+  }
+
+  if (op == ops_.join) {
+    const auto& join = static_cast<const JoinArg&>(*arg);
+    const RelLogicalProps& l = AsRel(*inputs[0]);
+    const RelLogicalProps& r = AsRel(*inputs[1]);
+    double dl = std::max(1.0, l.DistinctOf(join.left_attr()));
+    double dr = std::max(1.0, r.DistinctOf(join.right_attr()));
+    double card = l.cardinality() * r.cardinality() / std::max(dl, dr);
+    std::vector<ColumnInfo> schema = l.schema();
+    schema.insert(schema.end(), r.schema().begin(), r.schema().end());
+    for (auto& c : schema) {
+      c.distinct_values = std::max(1.0, std::min(c.distinct_values, card));
+    }
+    return std::make_shared<RelLogicalProps>(symbols, std::move(schema), card,
+                                             l.tuple_bytes() +
+                                                 r.tuple_bytes());
+  }
+
+  if (op == ops_.project) {
+    const auto& proj = static_cast<const ProjectArg&>(*arg);
+    const RelLogicalProps& in = AsRel(*inputs[0]);
+    std::vector<ColumnInfo> schema;
+    for (const auto& c : in.schema()) {
+      if (proj.Contains(c.name)) schema.push_back(c);
+    }
+    double frac = in.schema().empty()
+                      ? 1.0
+                      : static_cast<double>(schema.size()) /
+                            static_cast<double>(in.schema().size());
+    return std::make_shared<RelLogicalProps>(symbols, std::move(schema),
+                                             in.cardinality(),
+                                             in.tuple_bytes() * frac);
+  }
+
+  if (op == ops_.intersect) {
+    const RelLogicalProps& l = AsRel(*inputs[0]);
+    const RelLogicalProps& r = AsRel(*inputs[1]);
+    // Heuristic: half of the smaller input survives the intersection.
+    double card = 0.5 * std::min(l.cardinality(), r.cardinality());
+    std::vector<ColumnInfo> schema = l.schema();
+    for (auto& c : schema) {
+      c.distinct_values = std::max(1.0, std::min(c.distinct_values, card));
+    }
+    return std::make_shared<RelLogicalProps>(symbols, std::move(schema), card,
+                                             l.tuple_bytes());
+  }
+
+  if (op == ops_.union_all) {
+    const RelLogicalProps& l = AsRel(*inputs[0]);
+    const RelLogicalProps& r = AsRel(*inputs[1]);
+    VOLCANO_CHECK(l.schema().size() == r.schema().size());
+    double card = l.cardinality() + r.cardinality();
+    // Bag union keeps the left input's column names (positional schemas).
+    std::vector<ColumnInfo> schema = l.schema();
+    for (size_t i = 0; i < schema.size(); ++i) {
+      schema[i].distinct_values =
+          std::max(1.0, std::min(schema[i].distinct_values +
+                                     r.schema()[i].distinct_values,
+                                 card));
+    }
+    return std::make_shared<RelLogicalProps>(symbols, std::move(schema), card,
+                                             l.tuple_bytes());
+  }
+
+  if (op == ops_.aggregate) {
+    const auto& agg = static_cast<const AggArg&>(*arg);
+    const RelLogicalProps& in = AsRel(*inputs[0]);
+    double groups =
+        std::max(1.0, std::min(in.DistinctOf(agg.group_attr()),
+                               in.cardinality()));
+    std::vector<ColumnInfo> schema = {
+        ColumnInfo{agg.group_attr(), groups},
+        ColumnInfo{agg.count_attr(), groups}};
+    return std::make_shared<RelLogicalProps>(symbols, std::move(schema),
+                                             groups, 16.0);
+  }
+
+  VOLCANO_CHECK(false && "unknown logical operator");
+  return nullptr;
+}
+
+PhysPropsPtr RelModel::SortedOn(Symbol attr) const {
+  auto it = sorted_on_cache_.find(attr);
+  if (it != sorted_on_cache_.end()) return it->second;
+  PhysPropsPtr props = RelPhysProps::MakeSorted(symbols(), {attr});
+  sorted_on_cache_.emplace(attr, props);
+  return props;
+}
+
+PhysPropsPtr RelModel::StoredOrderOf(Symbol relation) const {
+  auto it = stored_order_cache_.find(relation);
+  if (it != stored_order_cache_.end()) return it->second;
+  const RelationInfo* rel = catalog_.FindRelation(relation);
+  VOLCANO_CHECK(rel != nullptr);
+  PhysPropsPtr props = RelPhysProps::MakeSorted(symbols(), rel->sorted_on);
+  stored_order_cache_.emplace(relation, props);
+  return props;
+}
+
+PhysPropsPtr RelModel::Partitioned(Symbol attr) const {
+  auto it = partitioned_cache_.find(attr);
+  if (it != partitioned_cache_.end()) return it->second;
+  PhysPropsPtr props = RelPhysProps::MakePartitioned(
+      symbols(), Partitioning::Hash(attr, options_.parallel_ways));
+  partitioned_cache_.emplace(attr, props);
+  return props;
+}
+
+ExprPtr RelModel::Get(Symbol relation) const {
+  VOLCANO_CHECK(catalog_.FindRelation(relation) != nullptr);
+  return Expr::Make(ops_.get, GetArg::Make(symbols(), relation));
+}
+
+ExprPtr RelModel::Get(std::string_view relation) const {
+  Symbol sym = symbols().Lookup(relation);
+  VOLCANO_CHECK(sym.valid());
+  return Get(sym);
+}
+
+ExprPtr RelModel::Select(ExprPtr input, Symbol attr, CmpOp op,
+                         int64_t constant, double selectivity) const {
+  return Expr::Make(ops_.select,
+                    SelectArg::Make(symbols(), attr, op, constant,
+                                    selectivity),
+                    {std::move(input)});
+}
+
+ExprPtr RelModel::Join(ExprPtr left, ExprPtr right, Symbol left_attr,
+                       Symbol right_attr) const {
+  return Expr::Make(ops_.join,
+                    JoinArg::Make(symbols(), left_attr, right_attr),
+                    {std::move(left), std::move(right)});
+}
+
+ExprPtr RelModel::Project(ExprPtr input, std::vector<Symbol> attrs) const {
+  return Expr::Make(ops_.project,
+                    ProjectArg::Make(symbols(), std::move(attrs)),
+                    {std::move(input)});
+}
+
+ExprPtr RelModel::Intersect(ExprPtr left, ExprPtr right) const {
+  return Expr::Make(ops_.intersect, nullptr,
+                    {std::move(left), std::move(right)});
+}
+
+ExprPtr RelModel::UnionAll(ExprPtr left, ExprPtr right) const {
+  return Expr::Make(ops_.union_all, nullptr,
+                    {std::move(left), std::move(right)});
+}
+
+ExprPtr RelModel::Aggregate(ExprPtr input, Symbol group_attr,
+                            Symbol count_attr) const {
+  VOLCANO_CHECK(count_attr.valid());
+  return Expr::Make(ops_.aggregate,
+                    AggArg::Make(symbols(), group_attr, count_attr),
+                    {std::move(input)});
+}
+
+std::string RelModel::ExprToString(const Expr& expr) const {
+  std::string s = registry_.Name(expr.op());
+  if (expr.arg() != nullptr) s += "[" + expr.arg()->ToString() + "]";
+  if (!expr.inputs().empty()) {
+    s += "(";
+    for (size_t i = 0; i < expr.inputs().size(); ++i) {
+      if (i) s += ", ";
+      s += ExprToString(*expr.input(i));
+    }
+    s += ")";
+  }
+  return s;
+}
+
+std::string RelLogicalProps::ToString() const {
+  std::ostringstream os;
+  os << "card=" << cardinality_ << " bytes/tuple=" << tuple_bytes_
+     << " schema={";
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (i) os << ", ";
+    os << symbols_->Name(schema_[i].name);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace volcano::rel

@@ -1,0 +1,176 @@
+#include "relational/rel_plan_cost.h"
+
+namespace volcano::rel {
+
+Cost RecostPlan(const PlanNode& plan, const RelModel& model) {
+  const RelCostModel& cm = model.rel_cost();
+  const RelOps& ops = model.ops();
+  const RelLogicalProps& out = AsRel(*plan.logical());
+
+  Cost local = cm.Zero();
+  OperatorId op = plan.op();
+  if (op == ops.file_scan) {
+    local = cm.FileScan(out);
+  } else if (op == ops.filter) {
+    local = cm.Filter(AsRel(*plan.input(0)->logical()));
+  } else if (op == ops.merge_join) {
+    local = cm.MergeJoin(AsRel(*plan.input(0)->logical()),
+                         AsRel(*plan.input(1)->logical()), out);
+  } else if (op == ops.hash_join) {
+    local = cm.HashJoin(AsRel(*plan.input(0)->logical()),
+                        AsRel(*plan.input(1)->logical()), out);
+  } else if (op == ops.multi_hash_join) {
+    // Re-derive the unmaterialized intermediate (a JOIN b) with the model's
+    // own property function so the estimate matches the optimizer's exactly.
+    const auto& arg = static_cast<const MultiJoinArg&>(*plan.arg());
+    OpArgPtr inner_join = JoinArg::Make(model.symbols(), arg.inner_left(),
+                                        arg.inner_right());
+    LogicalPropsPtr intermediate = model.DeriveLogicalProps(
+        ops.join, inner_join.get(),
+        {plan.input(0)->logical(), plan.input(1)->logical()});
+    local = cm.MultiHashJoin(AsRel(*plan.input(0)->logical()),
+                             AsRel(*plan.input(1)->logical()),
+                             AsRel(*plan.input(2)->logical()),
+                             AsRel(*intermediate), out);
+  } else if (op == ops.parallel_hash_join) {
+    local = cm.ParallelHashJoin(AsRel(*plan.input(0)->logical()),
+                                AsRel(*plan.input(1)->logical()), out,
+                                model.options().parallel_ways);
+  } else if (op == ops.exchange) {
+    const auto& arg = static_cast<const ExchangeArg&>(*plan.arg());
+    int ways = arg.partitioning().is_hash() ? arg.partitioning().ways
+                                            : model.options().parallel_ways;
+    local = cm.Exchange(out, ways);
+  } else if (op == ops.concat) {
+    local = cm.Concat(out);
+  } else if (op == ops.hash_aggregate) {
+    local = cm.HashAggregate(AsRel(*plan.input(0)->logical()), out);
+  } else if (op == ops.sort_aggregate) {
+    local = cm.SortAggregate(AsRel(*plan.input(0)->logical()), out);
+  } else if (op == ops.sort) {
+    local = cm.Sort(out);
+  } else if (op == ops.sort_dedup) {
+    local = cm.SortDedup(out);
+  } else if (op == ops.hash_dedup) {
+    local = cm.HashDedup(out);
+  } else if (op == ops.project_op) {
+    local = cm.Project(AsRel(*plan.input(0)->logical()));
+  } else if (op == ops.merge_intersect) {
+    local = cm.MergeIntersect(AsRel(*plan.input(0)->logical()),
+                              AsRel(*plan.input(1)->logical()), out);
+  } else if (op == ops.hash_intersect) {
+    local = cm.HashIntersect(AsRel(*plan.input(0)->logical()),
+                             AsRel(*plan.input(1)->logical()), out);
+  } else {
+    VOLCANO_CHECK(false && "unknown physical operator in plan");
+  }
+
+  Cost total = local;
+  for (const auto& in : plan.inputs()) {
+    total = cm.Add(total, RecostPlan(*in, model));
+  }
+  return total;
+}
+
+namespace {
+
+/// Physical properties a node actually delivers, derived from its own kind
+/// and its inputs' delivered properties (not from the recorded annotation).
+SortOrder DeliveredOrder(const PlanNode& plan, const RelModel& model) {
+  const RelOps& ops = model.ops();
+  OperatorId op = plan.op();
+  if (op == ops.file_scan) {
+    const auto& arg = static_cast<const GetArg&>(*plan.arg());
+    const RelationInfo* rel = model.catalog().FindRelation(arg.relation());
+    VOLCANO_CHECK(rel != nullptr);
+    return SortOrder{rel->sorted_on};
+  }
+  if (op == ops.sort || op == ops.sort_dedup) {
+    return static_cast<const SortArg&>(*plan.arg()).order();
+  }
+  if (op == ops.filter || op == ops.project_op) {
+    return DeliveredOrder(*plan.input(0), model);
+  }
+  if (op == ops.merge_join) {
+    const auto& arg = static_cast<const JoinArg&>(*plan.arg());
+    return SortOrder{{arg.left_attr()}};
+  }
+  if (op == ops.merge_intersect) {
+    return DeliveredOrder(*plan.input(0), model);
+  }
+  if (op == ops.sort_aggregate) {
+    const auto& arg = static_cast<const AggArg&>(*plan.arg());
+    return SortOrder{{arg.group_attr()}};
+  }
+  // Hash-based operators and EXCHANGE deliver no order.
+  return SortOrder{};
+}
+
+/// Whether the node's output is factually duplicate-free.
+bool DeliveredUnique(const PlanNode& plan, const RelModel& model) {
+  const RelOps& ops = model.ops();
+  OperatorId op = plan.op();
+  if (op == ops.sort_dedup || op == ops.hash_dedup ||
+      op == ops.merge_intersect || op == ops.hash_intersect ||
+      op == ops.hash_aggregate || op == ops.sort_aggregate) {
+    return true;
+  }
+  if (op == ops.filter || op == ops.sort || op == ops.exchange) {
+    return DeliveredUnique(*plan.input(0), model);
+  }
+  return false;  // scans, joins, projections, unions: conservative
+}
+
+}  // namespace
+
+Status ValidatePlan(const PlanNode& plan, const RelModel& model) {
+  const RelOps& ops = model.ops();
+  for (const auto& in : plan.inputs()) {
+    Status s = ValidatePlan(*in, model);
+    if (!s.ok()) return s;
+  }
+
+  OperatorId op = plan.op();
+  if (op == ops.merge_join) {
+    const auto& arg = static_cast<const JoinArg&>(*plan.arg());
+    SortOrder l = DeliveredOrder(*plan.input(0), model);
+    SortOrder r = DeliveredOrder(*plan.input(1), model);
+    if (!l.Covers(SortOrder{{arg.left_attr()}})) {
+      return Status::Internal("merge-join left input not sorted on " +
+                              model.symbols().Name(arg.left_attr()));
+    }
+    if (!r.Covers(SortOrder{{arg.right_attr()}})) {
+      return Status::Internal("merge-join right input not sorted on " +
+                              model.symbols().Name(arg.right_attr()));
+    }
+  } else if (op == ops.merge_intersect) {
+    SortOrder l = DeliveredOrder(*plan.input(0), model);
+    SortOrder r = DeliveredOrder(*plan.input(1), model);
+    size_t ncols = AsRel(*plan.input(0)->logical()).schema().size();
+    if (l.attrs.size() < ncols || r.attrs.size() < ncols) {
+      return Status::Internal("merge-intersect inputs not fully sorted");
+    }
+  } else if (op == ops.sort_aggregate) {
+    const auto& arg = static_cast<const AggArg&>(*plan.arg());
+    if (!DeliveredOrder(*plan.input(0), model)
+             .Covers(SortOrder{{arg.group_attr()}})) {
+      return Status::Internal(
+          "sort-aggregate input not sorted on the grouping attribute");
+    }
+  }
+
+  // The recorded annotation must not promise more than the node delivers.
+  const RelPhysProps& promised = AsRel(*plan.props());
+  if (!DeliveredOrder(plan, model).Covers(promised.order())) {
+    return Status::Internal("plan node promises order it cannot deliver: " +
+                            plan.props()->ToString());
+  }
+  if (promised.unique() && !DeliveredUnique(plan, model)) {
+    return Status::Internal(
+        "plan node promises uniqueness it cannot deliver: " +
+        plan.props()->ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace volcano::rel

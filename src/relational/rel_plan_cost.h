@@ -1,0 +1,30 @@
+// Independent re-costing of physical plans under the relational cost model.
+//
+// Used (a) by tests to verify that the cost the optimizer reports for a plan
+// equals the cost computed bottom-up from the plan itself, and (b) by the
+// Figure 4 benchmark to compare plan quality across optimizers on equal
+// footing: EXODUS-produced plans are re-costed with the same (Volcano)
+// relational cost model, so quality differences reflect plan shape, not cost
+// model disagreements.
+
+#ifndef VOLCANO_RELATIONAL_REL_PLAN_COST_H_
+#define VOLCANO_RELATIONAL_REL_PLAN_COST_H_
+
+#include "relational/rel_model.h"
+#include "search/plan.h"
+
+namespace volcano::rel {
+
+/// Recomputes the total cost of `plan` bottom-up from its structure and the
+/// logical properties recorded in its nodes.
+Cost RecostPlan(const PlanNode& plan, const RelModel& model);
+
+/// Structural validity check: algorithms receive inputs whose physical
+/// properties satisfy their requirements (e.g. merge-join inputs sorted on
+/// the join attributes), and every node's recorded properties are derivable.
+/// Returns OK or the first violation found.
+Status ValidatePlan(const PlanNode& plan, const RelModel& model);
+
+}  // namespace volcano::rel
+
+#endif  // VOLCANO_RELATIONAL_REL_PLAN_COST_H_

@@ -1,0 +1,245 @@
+// Relational logical properties and physical property vectors.
+//
+// Logical properties: schema (attributes with distinct counts), expected
+// cardinality, and tuple width — derived once per equivalence class.
+// The physical property vector has three components:
+//   * sort order (the paper's canonical example; prefix cover semantics:
+//     sorted on (A, B, C) satisfies (), (A), (A, B), (A, B, C)),
+//   * partitioning across parallel workers (enforced by EXCHANGE, §4.1),
+//   * uniqueness (enforced by SORT_DEDUP / HASH_DEDUP, §4.1).
+
+#ifndef VOLCANO_RELATIONAL_REL_PROPS_H_
+#define VOLCANO_RELATIONAL_REL_PROPS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/properties.h"
+#include "support/hash.h"
+#include "support/intern.h"
+
+namespace volcano::rel {
+
+/// A sort order: attributes major-to-minor, all ascending.
+struct SortOrder {
+  std::vector<Symbol> attrs;
+
+  bool empty() const { return attrs.empty(); }
+
+  friend bool operator==(const SortOrder& a, const SortOrder& b) {
+    return a.attrs == b.attrs;
+  }
+
+  /// True if sorting by *this* implies sorting by `required` (prefix rule).
+  bool Covers(const SortOrder& required) const {
+    if (required.attrs.size() > attrs.size()) return false;
+    for (size_t i = 0; i < required.attrs.size(); ++i) {
+      if (attrs[i] != required.attrs[i]) return false;
+    }
+    return true;
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = 0x5bd1e995u;
+    for (Symbol s : attrs) h = HashCombine(h, s.id());
+    return h;
+  }
+
+  std::string ToString(const SymbolTable& symbols) const {
+    if (attrs.empty()) return "any";
+    std::string s = "sorted(";
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (i) s += ", ";
+      s += symbols.Name(attrs[i]);
+    }
+    s += ")";
+    return s;
+  }
+};
+
+/// Partitioning of an intermediate result across parallel workers — the
+/// second component of the physical property vector ("location and
+/// partitioning in parallel and distributed systems can be enforced with a
+/// network and parallelism operator such as Volcano's exchange operator",
+/// paper section 4.1).
+struct Partitioning {
+  enum class Kind : uint8_t {
+    kAny,     ///< as a requirement: no constraint; as a description: serial
+    kSerial,  ///< one stream
+    kHash,    ///< hash-partitioned on `attr` across `ways` workers
+  };
+
+  Kind kind = Kind::kAny;
+  Symbol attr;
+  int ways = 1;
+
+  static Partitioning Serial() { return {Kind::kSerial, Symbol(), 1}; }
+  static Partitioning Hash(Symbol attr, int ways) {
+    return {Kind::kHash, attr, ways};
+  }
+
+  bool is_hash() const { return kind == Kind::kHash; }
+
+  friend bool operator==(const Partitioning& a, const Partitioning& b) {
+    if (a.kind != b.kind) return false;
+    if (a.kind != Kind::kHash) return true;
+    return a.attr == b.attr && a.ways == b.ways;
+  }
+
+  /// Does a result with *this* partitioning satisfy `required`? A kAny
+  /// description is factually serial (everything is serial unless a parallel
+  /// algorithm says otherwise).
+  bool Covers(const Partitioning& required) const {
+    switch (required.kind) {
+      case Kind::kAny: return true;
+      case Kind::kSerial: return kind != Kind::kHash;
+      case Kind::kHash: return *this == required;
+    }
+    return false;
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = Mix64(static_cast<uint64_t>(kind) + 0x1111);
+    if (kind == Kind::kHash) {
+      h = HashCombine(h, attr.id());
+      h = HashCombine(h, static_cast<uint64_t>(ways));
+    }
+    return h;
+  }
+
+  std::string ToString(const SymbolTable& symbols) const {
+    switch (kind) {
+      case Kind::kAny: return "";
+      case Kind::kSerial: return "serial";
+      case Kind::kHash:
+        return "hash(" + symbols.Name(attr) + ", " + std::to_string(ways) +
+               ")";
+    }
+    return "";
+  }
+};
+
+/// The relational physical property vector: sort order, partitioning, and
+/// uniqueness ("uniqueness might be a physical property with two enforcers,
+/// sort- and hash-based", paper section 4.1 — under set semantics duplicate
+/// rows are a representation artifact, so their absence is physical).
+/// Adding components required no change to the search engine — the ADT
+/// boundary the paper prescribes.
+class RelPhysProps : public PhysProps {
+ public:
+  explicit RelPhysProps(const SymbolTable& symbols, SortOrder order = {},
+                        Partitioning part = {}, bool unique = false)
+      : symbols_(&symbols),
+        order_(std::move(order)),
+        part_(part),
+        unique_(unique) {}
+
+  static PhysPropsPtr Make(const SymbolTable& symbols, SortOrder order = {},
+                           Partitioning part = {}, bool unique = false) {
+    return std::make_shared<RelPhysProps>(symbols, std::move(order), part,
+                                          unique);
+  }
+  static PhysPropsPtr MakeSorted(const SymbolTable& symbols,
+                                 std::vector<Symbol> attrs) {
+    return Make(symbols, SortOrder{std::move(attrs)});
+  }
+  static PhysPropsPtr MakePartitioned(const SymbolTable& symbols,
+                                      Partitioning part) {
+    return Make(symbols, SortOrder{}, part);
+  }
+
+  const SortOrder& order() const { return order_; }
+  const Partitioning& partitioning() const { return part_; }
+  bool unique() const { return unique_; }
+
+  uint64_t Hash() const override {
+    return HashCombine(HashCombine(order_.Hash(), part_.Hash()),
+                       unique_ ? 0xD15Cu : 0x0u);
+  }
+
+  bool Equals(const PhysProps& other) const override {
+    const auto* o = dynamic_cast<const RelPhysProps*>(&other);
+    return o != nullptr && order_ == o->order_ && part_ == o->part_ &&
+           unique_ == o->unique_;
+  }
+
+  bool Covers(const PhysProps& required) const override {
+    const auto* r = dynamic_cast<const RelPhysProps*>(&required);
+    return r != nullptr && order_.Covers(r->order_) &&
+           part_.Covers(r->part_) && (unique_ || !r->unique_);
+  }
+
+  std::string ToString() const override {
+    std::string s = order_.ToString(*symbols_);
+    std::string p = part_.ToString(*symbols_);
+    if (!p.empty()) s += " " + p;
+    if (unique_) s += " unique";
+    return s;
+  }
+
+ private:
+  const SymbolTable* symbols_;
+  SortOrder order_;
+  Partitioning part_;
+  bool unique_;
+};
+
+/// Schema column of an intermediate result.
+struct ColumnInfo {
+  Symbol name;
+  double distinct_values = 1.0;
+};
+
+/// Relational logical properties: schema, cardinality, width.
+class RelLogicalProps : public LogicalProps {
+ public:
+  RelLogicalProps(const SymbolTable& symbols, std::vector<ColumnInfo> schema,
+                  double cardinality, double tuple_bytes)
+      : symbols_(&symbols),
+        schema_(std::move(schema)),
+        cardinality_(cardinality),
+        tuple_bytes_(tuple_bytes) {}
+
+  const std::vector<ColumnInfo>& schema() const { return schema_; }
+  double cardinality() const { return cardinality_; }
+  double tuple_bytes() const { return tuple_bytes_; }
+
+  /// Expected size in bytes.
+  double bytes() const { return cardinality_ * tuple_bytes_; }
+
+  bool HasAttr(Symbol attr) const {
+    for (const auto& c : schema_) {
+      if (c.name == attr) return true;
+    }
+    return false;
+  }
+
+  double DistinctOf(Symbol attr) const {
+    for (const auto& c : schema_) {
+      if (c.name == attr) return c.distinct_values;
+    }
+    return 1.0;
+  }
+
+  std::string ToString() const override;
+
+ private:
+  const SymbolTable* symbols_;
+  std::vector<ColumnInfo> schema_;
+  double cardinality_;
+  double tuple_bytes_;
+};
+
+/// Downcast helpers; the engine stores properties behind the abstract types.
+inline const RelLogicalProps& AsRel(const LogicalProps& p) {
+  return static_cast<const RelLogicalProps&>(p);
+}
+inline const RelPhysProps& AsRel(const PhysProps& p) {
+  return static_cast<const RelPhysProps&>(p);
+}
+
+}  // namespace volcano::rel
+
+#endif  // VOLCANO_RELATIONAL_REL_PROPS_H_

@@ -1,0 +1,368 @@
+// Transformation, implementation, and enforcer rules of the relational model.
+//
+// These correspond to the paper's experimental rule set: join commutativity
+// and associativity as transformation rules; FILE_SCAN, FILTER, MERGE_JOIN
+// and HYBRID_HASH_JOIN implementation rules; SORT as the (only) enforcer
+// ("sorting was modeled as an enforcer in Volcano", section 4.2). Optional
+// select push/pull rules and the intersection rules (merge-based with
+// multiple alternative input orders, section 3's example) extend the set.
+
+#ifndef VOLCANO_RELATIONAL_REL_RULES_H_
+#define VOLCANO_RELATIONAL_REL_RULES_H_
+
+#include <optional>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace volcano::rel {
+
+class RelModel;
+
+// --- transformation rules ---------------------------------------------------
+
+/// JOIN[l=r](?a, ?b)  ->  JOIN[r=l](?b, ?a)
+class JoinCommuteRule final : public TransformationRule {
+ public:
+  explicit JoinCommuteRule(const RelModel& model);
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// JOIN[p2](JOIN[p1](?a, ?b), ?c)  ->  JOIN[p1](?a, JOIN[p2](?b, ?c))
+/// Valid when p2's left attribute comes from ?b (no cross products are
+/// introduced; predicates stay attached to joins that can evaluate them).
+class JoinAssocLeftRule final : public TransformationRule {
+ public:
+  explicit JoinAssocLeftRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// JOIN[p2](?a, JOIN[p1](?b, ?c))  ->  JOIN[p1](JOIN[p2](?a, ?b), ?c)
+/// Valid when p2's right attribute comes from ?b.
+class JoinAssocRightRule final : public TransformationRule {
+ public:
+  explicit JoinAssocRightRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SELECT[p](JOIN(?a, ?b))  ->  JOIN(SELECT[p](?a), ?b), if p references ?a.
+class SelectPushThroughJoinRule final : public TransformationRule {
+ public:
+  explicit SelectPushThroughJoinRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// JOIN(SELECT[p](?a), ?b)  ->  SELECT[p](JOIN(?a, ?b)).
+class SelectPullFromJoinRule final : public TransformationRule {
+ public:
+  explicit SelectPullFromJoinRule(const RelModel& model);
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// INTERSECT(?a, ?b) -> INTERSECT(?b, ?a)
+class IntersectCommuteRule final : public TransformationRule {
+ public:
+  explicit IntersectCommuteRule(const RelModel& model);
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// UNION(?a, ?b) -> UNION(?b, ?a) (bag union; positional schemas).
+class UnionCommuteRule final : public TransformationRule {
+ public:
+  explicit UnionCommuteRule(const RelModel& model);
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SELECT[p](AGGREGATE(?x)) -> AGGREGATE(SELECT[p](?x)) when the predicate
+/// restricts the grouping attribute (selections on the count column cannot
+/// move below the aggregation).
+class SelectThroughAggregateRule final : public TransformationRule {
+ public:
+  explicit SelectThroughAggregateRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+// --- implementation rules ---------------------------------------------------
+
+/// GET -> FILE_SCAN; delivers the stored order of the file.
+class GetToFileScanRule final : public ImplementationRule {
+ public:
+  explicit GetToFileScanRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SELECT -> FILTER; order-preserving, so it passes the requirement through
+/// to its input.
+class SelectToFilterRule final : public ImplementationRule {
+ public:
+  explicit SelectToFilterRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// JOIN -> MERGE_JOIN; requires both inputs sorted on the join attributes
+/// and delivers output sorted on the (left) join attribute — the
+/// interesting-orders machinery of the search engine keys off this rule.
+class JoinToMergeJoinRule final : public ImplementationRule {
+ public:
+  explicit JoinToMergeJoinRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// JOIN -> HYBRID_HASH_JOIN; no input requirements, delivers no order
+/// ("hybrid hash join for unsorted output", paper section 3).
+class JoinToHashJoinRule final : public ImplementationRule {
+ public:
+  explicit JoinToHashJoinRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// JOIN(JOIN(?a, ?b), ?c) -> MULTI_HASH_JOIN: a multi-operator pattern
+/// mapping two logical operators onto one ternary algorithm ("it is
+/// possible to map multiple logical operators to a single physical
+/// operator", section 2.2; "the introduction of a new, non-trivial
+/// algorithm such as a multi-way join requires one or two implementation
+/// rules in Volcano", section 6).
+class JoinToMultiHashJoinRule final : public ImplementationRule {
+ public:
+  explicit JoinToMultiHashJoinRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+  OpArgPtr PlanArg(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// PROJECT -> PROJECT_OP; order-preserving if the order's attributes survive
+/// the projection.
+class ProjectRule final : public ImplementationRule {
+ public:
+  explicit ProjectRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// INTERSECT -> MERGE_INTERSECT. The paper's showcase for multiple
+/// alternative input property vectors: "any sort order of the two inputs
+/// will suffice as long as the two inputs are sorted in the same way"
+/// (section 3); the rule offers one alternative per candidate order.
+class IntersectToMergeIntersectRule final : public ImplementationRule {
+ public:
+  explicit IntersectToMergeIntersectRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// INTERSECT -> HASH_INTERSECT; no requirements, no order.
+class IntersectToHashIntersectRule final : public ImplementationRule {
+ public:
+  explicit IntersectToHashIntersectRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// UNION -> CONCAT (bag union; destroys order).
+class UnionToConcatRule final : public ImplementationRule {
+ public:
+  explicit UnionToConcatRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// AGGREGATE -> HASH_AGGREGATE (no requirements, no order).
+class AggToHashAggRule final : public ImplementationRule {
+ public:
+  explicit AggToHashAggRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// AGGREGATE -> SORT_AGGREGATE: streaming aggregation requiring the input
+/// sorted on the grouping attribute and delivering that order — grouping is
+/// a second consumer of interesting orders beside merge join.
+class AggToSortAggRule final : public ImplementationRule {
+ public:
+  explicit AggToSortAggRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// JOIN -> PARALLEL_HASH_JOIN: requires both inputs hash-partitioned on the
+/// join attributes with the same degree ("for a parallel join, any
+/// partitioning of join inputs across multiple processing nodes is
+/// acceptable if both inputs are partitioned using compatible partitioning
+/// rules", section 3); delivers partitioned output, no order.
+class JoinToParallelHashJoinRule final : public ImplementationRule {
+ public:
+  explicit JoinToParallelHashJoinRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+// --- enforcers ---------------------------------------------------------------
+
+/// SORT: enforces a required sort order; its input is optimized with the
+/// relaxed ("any") property vector and with the sort order as the excluding
+/// physical property vector, so that e.g. merge-join "must not be considered
+/// as input to the sort" when it could deliver the order itself (section 2.2).
+class SortEnforcerRule final : public EnforcerRule {
+ public:
+  explicit SortEnforcerRule(const RelModel& model);
+  std::optional<EnforcerApplication> Enforce(
+      const PhysPropsPtr& required, const LogicalProps& logical) const override;
+  Cost LocalCost(const LogicalProps& logical,
+                 const PhysProps& delivered) const override;
+  OpArgPtr PlanArg(const PhysProps& delivered) const override;
+  double Promise(const PhysProps& required,
+                 const LogicalProps& logical) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SORT_DEDUP: sort-based uniqueness enforcer. "It is possible for an
+/// enforcer to ensure two properties" (section 2.2): one operator
+/// establishes both the required sort order and uniqueness.
+class SortDedupEnforcerRule final : public EnforcerRule {
+ public:
+  explicit SortDedupEnforcerRule(const RelModel& model);
+  std::optional<EnforcerApplication> Enforce(
+      const PhysPropsPtr& required, const LogicalProps& logical)
+      const override;
+  Cost LocalCost(const LogicalProps& logical,
+                 const PhysProps& delivered) const override;
+  OpArgPtr PlanArg(const PhysProps& delivered) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// HASH_DEDUP: hash-based uniqueness enforcer — "or to enforce one but
+/// destroy another" (section 2.2): establishes uniqueness, destroys order.
+/// Together with SORT_DEDUP this realizes "uniqueness might be a physical
+/// property with two enforcers, sort- and hash-based" (section 4.1).
+class HashDedupEnforcerRule final : public EnforcerRule {
+ public:
+  explicit HashDedupEnforcerRule(const RelModel& model);
+  std::optional<EnforcerApplication> Enforce(
+      const PhysPropsPtr& required, const LogicalProps& logical)
+      const override;
+  Cost LocalCost(const LogicalProps& logical,
+                 const PhysProps& delivered) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// EXCHANGE: enforces partitioning requirements (hash repartitioning) or
+/// merges a partitioned stream back to serial — "a network and parallelism
+/// operator such as Volcano's exchange operator" as the enforcer for the
+/// partitioning property (section 4.1). Destroys sort order.
+class ExchangeEnforcerRule final : public EnforcerRule {
+ public:
+  explicit ExchangeEnforcerRule(const RelModel& model);
+  std::optional<EnforcerApplication> Enforce(
+      const PhysPropsPtr& required, const LogicalProps& logical)
+      const override;
+  Cost LocalCost(const LogicalProps& logical,
+                 const PhysProps& delivered) const override;
+  OpArgPtr PlanArg(const PhysProps& delivered) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+}  // namespace volcano::rel
+
+#endif  // VOLCANO_RELATIONAL_REL_RULES_H_

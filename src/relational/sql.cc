@@ -1,0 +1,507 @@
+#include "relational/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace volcano::rel {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind {
+    kIdent,   // possibly qualified: rel or rel.attr
+    kInt,
+    kComma,
+    kStar,
+    kEq,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kLParen,
+    kRParen,
+    kEnd,
+  };
+  Kind kind;
+  std::string text;
+};
+
+StatusOr<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  while (pos < sql.size()) {
+    char c = sql[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos;
+      while (pos < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[pos])) ||
+              sql[pos] == '_' || sql[pos] == '.')) {
+        ++pos;
+      }
+      out.push_back(Token{Token::Kind::kIdent,
+                          std::string(sql.substr(start, pos - start))});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[pos + 1])))) {
+      size_t start = pos;
+      ++pos;
+      while (pos < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[pos]))) {
+        ++pos;
+      }
+      out.push_back(Token{Token::Kind::kInt,
+                          std::string(sql.substr(start, pos - start))});
+      continue;
+    }
+    switch (c) {
+      case ',': out.push_back({Token::Kind::kComma, ","}); ++pos; break;
+      case '*': out.push_back({Token::Kind::kStar, "*"}); ++pos; break;
+      case '(': out.push_back({Token::Kind::kLParen, "("}); ++pos; break;
+      case ')': out.push_back({Token::Kind::kRParen, ")"}); ++pos; break;
+      case '=': out.push_back({Token::Kind::kEq, "="}); ++pos; break;
+      case '<':
+        if (pos + 1 < sql.size() && sql[pos + 1] == '=') {
+          out.push_back({Token::Kind::kLe, "<="});
+          pos += 2;
+        } else {
+          out.push_back({Token::Kind::kLt, "<"});
+          ++pos;
+        }
+        break;
+      case '>':
+        if (pos + 1 < sql.size() && sql[pos + 1] == '=') {
+          out.push_back({Token::Kind::kGe, ">="});
+          pos += 2;
+        } else {
+          out.push_back({Token::Kind::kGt, ">"});
+          ++pos;
+        }
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' in SQL");
+    }
+  }
+  out.push_back({Token::Kind::kEnd, ""});
+  return out;
+}
+
+bool KeywordIs(const Token& t, std::string_view kw) {
+  if (t.kind != Token::Kind::kIdent) return false;
+  if (t.text.size() != kw.size()) return false;
+  for (size_t i = 0; i < kw.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(t.text[i])) != kw[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Parser / translator
+// ---------------------------------------------------------------------------
+
+struct Selection {
+  Symbol attr;
+  CmpOp op;
+  int64_t constant;
+};
+
+struct JoinPred {
+  Symbol left;
+  Symbol right;
+};
+
+class SqlParser {
+ public:
+  SqlParser(std::vector<Token> tokens, const RelModel& model,
+            SymbolTable& symbols)
+      : tokens_(std::move(tokens)), model_(model), symbols_(symbols) {}
+
+  StatusOr<ParsedQuery> Run();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Consume(std::string_view kw) {
+    if (KeywordIs(Peek(), kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(std::string_view kw) {
+    if (!Consume(kw)) {
+      return Status::InvalidArgument("expected " + std::string(kw) +
+                                     ", found '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Symbol> ExpectAttribute() {
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected attribute, found '" +
+                                     Peek().text + "'");
+    }
+    std::string name = Advance().text;
+    Symbol sym = model_.symbols().Lookup(name);
+    if (!sym.valid() || !model_.catalog().RelationOf(sym).valid()) {
+      return Status::InvalidArgument("unknown attribute " + name);
+    }
+    return sym;
+  }
+
+  Status ParseSelectList();
+  Status ParseFrom();
+  Status ParseWhere();
+  Status ParseGroupBy();
+  Status ParseOrderBy();
+  StatusOr<ExprPtr> Translate();
+
+  /// Estimated selectivity of `attr op constant` under uniformity on
+  /// [0, distinct).
+  double EstimateSelectivity(Symbol attr, CmpOp op, int64_t constant) const {
+    double d = std::max(1.0, model_.catalog().DistinctOf(attr));
+    double frac;
+    switch (op) {
+      case CmpOp::kLess: frac = static_cast<double>(constant) / d; break;
+      case CmpOp::kLessEq: frac = (constant + 1.0) / d; break;
+      case CmpOp::kEq: frac = 1.0 / d; break;
+      case CmpOp::kGreaterEq: frac = (d - constant) / d; break;
+      case CmpOp::kGreater: frac = (d - constant - 1.0) / d; break;
+      default: frac = 0.5;
+    }
+    return std::clamp(frac, 0.001, 1.0);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const RelModel& model_;
+  SymbolTable& symbols_;
+
+  bool select_star_ = false;
+  bool count_star_ = false;
+  std::vector<Symbol> select_list_;
+  std::vector<Symbol> from_;
+  std::vector<Selection> selections_;
+  std::vector<JoinPred> joins_;
+  std::optional<Symbol> group_by_;
+  std::vector<Symbol> order_by_;
+  bool distinct_ = false;
+};
+
+Status SqlParser::ParseSelectList() {
+  Status s = Expect("SELECT");
+  if (!s.ok()) return s;
+  if (Consume("DISTINCT")) distinct_ = true;
+  if (Peek().kind == Token::Kind::kStar) {
+    Advance();
+    select_star_ = true;
+    return Status::OK();
+  }
+  while (true) {
+    if (KeywordIs(Peek(), "COUNT")) {
+      Advance();
+      if (Peek().kind != Token::Kind::kLParen) {
+        return Status::InvalidArgument("expected ( after COUNT");
+      }
+      Advance();
+      if (Peek().kind != Token::Kind::kStar) {
+        return Status::InvalidArgument("only COUNT(*) is supported");
+      }
+      Advance();
+      if (Peek().kind != Token::Kind::kRParen) {
+        return Status::InvalidArgument("expected ) after COUNT(*");
+      }
+      Advance();
+      count_star_ = true;
+    } else {
+      StatusOr<Symbol> attr = ExpectAttribute();
+      if (!attr.ok()) return attr.status();
+      select_list_.push_back(*attr);
+    }
+    if (Peek().kind != Token::Kind::kComma) break;
+    Advance();
+  }
+  return Status::OK();
+}
+
+Status SqlParser::ParseFrom() {
+  Status s = Expect("FROM");
+  if (!s.ok()) return s;
+  while (true) {
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected relation name, found '" +
+                                     Peek().text + "'");
+    }
+    std::string name = Advance().text;
+    Symbol rel = model_.symbols().Lookup(name);
+    if (!rel.valid() || model_.catalog().FindRelation(rel) == nullptr) {
+      return Status::InvalidArgument("unknown relation " + name);
+    }
+    if (std::find(from_.begin(), from_.end(), rel) != from_.end()) {
+      return Status::InvalidArgument("relation listed twice: " + name);
+    }
+    from_.push_back(rel);
+    if (Peek().kind != Token::Kind::kComma) break;
+    Advance();
+  }
+  return Status::OK();
+}
+
+Status SqlParser::ParseWhere() {
+  if (!Consume("WHERE")) return Status::OK();
+  while (true) {
+    StatusOr<Symbol> left = ExpectAttribute();
+    if (!left.ok()) return left.status();
+
+    CmpOp op;
+    switch (Peek().kind) {
+      case Token::Kind::kEq: op = CmpOp::kEq; break;
+      case Token::Kind::kLt: op = CmpOp::kLess; break;
+      case Token::Kind::kLe: op = CmpOp::kLessEq; break;
+      case Token::Kind::kGt: op = CmpOp::kGreater; break;
+      case Token::Kind::kGe: op = CmpOp::kGreaterEq; break;
+      default:
+        return Status::InvalidArgument("expected comparison, found '" +
+                                       Peek().text + "'");
+    }
+    Advance();
+
+    if (Peek().kind == Token::Kind::kInt) {
+      int64_t constant = std::stoll(Advance().text);
+      selections_.push_back(Selection{*left, op, constant});
+    } else {
+      StatusOr<Symbol> right = ExpectAttribute();
+      if (!right.ok()) return right.status();
+      if (op != CmpOp::kEq) {
+        return Status::InvalidArgument(
+            "only equi-join predicates between attributes are supported");
+      }
+      if (model_.catalog().RelationOf(*left) ==
+          model_.catalog().RelationOf(*right)) {
+        return Status::InvalidArgument(
+            "join predicate must reference two different relations");
+      }
+      joins_.push_back(JoinPred{*left, *right});
+    }
+    if (!Consume("AND")) break;
+  }
+  return Status::OK();
+}
+
+Status SqlParser::ParseGroupBy() {
+  if (!Consume("GROUP")) return Status::OK();
+  Status s = Expect("BY");
+  if (!s.ok()) return s;
+  StatusOr<Symbol> attr = ExpectAttribute();
+  if (!attr.ok()) return attr.status();
+  group_by_ = *attr;
+  return Status::OK();
+}
+
+Status SqlParser::ParseOrderBy() {
+  if (!Consume("ORDER")) return Status::OK();
+  Status s = Expect("BY");
+  if (!s.ok()) return s;
+  while (true) {
+    StatusOr<Symbol> attr = ExpectAttribute();
+    if (!attr.ok()) return attr.status();
+    order_by_.push_back(*attr);
+    if (Peek().kind != Token::Kind::kComma) break;
+    Advance();
+  }
+  return Status::OK();
+}
+
+StatusOr<ExprPtr> SqlParser::Translate() {
+  const Catalog& catalog = model_.catalog();
+
+  // Every referenced attribute must belong to a FROM relation.
+  auto check_in_from = [&](Symbol attr) {
+    Symbol rel = catalog.RelationOf(attr);
+    return std::find(from_.begin(), from_.end(), rel) != from_.end();
+  };
+  for (Symbol attr : select_list_) {
+    if (!check_in_from(attr)) {
+      return Status::InvalidArgument("attribute not in FROM relations: " +
+                                     model_.symbols().Name(attr));
+    }
+  }
+  for (const Selection& sel : selections_) {
+    if (!check_in_from(sel.attr)) {
+      return Status::InvalidArgument("attribute not in FROM relations: " +
+                                     model_.symbols().Name(sel.attr));
+    }
+  }
+  for (const JoinPred& j : joins_) {
+    if (!check_in_from(j.left) || !check_in_from(j.right)) {
+      return Status::InvalidArgument(
+          "join predicate references a relation missing from FROM");
+    }
+  }
+  if (group_by_.has_value() && !check_in_from(*group_by_)) {
+    return Status::InvalidArgument("GROUP BY attribute not in FROM");
+  }
+
+  // Per-relation leaf: GET plus the relation's selections.
+  auto leaf = [&](Symbol rel) {
+    ExprPtr e = model_.Get(rel);
+    for (const Selection& sel : selections_) {
+      if (catalog.RelationOf(sel.attr) != rel) continue;
+      e = model_.Select(std::move(e), sel.attr, sel.op, sel.constant,
+                        EstimateSelectivity(sel.attr, sel.op, sel.constant));
+    }
+    return e;
+  };
+
+  // Connect the FROM relations with the join predicates: repeatedly attach
+  // a predicate with exactly one side already in the tree.
+  std::vector<Symbol> in_tree{from_[0]};
+  ExprPtr root = leaf(from_[0]);
+  std::vector<bool> used(joins_.size(), false);
+  auto contains = [&](Symbol rel) {
+    return std::find(in_tree.begin(), in_tree.end(), rel) != in_tree.end();
+  };
+  for (size_t round = 1; round < from_.size(); ++round) {
+    bool attached = false;
+    for (size_t j = 0; j < joins_.size() && !attached; ++j) {
+      if (used[j]) continue;
+      Symbol lrel = catalog.RelationOf(joins_[j].left);
+      Symbol rrel = catalog.RelationOf(joins_[j].right);
+      Symbol tree_attr, new_attr, new_rel;
+      if (contains(lrel) && !contains(rrel)) {
+        tree_attr = joins_[j].left;
+        new_attr = joins_[j].right;
+        new_rel = rrel;
+      } else if (contains(rrel) && !contains(lrel)) {
+        tree_attr = joins_[j].right;
+        new_attr = joins_[j].left;
+        new_rel = lrel;
+      } else {
+        continue;  // both in (redundant/cyclic) or neither yet
+      }
+      if (std::find(from_.begin(), from_.end(), new_rel) == from_.end()) {
+        return Status::InvalidArgument(
+            "join predicate references relation missing from FROM: " +
+            model_.symbols().Name(new_rel));
+      }
+      used[j] = true;
+      root = model_.Join(std::move(root), leaf(new_rel), tree_attr, new_attr);
+      in_tree.push_back(new_rel);
+      attached = true;
+    }
+    if (!attached) {
+      return Status::InvalidArgument(
+          "join graph does not connect all FROM relations (cross products "
+          "are not supported)");
+    }
+  }
+  for (size_t j = 0; j < joins_.size(); ++j) {
+    if (!used[j]) {
+      return Status::InvalidArgument(
+          "redundant or cyclic join predicate not representable in a join "
+          "tree");
+    }
+  }
+
+  // GROUP BY.
+  if (group_by_.has_value()) {
+    if (!count_star_ || select_list_.size() != 1 ||
+        select_list_[0] != *group_by_) {
+      return Status::InvalidArgument(
+          "GROUP BY queries must have the shape SELECT <group attr>, "
+          "COUNT(*)");
+    }
+    Symbol count_attr = symbols_.Intern("count(*)");
+    return model_.Aggregate(std::move(root), *group_by_, count_attr);
+  }
+  if (count_star_) {
+    return Status::InvalidArgument("COUNT(*) requires GROUP BY");
+  }
+
+  // Projection.
+  if (!select_star_) {
+    root = model_.Project(std::move(root), select_list_);
+  }
+  return root;
+}
+
+StatusOr<ParsedQuery> SqlParser::Run() {
+  Status s = ParseSelectList();
+  if (!s.ok()) return s;
+  s = ParseFrom();
+  if (!s.ok()) return s;
+  s = ParseWhere();
+  if (!s.ok()) return s;
+  s = ParseGroupBy();
+  if (!s.ok()) return s;
+  s = ParseOrderBy();
+  if (!s.ok()) return s;
+  if (Peek().kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("trailing input: '" + Peek().text + "'");
+  }
+
+  // ORDER BY attributes must survive into the final result.
+  for (Symbol attr : order_by_) {
+    bool visible;
+    if (group_by_.has_value()) {
+      visible = attr == *group_by_;
+    } else if (select_star_) {
+      visible = true;
+    } else {
+      visible = std::find(select_list_.begin(), select_list_.end(), attr) !=
+                select_list_.end();
+    }
+    if (!visible) {
+      return Status::InvalidArgument(
+          "ORDER BY attribute not in the result: " +
+          model_.symbols().Name(attr));
+    }
+  }
+
+  StatusOr<ExprPtr> expr = Translate();
+  if (!expr.ok()) return expr.status();
+
+  ParsedQuery out;
+  out.expr = *expr;
+  // SELECT DISTINCT is a *physical property requirement* (uniqueness), not a
+  // logical operator: the optimizer chooses between the sort-based and the
+  // hash-based dedup enforcer, or gets the property for free (aggregation,
+  // intersection).
+  if (distinct_) {
+    out.required = order_by_.empty() ? model_.Unique()
+                                     : model_.SortedUnique(order_by_);
+  } else {
+    out.required =
+        order_by_.empty() ? model_.AnyProps() : model_.Sorted(order_by_);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ParsedQuery> ParseSql(std::string_view sql, const RelModel& model,
+                               SymbolTable& symbols) {
+  // Interned symbols must live in the same table the model's arguments
+  // resolve against.
+  VOLCANO_CHECK(&symbols == &model.symbols());
+  StatusOr<std::vector<Token>> tokens = Lex(sql);
+  if (!tokens.ok()) return tokens.status();
+  SqlParser parser(std::move(*tokens), model, symbols);
+  return parser.Run();
+}
+
+}  // namespace volcano::rel

@@ -1,0 +1,49 @@
+// A small SQL front-end for the relational model.
+//
+// "The translation from a user interface into a logical algebra expression
+// must be performed by the parser and is not discussed here" (paper, section
+// 2.2) — this is that parser, for a compact SQL subset:
+//
+//   SELECT [DISTINCT] * | attr [, attr ...] | attr, COUNT(*)
+//   FROM rel [, rel ...]
+//   [WHERE conjunct [AND conjunct ...]]
+//   [GROUP BY attr]
+//   [ORDER BY attr [, attr ...]]
+//
+// where a conjunct is either an equi-join predicate `R.x = S.y` (two
+// attributes of different relations) or a selection `R.x <op> constant`.
+// Attribute names are the catalog's qualified names (e.g. "emp.a0").
+//
+// Translation: selections are attached to their base relation's GET, join
+// predicates connect the FROM relations into a join tree in the order they
+// appear (queries whose join graph is disconnected — cross products — are
+// rejected), GROUP BY becomes AGGREGATE, a projection list becomes PROJECT,
+// and ORDER BY becomes the required physical property vector. Selectivities
+// are estimated from catalog statistics (uniformity assumption).
+
+#ifndef VOLCANO_RELATIONAL_SQL_H_
+#define VOLCANO_RELATIONAL_SQL_H_
+
+#include <string>
+#include <string_view>
+
+#include "algebra/expr.h"
+#include "relational/rel_model.h"
+
+namespace volcano::rel {
+
+/// A parsed and translated query.
+struct ParsedQuery {
+  ExprPtr expr;            ///< logical algebra expression
+  PhysPropsPtr required;   ///< from ORDER BY; "any" if absent
+};
+
+/// Parses `sql` against the model's catalog; the count column of a GROUP BY
+/// query is interned as "count(*)" in `symbols`. Returns InvalidArgument
+/// with a description on syntax or semantic errors.
+StatusOr<ParsedQuery> ParseSql(std::string_view sql, const RelModel& model,
+                               SymbolTable& symbols);
+
+}  // namespace volcano::rel
+
+#endif  // VOLCANO_RELATIONAL_SQL_H_

@@ -1,0 +1,52 @@
+// Pattern-match bindings.
+//
+// When a pattern matches against memo contents, the binding records which
+// multi-expression matched each operator node of the pattern (pre-order) and
+// which equivalence class each "any" leaf bound (in-order). Rule code uses
+// these to read matched operator arguments and to build replacement
+// expressions / physical operators.
+
+#ifndef VOLCANO_RULES_BINDING_H_
+#define VOLCANO_RULES_BINDING_H_
+
+#include <vector>
+
+#include "algebra/ids.h"
+#include "support/status.h"
+
+namespace volcano {
+
+class MExpr;
+
+/// One complete match of a pattern. Valid only during the rule callback.
+class Binding {
+ public:
+  /// Matched multi-expression for the i-th operator node of the pattern, in
+  /// pre-order; node 0 is the pattern root.
+  const MExpr& node(size_t i) const {
+    VOLCANO_DCHECK(i < nodes_.size());
+    return *nodes_[i];
+  }
+  const MExpr& root() const { return node(0); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Equivalence class bound by the i-th "any" leaf, in pattern order.
+  GroupId leaf(size_t i) const {
+    VOLCANO_DCHECK(i < leaves_.size());
+    return leaves_[i];
+  }
+  size_t num_leaves() const { return leaves_.size(); }
+  const std::vector<GroupId>& leaves() const { return leaves_; }
+
+  // Mutation is reserved for the match driver in the search engine.
+  std::vector<const MExpr*>& mutable_nodes() { return nodes_; }
+  std::vector<GroupId>& mutable_leaves() { return leaves_; }
+
+ private:
+  std::vector<const MExpr*> nodes_;
+  std::vector<GroupId> leaves_;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_RULES_BINDING_H_

@@ -1,0 +1,65 @@
+// Rule output expressions.
+//
+// A transformation rule's Apply() builds a new logical expression whose
+// leaves reference existing equivalence classes in the memo (the classes the
+// pattern's "any" leaves bound). RexNode is that construction language: a
+// tree of operator nodes over group-reference leaves. The memo inserts the
+// tree bottom-up, creating new equivalence classes exactly where the
+// expression does not match an existing one — as in the paper's Figure 3,
+// where associativity creates one new class (for expression C) and one new
+// expression in the original class.
+
+#ifndef VOLCANO_RULES_REX_H_
+#define VOLCANO_RULES_REX_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "algebra/ids.h"
+#include "algebra/op_arg.h"
+
+namespace volcano {
+
+class RexNode;
+using RexPtr = std::shared_ptr<const RexNode>;
+
+/// A node of a rule-built expression: either a reference to an existing memo
+/// group (leaf) or an operator over RexNode inputs.
+class RexNode {
+ public:
+  /// Leaf referencing equivalence class `group`.
+  static RexPtr Leaf(GroupId group) {
+    return std::shared_ptr<const RexNode>(new RexNode(group));
+  }
+
+  /// Operator node.
+  static RexPtr Node(OperatorId op, OpArgPtr arg,
+                     std::vector<RexPtr> inputs = {}) {
+    return std::shared_ptr<const RexNode>(
+        new RexNode(op, std::move(arg), std::move(inputs)));
+  }
+
+  bool is_leaf() const { return op_ == kInvalidOperator; }
+  GroupId group() const { return group_; }
+  OperatorId op() const { return op_; }
+  const OpArgPtr& arg() const { return arg_; }
+  const std::vector<RexPtr>& inputs() const { return inputs_; }
+
+ private:
+  explicit RexNode(GroupId group) : op_(kInvalidOperator), group_(group) {}
+  RexNode(OperatorId op, OpArgPtr arg, std::vector<RexPtr> inputs)
+      : op_(op),
+        group_(kInvalidGroup),
+        arg_(std::move(arg)),
+        inputs_(std::move(inputs)) {}
+
+  OperatorId op_;
+  GroupId group_;
+  OpArgPtr arg_;
+  std::vector<RexPtr> inputs_;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_RULES_REX_H_

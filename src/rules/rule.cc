@@ -1,0 +1,13 @@
+#include "rules/rule.h"
+
+#include "search/memo.h"
+
+namespace volcano {
+
+OpArgPtr ImplementationRule::PlanArg(const Binding& binding,
+                                     const Memo& memo) const {
+  (void)memo;
+  return binding.root().arg();
+}
+
+}  // namespace volcano

@@ -1,0 +1,107 @@
+// RuleSet: the compiled rule tables of a generated optimizer.
+//
+// "In our design, rules are translated independently from one another and
+// are combined only by the search engine when optimizing a query."
+// (paper, section 2.1). The RuleSet owns the rules and indexes them by the
+// root operator of their pattern so the engine can find candidates in O(1).
+
+#ifndef VOLCANO_RULES_RULE_SET_H_
+#define VOLCANO_RULES_RULE_SET_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "algebra/ids.h"
+#include "rules/rule.h"
+#include "support/status.h"
+
+namespace volcano {
+
+/// Owning container for all rules of a data model.
+class RuleSet {
+ public:
+  /// Maximum number of transformation rules (the per-expression "already
+  /// fired" mask is a 64-bit word).
+  static constexpr size_t kMaxTransformationRules = 64;
+
+  RuleId AddTransformation(std::unique_ptr<TransformationRule> rule) {
+    VOLCANO_CHECK(transformations_.size() < kMaxTransformationRules);
+    RuleId id = static_cast<RuleId>(transformations_.size());
+    rule->set_id(id);
+    IndexByOp(transform_index_, rule->pattern().op(), id);
+    transformations_.push_back(std::move(rule));
+    return id;
+  }
+
+  RuleId AddImplementation(std::unique_ptr<ImplementationRule> rule) {
+    RuleId id = static_cast<RuleId>(implementations_.size());
+    rule->set_id(id);
+    IndexByOp(impl_index_, rule->pattern().op(), id);
+    implementations_.push_back(std::move(rule));
+    return id;
+  }
+
+  RuleId AddEnforcer(std::unique_ptr<EnforcerRule> rule) {
+    RuleId id = static_cast<RuleId>(enforcers_.size());
+    enforcers_.push_back(std::move(rule));
+    return id;
+  }
+
+  const std::vector<std::unique_ptr<TransformationRule>>& transformations()
+      const {
+    return transformations_;
+  }
+  const std::vector<std::unique_ptr<ImplementationRule>>& implementations()
+      const {
+    return implementations_;
+  }
+  const std::vector<std::unique_ptr<EnforcerRule>>& enforcers() const {
+    return enforcers_;
+  }
+
+  /// Transformation rules whose pattern root is `op`.
+  const std::vector<RuleId>& TransformationsFor(OperatorId op) const {
+    return Lookup(transform_index_, op);
+  }
+
+  /// Implementation rules whose pattern root is `op`.
+  const std::vector<RuleId>& ImplementationsFor(OperatorId op) const {
+    return Lookup(impl_index_, op);
+  }
+
+  const TransformationRule& transformation(RuleId id) const {
+    VOLCANO_DCHECK(id < transformations_.size());
+    return *transformations_[id];
+  }
+  const ImplementationRule& implementation(RuleId id) const {
+    VOLCANO_DCHECK(id < implementations_.size());
+    return *implementations_[id];
+  }
+
+ private:
+  using OpIndex = std::vector<std::vector<RuleId>>;
+
+  static void IndexByOp(OpIndex& index, OperatorId op, RuleId id) {
+    VOLCANO_CHECK(op != kInvalidOperator);  // pattern roots must be operators
+    if (index.size() <= op) index.resize(op + 1);
+    index[op].push_back(id);
+  }
+
+  static const std::vector<RuleId>& Lookup(const OpIndex& index,
+                                           OperatorId op) {
+    static const std::vector<RuleId> kEmpty;
+    if (op >= index.size()) return kEmpty;
+    return index[op];
+  }
+
+  std::vector<std::unique_ptr<TransformationRule>> transformations_;
+  std::vector<std::unique_ptr<ImplementationRule>> implementations_;
+  std::vector<std::unique_ptr<EnforcerRule>> enforcers_;
+  OpIndex transform_index_;
+  OpIndex impl_index_;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_RULES_RULE_SET_H_

@@ -1,0 +1,78 @@
+#include "search/dot.h"
+
+#include <sstream>
+
+namespace volcano {
+
+namespace {
+
+/// Escapes a string for use inside a DOT double-quoted label.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+int EmitPlanNode(const PlanNode& plan, const OperatorRegistry& reg,
+                 const CostModel& cm, int* counter, std::ostringstream& os) {
+  int id = (*counter)++;
+  std::string label = reg.Name(plan.op());
+  if (plan.arg() != nullptr) label += "\\n" + plan.arg()->ToString();
+  label += "\\n{" + plan.props()->ToString() + "}";
+  label += "\\ncost " + cm.ToString(plan.cost());
+  os << "  n" << id << " [shape=box, label=\"" << Escape(label) << "\"];\n";
+  for (const auto& in : plan.inputs()) {
+    int child = EmitPlanNode(*in, reg, cm, counter, os);
+    os << "  n" << id << " -> n" << child << ";\n";
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string PlanToDot(const PlanNode& plan, const OperatorRegistry& reg,
+                      const CostModel& cm) {
+  std::ostringstream os;
+  os << "digraph plan {\n  rankdir=TB;\n";
+  int counter = 0;
+  EmitPlanNode(plan, reg, cm, &counter, os);
+  os << "}\n";
+  return os.str();
+}
+
+std::string MemoToDot(const Memo& memo, const OperatorRegistry& reg) {
+  std::ostringstream os;
+  os << "digraph memo {\n  rankdir=LR;\n  node [shape=record];\n";
+
+  // One record node per class listing its live expressions; one edge per
+  // (expression, input class) pair, labelled with the expression index.
+  for (GroupId g : memo.LiveGroups()) {
+    const Group& grp = memo.group(g);
+    std::ostringstream label;
+    label << "class " << g;
+    int idx = 0;
+    for (const MExpr* m : grp.exprs()) {
+      if (m->dead()) continue;
+      label << "|<e" << idx << "> " << reg.Name(m->op());
+      if (m->arg() != nullptr) label << " [" << m->arg()->ToString() << "]";
+      ++idx;
+    }
+    os << "  g" << g << " [label=\"" << Escape(label.str()) << "\"];\n";
+    idx = 0;
+    for (const MExpr* m : grp.exprs()) {
+      if (m->dead()) continue;
+      for (GroupId in : m->inputs()) {
+        os << "  g" << g << ":e" << idx << " -> g" << memo.Find(in) << ";\n";
+      }
+      ++idx;
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace volcano

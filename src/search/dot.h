@@ -1,0 +1,25 @@
+// Graphviz (DOT) export for plans and memo contents — debugging and
+// documentation aids.
+
+#ifndef VOLCANO_SEARCH_DOT_H_
+#define VOLCANO_SEARCH_DOT_H_
+
+#include <string>
+
+#include "search/memo.h"
+#include "search/plan.h"
+
+namespace volcano {
+
+/// Renders a physical plan as a DOT digraph (one node per operator, edges to
+/// inputs, labels with arguments / properties / costs).
+std::string PlanToDot(const PlanNode& plan, const OperatorRegistry& reg,
+                      const CostModel& cm);
+
+/// Renders the memo as a DOT digraph: one cluster per equivalence class
+/// listing its expressions, edges from expressions to their input classes.
+std::string MemoToDot(const Memo& memo, const OperatorRegistry& reg);
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SEARCH_DOT_H_

@@ -1,0 +1,273 @@
+#include "search/memo.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace volcano {
+
+Memo::~Memo() = default;
+
+GroupId Memo::Find(GroupId g) const {
+  VOLCANO_DCHECK(g < parent_.size());
+  while (parent_[g] != g) {
+    parent_[g] = parent_[parent_[g]];  // path halving
+    g = parent_[g];
+  }
+  return g;
+}
+
+std::vector<GroupId> Memo::Normalize(
+    const std::vector<GroupId>& inputs) const {
+  std::vector<GroupId> out;
+  out.reserve(inputs.size());
+  for (GroupId g : inputs) out.push_back(Find(g));
+  return out;
+}
+
+GroupId Memo::NewGroup(OperatorId op, const OpArg* arg,
+                       const std::vector<GroupId>& inputs) {
+  std::vector<LogicalPropsPtr> in_props;
+  in_props.reserve(inputs.size());
+  for (GroupId g : inputs) in_props.push_back(LogicalOf(g));
+  LogicalPropsPtr lp = model_.DeriveLogicalProps(op, arg, in_props);
+
+  GroupId id = static_cast<GroupId>(groups_.size());
+  groups_.push_back(std::make_unique<Group>());
+  groups_.back()->logical_ = std::move(lp);
+  parent_.push_back(id);
+  ++num_live_groups_;
+  return id;
+}
+
+std::pair<MExpr*, bool> Memo::InsertMExpr(OperatorId op, OpArgPtr arg,
+                                          std::vector<GroupId> inputs,
+                                          GroupId target) {
+  VOLCANO_DCHECK(model_.registry().IsLogical(op));
+  inputs = Normalize(inputs);
+  if (target != kInvalidGroup) target = Find(target);
+
+  Sig sig{op, arg.get(), inputs};
+  auto it = sig_table_.find(sig);
+  if (it != sig_table_.end()) {
+    MExpr* existing = it->second;
+    GroupId eg = Find(existing->group_);
+    if (target != kInvalidGroup && eg != target) {
+      // The "same" expression was derived into two classes: the classes are
+      // equivalent and must be merged (paper, Figure 3 discussion).
+      MergeGroups(eg, target);
+    }
+    return {existing, false};
+  }
+
+  GroupId g = target != kInvalidGroup ? target : NewGroup(op, arg.get(), inputs);
+  auto owned = std::make_unique<MExpr>(op, std::move(arg), inputs, g);
+  MExpr* m = owned.get();
+  exprs_.push_back(std::move(owned));
+  groups_[g]->exprs_.push_back(m);
+  ++num_live_exprs_;
+
+  sig_table_.emplace(Sig{op, m->arg().get(), m->inputs()}, m);
+
+  // Register m under each distinct input class for later re-canonicalization.
+  std::vector<GroupId> distinct = m->inputs();
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  for (GroupId in : distinct) referencing_[in].push_back(m);
+
+  return {m, true};
+}
+
+GroupId Memo::InsertQuery(const Expr& expr) {
+  std::vector<GroupId> inputs;
+  inputs.reserve(expr.num_inputs());
+  for (const auto& in : expr.inputs()) inputs.push_back(InsertQuery(*in));
+  auto [m, created] = InsertMExpr(expr.op(), expr.arg(), std::move(inputs),
+                                  kInvalidGroup);
+  (void)created;
+  return Find(m->group());
+}
+
+GroupId Memo::InsertRex(const RexNode& rex, GroupId target) {
+  if (target != kInvalidGroup) target = Find(target);
+  if (rex.is_leaf()) {
+    VOLCANO_CHECK(target != kInvalidGroup);
+    // The rule rewrote the expression to one of its sub-results (e.g. a
+    // no-op elimination): the classes are simply equivalent.
+    GroupId leaf = Find(rex.group());
+    if (leaf != target) MergeGroups(leaf, target);
+    return Find(target);
+  }
+
+  std::vector<GroupId> inputs;
+  inputs.reserve(rex.inputs().size());
+  for (const auto& in : rex.inputs()) {
+    if (in->is_leaf()) {
+      inputs.push_back(Find(in->group()));
+    } else {
+      inputs.push_back(InsertRex(*in, kInvalidGroup));
+    }
+  }
+  if (target == kInvalidGroup) {
+    auto [m, created] = InsertMExpr(rex.op(), rex.arg(), std::move(inputs),
+                                    kInvalidGroup);
+    (void)created;
+    return Find(m->group());
+  }
+  InsertMExpr(rex.op(), rex.arg(), std::move(inputs), target);
+  return Find(target);
+}
+
+void Memo::MergeGroups(GroupId a, GroupId b) {
+  merge_worklist_.emplace_back(a, b);
+  if (!merging_) RunMergeWorklist();
+}
+
+void Memo::RunMergeWorklist() {
+  merging_ = true;
+  while (!merge_worklist_.empty()) {
+    auto [ra, rb] = merge_worklist_.back();
+    merge_worklist_.pop_back();
+    GroupId a = Find(ra);
+    GroupId b = Find(rb);
+    if (a == b) continue;
+    if (b < a) std::swap(a, b);  // keep the smaller id as representative
+    parent_[b] = a;
+    ++num_merges_;
+    --num_live_groups_;
+
+    Group& ga = *groups_[a];
+    Group& gb = *groups_[b];
+
+    for (MExpr* m : gb.exprs_) {
+      if (m->dead_) continue;
+      m->group_ = a;
+      ga.exprs_.push_back(m);
+    }
+    gb.exprs_.clear();
+
+    const CostModel& cm = model_.cost_model();
+    for (auto& [key, w] : gb.winners_) {
+      auto it = ga.winners_.find(key);
+      if (it == ga.winners_.end()) {
+        ga.winners_.emplace(key, w);
+        continue;
+      }
+      Winner& cur = it->second;
+      if (cur.failed() && !w.failed()) {
+        cur = w;
+      } else if (!cur.failed() && !w.failed() && cm.Less(w.cost, cur.cost)) {
+        cur = w;
+      } else if (cur.failed() && w.failed() && cm.Less(cur.cost, w.cost)) {
+        cur = w;  // keep the failure with the higher proven-infeasible limit
+      }
+    }
+    gb.winners_.clear();
+
+    for (const auto& k : gb.in_progress_) ga.in_progress_.insert(k);
+    gb.in_progress_.clear();
+
+    // The merged class has new expressions; transformations must be
+    // re-checked (fired masks keep the re-check cheap).
+    ga.explored_ = false;
+
+    // Re-canonicalize every expression that referenced the loser class.
+    auto rit = referencing_.find(b);
+    if (rit == referencing_.end()) continue;
+    std::vector<MExpr*> refs = std::move(rit->second);
+    referencing_.erase(rit);
+    for (MExpr* m : refs) {
+      if (m->dead_) continue;
+      // Invariant: the signature table key for a live expression equals its
+      // stored (op, arg, inputs). Erase, normalize, re-insert.
+      sig_table_.erase(Sig{m->op_, m->arg_.get(), m->inputs_});
+      m->inputs_ = Normalize(m->inputs_);
+      Sig nsig{m->op_, m->arg_.get(), m->inputs_};
+      auto [pos, inserted] = sig_table_.emplace(nsig, m);
+      if (!inserted) {
+        // The normalized expression already exists elsewhere: m is a
+        // duplicate; its class and the existing one are equivalent.
+        MExpr* canonical = pos->second;
+        m->dead_ = true;
+        --num_live_exprs_;
+        GroupId mg = Find(m->group_);
+        GroupId cg = Find(canonical->group_);
+        // Carry over fired-rule knowledge so work is not repeated.
+        canonical->fired_ |= m->fired_;
+        if (mg != cg) merge_worklist_.emplace_back(mg, cg);
+        continue;
+      }
+      for (GroupId in : m->inputs_) {
+        if (in == a) {
+          auto& vec = referencing_[a];
+          if (std::find(vec.begin(), vec.end(), m) == vec.end())
+            vec.push_back(m);
+          break;
+        }
+      }
+    }
+  }
+  merging_ = false;
+}
+
+void Memo::StoreWinner(GroupId g, const GoalKey& key, Winner w) {
+  Group& grp = group(g);
+  auto it = grp.winners_.find(key);
+  if (it == grp.winners_.end()) {
+    grp.winners_.emplace(key, std::move(w));
+    return;
+  }
+  Winner& cur = it->second;
+  const CostModel& cm = model_.cost_model();
+  if (cur.failed()) {
+    if (!w.failed() || cm.Less(cur.cost, w.cost)) cur = std::move(w);
+  } else if (!w.failed() && cm.Less(w.cost, cur.cost)) {
+    cur = std::move(w);
+  }
+}
+
+std::vector<GroupId> Memo::LiveGroups() const {
+  std::vector<GroupId> out;
+  for (GroupId g = 0; g < groups_.size(); ++g) {
+    if (Find(g) == g) out.push_back(g);
+  }
+  return out;
+}
+
+std::string Memo::ToString() const {
+  const OperatorRegistry& reg = model_.registry();
+  std::ostringstream os;
+  for (GroupId g : LiveGroups()) {
+    const Group& grp = *groups_[g];
+    os << "class " << g << "  " << grp.logical_->ToString() << "\n";
+    for (const MExpr* m : grp.exprs_) {
+      if (m->dead()) continue;
+      os << "  " << reg.Name(m->op());
+      if (m->arg() != nullptr) os << "[" << m->arg()->ToString() << "]";
+      if (!m->inputs().empty()) {
+        os << "(";
+        for (size_t i = 0; i < m->inputs().size(); ++i) {
+          if (i) os << ", ";
+          os << Find(m->input(i));
+        }
+        os << ")";
+      }
+      os << "\n";
+    }
+    for (const auto& [key, w] : grp.winners_) {
+      os << "  goal " << key.required->ToString();
+      if (key.excluded != nullptr)
+        os << " excluding " << key.excluded->ToString();
+      if (w.failed()) {
+        os << " -> failed at limit "
+           << model_.cost_model().ToString(w.cost) << "\n";
+      } else {
+        os << " -> " << PlanToLine(*w.plan, reg) << " cost "
+           << model_.cost_model().ToString(w.cost) << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace volcano

@@ -1,0 +1,257 @@
+// The memo: a hash table of expressions and equivalence classes.
+//
+// "In order to prevent redundant optimization effort by detecting redundant
+// (i.e., multiple equivalent) derivations of the same logical expressions and
+// plans during optimization, expressions and plans are captured in a hash
+// table of expressions and equivalence classes. An equivalence class
+// represents two collections, one of equivalent logical and one of physical
+// expressions (plans). ... For each combination of physical properties for
+// which an equivalence class has already been optimized, e.g., unsorted,
+// sorted on A, and sorted on B, the best plan found is kept." (paper, §3)
+//
+// Failures are memoized too: "'Interesting' is defined with respect to
+// possible future use, which includes both plans optimal for given physical
+// properties as well as failures that can save future optimization effort
+// for a logical expression and a physical property vector with the same or
+// even lower cost limits."
+
+#ifndef VOLCANO_SEARCH_MEMO_H_
+#define VOLCANO_SEARCH_MEMO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "algebra/data_model.h"
+#include "algebra/expr.h"
+#include "algebra/ids.h"
+#include "algebra/op_arg.h"
+#include "algebra/properties.h"
+#include "rules/rex.h"
+#include "search/plan.h"
+#include "support/hash.h"
+#include "support/status.h"
+
+namespace volcano {
+
+/// A logical multi-expression: an operator over equivalence classes. Stored
+/// input group ids may become stale after class merges; always resolve
+/// through Memo::Find().
+class MExpr {
+ public:
+  MExpr(OperatorId op, OpArgPtr arg, std::vector<GroupId> inputs,
+        GroupId group)
+      : op_(op), arg_(std::move(arg)), inputs_(std::move(inputs)),
+        group_(group) {}
+
+  OperatorId op() const { return op_; }
+  const OpArgPtr& arg() const { return arg_; }
+  const std::vector<GroupId>& inputs() const { return inputs_; }
+  size_t num_inputs() const { return inputs_.size(); }
+  GroupId input(size_t i) const { return inputs_[i]; }
+
+  /// Owning equivalence class (kept current across merges).
+  GroupId group() const { return group_; }
+
+  /// True once superseded by an identical expression after a class merge.
+  bool dead() const { return dead_; }
+
+  /// Mask of transformation rules already applied to this expression; guards
+  /// against re-deriving the same expressions and detects rule inverses
+  /// together with the in-progress marking.
+  uint64_t fired_mask() const { return fired_; }
+  void MarkFired(RuleId rule) { fired_ |= uint64_t{1} << rule; }
+  bool HasFired(RuleId rule) const {
+    return (fired_ & (uint64_t{1} << rule)) != 0;
+  }
+
+ private:
+  friend class Memo;
+
+  OperatorId op_;
+  OpArgPtr arg_;
+  std::vector<GroupId> inputs_;
+  GroupId group_;
+  uint64_t fired_ = 0;
+  bool dead_ = false;
+};
+
+/// The best known result for one (class, required properties, exclusion)
+/// optimization goal: either a winning plan with its cost, or a memoized
+/// failure with the cost limit that proved infeasible.
+struct Winner {
+  PlanPtr plan;     ///< null for a failure record
+  Cost cost;        ///< plan cost, or the limit that failed
+  bool failed() const { return plan == nullptr; }
+};
+
+/// Key for the winner table: required physical properties plus the optional
+/// excluding physical property vector (used when optimizing enforcer inputs).
+struct GoalKey {
+  PhysPropsPtr required;
+  PhysPropsPtr excluded;  ///< may be null
+
+  friend bool operator==(const GoalKey& a, const GoalKey& b) {
+    if (!a.required->Equals(*b.required)) return false;
+    if ((a.excluded == nullptr) != (b.excluded == nullptr)) return false;
+    return a.excluded == nullptr || a.excluded->Equals(*b.excluded);
+  }
+};
+
+struct GoalKeyHash {
+  size_t operator()(const GoalKey& k) const {
+    uint64_t h = k.required->Hash();
+    if (k.excluded != nullptr) h = HashCombine(h, k.excluded->Hash());
+    return static_cast<size_t>(h);
+  }
+};
+
+/// An equivalence class: logical expressions, winners per goal, logical
+/// properties, and exploration state.
+class Group {
+ public:
+  const std::vector<MExpr*>& exprs() const { return exprs_; }
+  const LogicalPropsPtr& logical() const { return logical_; }
+
+  bool explored() const { return explored_; }
+  bool exploring() const { return exploring_; }
+
+  /// Winner or memoized failure for a goal, if known.
+  const Winner* FindWinner(const GoalKey& key) const {
+    auto it = winners_.find(key);
+    return it == winners_.end() ? nullptr : &it->second;
+  }
+
+  size_t num_winners() const { return winners_.size(); }
+
+ private:
+  friend class Memo;
+
+  std::vector<MExpr*> exprs_;
+  LogicalPropsPtr logical_;
+  bool explored_ = false;
+  bool exploring_ = false;
+  std::unordered_map<GoalKey, Winner, GoalKeyHash> winners_;
+  std::unordered_set<GoalKey, GoalKeyHash> in_progress_;
+};
+
+/// The expression / equivalence-class store with duplicate detection and
+/// class merging.
+class Memo {
+ public:
+  explicit Memo(const DataModel& model) : model_(model) {}
+  ~Memo();
+
+  Memo(const Memo&) = delete;
+  Memo& operator=(const Memo&) = delete;
+
+  /// Copies a query tree into the memo; returns the root class.
+  GroupId InsertQuery(const Expr& expr);
+
+  /// Inserts a rule-produced expression, with the root going into class
+  /// `target`. May merge classes; returns the (normalized) root class.
+  GroupId InsertRex(const RexNode& rex, GroupId target);
+
+  /// Inserts one multi-expression. `target == kInvalidGroup` means "create a
+  /// new class unless an identical expression already exists". Returns the
+  /// expression (new or existing) and whether it was newly created.
+  std::pair<MExpr*, bool> InsertMExpr(OperatorId op, OpArgPtr arg,
+                                      std::vector<GroupId> inputs,
+                                      GroupId target);
+
+  /// Resolves a class id through pending merges (union-find with path
+  /// compression).
+  GroupId Find(GroupId g) const;
+
+  Group& group(GroupId g) {
+    return *groups_[Find(g)];
+  }
+  const Group& group(GroupId g) const { return *groups_[Find(g)]; }
+
+  /// Logical properties of a class (derived once at class creation).
+  const LogicalPropsPtr& LogicalOf(GroupId g) const {
+    return group(g).logical_;
+  }
+
+  // --- winner table -------------------------------------------------------
+
+  const Winner* FindWinner(GroupId g, const GoalKey& key) const {
+    return group(g).FindWinner(key);
+  }
+  void StoreWinner(GroupId g, const GoalKey& key, Winner w);
+
+  bool IsInProgress(GroupId g, const GoalKey& key) const {
+    const Group& grp = group(g);
+    return grp.in_progress_.find(key) != grp.in_progress_.end();
+  }
+  void MarkInProgress(GroupId g, const GoalKey& key) {
+    group(g).in_progress_.insert(key);
+  }
+  void UnmarkInProgress(GroupId g, const GoalKey& key) {
+    group(g).in_progress_.erase(key);
+  }
+
+  // --- exploration state --------------------------------------------------
+
+  void SetExploring(GroupId g, bool v) { group(g).exploring_ = v; }
+  void SetExplored(GroupId g, bool v) { group(g).explored_ = v; }
+
+  // --- statistics ---------------------------------------------------------
+
+  size_t num_groups() const { return num_live_groups_; }
+  size_t num_exprs() const { return num_live_exprs_; }
+  size_t num_merges() const { return num_merges_; }
+
+  /// All class ids currently live (normalized, deduplicated).
+  std::vector<GroupId> LiveGroups() const;
+
+  /// Debug dump of classes, expressions, and winners.
+  std::string ToString() const;
+
+ private:
+  struct Sig {
+    OperatorId op;
+    const OpArg* arg;  // borrowed from the owning MExpr
+    std::vector<GroupId> inputs;
+
+    friend bool operator==(const Sig& a, const Sig& b) {
+      return a.op == b.op && a.inputs == b.inputs && OpArgEquals(a.arg, b.arg);
+    }
+  };
+  struct SigHash {
+    size_t operator()(const Sig& s) const {
+      uint64_t h = Mix64(s.op);
+      h = HashCombine(h, HashOpArg(s.arg));
+      for (GroupId g : s.inputs) h = HashCombine(h, g);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  GroupId NewGroup(OperatorId op, const OpArg* arg,
+                   const std::vector<GroupId>& inputs);
+  void MergeGroups(GroupId a, GroupId b);
+  void RunMergeWorklist();
+  std::vector<GroupId> Normalize(const std::vector<GroupId>& inputs) const;
+
+  const DataModel& model_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  mutable std::vector<GroupId> parent_;  // union-find
+  std::unordered_map<Sig, MExpr*, SigHash> sig_table_;
+  std::vector<std::unique_ptr<MExpr>> exprs_;
+  // Parents index: classes -> expressions referencing them as inputs; used
+  // to re-canonicalize signatures after merges.
+  std::unordered_map<GroupId, std::vector<MExpr*>> referencing_;
+  std::vector<std::pair<GroupId, GroupId>> merge_worklist_;
+  bool merging_ = false;
+  size_t num_live_groups_ = 0;
+  size_t num_live_exprs_ = 0;
+  size_t num_merges_ = 0;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SEARCH_MEMO_H_

@@ -1,0 +1,521 @@
+#include "search/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace volcano {
+
+Optimizer::Optimizer(const DataModel& model, SearchOptions options)
+    : model_(model), options_(options), memo_(model) {}
+
+bool Optimizer::CheckBudget() {
+  if (aborted_) return false;
+  if (memo_.num_exprs() > options_.max_mexprs) {
+    aborted_ = true;
+    return false;
+  }
+  return true;
+}
+
+StatusOr<PlanPtr> Optimizer::Optimize(const Expr& query,
+                                      PhysPropsPtr required) {
+  return Optimize(query, std::move(required), model_.cost_model().Infinity());
+}
+
+StatusOr<PlanPtr> Optimizer::Optimize(const Expr& query,
+                                      PhysPropsPtr required, Cost limit) {
+  GroupId root = memo_.InsertQuery(query);
+  return OptimizeGroup(root, std::move(required), limit);
+}
+
+StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
+                                           PhysPropsPtr required) {
+  return OptimizeGroup(group, std::move(required),
+                       model_.cost_model().Infinity());
+}
+
+StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
+                                           PhysPropsPtr required, Cost limit) {
+  if (required == nullptr) required = model_.AnyProps();
+  Result r = FindBestPlan(group, required, limit, nullptr);
+  if (aborted_) {
+    return Status::ResourceExhausted("optimizer memo exceeded max_mexprs = " +
+                                     std::to_string(options_.max_mexprs));
+  }
+  if (r.plan == nullptr) {
+    return Status::NotFound(
+        "no plan satisfies required properties " + required->ToString() +
+        " within cost limit " + model_.cost_model().ToString(limit));
+  }
+  // Final consistency check (paper section 2.2): the chosen plan's physical
+  // properties really do satisfy the physical property vector of the goal.
+  VOLCANO_CHECK(r.plan->props()->Covers(*required));
+  return r.plan;
+}
+
+void Optimizer::ExploreGroup(GroupId group) {
+  group = memo_.Find(group);
+  {
+    Group& grp = memo_.group(group);
+    if (grp.explored() || grp.exploring()) return;
+  }
+  memo_.SetExploring(group, true);
+  const RuleSet& rules = model_.rule_set();
+
+  // Sweep expressions (the vector may grow and the class may merge while we
+  // iterate; re-resolve on every step). The per-expression fired mask makes
+  // repeated sweeps cheap and guarantees termination together with memo
+  // deduplication.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0;; ++i) {
+      if (!CheckBudget()) break;
+      group = memo_.Find(group);
+      Group& grp = memo_.group(group);
+      if (i >= grp.exprs().size()) break;
+      MExpr* m = grp.exprs()[i];
+      if (m->dead()) continue;
+      for (RuleId rid : rules.TransformationsFor(m->op())) {
+        if (m->HasFired(rid)) continue;
+        m->MarkFired(rid);
+        const TransformationRule& rule = rules.transformation(rid);
+        std::vector<Binding> bindings;
+        CollectBindings(rule.pattern(), *m, &bindings);
+        for (const Binding& b : bindings) {
+          ++stats_.transformations_matched;
+          if (!rule.Condition(b, memo_)) continue;
+          RexPtr rex = rule.Apply(b, memo_);
+          if (rex == nullptr) continue;
+          ++stats_.transformations_applied;
+          memo_.InsertRex(*rex, memo_.Find(m->group()));
+          changed = true;
+        }
+      }
+    }
+    if (!CheckBudget()) break;
+  }
+
+  group = memo_.Find(group);
+  memo_.SetExploring(group, false);
+  memo_.SetExplored(group, true);
+}
+
+void Optimizer::CollectBindings(const Pattern& pattern, const MExpr& m,
+                                std::vector<Binding>* out) {
+  // Fast path for depth-1 patterns (every child is "any"): the single
+  // binding is the expression itself over its input classes. This covers
+  // most implementation rules and commutativity, and avoids the generic
+  // matcher's std::function recursion on the hot path.
+  if (pattern.NumOpNodes() == 1) {
+    if (pattern.op() != m.op()) return;
+    Binding b;
+    b.mutable_nodes().push_back(&m);
+    auto& leaves = b.mutable_leaves();
+    leaves.reserve(m.num_inputs());
+    for (size_t i = 0; i < m.num_inputs(); ++i) {
+      leaves.push_back(memo_.Find(m.input(i)));
+    }
+    out->push_back(std::move(b));
+    return;
+  }
+  Binding partial;
+  MatchNode(pattern, m, &partial, [&]() { out->push_back(partial); });
+}
+
+void Optimizer::MatchNode(const Pattern& pattern, const MExpr& m,
+                          Binding* partial,
+                          const std::function<void()>& emit) {
+  VOLCANO_DCHECK(!pattern.is_any());
+  if (pattern.op() != m.op()) return;
+  partial->mutable_nodes().push_back(&m);
+  MatchChildren(pattern, m, 0, partial, emit);
+  partial->mutable_nodes().pop_back();
+}
+
+void Optimizer::MatchChildren(const Pattern& pattern, const MExpr& m,
+                              size_t child, Binding* partial,
+                              const std::function<void()>& emit) {
+  if (child == m.num_inputs()) {
+    emit();
+    return;
+  }
+  // A pattern with fewer children than the operator's arity treats the
+  // missing positions as "any".
+  const Pattern* cp =
+      child < pattern.children().size() ? &pattern.children()[child] : nullptr;
+  if (cp == nullptr || cp->is_any()) {
+    partial->mutable_leaves().push_back(memo_.Find(m.input(child)));
+    MatchChildren(pattern, m, child + 1, partial, emit);
+    partial->mutable_leaves().pop_back();
+    return;
+  }
+  // The pattern names a specific operator below: this is where the search is
+  // directed — only classes in such positions are explored.
+  GroupId cg = memo_.Find(m.input(child));
+  ExploreGroup(cg);
+  for (size_t i = 0;; ++i) {
+    cg = memo_.Find(cg);
+    const Group& grp = memo_.group(cg);
+    if (i >= grp.exprs().size()) break;
+    const MExpr* cm = grp.exprs()[i];
+    if (cm->dead()) continue;
+    MatchNode(*cp, *cm, partial, [&]() {
+      MatchChildren(pattern, m, child + 1, partial, emit);
+    });
+  }
+}
+
+void Optimizer::CollectAlgorithmMoves(GroupId group,
+                                      const PhysPropsPtr& required,
+                                      const PhysPropsPtr& excluded,
+                                      std::vector<Move>* moves) {
+  const RuleSet& rules = model_.rule_set();
+  for (size_t i = 0;; ++i) {
+    group = memo_.Find(group);
+    const Group& grp = memo_.group(group);
+    if (i >= grp.exprs().size()) break;
+    const MExpr* m = grp.exprs()[i];
+    if (m->dead()) continue;
+    for (RuleId rid : rules.ImplementationsFor(m->op())) {
+      const ImplementationRule& rule = rules.implementation(rid);
+      std::vector<Binding> bindings;
+      CollectBindings(rule.pattern(), *m, &bindings);
+      for (Binding& b : bindings) {
+        if (!rule.Condition(b, memo_)) continue;
+        std::vector<AlgorithmAlternative> alts = rule.Applicability(
+            b, memo_, required,
+            excluded == nullptr ? nullptr : excluded.get());
+        for (AlgorithmAlternative& alt : alts) {
+          VOLCANO_CHECK(alt.input_props.size() == b.num_leaves());
+          VOLCANO_DCHECK(alt.delivered->Covers(*required));
+          if (excluded != nullptr && alt.delivered->Covers(*excluded)) {
+            continue;  // would qualify redundantly below the enforcer
+          }
+          Move mv;
+          mv.rule = &rule;
+          mv.binding = b;
+          mv.alt = std::move(alt);
+          mv.promise = rule.Promise(b, memo_);
+          moves->push_back(std::move(mv));
+        }
+      }
+    }
+  }
+}
+
+Optimizer::Result Optimizer::FindBestPlan(GroupId group,
+                                          const PhysPropsPtr& required,
+                                          Cost limit,
+                                          const PhysPropsPtr& excluded) {
+  ++stats_.find_best_plan_calls;
+  const CostModel& cm = model_.cost_model();
+  Result failure{nullptr, limit};
+  if (!CheckBudget()) return failure;
+
+  group = memo_.Find(group);
+  GoalKey key{required, excluded};
+
+  // --- the look-up table part of Figure 2 ---------------------------------
+  if (options_.memoize_winners) {
+    if (const Winner* w = memo_.FindWinner(group, key)) {
+      if (!w->failed()) {
+        // A recorded winner is the goal's optimum (branch-and-bound never
+        // discards a plan cheaper than the best known one), so it either
+        // answers the goal or proves it infeasible under this limit.
+        if (cm.LessEq(w->cost, limit)) {
+          ++stats_.memo_winner_hits;
+          return {w->plan, w->cost};
+        }
+        ++stats_.memo_failure_hits;
+        return failure;
+      }
+      if (options_.memoize_failures && cm.LessEq(limit, w->cost)) {
+        // Failed before with an equal or higher limit; must fail now too.
+        ++stats_.memo_failure_hits;
+        return failure;
+      }
+    }
+  }
+
+  // Rule inverses (commutativity applied twice, etc.) re-derive this very
+  // goal; "if a newly formed expression already exists ... and is marked as
+  // 'in progress,' it is ignored" (section 3).
+  if (memo_.IsInProgress(group, key)) {
+    ++stats_.in_progress_hits;
+    return failure;
+  }
+  memo_.MarkInProgress(group, key);
+
+  Result best = failure;
+  Cost best_cost = limit;
+
+  if (options_.glue_properties && excluded == nullptr &&
+      !model_.AnyProps()->Equals(*required)) {
+    best = FindBestPlanWithGlue(group, required, limit);
+    if (best.plan != nullptr) best_cost = best.cost;
+  } else if (options_.strategy == SearchOptions::Strategy::kInterleaved) {
+    RunInterleaved(&group, required, excluded, &best, &best_cost);
+  } else {
+    // --- derive all equivalent logical expressions ------------------------
+    ExploreGroup(group);
+    group = memo_.Find(group);
+
+    // --- create the set of possible moves ----------------------------------
+    // Matching multi-level patterns explores input classes, which can merge
+    // this class with another mid-sweep; restart the collection until the
+    // class is stable so no expression is missed.
+    std::vector<Move> moves;
+    bool stable = false;
+    while (!stable) {
+      moves.clear();
+      GroupId before = memo_.Find(group);
+      size_t size_before = memo_.group(before).exprs().size();
+      CollectAlgorithmMoves(before, required, excluded, &moves);
+      group = memo_.Find(group);
+      stable = group == before &&
+               memo_.group(group).exprs().size() == size_before;
+    }
+    const LogicalPropsPtr logical = memo_.LogicalOf(group);
+    CollectEnforcerMoves(required, excluded, *logical, &moves);
+
+    // --- order the set of moves by promise ---------------------------------
+    std::stable_sort(moves.begin(), moves.end(),
+                     [](const Move& a, const Move& b) {
+                       return a.promise > b.promise;
+                     });
+    if (options_.move_limit > 0 &&
+        moves.size() > static_cast<size_t>(options_.move_limit)) {
+      stats_.moves_skipped += moves.size() - options_.move_limit;
+      moves.resize(options_.move_limit);
+    }
+
+    // --- pursue the moves ---------------------------------------------------
+    for (const Move& mv : moves) {
+      if (!CheckBudget()) break;
+      PursueMove(mv, group, logical, &best, &best_cost);
+    }
+  }
+
+  group = memo_.Find(group);
+  memo_.UnmarkInProgress(group, key);
+
+  // --- maintain the look-up table of explored facts ------------------------
+  if (options_.memoize_winners && !aborted_) {
+    if (best.plan != nullptr) {
+      memo_.StoreWinner(group, key, Winner{best.plan, best.cost});
+    } else if (options_.memoize_failures) {
+      memo_.StoreWinner(group, key, Winner{nullptr, limit});
+    }
+  }
+  return best;
+}
+
+void Optimizer::CollectEnforcerMoves(const PhysPropsPtr& required,
+                                     const PhysPropsPtr& excluded,
+                                     const LogicalProps& logical,
+                                     std::vector<Move>* moves) {
+  for (const auto& enf : model_.rule_set().enforcers()) {
+    std::optional<EnforcerApplication> app = enf->Enforce(required, logical);
+    if (!app.has_value()) continue;
+    VOLCANO_DCHECK(app->delivered->Covers(*required));
+    if (excluded != nullptr && app->delivered->Covers(*excluded)) continue;
+    Move mv;
+    mv.enforcer = enf.get();
+    mv.app = std::move(*app);
+    mv.promise = enf->Promise(*required, logical);
+    moves->push_back(std::move(mv));
+  }
+}
+
+void Optimizer::PursueMove(const Move& mv, GroupId group,
+                           const LogicalPropsPtr& logical, Result* best,
+                           Cost* best_cost) {
+  const CostModel& cm = model_.cost_model();
+  if (mv.rule != nullptr) {
+    ++stats_.algorithm_moves;
+    ++stats_.cost_estimates;
+    Cost total = mv.rule->LocalCost(mv.binding, memo_);
+    if (std::isinf(cm.Total(total))) return;  // model says: impossible
+    std::vector<PlanPtr> children;
+    children.reserve(mv.binding.num_leaves());
+    for (size_t i = 0; i < mv.binding.num_leaves(); ++i) {
+      if (options_.branch_and_bound && !cm.LessEq(total, *best_cost)) {
+        ++stats_.moves_pruned;
+        return;
+      }
+      Cost child_limit = options_.branch_and_bound ? cm.Sub(*best_cost, total)
+                                                   : cm.Infinity();
+      Result r = FindBestPlan(mv.binding.leaf(i), mv.alt.input_props[i],
+                              child_limit, nullptr);
+      if (r.plan == nullptr) return;
+      total = cm.Add(total, r.cost);
+      children.push_back(std::move(r.plan));
+    }
+    if (!cm.LessEq(total, *best_cost)) return;
+    if (best->plan != nullptr && !cm.Less(total, *best_cost)) return;
+    best->plan = PlanNode::Make(mv.rule->algorithm(),
+                                mv.rule->PlanArg(mv.binding, memo_),
+                                std::move(children), mv.alt.delivered,
+                                logical, total);
+    best->cost = total;
+    *best_cost = total;
+    return;
+  }
+
+  ++stats_.enforcer_moves;
+  ++stats_.cost_estimates;
+  Cost local = mv.enforcer->LocalCost(*logical, *mv.app.delivered);
+  if (std::isinf(cm.Total(local))) return;
+  if (options_.branch_and_bound && !cm.LessEq(local, *best_cost)) {
+    ++stats_.moves_pruned;
+    return;
+  }
+  // "The original logical expression is optimized ... with a suitably
+  // modified (i.e., relaxed) physical property vector" — the enforcer cost
+  // is already subtracted from the bound (section 6).
+  Cost child_limit = options_.branch_and_bound ? cm.Sub(*best_cost, local)
+                                               : cm.Infinity();
+  Result r = FindBestPlan(group, mv.app.input_required, child_limit,
+                          mv.app.excluded);
+  if (r.plan == nullptr) return;
+  Cost total = cm.Add(local, r.cost);
+  if (!cm.LessEq(total, *best_cost)) return;
+  if (best->plan != nullptr && !cm.Less(total, *best_cost)) return;
+  best->plan = PlanNode::Make(mv.enforcer->enforcer(),
+                              mv.enforcer->PlanArg(*mv.app.delivered),
+                              {r.plan}, mv.app.delivered, logical, total);
+  best->cost = total;
+  *best_cost = total;
+}
+
+void Optimizer::RunInterleaved(GroupId* group, const PhysPropsPtr& required,
+                               const PhysPropsPtr& excluded, Result* best,
+                               Cost* best_cost) {
+  // Figure 2 verbatim: transformations are moves of this goal, interleaved
+  // with algorithms and enforcers. Each round collects the currently
+  // available moves (unfired transformations, algorithm moves for
+  // expressions not yet pursued under this goal, enforcers once), pursues
+  // them in promise order, and repeats — newly derived expressions feed the
+  // next round. Per-expression fired masks and memo deduplication bound the
+  // transformation moves, so the loop terminates.
+  const RuleSet& rules = model_.rule_set();
+  std::set<std::pair<const MExpr*, const ImplementationRule*>> pursued;
+  bool enforcers_done = false;
+
+  struct TransformationMove {
+    MExpr* expr;
+    const TransformationRule* rule;
+  };
+
+  while (CheckBudget()) {
+    *group = memo_.Find(*group);
+    const LogicalPropsPtr logical = memo_.LogicalOf(*group);
+
+    // Transformation moves: unfired (expression, rule) pairs.
+    std::vector<TransformationMove> tmoves;
+    for (size_t i = 0;; ++i) {
+      *group = memo_.Find(*group);
+      const Group& grp = memo_.group(*group);
+      if (i >= grp.exprs().size()) break;
+      MExpr* m = grp.exprs()[i];
+      if (m->dead()) continue;
+      for (RuleId rid : rules.TransformationsFor(m->op())) {
+        if (!m->HasFired(rid)) {
+          tmoves.push_back({m, &rules.transformation(rid)});
+        }
+      }
+    }
+
+    // Algorithm moves for expressions not pursued under this goal yet.
+    std::vector<Move> moves;
+    CollectAlgorithmMoves(*group, required, excluded, &moves);
+    moves.erase(std::remove_if(moves.begin(), moves.end(),
+                               [&](const Move& mv) {
+                                 return pursued.count(
+                                            {&mv.binding.root(), mv.rule}) >
+                                        0;
+                               }),
+                moves.end());
+
+    if (!enforcers_done) {
+      CollectEnforcerMoves(required, excluded, *logical, &moves);
+    }
+
+    if (tmoves.empty() && moves.empty()) break;
+
+    // Pursue: transformations first within a round (their results enlarge
+    // the next round's move set), then implementation moves by promise.
+    for (const TransformationMove& tm : tmoves) {
+      if (!CheckBudget()) return;
+      if (tm.expr->dead() || tm.expr->HasFired(tm.rule->id())) continue;
+      tm.expr->MarkFired(tm.rule->id());
+      std::vector<Binding> bindings;
+      CollectBindings(tm.rule->pattern(), *tm.expr, &bindings);
+      for (const Binding& b : bindings) {
+        ++stats_.transformations_matched;
+        if (!tm.rule->Condition(b, memo_)) continue;
+        RexPtr rex = tm.rule->Apply(b, memo_);
+        if (rex == nullptr) continue;
+        ++stats_.transformations_applied;
+        memo_.InsertRex(*rex, memo_.Find(tm.expr->group()));
+      }
+    }
+
+    std::stable_sort(moves.begin(), moves.end(),
+                     [](const Move& a, const Move& b) {
+                       return a.promise > b.promise;
+                     });
+    for (const Move& mv : moves) {
+      if (!CheckBudget()) return;
+      if (mv.rule != nullptr) {
+        pursued.insert({&mv.binding.root(), mv.rule});
+      } else {
+        enforcers_done = true;
+      }
+      PursueMove(mv, *group, logical, best, best_cost);
+    }
+  }
+}
+
+Optimizer::Result Optimizer::FindBestPlanWithGlue(GroupId group,
+                                                  const PhysPropsPtr& required,
+                                                  Cost limit) {
+  // Starburst-style two-phase handling of physical properties (ablation
+  // mode): choose the best plan with no property requirement, then patch it
+  // with "glue" enforcers. This loses interesting-order opportunities; see
+  // bench_ablation_properties.
+  const CostModel& cm = model_.cost_model();
+  Result base = FindBestPlan(group, model_.AnyProps(), limit, nullptr);
+  if (base.plan == nullptr) return {nullptr, limit};
+  if (base.plan->props()->Covers(*required)) return base;
+
+  group = memo_.Find(group);
+  const LogicalPropsPtr& logical = memo_.LogicalOf(group);
+  Result best{nullptr, limit};
+  for (const auto& enf : model_.rule_set().enforcers()) {
+    std::optional<EnforcerApplication> app = enf->Enforce(required, *logical);
+    if (!app.has_value()) continue;
+    ++stats_.enforcer_moves;
+    ++stats_.cost_estimates;
+    Cost total = cm.Add(base.cost, enf->LocalCost(*logical, *app->delivered));
+    if (!cm.LessEq(total, limit)) continue;
+    if (best.plan != nullptr && !cm.Less(total, best.cost)) continue;
+    best.plan = PlanNode::Make(enf->enforcer(), enf->PlanArg(*app->delivered),
+                               {base.plan}, app->delivered, logical, total);
+    best.cost = total;
+  }
+  return best;
+}
+
+SearchStats Optimizer::stats() const {
+  SearchStats s = stats_;
+  s.groups_created = memo_.num_groups();
+  s.mexprs_created = memo_.num_exprs();
+  s.group_merges = memo_.num_merges();
+  return s;
+}
+
+}  // namespace volcano

@@ -1,0 +1,150 @@
+// The Volcano search engine.
+//
+// This implements the FindBestPlan algorithm of the paper's Figure 2:
+// top-down, goal-directed dynamic programming over (equivalence class,
+// physical property vector, cost limit) goals, with three kinds of moves —
+// transformations, algorithms, and enforcers — ordered by promise and pruned
+// by branch-and-bound. "Instead of forcing each database and optimizer
+// implementor to implement an entirely new search engine and algorithm, the
+// Volcano optimizer generator provides a search engine to be used in all
+// created optimizers" (section 3); Optimizer is that engine, parameterized
+// only by a DataModel.
+
+#ifndef VOLCANO_SEARCH_OPTIMIZER_H_
+#define VOLCANO_SEARCH_OPTIMIZER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "algebra/data_model.h"
+#include "algebra/expr.h"
+#include "rules/rule_set.h"
+#include "search/memo.h"
+#include "search/plan.h"
+#include "search/search_options.h"
+#include "support/status.h"
+
+namespace volcano {
+
+/// One optimizer instance optimizes queries against one data model. The memo
+/// ("set of partial optimization results") lives for the lifetime of the
+/// instance; the paper's generated optimizers reinitialize it per query, so
+/// callers typically construct one Optimizer per query (see Optimize()).
+class Optimizer {
+ public:
+  explicit Optimizer(const DataModel& model, SearchOptions options = {});
+
+  /// Optimizes a logical query for the required physical properties (null
+  /// means "no requirement"). Returns the optimal plan, NotFound if no plan
+  /// exists, or ResourceExhausted if the memo cap was hit.
+  StatusOr<PlanPtr> Optimize(const Expr& query,
+                             PhysPropsPtr required = nullptr);
+
+  /// As above with a user-supplied cost limit: "this limit is typically
+  /// infinity for a user query, but the user interface may permit users to
+  /// set their own limits to 'catch' unreasonable queries" (paper, §3).
+  /// Returns NotFound if no plan meets the limit.
+  StatusOr<PlanPtr> Optimize(const Expr& query, PhysPropsPtr required,
+                             Cost limit);
+
+  /// Re-optimizes an existing class for different required properties; the
+  /// dynamic-programming table is shared with previous calls. Used by tests
+  /// and the interesting-orders example.
+  StatusOr<PlanPtr> OptimizeGroup(GroupId group, PhysPropsPtr required);
+
+  /// OptimizeGroup with a user-supplied cost limit.
+  StatusOr<PlanPtr> OptimizeGroup(GroupId group, PhysPropsPtr required,
+                                  Cost limit);
+
+  /// Inserts a query without optimizing; returns its root class.
+  GroupId AddQuery(const Expr& query) { return memo_.InsertQuery(query); }
+
+  Memo& memo() { return memo_; }
+  const Memo& memo() const { return memo_; }
+  const DataModel& model() const { return model_; }
+  const SearchOptions& options() const { return options_; }
+
+  /// Effort counters (search-side counters merged with memo counters).
+  SearchStats stats() const;
+
+ private:
+  struct Result {
+    PlanPtr plan;  // null on failure
+    Cost cost;
+  };
+
+  /// A generated move: either an algorithm application (implementation rule
+  /// × binding × input-property alternative) or an enforcer application.
+  struct Move {
+    // Algorithm move fields (rule != nullptr):
+    const ImplementationRule* rule = nullptr;
+    Binding binding;
+    AlgorithmAlternative alt;
+    // Enforcer move fields (enforcer != nullptr):
+    const EnforcerRule* enforcer = nullptr;
+    EnforcerApplication app;
+
+    double promise = 1.0;
+  };
+
+  /// Sweeps the class's expressions and collects all algorithm moves for the
+  /// given goal.
+  void CollectAlgorithmMoves(GroupId group, const PhysPropsPtr& required,
+                             const PhysPropsPtr& excluded,
+                             std::vector<Move>* moves);
+
+  /// Collects enforcer moves for the goal.
+  void CollectEnforcerMoves(const PhysPropsPtr& required,
+                            const PhysPropsPtr& excluded,
+                            const LogicalProps& logical,
+                            std::vector<Move>* moves);
+
+  /// Pursues one algorithm/enforcer move, updating the incumbent.
+  void PursueMove(const Move& mv, GroupId group,
+                  const LogicalPropsPtr& logical, Result* best,
+                  Cost* best_cost);
+
+  /// The kInterleaved strategy: Figure 2 verbatim — transformations are
+  /// moves, pursued together with algorithms and enforcers.
+  void RunInterleaved(GroupId* group, const PhysPropsPtr& required,
+                      const PhysPropsPtr& excluded, Result* best,
+                      Cost* best_cost);
+
+  /// Figure 2's FindBestPlan. `excluded` is the excluding physical property
+  /// vector, non-null only when optimizing the input of an enforcer.
+  Result FindBestPlan(GroupId group, const PhysPropsPtr& required, Cost limit,
+                      const PhysPropsPtr& excluded);
+
+  /// Applies all transformation rules reachable in this class to fixpoint
+  /// (directed exploration: sub-classes are only expanded where a pattern
+  /// requires a specific operator).
+  void ExploreGroup(GroupId group);
+
+  /// Enumerates all matches of `pattern` rooted at `m` into `out`. Explores
+  /// input classes on demand for multi-level patterns.
+  void CollectBindings(const Pattern& pattern, const MExpr& m,
+                       std::vector<Binding>* out);
+
+  void MatchNode(const Pattern& pattern, const MExpr& m, Binding* partial,
+                 const std::function<void()>& emit);
+  void MatchChildren(const Pattern& pattern, const MExpr& m, size_t child,
+                     Binding* partial, const std::function<void()>& emit);
+
+  /// Starburst-style ablation path: optimize for "any" properties, then glue
+  /// an enforcer on top if the requirement is not met.
+  Result FindBestPlanWithGlue(GroupId group, const PhysPropsPtr& required,
+                              Cost limit);
+
+  bool CheckBudget();
+
+  const DataModel& model_;
+  SearchOptions options_;
+  Memo memo_;
+  SearchStats stats_;
+  bool aborted_ = false;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SEARCH_OPTIMIZER_H_

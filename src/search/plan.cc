@@ -1,0 +1,43 @@
+#include "search/plan.h"
+
+#include <sstream>
+
+namespace volcano {
+
+namespace {
+
+void Render(const PlanNode& plan, const OperatorRegistry& reg,
+            const CostModel& cm, int indent, std::ostringstream& os) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << reg.Name(plan.op());
+  if (plan.arg() != nullptr) os << " [" << plan.arg()->ToString() << "]";
+  os << "  {" << plan.props()->ToString() << "}";
+  os << "  cost=" << cm.ToString(plan.cost());
+  os << "\n";
+  for (const auto& in : plan.inputs()) Render(*in, reg, cm, indent + 1, os);
+}
+
+}  // namespace
+
+std::string PlanToString(const PlanNode& plan, const OperatorRegistry& reg,
+                         const CostModel& cm) {
+  std::ostringstream os;
+  Render(plan, reg, cm, 0, os);
+  return os.str();
+}
+
+std::string PlanToLine(const PlanNode& plan, const OperatorRegistry& reg) {
+  std::string s = reg.Name(plan.op());
+  if (plan.arg() != nullptr) s += "[" + plan.arg()->ToString() + "]";
+  if (!plan.inputs().empty()) {
+    s += "(";
+    for (size_t i = 0; i < plan.inputs().size(); ++i) {
+      if (i) s += ", ";
+      s += PlanToLine(*plan.input(i), reg);
+    }
+    s += ")";
+  }
+  return s;
+}
+
+}  // namespace volcano

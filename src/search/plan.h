@@ -1,0 +1,87 @@
+// Physical plans.
+//
+// "The output of the optimizer is a plan, which is an expression over the
+// algebra of algorithms" (paper, section 2.2). PlanNode trees are immutable
+// and shared: the memo keeps the best plan per (class, physical property
+// vector), and larger plans reference those sub-plans without copying —
+// this sharing is the dynamic-programming memory saving.
+
+#ifndef VOLCANO_SEARCH_PLAN_H_
+#define VOLCANO_SEARCH_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/cost.h"
+#include "algebra/ids.h"
+#include "algebra/op_arg.h"
+#include "algebra/operator_def.h"
+#include "algebra/properties.h"
+
+namespace volcano {
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// A node of a physical query evaluation plan: an algorithm or enforcer with
+/// its argument, inputs, derived properties, and total (inclusive) cost.
+class PlanNode {
+ public:
+  PlanNode(OperatorId op, OpArgPtr arg, std::vector<PlanPtr> inputs,
+           PhysPropsPtr props, LogicalPropsPtr logical, Cost cost)
+      : op_(op),
+        arg_(std::move(arg)),
+        inputs_(std::move(inputs)),
+        props_(std::move(props)),
+        logical_(std::move(logical)),
+        cost_(cost) {}
+
+  static PlanPtr Make(OperatorId op, OpArgPtr arg, std::vector<PlanPtr> inputs,
+                      PhysPropsPtr props, LogicalPropsPtr logical, Cost cost) {
+    return std::make_shared<PlanNode>(op, std::move(arg), std::move(inputs),
+                                      std::move(props), std::move(logical),
+                                      cost);
+  }
+
+  OperatorId op() const { return op_; }
+  const OpArgPtr& arg() const { return arg_; }
+  const std::vector<PlanPtr>& inputs() const { return inputs_; }
+  size_t num_inputs() const { return inputs_.size(); }
+  const PlanPtr& input(size_t i) const { return inputs_[i]; }
+
+  /// Physical properties this plan delivers.
+  const PhysPropsPtr& props() const { return props_; }
+
+  /// Logical properties of the equivalence class this plan implements.
+  const LogicalPropsPtr& logical() const { return logical_; }
+
+  /// Total estimated cost including all inputs.
+  const Cost& cost() const { return cost_; }
+
+  size_t TreeSize() const {
+    size_t n = 1;
+    for (const auto& in : inputs_) n += in->TreeSize();
+    return n;
+  }
+
+ private:
+  OperatorId op_;
+  OpArgPtr arg_;
+  std::vector<PlanPtr> inputs_;
+  PhysPropsPtr props_;
+  LogicalPropsPtr logical_;
+  Cost cost_;
+};
+
+/// Multi-line, indented plan rendering for examples and debugging.
+std::string PlanToString(const PlanNode& plan, const OperatorRegistry& reg,
+                         const CostModel& cm);
+
+/// One-line rendering: op(arg)(child, child).
+std::string PlanToLine(const PlanNode& plan, const OperatorRegistry& reg);
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SEARCH_PLAN_H_

@@ -1,0 +1,25 @@
+#include "search/search_options.h"
+
+#include <sstream>
+
+namespace volcano {
+
+std::string SearchStats::ToString() const {
+  std::ostringstream os;
+  os << "FindBestPlan calls: " << find_best_plan_calls
+     << ", winner hits: " << memo_winner_hits
+     << ", failure hits: " << memo_failure_hits
+     << ", in-progress hits: " << in_progress_hits << "\n"
+     << "classes: " << groups_created << ", expressions: " << mexprs_created
+     << ", merges: " << group_merges << "\n"
+     << "transformations matched/applied: " << transformations_matched << "/"
+     << transformations_applied << "\n"
+     << "algorithm moves: " << algorithm_moves
+     << ", enforcer moves: " << enforcer_moves
+     << ", cost estimates: " << cost_estimates << "\n"
+     << "pruned: " << moves_pruned << ", skipped by move limit: "
+     << moves_skipped;
+  return os.str();
+}
+
+}  // namespace volcano

@@ -1,0 +1,93 @@
+// Search configuration and statistics.
+//
+// The paper leaves several search-strategy choices "in the hands of the
+// optimizer implementor": pursuing all moves or only the most promising
+// (section 3), heuristic vs cost-sensitive optimization (section 5), and
+// pruning. SearchOptions exposes those knobs; the defaults reproduce the
+// paper's measured configuration (exhaustive search with branch-and-bound
+// pruning and full memoization). The ablation benchmarks flip one knob at a
+// time.
+
+#ifndef VOLCANO_SEARCH_SEARCH_OPTIONS_H_
+#define VOLCANO_SEARCH_SEARCH_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace volcano {
+
+struct SearchOptions {
+  /// How transformations are scheduled relative to implementation moves.
+  /// Both strategies are exhaustive and return plans of identical cost; the
+  /// memo's "internal structure for equivalence classes is sufficiently
+  /// modular and extensible to support alternative search strategies"
+  /// (paper section 6), and this knob demonstrates it.
+  enum class Strategy {
+    /// Derive the class's full transformation closure, then consider
+    /// algorithms and enforcers (the classic Volcano realization).
+    kExploreFirst,
+    /// Figure 2 verbatim: transformations are *moves*, interleaved with
+    /// algorithm and enforcer moves in promise order; newly derived
+    /// expressions feed new moves into the same goal.
+    kInterleaved,
+  };
+
+  Strategy strategy = Strategy::kExploreFirst;
+
+  /// Branch-and-bound: pass reduced cost limits down ("Limit - TotalCost",
+  /// Figure 2) and abandon moves that exceed the best known plan.
+  bool branch_and_bound = true;
+
+  /// Memoize optimization failures ("failures that can save future
+  /// optimization effort", section 3). Requires winner memoization.
+  bool memoize_failures = true;
+
+  /// Reuse winners across subgoals (the dynamic-programming look-up table).
+  /// Disabling degrades the search to plain top-down enumeration; used only
+  /// by the ablation benches.
+  bool memoize_winners = true;
+
+  /// 0 = pursue all moves (exhaustive, the paper's implemented default:
+  /// "currently, with only exhaustive search implemented, all moves are
+  /// pursued"). k > 0 = pursue only the k most promising implementation /
+  /// enforcer moves per goal — the heuristic facility the paper describes as
+  /// "a major heuristic placed into the hands of the optimizer implementor".
+  /// Applies to the kExploreFirst strategy.
+  int move_limit = 0;
+
+  /// Starburst-style ablation: optimize ignoring required physical
+  /// properties, then patch the plan with "glue" enforcers afterwards. The
+  /// paper argues Volcano's property-directed search dominates this
+  /// (sections 5 and 6); bench_ablation_properties measures it.
+  bool glue_properties = false;
+
+  /// Safety cap on memo size; exceeded => ResourceExhausted.
+  size_t max_mexprs = 4u << 20;
+};
+
+/// Machine-independent effort counters, reported next to wall-clock times in
+/// every benchmark so the Figure 4 shapes can be compared across hardware.
+struct SearchStats {
+  uint64_t find_best_plan_calls = 0;
+  uint64_t memo_winner_hits = 0;    ///< goal answered from the look-up table
+  uint64_t memo_failure_hits = 0;   ///< goal failed from a memoized failure
+  uint64_t in_progress_hits = 0;    ///< cycles cut by the in-progress mark
+  uint64_t groups_created = 0;
+  uint64_t mexprs_created = 0;
+  uint64_t mexprs_deduped = 0;      ///< duplicate derivations detected
+  uint64_t group_merges = 0;
+  uint64_t transformations_matched = 0;
+  uint64_t transformations_applied = 0;
+  uint64_t algorithm_moves = 0;
+  uint64_t enforcer_moves = 0;
+  uint64_t cost_estimates = 0;
+  uint64_t moves_pruned = 0;        ///< abandoned by branch-and-bound
+  uint64_t moves_skipped = 0;       ///< cut by the move_limit heuristic
+
+  std::string ToString() const;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SEARCH_SEARCH_OPTIONS_H_

@@ -1,0 +1,106 @@
+// Bump-pointer arena allocator.
+//
+// The search engine allocates many small, immutable nodes (multi-expressions,
+// plan nodes) whose lifetime is exactly one optimization run; an arena makes
+// allocation a pointer bump and deallocation a single free, which is one of
+// the memory-efficiency requirements the paper states for the Volcano search
+// engine (section 1: "more efficient, both in optimization time and in memory
+// consumption for the search").
+
+#ifndef VOLCANO_SUPPORT_ARENA_H_
+#define VOLCANO_SUPPORT_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace volcano {
+
+/// A monotonic allocation region. Objects allocated here are never
+/// individually destroyed; trivially-destructible payloads only (enforced for
+/// the templated helpers via static_assert).
+class Arena {
+ public:
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `bytes` with the given alignment.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    size_t cur = reinterpret_cast<size_t>(ptr_);
+    size_t aligned = (cur + align - 1) & ~(align - 1);
+    size_t pad = aligned - cur;
+    if (ptr_ == nullptr || pad + bytes > remaining_) {
+      NewBlock(bytes + align);
+      cur = reinterpret_cast<size_t>(ptr_);
+      aligned = (cur + align - 1) & ~(align - 1);
+      pad = aligned - cur;
+    }
+    ptr_ += pad + bytes;
+    remaining_ -= pad + bytes;
+    allocated_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Constructs a T in the arena. T's destructor is never run.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Copies `n` elements of trivially-copyable T into the arena.
+  template <typename T>
+  T* NewArray(const T* src, size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (n == 0) return nullptr;
+    void* mem = Allocate(sizeof(T) * n, alignof(T));
+    std::memcpy(mem, src, sizeof(T) * n);
+    return static_cast<T*>(mem);
+  }
+
+  /// Total bytes handed out (excludes block padding).
+  size_t bytes_allocated() const { return allocated_; }
+
+  /// Total bytes reserved from the system.
+  size_t bytes_reserved() const { return reserved_; }
+
+  /// Releases all blocks. Invalidates every pointer previously returned.
+  void Reset() {
+    blocks_.clear();
+    ptr_ = nullptr;
+    remaining_ = 0;
+    allocated_ = 0;
+    reserved_ = 0;
+  }
+
+ private:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  void NewBlock(size_t min_bytes) {
+    size_t size = block_bytes_;
+    while (size < min_bytes) size *= 2;
+    blocks_.push_back(std::make_unique<char[]>(size));
+    ptr_ = blocks_.back().get();
+    remaining_ = size;
+    reserved_ += size;
+  }
+
+  size_t block_bytes_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* ptr_ = nullptr;
+  size_t remaining_ = 0;
+  size_t allocated_ = 0;
+  size_t reserved_ = 0;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SUPPORT_ARENA_H_

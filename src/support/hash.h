@@ -1,0 +1,51 @@
+// Hashing utilities shared across the optimizer framework.
+//
+// The memo (hash table of expressions and equivalence classes, paper section
+// 3) needs cheap, well-mixed hashes over small heterogeneous tuples such as
+// (operator id, argument hash, input group ids). These helpers implement the
+// standard 64-bit mix / combine idiom.
+
+#ifndef VOLCANO_SUPPORT_HASH_H_
+#define VOLCANO_SUPPORT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace volcano {
+
+/// Finalizing 64-bit mixer (from MurmurHash3 / splitmix64 family).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines an existing seed with a new 64-bit value.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // Boost-style combine lifted to 64 bits.
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+/// FNV-1a over a byte range; good enough for short identifier strings.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SUPPORT_HASH_H_

@@ -1,0 +1,81 @@
+// String interning.
+//
+// The EXODUS experience report the paper cites found that "all strings were
+// translated into integers, which ensured very fast pattern matching"
+// (section 4). We keep the same discipline: every identifier that appears in
+// operator arguments (relation names, attribute names) is interned to a small
+// integer Symbol, and all equality tests and hashes on identifiers are
+// integer operations.
+
+#ifndef VOLCANO_SUPPORT_INTERN_H_
+#define VOLCANO_SUPPORT_INTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace volcano {
+
+/// An interned string. Value-comparable; 0 is reserved for "invalid".
+class Symbol {
+ public:
+  Symbol() : id_(0) {}
+  explicit Symbol(uint32_t id) : id_(id) {}
+
+  uint32_t id() const { return id_; }
+  bool valid() const { return id_ != 0; }
+
+  friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  uint32_t id_;
+};
+
+/// Bidirectional string <-> Symbol map. Not thread-safe; each optimizer
+/// instance owns one (or shares a catalog-owned table).
+class SymbolTable {
+ public:
+  SymbolTable() { strings_.emplace_back(); /* slot 0 = invalid */ }
+
+  /// Returns the symbol for `s`, creating it if needed.
+  Symbol Intern(std::string_view s) {
+    auto it = map_.find(std::string(s));
+    if (it != map_.end()) return Symbol(it->second);
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    map_.emplace(strings_.back(), id);
+    return Symbol(id);
+  }
+
+  /// Returns the symbol for `s` if present, otherwise an invalid Symbol.
+  Symbol Lookup(std::string_view s) const {
+    auto it = map_.find(std::string(s));
+    return it == map_.end() ? Symbol() : Symbol(it->second);
+  }
+
+  /// String for a symbol; "<invalid>" for the null symbol.
+  const std::string& Name(Symbol sym) const {
+    static const std::string kInvalid = "<invalid>";
+    if (!sym.valid() || sym.id() >= strings_.size()) return kInvalid;
+    return strings_[sym.id()];
+  }
+
+  size_t size() const { return strings_.size() - 1; }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> map_;
+};
+
+}  // namespace volcano
+
+template <>
+struct std::hash<volcano::Symbol> {
+  size_t operator()(volcano::Symbol s) const noexcept { return s.id(); }
+};
+
+#endif  // VOLCANO_SUPPORT_INTERN_H_

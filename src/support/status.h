@@ -1,0 +1,135 @@
+// Lightweight Status/StatusOr error propagation.
+//
+// Following the style of the database C++ guides (Arrow, RocksDB), fallible
+// operations that are part of the public API return Status or StatusOr<T>
+// rather than throwing; internal invariant violations use VOLCANO_DCHECK.
+
+#ifndef VOLCANO_SUPPORT_STATUS_H_
+#define VOLCANO_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace volcano {
+
+/// Result of a fallible operation: OK or an error code plus message.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kResourceExhausted,
+    kInternal,
+    kUnimplemented,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(Code::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(Code::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(Code::kAlreadyExists, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(Code::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(Code::kInternal, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(Code::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case Code::kNotFound: name = "NOT_FOUND"; break;
+      case Code::kAlreadyExists: name = "ALREADY_EXISTS"; break;
+      case Code::kResourceExhausted: name = "RESOURCE_EXHAUSTED"; break;
+      case Code::kInternal: name = "INTERNAL"; break;
+      case Code::kUnimplemented: name = "UNIMPLEMENTED"; break;
+    }
+    return std::string(name) + ": " + msg_;
+  }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+/// Either a value or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+  }
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace volcano
+
+/// Internal invariant check: aborts with a message in all build types.
+#define VOLCANO_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "VOLCANO_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                           \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#ifndef NDEBUG
+#define VOLCANO_DCHECK(cond) VOLCANO_CHECK(cond)
+#else
+#define VOLCANO_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // VOLCANO_SUPPORT_STATUS_H_

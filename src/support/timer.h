@@ -1,0 +1,32 @@
+// Wall-clock timer used by the benchmark harnesses.
+
+#ifndef VOLCANO_SUPPORT_TIMER_H_
+#define VOLCANO_SUPPORT_TIMER_H_
+
+#include <chrono>
+
+namespace volcano {
+
+/// Monotonic stopwatch. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SUPPORT_TIMER_H_

@@ -1,0 +1,202 @@
+// AGGREGATE (GROUP BY + COUNT) and UNION tests: property derivation,
+// algorithm choice (streaming sort-aggregation is the second consumer of
+// interesting orders beside merge join), the select-through-aggregate
+// transformation, and execution against the reference evaluator.
+
+#include <gtest/gtest.h>
+
+#include "exec/datagen.h"
+#include "exec/plan_exec.h"
+#include "relational/rel_plan_cost.h"
+#include "search/optimizer.h"
+
+namespace volcano {
+namespace {
+
+struct Fixture {
+  explicit Fixture(bool sorted_base = false) {
+    VOLCANO_CHECK(catalog.AddRelation("T", 4000, 100, 2, {80, 4000}).ok());
+    VOLCANO_CHECK(catalog.AddRelation("U", 1000, 100, 2, {80, 1000}).ok());
+    cnt = catalog.symbols().Intern("cnt");
+    if (sorted_base) {
+      VOLCANO_CHECK(catalog
+                        .SetSortedOn(catalog.symbols().Lookup("T"),
+                                     {catalog.symbols().Lookup("T.a0")})
+                        .ok());
+    }
+    model = std::make_unique<rel::RelModel>(catalog);
+  }
+  Symbol Attr(const char* n) { return catalog.symbols().Lookup(n); }
+
+  rel::Catalog catalog;
+  Symbol cnt;
+  std::unique_ptr<rel::RelModel> model;
+};
+
+TEST(Aggregate, LogicalPropsAreGroupCount) {
+  Fixture f;
+  Memo memo(*f.model);
+  ExprPtr q = f.model->Aggregate(f.model->Get("T"), f.Attr("T.a0"), f.cnt);
+  const auto& p = rel::AsRel(*memo.LogicalOf(memo.InsertQuery(*q)));
+  EXPECT_DOUBLE_EQ(p.cardinality(), 80);  // one row per group
+  EXPECT_TRUE(p.HasAttr(f.Attr("T.a0")));
+  EXPECT_TRUE(p.HasAttr(f.cnt));
+  EXPECT_FALSE(p.HasAttr(f.Attr("T.a1")));
+}
+
+TEST(Aggregate, UnsortedInputPicksHashAggregate) {
+  Fixture f(/*sorted_base=*/false);
+  ExprPtr q = f.model->Aggregate(f.model->Get("T"), f.Attr("T.a0"), f.cnt);
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->op(), f.model->ops().hash_aggregate);
+}
+
+TEST(Aggregate, SortedBasePicksStreamingSortAggregate) {
+  Fixture f(/*sorted_base=*/true);
+  ExprPtr q = f.model->Aggregate(f.model->Get("T"), f.Attr("T.a0"), f.cnt);
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->op(), f.model->ops().sort_aggregate);
+  EXPECT_EQ((*plan)->input(0)->op(), f.model->ops().file_scan);
+}
+
+TEST(Aggregate, OrderByGroupAttrExploitsSortAggregateOrder) {
+  // SORT_AGGREGATE delivers sorted(group attr): with an ORDER BY on the
+  // grouping attribute no extra sort may appear above it.
+  Fixture f(/*sorted_base=*/true);
+  ExprPtr q = f.model->Aggregate(f.model->Get("T"), f.Attr("T.a0"), f.cnt);
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan =
+      opt.Optimize(*q, f.model->Sorted({f.Attr("T.a0")}));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->op(), f.model->ops().sort_aggregate);
+}
+
+TEST(Aggregate, SelectThroughAggregateImprovesPlan) {
+  // SELECT on the grouping attribute above AGGREGATE: pushing it below the
+  // aggregation shrinks the aggregated input.
+  Fixture f;
+  ExprPtr agg = f.model->Aggregate(f.model->Get("T"), f.Attr("T.a0"), f.cnt);
+  ExprPtr q = f.model->Select(agg, f.Attr("T.a0"), rel::CmpOp::kLess, 8,
+                              0.1);
+
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, nullptr);
+  ASSERT_TRUE(plan.ok());
+
+  rel::RelModelOptions no_push;
+  no_push.enable_select_through_aggregate = false;
+  rel::RelModel frozen(f.catalog, no_push);
+  ExprPtr agg2 = frozen.Aggregate(frozen.Get("T"), f.Attr("T.a0"), f.cnt);
+  ExprPtr q2 = frozen.Select(agg2, f.Attr("T.a0"), rel::CmpOp::kLess, 8,
+                             0.1);
+  Optimizer frozen_opt(frozen);
+  StatusOr<PlanPtr> frozen_plan = frozen_opt.Optimize(*q2, nullptr);
+  ASSERT_TRUE(frozen_plan.ok());
+
+  EXPECT_LT(f.model->cost_model().Total((*plan)->cost()),
+            frozen.cost_model().Total((*frozen_plan)->cost()));
+}
+
+TEST(Aggregate, SelectOnCountColumnDoesNotMove) {
+  // The predicate references the COUNT output: the condition code must veto
+  // the transformation (it would change semantics).
+  Fixture f;
+  ExprPtr agg = f.model->Aggregate(f.model->Get("T"), f.Attr("T.a0"), f.cnt);
+  ExprPtr q = f.model->Select(agg, f.cnt, rel::CmpOp::kGreater, 10, 0.5);
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, nullptr);
+  ASSERT_TRUE(plan.ok());
+  // The filter stays on top of the aggregation.
+  EXPECT_EQ((*plan)->op(), f.model->ops().filter);
+}
+
+TEST(Aggregate, ExecutionMatchesReference) {
+  for (bool sorted : {false, true}) {
+    Fixture f(sorted);
+    ExprPtr q = f.model->Aggregate(
+        f.model->Select(f.model->Get("T"), f.Attr("T.a1"), rel::CmpOp::kLess,
+                        2000, 0.5),
+        f.Attr("T.a0"), f.cnt);
+    Optimizer opt(*f.model);
+    StatusOr<PlanPtr> plan = opt.Optimize(*q, nullptr);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_TRUE(rel::ValidatePlan(**plan, *f.model).ok());
+
+    exec::Database db = exec::GenerateDatabase(f.catalog, 41);
+    std::vector<exec::Row> got = exec::ExecutePlan(**plan, *f.model, db);
+    std::vector<exec::Row> want = exec::EvalLogical(*q, *f.model, db);
+    EXPECT_TRUE(exec::SameMultiset(got, want)) << "sorted=" << sorted;
+    EXPECT_FALSE(want.empty());
+  }
+}
+
+TEST(Aggregate, SortAggregateStreamsCorrectly) {
+  // Direct iterator check including group boundaries at input edges.
+  Fixture f(/*sorted_base=*/true);
+  ExprPtr q = f.model->Aggregate(f.model->Get("T"), f.Attr("T.a0"), f.cnt);
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, nullptr);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ((*plan)->op(), f.model->ops().sort_aggregate);
+
+  exec::Database db = exec::GenerateDatabase(f.catalog, 43);
+  std::vector<exec::Row> rows = exec::ExecutePlan(**plan, *f.model, db);
+  int64_t total = 0;
+  for (const auto& row : rows) total += row[1];
+  EXPECT_EQ(total, 4000);  // counts add up to the input cardinality
+  EXPECT_TRUE(exec::IsSortedBy(rows, {0}));
+}
+
+TEST(Union, LogicalPropsAddCardinalities) {
+  Fixture f;
+  Memo memo(*f.model);
+  ExprPtr q = f.model->UnionAll(f.model->Get("T"), f.model->Get("U"));
+  const auto& p = rel::AsRel(*memo.LogicalOf(memo.InsertQuery(*q)));
+  EXPECT_DOUBLE_EQ(p.cardinality(), 5000);
+}
+
+TEST(Union, ExecutionIsBagUnion) {
+  Fixture f;
+  ExprPtr q = f.model->UnionAll(f.model->Get("T"), f.model->Get("U"));
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->op(), f.model->ops().concat);
+
+  exec::Database db = exec::GenerateDatabase(f.catalog, 47);
+  std::vector<exec::Row> got = exec::ExecutePlan(**plan, *f.model, db);
+  EXPECT_EQ(got.size(), 5000u);  // duplicates preserved
+  std::vector<exec::Row> want = exec::EvalLogical(*q, *f.model, db);
+  EXPECT_TRUE(exec::SameMultiset(got, want));
+}
+
+TEST(Union, OrderByRequiresSortOnTop) {
+  Fixture f;
+  ExprPtr q = f.model->UnionAll(f.model->Get("T"), f.model->Get("U"));
+  PhysPropsPtr required = f.model->Sorted({f.Attr("T.a0")});
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, required);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->op(), f.model->ops().sort);
+  EXPECT_TRUE((*plan)->props()->Covers(*required));
+}
+
+TEST(Union, CommuteIsExploredAndDeduplicated) {
+  Fixture f;
+  ExprPtr q = f.model->UnionAll(f.model->Get("T"), f.model->Get("U"));
+  Optimizer opt(*f.model);
+  ASSERT_TRUE(opt.Optimize(*q, nullptr).ok());
+  GroupId root = opt.memo().Find(opt.AddQuery(*q));
+  size_t live = 0;
+  for (const MExpr* m : opt.memo().group(root).exprs()) {
+    if (!m->dead()) ++live;
+  }
+  EXPECT_EQ(live, 2u);  // UNION(T,U) and UNION(U,T), nothing more
+}
+
+}  // namespace
+}  // namespace volcano

@@ -1,0 +1,149 @@
+// EXODUS baseline tests: it must be a *correct* optimizer (valid plans,
+// optimal within its own property-blind cost model) while exhibiting the
+// documented behaviours the paper measures — merge-join paying for its own
+// sorts, blanket final sorts for ORDER BY, reanalysis effort, and the node
+// cap abort.
+
+#include <gtest/gtest.h>
+
+#include "exodus/exodus_optimizer.h"
+#include "relational/query_gen.h"
+#include "relational/rel_plan_cost.h"
+#include "search/optimizer.h"
+
+namespace volcano {
+namespace {
+
+rel::Workload MakeWorkload(int relations, uint64_t seed,
+                           double order_by = 0.0) {
+  rel::WorkloadOptions opts;
+  opts.num_relations = relations;
+  opts.order_by_prob = order_by;
+  opts.sorted_base_prob = 0.5;
+  return rel::GenerateWorkload(opts, seed);
+}
+
+TEST(Exodus, ProducesValidPlans) {
+  for (int n : {1, 2, 4, 6}) {
+    for (uint64_t seed : {1u, 9u}) {
+      rel::Workload w = MakeWorkload(n, seed, 0.5);
+      exodus::ExodusOptimizer ex(*w.model);
+      StatusOr<PlanPtr> plan = ex.Optimize(*w.query, w.required);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      EXPECT_TRUE(rel::ValidatePlan(**plan, *w.model).ok());
+      EXPECT_TRUE((*plan)->props()->Covers(*w.required));
+    }
+  }
+}
+
+TEST(Exodus, AlwaysSortsForOrderBy) {
+  // Without physical properties, an ORDER BY is met by an unconditional
+  // final sort — even when the plan below happens to deliver the order.
+  rel::Workload w = MakeWorkload(3, 4, /*order_by=*/1.0);
+  ASSERT_NE(w.required->ToString(), "any");
+  exodus::ExodusOptimizer ex(*w.model);
+  StatusOr<PlanPtr> plan = ex.Optimize(*w.query, w.required);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->op(), w.model->ops().sort);
+}
+
+TEST(Exodus, MergeJoinAlwaysPaysForSorts) {
+  // Both inputs stored sorted: Volcano exploits it, EXODUS cannot see it,
+  // so its merge-join option still carries two sorts and it picks hash join
+  // (whose plan is strictly worse here).
+  rel::Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("A", 5000, 100, 2).ok());
+  ASSERT_TRUE(catalog.AddRelation("B", 5000, 100, 2).ok());
+  Symbol a0 = catalog.symbols().Lookup("A.a0");
+  Symbol b0 = catalog.symbols().Lookup("B.a0");
+  ASSERT_TRUE(catalog.SetSortedOn(catalog.symbols().Lookup("A"), {a0}).ok());
+  ASSERT_TRUE(catalog.SetSortedOn(catalog.symbols().Lookup("B"), {b0}).ok());
+  rel::RelModel model(catalog);
+  ExprPtr q = model.Join(model.Get("A"), model.Get("B"), a0, b0);
+
+  exodus::ExodusOptimizer ex(model);
+  StatusOr<PlanPtr> eplan = ex.Optimize(*q, nullptr);
+  ASSERT_TRUE(eplan.ok());
+  EXPECT_EQ((*eplan)->op(), model.ops().hash_join);
+
+  Optimizer volcano(model);
+  StatusOr<PlanPtr> vplan = volcano.Optimize(*q, nullptr);
+  ASSERT_TRUE(vplan.ok());
+  EXPECT_EQ((*vplan)->op(), model.ops().merge_join);
+
+  double e = model.cost_model().Total(rel::RecostPlan(**eplan, model));
+  double v = model.cost_model().Total(rel::RecostPlan(**vplan, model));
+  EXPECT_GT(e, v);
+}
+
+TEST(Exodus, ExploresFullJoinOrderSpace) {
+  // Within its own cost model the baseline is exhaustive: on a workload
+  // with no stored sort orders and no ORDER BY, hash joins dominate
+  // everywhere, properties cannot help, and both optimizers must find plans
+  // of identical estimated cost.
+  for (uint64_t seed : {2u, 6u, 10u, 14u}) {
+    rel::WorkloadOptions opts;
+    opts.num_relations = 4;
+    opts.sorted_base_prob = 0.0;
+    opts.order_by_prob = 0.0;
+    rel::Workload w = rel::GenerateWorkload(opts, seed);
+
+    exodus::ExodusOptimizer ex(*w.model);
+    StatusOr<PlanPtr> eplan = ex.Optimize(*w.query, w.required);
+    ASSERT_TRUE(eplan.ok());
+    Optimizer volcano(*w.model);
+    StatusOr<PlanPtr> vplan = volcano.Optimize(*w.query, w.required);
+    ASSERT_TRUE(vplan.ok());
+
+    double e = w.model->cost_model().Total(rel::RecostPlan(**eplan, *w.model));
+    double v = w.model->cost_model().Total(rel::RecostPlan(**vplan, *w.model));
+    EXPECT_NEAR(e, v, 1e-9 * v) << "seed " << seed;
+  }
+}
+
+TEST(Exodus, ReanalysisEffortGrowsSuperlinearly) {
+  uint64_t nodes4 = 0, nodes7 = 0;
+  {
+    rel::Workload w = MakeWorkload(4, 3);
+    exodus::ExodusOptimizer ex(*w.model);
+    ASSERT_TRUE(ex.Optimize(*w.query, w.required).ok());
+    nodes4 = ex.stats().mesh_nodes;
+    EXPECT_GT(ex.stats().reanalyses, 0u);
+  }
+  {
+    rel::Workload w = MakeWorkload(7, 3);
+    exodus::ExodusOptimizer ex(*w.model);
+    ASSERT_TRUE(ex.Optimize(*w.query, w.required).ok());
+    nodes7 = ex.stats().mesh_nodes;
+  }
+  // ~vs 1.75x more relations: far more than proportional node growth.
+  EXPECT_GT(nodes7, nodes4 * 8);
+}
+
+TEST(Exodus, NodeCapAbortsLikeRunningOutOfMemory) {
+  rel::Workload w = MakeWorkload(6, 5);
+  exodus::ExodusOptions opts;
+  opts.max_nodes = 100;
+  exodus::ExodusOptimizer ex(*w.model, opts);
+  StatusOr<PlanPtr> plan = ex.Optimize(*w.query, w.required);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_TRUE(ex.stats().aborted);
+}
+
+TEST(Exodus, StatsToStringMentionsAbort) {
+  exodus::ExodusStats stats;
+  stats.aborted = true;
+  EXPECT_NE(stats.ToString().find("ABORTED"), std::string::npos);
+}
+
+TEST(Exodus, SingleRelationQuery) {
+  rel::Workload w = MakeWorkload(1, 8);
+  exodus::ExodusOptimizer ex(*w.model);
+  StatusOr<PlanPtr> plan = ex.Optimize(*w.query, w.required);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(rel::ValidatePlan(**plan, *w.model).ok());
+}
+
+}  // namespace
+}  // namespace volcano

@@ -1,0 +1,101 @@
+// Left-deep search-space restriction via rule condition code (§1's "prune
+// futile parts of the search space" requirement; §5 names the same knob in
+// Starburst: "restrict the search space to left-deep trees (no composite
+// inner)").
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+
+namespace volcano {
+namespace {
+
+rel::RelModelOptions LeftDeep() {
+  rel::RelModelOptions opts;
+  opts.left_deep_only = true;
+  return opts;
+}
+
+/// True if no join algorithm's right input is itself a join ("no composite
+/// inner"). Sorts/filters in between are transparent.
+bool IsLeftDeep(const PlanNode& plan, const rel::RelModel& model) {
+  std::function<bool(const PlanNode&)> is_join_result =
+      [&](const PlanNode& node) -> bool {
+    if (node.op() == model.ops().merge_join ||
+        node.op() == model.ops().hash_join) {
+      return true;
+    }
+    if (node.num_inputs() == 1) return is_join_result(*node.input(0));
+    return false;
+  };
+  std::function<bool(const PlanNode&)> walk =
+      [&](const PlanNode& node) -> bool {
+    if ((node.op() == model.ops().merge_join ||
+         node.op() == model.ops().hash_join) &&
+        is_join_result(*node.input(1))) {
+      return false;
+    }
+    for (const auto& in : node.inputs()) {
+      if (!walk(*in)) return false;
+    }
+    return true;
+  };
+  return walk(plan);
+}
+
+TEST(LeftDeep, PlansHaveNoCompositeInner) {
+  for (uint64_t seed : {1u, 3u, 5u, 7u, 9u}) {
+    rel::WorkloadOptions wopts;
+    wopts.num_relations = 6;
+    wopts.order_by_prob = 0.5;
+    rel::Workload w = rel::GenerateWorkload(wopts, seed, LeftDeep());
+    Optimizer opt(*w.model);
+    StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_TRUE(IsLeftDeep(**plan, *w.model)) << "seed " << seed;
+  }
+}
+
+TEST(LeftDeep, NeverBeatsBushySearch) {
+  // The restricted space is a subset: its optimum cannot be cheaper.
+  for (uint64_t seed : {2u, 4u, 6u, 8u}) {
+    rel::WorkloadOptions wopts;
+    wopts.num_relations = 6;
+    rel::Workload bushy_w = rel::GenerateWorkload(wopts, seed);
+    Optimizer bushy(*bushy_w.model);
+    StatusOr<PlanPtr> pb = bushy.Optimize(*bushy_w.query, bushy_w.required);
+    ASSERT_TRUE(pb.ok());
+
+    rel::Workload ld_w = rel::GenerateWorkload(wopts, seed, LeftDeep());
+    Optimizer ld(*ld_w.model);
+    StatusOr<PlanPtr> pl = ld.Optimize(*ld_w.query, ld_w.required);
+    ASSERT_TRUE(pl.ok());
+
+    double bushy_cost = bushy_w.model->cost_model().Total((*pb)->cost());
+    double ld_cost = ld_w.model->cost_model().Total((*pl)->cost());
+    EXPECT_GE(ld_cost, bushy_cost * (1 - 1e-9)) << "seed " << seed;
+  }
+}
+
+TEST(LeftDeep, ReducesImplementationEffort) {
+  rel::WorkloadOptions wopts;
+  wopts.num_relations = 7;
+  wopts.join_graph = rel::WorkloadOptions::JoinGraph::kStar;
+
+  rel::Workload bushy_w = rel::GenerateWorkload(wopts, 42);
+  Optimizer bushy(*bushy_w.model);
+  ASSERT_TRUE(bushy.Optimize(*bushy_w.query, bushy_w.required).ok());
+
+  rel::Workload ld_w = rel::GenerateWorkload(wopts, 42, LeftDeep());
+  Optimizer ld(*ld_w.model);
+  ASSERT_TRUE(ld.Optimize(*ld_w.query, ld_w.required).ok());
+
+  // Same logical exploration, fewer algorithm moves pursued.
+  EXPECT_LT(ld.stats().algorithm_moves, bushy.stats().algorithm_moves);
+}
+
+}  // namespace
+}  // namespace volcano

@@ -1,0 +1,275 @@
+// Memo tests: expression insertion and deduplication, equivalence-class
+// creation and merging (the paper's Figure 3), winner bookkeeping (plans and
+// memoized failures), and the in-progress marking.
+
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/query_gen.h"
+#include "relational/rel_model.h"
+#include "search/memo.h"
+#include "search/optimizer.h"
+
+namespace volcano {
+namespace {
+
+using rel::Catalog;
+using rel::RelModel;
+
+struct Fixture {
+  Fixture() {
+    VOLCANO_CHECK(catalog.AddRelation("A", 1000, 100, 2).ok());
+    VOLCANO_CHECK(catalog.AddRelation("B", 2000, 100, 2).ok());
+    VOLCANO_CHECK(catalog.AddRelation("C", 3000, 100, 2).ok());
+    model = std::make_unique<RelModel>(catalog);
+  }
+
+  Symbol Attr(const char* name) {
+    Symbol s = catalog.symbols().Lookup(name);
+    VOLCANO_CHECK(s.valid());
+    return s;
+  }
+
+  Catalog catalog;
+  std::unique_ptr<RelModel> model;
+};
+
+TEST(Memo, InsertQueryCreatesOneClassPerNode) {
+  Fixture f;
+  Memo memo(*f.model);
+  ExprPtr q = f.model->Join(f.model->Get("A"), f.model->Get("B"),
+                            f.Attr("A.a0"), f.Attr("B.a0"));
+  GroupId root = memo.InsertQuery(*q);
+  EXPECT_EQ(memo.num_groups(), 3u);  // A, B, join
+  EXPECT_EQ(memo.num_exprs(), 3u);
+  EXPECT_EQ(memo.group(root).exprs().size(), 1u);
+}
+
+TEST(Memo, DuplicateInsertIsDetected) {
+  Fixture f;
+  Memo memo(*f.model);
+  ExprPtr q = f.model->Get("A");
+  GroupId g1 = memo.InsertQuery(*q);
+  GroupId g2 = memo.InsertQuery(*q);
+  EXPECT_EQ(memo.Find(g1), memo.Find(g2));
+  EXPECT_EQ(memo.num_exprs(), 1u);
+}
+
+TEST(Memo, DistinctArgsAreDistinctExprs) {
+  Fixture f;
+  Memo memo(*f.model);
+  GroupId a = memo.InsertQuery(*f.model->Get("A"));
+  GroupId b = memo.InsertQuery(*f.model->Get("B"));
+  EXPECT_NE(memo.Find(a), memo.Find(b));
+  EXPECT_EQ(memo.num_exprs(), 2u);
+}
+
+TEST(Memo, LogicalPropsDerivedOncePerClass) {
+  Fixture f;
+  Memo memo(*f.model);
+  GroupId g = memo.InsertQuery(*f.model->Get("A"));
+  const auto& props = rel::AsRel(*memo.LogicalOf(g));
+  EXPECT_DOUBLE_EQ(props.cardinality(), 1000);
+  EXPECT_TRUE(props.HasAttr(f.Attr("A.a0")));
+  EXPECT_FALSE(props.HasAttr(f.Attr("B.a0")));
+}
+
+TEST(Memo, InsertRexIntoClassAddsExpression) {
+  Fixture f;
+  Memo memo(*f.model);
+  ExprPtr q = f.model->Join(f.model->Get("A"), f.model->Get("B"),
+                            f.Attr("A.a0"), f.Attr("B.a0"));
+  GroupId root = memo.InsertQuery(*q);
+  GroupId ga = memo.InsertQuery(*f.model->Get("A"));
+  GroupId gb = memo.InsertQuery(*f.model->Get("B"));
+
+  // Commuted variant inserted into the same class.
+  OpArgPtr arg =
+      rel::JoinArg::Make(f.catalog.symbols(), f.Attr("B.a0"), f.Attr("A.a0"));
+  RexPtr rex = RexNode::Node(f.model->ops().join, arg,
+                             {RexNode::Leaf(gb), RexNode::Leaf(ga)});
+  memo.InsertRex(*rex, root);
+  EXPECT_EQ(memo.group(root).exprs().size(), 2u);
+  EXPECT_EQ(memo.num_groups(), 3u);  // no new class
+
+  // Re-inserting is a no-op.
+  memo.InsertRex(*rex, root);
+  EXPECT_EQ(memo.group(root).exprs().size(), 2u);
+}
+
+TEST(Memo, AssociativityCreatesNewClassFigure3) {
+  // The paper's Figure 3: rewriting JOIN(JOIN(A,B),C) to JOIN(A,JOIN(B,C))
+  // adds one expression to the top class and creates exactly one new class
+  // for JOIN(B,C).
+  Fixture f;
+  Memo memo(*f.model);
+  ExprPtr inner = f.model->Join(f.model->Get("A"), f.model->Get("B"),
+                                f.Attr("A.a0"), f.Attr("B.a0"));
+  ExprPtr q = f.model->Join(inner, f.model->Get("C"), f.Attr("B.a1"),
+                            f.Attr("C.a0"));
+  GroupId root = memo.InsertQuery(*q);
+  size_t groups_before = memo.num_groups();
+  ASSERT_EQ(groups_before, 5u);  // A, B, C, AB, ABC
+
+  GroupId ga = memo.InsertQuery(*f.model->Get("A"));
+  GroupId gb = memo.InsertQuery(*f.model->Get("B"));
+  GroupId gc = memo.InsertQuery(*f.model->Get("C"));
+
+  OpArgPtr bc_arg =
+      rel::JoinArg::Make(f.catalog.symbols(), f.Attr("B.a1"), f.Attr("C.a0"));
+  RexPtr bc = RexNode::Node(f.model->ops().join, bc_arg,
+                            {RexNode::Leaf(gb), RexNode::Leaf(gc)});
+  OpArgPtr top_arg =
+      rel::JoinArg::Make(f.catalog.symbols(), f.Attr("A.a0"), f.Attr("B.a0"));
+  RexPtr rex = RexNode::Node(f.model->ops().join, top_arg,
+                             {RexNode::Leaf(ga), bc});
+  memo.InsertRex(*rex, root);
+
+  EXPECT_EQ(memo.num_groups(), groups_before + 1);  // exactly one new class
+  EXPECT_EQ(memo.group(root).exprs().size(), 2u);
+}
+
+TEST(Memo, LeafRexMergesClasses) {
+  // A rule rewriting an expression to one of its inputs (e.g. a vacuous
+  // select) merges the two classes.
+  Fixture f;
+  Memo memo(*f.model);
+  ExprPtr q = f.model->Select(f.model->Get("A"), f.Attr("A.a0"),
+                              rel::CmpOp::kLess, 1000, 1.0);
+  GroupId root = memo.InsertQuery(*q);
+  GroupId ga = memo.InsertQuery(*f.model->Get("A"));
+  ASSERT_NE(memo.Find(root), memo.Find(ga));
+
+  size_t merges_before = memo.num_merges();
+  memo.InsertRex(*RexNode::Leaf(ga), root);
+  EXPECT_EQ(memo.Find(root), memo.Find(ga));
+  EXPECT_EQ(memo.num_merges(), merges_before + 1);
+}
+
+TEST(Memo, MergePropagatesToParents) {
+  // When two classes merge, parent expressions referencing them normalize to
+  // the same signature, which must cascade into a parent-class merge.
+  Fixture f;
+  Memo memo(*f.model);
+
+  // Two distinct leaf classes that will be declared equivalent.
+  ExprPtr sel_a1 = f.model->Select(f.model->Get("A"), f.Attr("A.a0"),
+                                   rel::CmpOp::kLess, 10, 0.1);
+  GroupId g1 = memo.InsertQuery(*sel_a1);
+  GroupId ga = memo.InsertQuery(*f.model->Get("A"));
+
+  // Parents: identical joins over g1 and ga respectively.
+  OpArgPtr arg =
+      rel::JoinArg::Make(f.catalog.symbols(), f.Attr("A.a0"), f.Attr("B.a0"));
+  GroupId gb = memo.InsertQuery(*f.model->Get("B"));
+  auto [p1, c1] = memo.InsertMExpr(f.model->ops().join, arg, {g1, gb},
+                                   kInvalidGroup);
+  auto [p2, c2] = memo.InsertMExpr(f.model->ops().join, arg, {ga, gb},
+                                   kInvalidGroup);
+  ASSERT_TRUE(c1);
+  ASSERT_TRUE(c2);
+  ASSERT_NE(memo.Find(p1->group()), memo.Find(p2->group()));
+
+  // Declare g1 == ga; the parents must merge too.
+  memo.InsertRex(*RexNode::Leaf(ga), g1);
+  EXPECT_EQ(memo.Find(p1->group()), memo.Find(p2->group()));
+}
+
+TEST(Memo, WinnerStorageKeepsBetterPlan) {
+  Fixture f;
+  Memo memo(*f.model);
+  GroupId g = memo.InsertQuery(*f.model->Get("A"));
+  GoalKey key{f.model->AnyProps(), nullptr};
+
+  PlanPtr plan1 = PlanNode::Make(f.model->ops().file_scan, nullptr, {},
+                                 f.model->AnyProps(), memo.LogicalOf(g),
+                                 Cost::Vector({1.0, 1.0}));
+  PlanPtr plan2 = PlanNode::Make(f.model->ops().file_scan, nullptr, {},
+                                 f.model->AnyProps(), memo.LogicalOf(g),
+                                 Cost::Vector({0.5, 0.5}));
+  memo.StoreWinner(g, key, Winner{plan1, plan1->cost()});
+  memo.StoreWinner(g, key, Winner{plan2, plan2->cost()});
+  const Winner* w = memo.FindWinner(g, key);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->plan, plan2);
+
+  // A worse plan does not displace the winner.
+  memo.StoreWinner(g, key, Winner{plan1, plan1->cost()});
+  EXPECT_EQ(memo.FindWinner(g, key)->plan, plan2);
+}
+
+TEST(Memo, FailureRecordsKeepHighestLimit) {
+  Fixture f;
+  Memo memo(*f.model);
+  GroupId g = memo.InsertQuery(*f.model->Get("A"));
+  GoalKey key{f.model->Sorted({f.Attr("A.a0")}), nullptr};
+
+  memo.StoreWinner(g, key, Winner{nullptr, Cost::Scalar(1.0)});
+  memo.StoreWinner(g, key, Winner{nullptr, Cost::Scalar(5.0)});
+  memo.StoreWinner(g, key, Winner{nullptr, Cost::Scalar(2.0)});
+  const Winner* w = memo.FindWinner(g, key);
+  ASSERT_NE(w, nullptr);
+  EXPECT_TRUE(w->failed());
+  EXPECT_DOUBLE_EQ(w->cost[0], 5.0);
+
+  // A real plan displaces the failure.
+  PlanPtr plan = PlanNode::Make(f.model->ops().file_scan, nullptr, {},
+                                f.model->AnyProps(), memo.LogicalOf(g),
+                                Cost::Scalar(9.0));
+  memo.StoreWinner(g, key, Winner{plan, plan->cost()});
+  EXPECT_FALSE(memo.FindWinner(g, key)->failed());
+}
+
+TEST(Memo, WinnersAreKeyedByPropertyVector) {
+  Fixture f;
+  Memo memo(*f.model);
+  GroupId g = memo.InsertQuery(*f.model->Get("A"));
+  GoalKey any{f.model->AnyProps(), nullptr};
+  GoalKey sorted{f.model->Sorted({f.Attr("A.a0")}), nullptr};
+  GoalKey sorted_excl{f.model->Sorted({f.Attr("A.a0")}),
+                      f.model->Sorted({f.Attr("A.a0")})};
+
+  PlanPtr plan = PlanNode::Make(f.model->ops().file_scan, nullptr, {},
+                                f.model->AnyProps(), memo.LogicalOf(g),
+                                Cost::Scalar(1.0));
+  memo.StoreWinner(g, any, Winner{plan, plan->cost()});
+  EXPECT_NE(memo.FindWinner(g, any), nullptr);
+  EXPECT_EQ(memo.FindWinner(g, sorted), nullptr);
+  EXPECT_EQ(memo.FindWinner(g, sorted_excl), nullptr);
+
+  memo.StoreWinner(g, sorted_excl, Winner{nullptr, Cost::Scalar(3.0)});
+  EXPECT_EQ(memo.FindWinner(g, sorted), nullptr);
+  EXPECT_NE(memo.FindWinner(g, sorted_excl), nullptr);
+}
+
+TEST(Memo, InProgressMarking) {
+  Fixture f;
+  Memo memo(*f.model);
+  GroupId g = memo.InsertQuery(*f.model->Get("A"));
+  GoalKey key{f.model->AnyProps(), nullptr};
+  EXPECT_FALSE(memo.IsInProgress(g, key));
+  memo.MarkInProgress(g, key);
+  EXPECT_TRUE(memo.IsInProgress(g, key));
+  memo.UnmarkInProgress(g, key);
+  EXPECT_FALSE(memo.IsInProgress(g, key));
+}
+
+TEST(Memo, ToStringMentionsClassesAndWinners) {
+  Fixture f;
+  Memo memo(*f.model);
+  GroupId g = memo.InsertQuery(*f.model->Get("A"));
+  GoalKey key{f.model->AnyProps(), nullptr};
+  PlanPtr plan = PlanNode::Make(f.model->ops().file_scan,
+                                rel::GetArg::Make(f.catalog.symbols(),
+                                                  f.Attr("A.a0")),
+                                {}, f.model->AnyProps(), memo.LogicalOf(g),
+                                Cost::Scalar(1.0));
+  memo.StoreWinner(g, key, Winner{plan, plan->cost()});
+  std::string dump = memo.ToString();
+  EXPECT_NE(dump.find("class"), std::string::npos);
+  EXPECT_NE(dump.find("GET"), std::string::npos);
+  EXPECT_NE(dump.find("FILE_SCAN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace volcano

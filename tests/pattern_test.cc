@@ -1,0 +1,122 @@
+// Pattern and binding tests: the rule pattern language, multi-level match
+// enumeration over the memo (all binding combinations), directed exploration
+// (only pattern-required input classes are expanded), and DOT export.
+
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/rel_model.h"
+#include "search/dot.h"
+#include "search/optimizer.h"
+
+namespace volcano {
+namespace {
+
+using rel::Catalog;
+using rel::RelModel;
+
+TEST(Pattern, ShapeAccessors) {
+  OperatorRegistry reg;
+  OperatorId join = reg.RegisterLogical("JOIN", 2);
+  Pattern p = Pattern::Op(
+      join, {Pattern::Op(join, {Pattern::Any(), Pattern::Any()}),
+             Pattern::Any()});
+  EXPECT_FALSE(p.is_any());
+  EXPECT_EQ(p.op(), join);
+  EXPECT_EQ(p.NumLeaves(), 3);
+  EXPECT_EQ(p.NumOpNodes(), 2);
+  EXPECT_EQ(p.ToString(reg), "JOIN(JOIN(?, ?), ?)");
+  EXPECT_EQ(Pattern::Any().NumLeaves(), 1);
+  EXPECT_EQ(Pattern::Any().NumOpNodes(), 0);
+}
+
+struct Fixture {
+  Fixture() {
+    VOLCANO_CHECK(catalog.AddRelation("A", 1000, 100, 2).ok());
+    VOLCANO_CHECK(catalog.AddRelation("B", 2000, 100, 2).ok());
+    VOLCANO_CHECK(catalog.AddRelation("C", 3000, 100, 2).ok());
+    model = std::make_unique<RelModel>(catalog);
+  }
+  Symbol Attr(const char* n) { return catalog.symbols().Lookup(n); }
+  Catalog catalog;
+  std::unique_ptr<RelModel> model;
+};
+
+TEST(Binding, MultiLevelPatternsEnumerateAllCombinations) {
+  // After exploration, the inner class of JOIN(JOIN(A,B),C) holds both
+  // JOIN(A,B) and JOIN(B,A); the associativity pattern must have had access
+  // to every (outer, inner) combination. We verify through the memo
+  // contents: the full bushy space for a 3-chain is reachable, which needs
+  // both inner bindings.
+  Fixture f;
+  ExprPtr inner = f.model->Join(f.model->Get("A"), f.model->Get("B"),
+                                f.Attr("A.a0"), f.Attr("B.a0"));
+  ExprPtr q = f.model->Join(inner, f.model->Get("C"), f.Attr("B.a1"),
+                            f.Attr("C.a0"));
+  Optimizer opt(*f.model);
+  ASSERT_TRUE(opt.Optimize(*q, nullptr).ok());
+
+  GroupId root = opt.memo().Find(opt.AddQuery(*q));
+  size_t live = 0;
+  for (const MExpr* m : opt.memo().group(root).exprs()) {
+    if (!m->dead()) ++live;
+  }
+  // {AB|C, C|AB, A|BC, BC|A}: requires matching the two-level pattern
+  // against both commuted variants of the inner class.
+  EXPECT_EQ(live, 4u);
+}
+
+TEST(Binding, DirectedExplorationSkipsUnneededClasses) {
+  // A plain GET query triggers no transformation patterns: its class is
+  // never expanded beyond the original expression and no new classes appear.
+  Fixture f;
+  Optimizer opt(*f.model);
+  ASSERT_TRUE(opt.Optimize(*f.model->Get("A"), nullptr).ok());
+  EXPECT_EQ(opt.memo().num_groups(), 1u);
+  EXPECT_EQ(opt.memo().num_exprs(), 1u);
+  EXPECT_EQ(opt.stats().transformations_matched, 0u);
+}
+
+TEST(Dot, PlanExportContainsAllOperators) {
+  Fixture f;
+  ExprPtr q = f.model->Join(f.model->Get("A"), f.model->Get("B"),
+                            f.Attr("A.a0"), f.Attr("B.a0"));
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan =
+      opt.Optimize(*q, f.model->Sorted({f.Attr("A.a0")}));
+  ASSERT_TRUE(plan.ok());
+  std::string dot = PlanToDot(**plan, f.model->registry(),
+                              f.model->cost_model());
+  EXPECT_NE(dot.find("digraph plan"), std::string::npos);
+  EXPECT_NE(dot.find("FILE_SCAN"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Structure: N nodes, N-1 edges for a tree.
+  size_t nodes = 0, edges = 0, pos = 0;
+  while ((pos = dot.find("shape=box", pos)) != std::string::npos) {
+    ++nodes;
+    pos += 1;
+  }
+  pos = 0;
+  while ((pos = dot.find("->", pos)) != std::string::npos) {
+    ++edges;
+    pos += 1;
+  }
+  EXPECT_EQ(nodes, (*plan)->TreeSize());
+  EXPECT_EQ(edges, nodes - 1);
+}
+
+TEST(Dot, MemoExportListsClasses) {
+  Fixture f;
+  ExprPtr q = f.model->Join(f.model->Get("A"), f.model->Get("B"),
+                            f.Attr("A.a0"), f.Attr("B.a0"));
+  Optimizer opt(*f.model);
+  ASSERT_TRUE(opt.Optimize(*q, nullptr).ok());
+  std::string dot = MemoToDot(opt.memo(), f.model->registry());
+  EXPECT_NE(dot.find("digraph memo"), std::string::npos);
+  EXPECT_NE(dot.find("class 0"), std::string::npos);
+  EXPECT_NE(dot.find("JOIN"), std::string::npos);
+  EXPECT_NE(dot.find("GET"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace volcano

@@ -1,0 +1,157 @@
+// Plan validation negative tests: ValidatePlan must reject structurally
+// invalid plans — merge joins over unsorted inputs, nodes promising
+// properties they cannot deliver — and the newer argument ADTs must have
+// sound value semantics.
+
+#include <gtest/gtest.h>
+
+#include "relational/rel_plan_cost.h"
+#include "search/memo.h"
+#include "search/optimizer.h"
+
+namespace volcano {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    VOLCANO_CHECK(catalog.AddRelation("A", 1000, 100, 2).ok());
+    VOLCANO_CHECK(catalog.AddRelation("B", 1000, 100, 2).ok());
+    model = std::make_unique<rel::RelModel>(catalog);
+    memo = std::make_unique<Memo>(*model);
+    a0 = catalog.symbols().Lookup("A.a0");
+    b0 = catalog.symbols().Lookup("B.a0");
+  }
+
+  PlanPtr Scan(const char* rel) {
+    Symbol sym = catalog.symbols().Lookup(rel);
+    GroupId g = memo->InsertQuery(*model->Get(sym));
+    return PlanNode::Make(model->ops().file_scan,
+                          rel::GetArg::Make(catalog.symbols(), sym), {},
+                          model->AnyProps(), memo->LogicalOf(g),
+                          Cost::Vector({1, 0.01}));
+  }
+
+  LogicalPropsPtr JoinLogical() {
+    GroupId g = memo->InsertQuery(
+        *model->Join(model->Get("A"), model->Get("B"), a0, b0));
+    return memo->LogicalOf(g);
+  }
+
+  rel::Catalog catalog;
+  std::unique_ptr<rel::RelModel> model;
+  std::unique_ptr<Memo> memo;
+  Symbol a0, b0;
+};
+
+TEST(ValidatePlan, RejectsMergeJoinOverUnsortedInputs) {
+  Fixture f;
+  PlanPtr bad = PlanNode::Make(
+      f.model->ops().merge_join,
+      rel::JoinArg::Make(f.catalog.symbols(), f.a0, f.b0),
+      {f.Scan("A"), f.Scan("B")}, f.model->SortedOn(f.a0), f.JoinLogical(),
+      Cost::Vector({2, 0.1}));
+  Status s = rel::ValidatePlan(*bad, *f.model);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("not sorted"), std::string::npos);
+}
+
+TEST(ValidatePlan, RejectsPromisedOrderWithoutDelivery) {
+  Fixture f;
+  // A hash join annotated as sorted: the annotation lies.
+  PlanPtr bad = PlanNode::Make(
+      f.model->ops().hash_join,
+      rel::JoinArg::Make(f.catalog.symbols(), f.a0, f.b0),
+      {f.Scan("A"), f.Scan("B")}, f.model->SortedOn(f.a0), f.JoinLogical(),
+      Cost::Vector({2, 0.1}));
+  Status s = rel::ValidatePlan(*bad, *f.model);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("order"), std::string::npos);
+}
+
+TEST(ValidatePlan, RejectsPromisedUniquenessWithoutDedup) {
+  Fixture f;
+  PlanPtr bad = PlanNode::Make(
+      f.model->ops().hash_join,
+      rel::JoinArg::Make(f.catalog.symbols(), f.a0, f.b0),
+      {f.Scan("A"), f.Scan("B")}, f.model->Unique(), f.JoinLogical(),
+      Cost::Vector({2, 0.1}));
+  Status s = rel::ValidatePlan(*bad, *f.model);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unique"), std::string::npos);
+}
+
+TEST(ValidatePlan, AcceptsSortFixedMergeJoin) {
+  Fixture f;
+  auto sorted = [&](PlanPtr input, Symbol attr) {
+    LogicalPropsPtr logical = input->logical();
+    return PlanNode::Make(
+        f.model->ops().sort,
+        rel::SortArg::Make(f.catalog.symbols(), rel::SortOrder{{attr}}),
+        {std::move(input)}, f.model->SortedOn(attr), logical,
+        Cost::Vector({1.1, 0.1}));
+  };
+  PlanPtr good = PlanNode::Make(
+      f.model->ops().merge_join,
+      rel::JoinArg::Make(f.catalog.symbols(), f.a0, f.b0),
+      {sorted(f.Scan("A"), f.a0), sorted(f.Scan("B"), f.b0)},
+      f.model->SortedOn(f.a0), f.JoinLogical(), Cost::Vector({3, 0.3}));
+  EXPECT_TRUE(rel::ValidatePlan(*good, *f.model).ok());
+}
+
+TEST(RelArgs, NewerArgTypesHaveValueSemantics) {
+  SymbolTable syms;
+  Symbol a = syms.Intern("a"), b = syms.Intern("b"), c = syms.Intern("c"),
+         d = syms.Intern("d");
+
+  OpArgPtr mj1 = rel::MultiJoinArg::Make(syms, a, b, c, d);
+  OpArgPtr mj2 = rel::MultiJoinArg::Make(syms, a, b, c, d);
+  OpArgPtr mj3 = rel::MultiJoinArg::Make(syms, a, b, d, c);
+  EXPECT_TRUE(mj1->Equals(*mj2));
+  EXPECT_EQ(mj1->Hash(), mj2->Hash());
+  EXPECT_FALSE(mj1->Equals(*mj3));
+
+  OpArgPtr agg1 = rel::AggArg::Make(syms, a, b);
+  OpArgPtr agg2 = rel::AggArg::Make(syms, a, b);
+  OpArgPtr agg3 = rel::AggArg::Make(syms, b, a);
+  EXPECT_TRUE(agg1->Equals(*agg2));
+  EXPECT_FALSE(agg1->Equals(*agg3));
+
+  OpArgPtr ex1 = rel::ExchangeArg::Make(syms, rel::Partitioning::Hash(a, 4));
+  OpArgPtr ex2 = rel::ExchangeArg::Make(syms, rel::Partitioning::Hash(a, 4));
+  OpArgPtr ex3 = rel::ExchangeArg::Make(syms, rel::Partitioning::Serial());
+  EXPECT_TRUE(ex1->Equals(*ex2));
+  EXPECT_FALSE(ex1->Equals(*ex3));
+  EXPECT_NE(ex1->ToString().find("hash"), std::string::npos);
+  EXPECT_EQ(ex3->ToString(), "serial");
+
+  // Cross-type: never equal, never UB.
+  EXPECT_FALSE(mj1->Equals(*agg1));
+  EXPECT_FALSE(agg1->Equals(*ex1));
+}
+
+TEST(RecostPlan, CoversEveryPhysicalOperator) {
+  // End-to-end coverage that RecostPlan handles each operator kind: build a
+  // plan containing sort, merge join, filter via the optimizer, then recost.
+  rel::Catalog catalog;
+  VOLCANO_CHECK(catalog.AddRelation("T", 2000, 100, 2, {50, 10}).ok());
+  VOLCANO_CHECK(catalog.AddRelation("U", 1000, 100, 2, {50, 10}).ok());
+  rel::RelModel model(catalog);
+  Symbol t0 = catalog.symbols().Lookup("T.a0");
+  Symbol u0 = catalog.symbols().Lookup("U.a0");
+  ExprPtr q = model.Join(
+      model.Select(model.Get("T"), catalog.symbols().Lookup("T.a1"),
+                   rel::CmpOp::kLess, 5, 0.5),
+      model.Get("U"), t0, u0);
+
+  Optimizer opt(model);
+  StatusOr<PlanPtr> plan =
+      opt.Optimize(*q, model.SortedUnique({t0}));
+  ASSERT_TRUE(plan.ok());
+  double reported = model.cost_model().Total((*plan)->cost());
+  EXPECT_NEAR(model.cost_model().Total(rel::RecostPlan(**plan, model)),
+              reported, 1e-9 * reported);
+  EXPECT_TRUE(rel::ValidatePlan(**plan, model).ok());
+}
+
+}  // namespace
+}  // namespace volcano

@@ -1,0 +1,152 @@
+// Workload generator tests: the generated queries must match the paper's
+// experimental setup — n relations of 1,200-7,200 hundred-byte records, one
+// selection per relation, a connected acyclic join graph — and be fully
+// deterministic in the seed.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "relational/query_gen.h"
+
+namespace volcano::rel {
+namespace {
+
+struct Shape {
+  int gets = 0;
+  int selects = 0;
+  int joins = 0;
+};
+
+Shape Analyze(const RelModel& model, const Expr& e) {
+  Shape s;
+  std::function<void(const Expr&)> walk = [&](const Expr& node) {
+    if (node.op() == model.ops().get) ++s.gets;
+    if (node.op() == model.ops().select) ++s.selects;
+    if (node.op() == model.ops().join) ++s.joins;
+    for (const auto& in : node.inputs()) walk(*in);
+  };
+  walk(e);
+  return s;
+}
+
+TEST(QueryGen, PaperShape) {
+  for (int n : {2, 4, 8}) {
+    WorkloadOptions opts;
+    opts.num_relations = n;
+    Workload w = GenerateWorkload(opts, 42);
+    Shape s = Analyze(*w.model, *w.query);
+    EXPECT_EQ(s.gets, n);
+    EXPECT_EQ(s.selects, n) << "as many selections as input relations";
+    EXPECT_EQ(s.joins, n - 1) << "spanning tree";
+    EXPECT_EQ(w.relations.size(), static_cast<size_t>(n));
+  }
+}
+
+TEST(QueryGen, CardinalitiesInPaperRange) {
+  WorkloadOptions opts;
+  opts.num_relations = 8;
+  Workload w = GenerateWorkload(opts, 7);
+  for (Symbol rel : w.relations) {
+    const RelationInfo* info = w.catalog->FindRelation(rel);
+    ASSERT_NE(info, nullptr);
+    EXPECT_GE(info->cardinality, 1200);
+    EXPECT_LE(info->cardinality, 7200);
+    EXPECT_DOUBLE_EQ(info->tuple_bytes, 100);
+  }
+}
+
+TEST(QueryGen, DeterministicInSeed) {
+  WorkloadOptions opts;
+  opts.num_relations = 5;
+  opts.order_by_prob = 0.5;
+  Workload a = GenerateWorkload(opts, 99);
+  Workload b = GenerateWorkload(opts, 99);
+  EXPECT_EQ(a.model->ExprToString(*a.query), b.model->ExprToString(*b.query));
+  EXPECT_EQ(a.required->ToString(), b.required->ToString());
+
+  Workload c = GenerateWorkload(opts, 100);
+  // Different seed, almost surely different query.
+  EXPECT_NE(a.model->ExprToString(*a.query), c.model->ExprToString(*c.query));
+}
+
+TEST(QueryGen, JoinPredicatesAreWellPlaced) {
+  // Every join's left attribute must come from the left subtree's schema and
+  // the right attribute from the right subtree (the JoinArg convention).
+  WorkloadOptions opts;
+  opts.num_relations = 7;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Workload w = GenerateWorkload(opts, seed);
+    std::function<std::vector<Symbol>(const Expr&)> attrs =
+        [&](const Expr& e) -> std::vector<Symbol> {
+      if (e.op() == w.model->ops().get) {
+        const auto& arg = static_cast<const GetArg&>(*e.arg());
+        std::vector<Symbol> out;
+        for (const auto& a :
+             w.catalog->FindRelation(arg.relation())->attributes) {
+          out.push_back(a.name);
+        }
+        return out;
+      }
+      std::vector<Symbol> out;
+      for (const auto& in : e.inputs()) {
+        std::vector<Symbol> sub = attrs(*in);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      if (e.op() == w.model->ops().join) {
+        const auto& arg = static_cast<const JoinArg&>(*e.arg());
+        std::vector<Symbol> left = attrs(*e.input(0));
+        std::vector<Symbol> right = attrs(*e.input(1));
+        EXPECT_NE(std::find(left.begin(), left.end(), arg.left_attr()),
+                  left.end());
+        EXPECT_NE(std::find(right.begin(), right.end(), arg.right_attr()),
+                  right.end());
+      }
+      return out;
+    };
+    attrs(*w.query);
+  }
+}
+
+TEST(QueryGen, OrderByProbabilityRespected) {
+  WorkloadOptions opts;
+  opts.num_relations = 4;
+  opts.order_by_prob = 0.0;
+  Workload none = GenerateWorkload(opts, 5);
+  EXPECT_EQ(none.required->ToString(), "any");
+
+  opts.order_by_prob = 1.0;
+  Workload always = GenerateWorkload(opts, 5);
+  EXPECT_NE(always.required->ToString(), "any");
+}
+
+TEST(QueryGen, NoSelectionsOptionProducesPureJoinQueries) {
+  WorkloadOptions opts;
+  opts.num_relations = 3;
+  opts.selections = false;
+  Workload w = GenerateWorkload(opts, 1);
+  Shape s = Analyze(*w.model, *w.query);
+  EXPECT_EQ(s.selects, 0);
+  EXPECT_EQ(s.gets, 3);
+}
+
+TEST(QueryGen, SortedBaseProbabilityExtremes) {
+  WorkloadOptions opts;
+  opts.num_relations = 6;
+  opts.sorted_base_prob = 0.0;
+  Workload none = GenerateWorkload(opts, 3);
+  for (Symbol rel : none.relations) {
+    EXPECT_TRUE(none.catalog->FindRelation(rel)->sorted_on.empty());
+  }
+  opts.sorted_base_prob = 1.0;
+  Workload all = GenerateWorkload(opts, 3);
+  int sorted = 0;
+  for (Symbol rel : all.relations) {
+    if (!all.catalog->FindRelation(rel)->sorted_on.empty()) ++sorted;
+  }
+  // Every relation that participates in a join edge is sorted.
+  EXPECT_EQ(sorted, 6);
+}
+
+}  // namespace
+}  // namespace volcano::rel

@@ -1,0 +1,188 @@
+// Relational model tests: catalog, logical property derivation (selectivity
+// estimation), and the cost functions of section 4.2's experimental setup.
+
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/rel_cost.h"
+#include "relational/rel_model.h"
+#include "search/memo.h"
+
+namespace volcano::rel {
+namespace {
+
+TEST(Catalog, AddAndFindRelation) {
+  Catalog c;
+  StatusOr<Symbol> r = c.AddRelation("emp", 1200, 100, 3);
+  ASSERT_TRUE(r.ok());
+  const RelationInfo* info = c.FindRelation("emp");
+  ASSERT_NE(info, nullptr);
+  EXPECT_DOUBLE_EQ(info->cardinality, 1200);
+  EXPECT_EQ(info->attributes.size(), 3u);
+  EXPECT_EQ(c.num_relations(), 1u);
+  EXPECT_EQ(c.FindRelation("ghost"), nullptr);
+}
+
+TEST(Catalog, RejectsDuplicates) {
+  Catalog c;
+  ASSERT_TRUE(c.AddRelation("r", 10, 100, 1).ok());
+  StatusOr<Symbol> dup = c.AddRelation("r", 10, 100, 1);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), Status::Code::kAlreadyExists);
+}
+
+TEST(Catalog, AttributeOwnershipAndStats) {
+  Catalog c;
+  ASSERT_TRUE(c.AddRelation("r", 1000, 100, 2, {1000, 50}).ok());
+  Symbol rel = c.symbols().Lookup("r");
+  Symbol a0 = c.symbols().Lookup("r.a0");
+  Symbol a1 = c.symbols().Lookup("r.a1");
+  EXPECT_EQ(c.RelationOf(a0), rel);
+  EXPECT_EQ(c.RelationOf(a1), rel);
+  EXPECT_DOUBLE_EQ(c.DistinctOf(a0), 1000);
+  EXPECT_DOUBLE_EQ(c.DistinctOf(a1), 50);
+  EXPECT_FALSE(c.RelationOf(Symbol()).valid());
+}
+
+TEST(Catalog, SetSortedOnValidatesAttributes) {
+  Catalog c;
+  ASSERT_TRUE(c.AddRelation("r", 100, 100, 2).ok());
+  ASSERT_TRUE(c.AddRelation("s", 100, 100, 2).ok());
+  Symbol r = c.symbols().Lookup("r");
+  Symbol r_a0 = c.symbols().Lookup("r.a0");
+  Symbol s_a0 = c.symbols().Lookup("s.a0");
+  EXPECT_TRUE(c.SetSortedOn(r, {r_a0}).ok());
+  EXPECT_FALSE(c.SetSortedOn(r, {s_a0}).ok());  // foreign attribute
+}
+
+struct ModelFixture {
+  ModelFixture() {
+    VOLCANO_CHECK(catalog.AddRelation("A", 1000, 100, 2, {1000, 100}).ok());
+    VOLCANO_CHECK(catalog.AddRelation("B", 2000, 80, 2, {500, 2000}).ok());
+    model = std::make_unique<RelModel>(catalog);
+  }
+  Symbol Attr(const char* n) { return catalog.symbols().Lookup(n); }
+  Catalog catalog;
+  std::unique_ptr<RelModel> model;
+};
+
+TEST(LogicalProps, GetDerivesFromCatalog) {
+  ModelFixture f;
+  Memo memo(*f.model);
+  const auto& p = AsRel(*memo.LogicalOf(memo.InsertQuery(*f.model->Get("B"))));
+  EXPECT_DOUBLE_EQ(p.cardinality(), 2000);
+  EXPECT_DOUBLE_EQ(p.tuple_bytes(), 80);
+  EXPECT_DOUBLE_EQ(p.DistinctOf(f.Attr("B.a0")), 500);
+  EXPECT_DOUBLE_EQ(p.bytes(), 2000 * 80);
+}
+
+TEST(LogicalProps, SelectScalesCardinalityBySelectivity) {
+  ModelFixture f;
+  Memo memo(*f.model);
+  ExprPtr q = f.model->Select(f.model->Get("A"), f.Attr("A.a0"),
+                              CmpOp::kLess, 250, 0.25);
+  const auto& p = AsRel(*memo.LogicalOf(memo.InsertQuery(*q)));
+  EXPECT_DOUBLE_EQ(p.cardinality(), 250);
+  // The restricted attribute's distinct count shrinks with it.
+  EXPECT_DOUBLE_EQ(p.DistinctOf(f.Attr("A.a0")), 250);
+  // Unselected attributes are clamped to the new cardinality.
+  EXPECT_DOUBLE_EQ(p.DistinctOf(f.Attr("A.a1")), 100);
+}
+
+TEST(LogicalProps, JoinUsesDistinctValueEstimation) {
+  // |A JOIN B on A.a0 = B.a0| = |A||B| / max(d(A.a0), d(B.a0))
+  //                           = 1000*2000 / max(1000, 500) = 2000.
+  ModelFixture f;
+  Memo memo(*f.model);
+  ExprPtr q = f.model->Join(f.model->Get("A"), f.model->Get("B"),
+                            f.Attr("A.a0"), f.Attr("B.a0"));
+  const auto& p = AsRel(*memo.LogicalOf(memo.InsertQuery(*q)));
+  EXPECT_DOUBLE_EQ(p.cardinality(), 2000);
+  EXPECT_DOUBLE_EQ(p.tuple_bytes(), 180);  // widths add
+  EXPECT_TRUE(p.HasAttr(f.Attr("A.a1")));
+  EXPECT_TRUE(p.HasAttr(f.Attr("B.a1")));
+}
+
+TEST(LogicalProps, ProjectShrinksWidth) {
+  ModelFixture f;
+  Memo memo(*f.model);
+  ExprPtr q = f.model->Project(f.model->Get("A"), {f.Attr("A.a0")});
+  const auto& p = AsRel(*memo.LogicalOf(memo.InsertQuery(*q)));
+  EXPECT_DOUBLE_EQ(p.cardinality(), 1000);
+  EXPECT_DOUBLE_EQ(p.tuple_bytes(), 50);  // half the columns survive
+  EXPECT_FALSE(p.HasAttr(f.Attr("A.a1")));
+}
+
+TEST(LogicalProps, IntersectBoundedByInputs) {
+  ModelFixture f;
+  Memo memo(*f.model);
+  ExprPtr q = f.model->Intersect(f.model->Get("A"), f.model->Get("B"));
+  const auto& p = AsRel(*memo.LogicalOf(memo.InsertQuery(*q)));
+  EXPECT_LE(p.cardinality(), 1000);
+  EXPECT_GT(p.cardinality(), 0);
+}
+
+TEST(CostFunctions, FileScanScalesWithPages) {
+  RelCostModel cm;
+  SymbolTable syms;
+  RelLogicalProps small(syms, {}, 40, 100);    // 1 page
+  RelLogicalProps big(syms, {}, 40000, 100);   // ~977 pages
+  double s = cm.Total(cm.FileScan(small));
+  double b = cm.Total(cm.FileScan(big));
+  EXPECT_GT(b, 100 * s);
+}
+
+TEST(CostFunctions, SortIsSuperlinearAndSpillsAboveMemory) {
+  RelCostModel cm;
+  SymbolTable syms;
+  RelLogicalProps fits(syms, {}, 5000, 100);     // 500 KB < 1 MB workspace
+  RelLogicalProps spills(syms, {}, 50000, 100);  // 5 MB > 1 MB workspace
+  Cost cf = cm.Sort(fits);
+  Cost cs = cm.Sort(spills);
+  EXPECT_DOUBLE_EQ(cf[0], 0.0);  // no I/O: in-memory sort
+  EXPECT_GT(cs[0], 0.0);         // single-level merge does I/O
+  EXPECT_GT(cm.Total(cs), 10 * cm.Total(cf));
+}
+
+TEST(CostFunctions, MergeJoinCheaperThanHashJoinOnSortedInputs) {
+  RelCostModel cm;
+  SymbolTable syms;
+  RelLogicalProps l(syms, {}, 5000, 100);
+  RelLogicalProps r(syms, {}, 5000, 100);
+  RelLogicalProps out(syms, {}, 5000, 200);
+  EXPECT_LT(cm.Total(cm.MergeJoin(l, r, out)),
+            cm.Total(cm.HashJoin(l, r, out)));
+}
+
+TEST(CostFunctions, HashJoinCheaperThanMergeJoinPlusSorts) {
+  RelCostModel cm;
+  SymbolTable syms;
+  RelLogicalProps l(syms, {}, 5000, 100);
+  RelLogicalProps r(syms, {}, 5000, 100);
+  RelLogicalProps out(syms, {}, 5000, 200);
+  double merge_with_sorts = cm.Total(cm.MergeJoin(l, r, out)) +
+                            cm.Total(cm.Sort(l)) + cm.Total(cm.Sort(r));
+  EXPECT_LT(cm.Total(cm.HashJoin(l, r, out)), merge_with_sorts);
+}
+
+TEST(CostFunctions, PaperBandEstimatedTimes) {
+  // Sanity: the estimated execution times for paper-sized relations land in
+  // Figure 4's 0.1-10 second band.
+  RelCostModel cm;
+  SymbolTable syms;
+  RelLogicalProps r(syms, {}, 7200, 100);
+  double scan = cm.Total(cm.FileScan(r));
+  EXPECT_GT(scan, 0.1);
+  EXPECT_LT(scan, 10.0);
+}
+
+TEST(ExprBuilders, RenderReadably) {
+  ModelFixture f;
+  ExprPtr q = f.model->Join(f.model->Get("A"), f.model->Get("B"),
+                            f.Attr("A.a0"), f.Attr("B.a0"));
+  std::string s = f.model->ExprToString(*q);
+  EXPECT_EQ(s, "JOIN[A.a0 = B.a0](GET[A], GET[B])");
+}
+
+}  // namespace
+}  // namespace volcano::rel

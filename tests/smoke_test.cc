@@ -1,0 +1,43 @@
+// End-to-end smoke test: optimize a small select-join query and check the
+// resulting plan's basic sanity. Detailed behaviour is covered by the
+// per-module suites.
+
+#include <gtest/gtest.h>
+
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+
+namespace volcano {
+namespace {
+
+TEST(Smoke, OptimizeThreeWayJoin) {
+  rel::WorkloadOptions wopts;
+  wopts.num_relations = 3;
+  rel::Workload w = rel::GenerateWorkload(wopts, /*seed=*/42);
+
+  Optimizer opt(*w.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE((*plan)->props()->Covers(*w.required));
+  EXPECT_GT((*plan)->TreeSize(), 4u);
+  EXPECT_GT(w.model->cost_model().Total((*plan)->cost()), 0.0);
+}
+
+TEST(Smoke, StatsPopulated) {
+  rel::WorkloadOptions wopts;
+  wopts.num_relations = 4;
+  rel::Workload w = rel::GenerateWorkload(wopts, /*seed=*/7);
+
+  Optimizer opt(*w.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  SearchStats stats = opt.stats();
+  EXPECT_GT(stats.find_best_plan_calls, 0u);
+  EXPECT_GT(stats.groups_created, 0u);
+  EXPECT_GT(stats.transformations_applied, 0u);
+  EXPECT_GT(stats.algorithm_moves, 0u);
+}
+
+}  // namespace
+}  // namespace volcano

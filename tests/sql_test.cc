@@ -1,0 +1,172 @@
+// SQL front-end tests: parsing, translation to the logical algebra,
+// semantic error reporting, and end-to-end optimize + execute.
+
+#include <gtest/gtest.h>
+
+#include "exec/datagen.h"
+#include "exec/plan_exec.h"
+#include "relational/sql.h"
+#include "search/optimizer.h"
+
+namespace volcano::rel {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    VOLCANO_CHECK(catalog.AddRelation("emp", 500, 100, 3, {500, 40, 10}).ok());
+    VOLCANO_CHECK(catalog.AddRelation("dept", 40, 100, 2, {40, 5}).ok());
+    VOLCANO_CHECK(catalog.AddRelation("loc", 10, 100, 2, {10, 10}).ok());
+    model = std::make_unique<RelModel>(catalog);
+  }
+
+  StatusOr<ParsedQuery> Parse(std::string_view sql) {
+    return ParseSql(sql, *model, catalog.symbols());
+  }
+
+  std::string Render(const ParsedQuery& q) {
+    return model->ExprToString(*q.expr);
+  }
+
+  Catalog catalog;
+  std::unique_ptr<RelModel> model;
+};
+
+TEST(Sql, SelectStarSingleRelation) {
+  Fixture f;
+  StatusOr<ParsedQuery> q = f.Parse("SELECT * FROM emp");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(f.Render(*q), "GET[emp]");
+  EXPECT_EQ(q->required->ToString(), "any");
+}
+
+TEST(Sql, SelectionsAttachToBaseRelations) {
+  Fixture f;
+  StatusOr<ParsedQuery> q =
+      f.Parse("SELECT * FROM emp WHERE emp.a1 < 10 AND emp.a2 = 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(f.Render(*q),
+            "SELECT[emp.a2 = 3](SELECT[emp.a1 < 10](GET[emp]))");
+}
+
+TEST(Sql, JoinTreeFollowsPredicates) {
+  Fixture f;
+  StatusOr<ParsedQuery> q = f.Parse(
+      "SELECT * FROM emp, dept, loc "
+      "WHERE emp.a1 = dept.a0 AND dept.a1 = loc.a0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(f.Render(*q),
+            "JOIN[dept.a1 = loc.a0](JOIN[emp.a1 = dept.a0](GET[emp], "
+            "GET[dept]), GET[loc])");
+}
+
+TEST(Sql, ProjectionAndOrderBy) {
+  Fixture f;
+  StatusOr<ParsedQuery> q =
+      f.Parse("SELECT emp.a0, emp.a1 FROM emp ORDER BY emp.a0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(f.Render(*q), "PROJECT[emp.a0, emp.a1](GET[emp])");
+  EXPECT_EQ(q->required->ToString(), "sorted(emp.a0)");
+}
+
+TEST(Sql, GroupByCount) {
+  Fixture f;
+  StatusOr<ParsedQuery> q = f.Parse(
+      "SELECT emp.a1, COUNT(*) FROM emp GROUP BY emp.a1 ORDER BY emp.a1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(f.Render(*q), "AGGREGATE[emp.a1 -> count count(*)](GET[emp])");
+  EXPECT_EQ(q->required->ToString(), "sorted(emp.a1)");
+}
+
+TEST(Sql, KeywordsAreCaseInsensitive) {
+  Fixture f;
+  EXPECT_TRUE(f.Parse("select * from emp where emp.a1 < 5").ok());
+  EXPECT_TRUE(f.Parse("SeLeCt * FrOm emp").ok());
+}
+
+TEST(Sql, ComparisonOperators) {
+  Fixture f;
+  for (const char* op : {"<", "<=", ">", ">=", "="}) {
+    std::string sql = std::string("SELECT * FROM emp WHERE emp.a1 ") + op +
+                      " 5";
+    EXPECT_TRUE(f.Parse(sql).ok()) << sql;
+  }
+}
+
+TEST(SqlErrors, UnknownRelationAndAttribute) {
+  Fixture f;
+  EXPECT_FALSE(f.Parse("SELECT * FROM ghosts").ok());
+  EXPECT_FALSE(f.Parse("SELECT * FROM emp WHERE emp.zz < 3").ok());
+  EXPECT_FALSE(f.Parse("SELECT dept.a0 FROM emp").ok());
+}
+
+TEST(SqlErrors, CrossProductRejected) {
+  Fixture f;
+  StatusOr<ParsedQuery> q = f.Parse("SELECT * FROM emp, dept");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("cross product"), std::string::npos);
+}
+
+TEST(SqlErrors, NonEquiJoinRejected) {
+  Fixture f;
+  EXPECT_FALSE(
+      f.Parse("SELECT * FROM emp, dept WHERE emp.a1 < dept.a0").ok());
+}
+
+TEST(SqlErrors, OrderByMustBeVisible) {
+  Fixture f;
+  EXPECT_FALSE(f.Parse("SELECT emp.a0 FROM emp ORDER BY emp.a1").ok());
+  EXPECT_TRUE(f.Parse("SELECT emp.a0 FROM emp ORDER BY emp.a0").ok());
+}
+
+TEST(SqlErrors, GroupByShape) {
+  Fixture f;
+  EXPECT_FALSE(f.Parse("SELECT emp.a0 FROM emp GROUP BY emp.a1").ok());
+  EXPECT_FALSE(f.Parse("SELECT COUNT(*) FROM emp").ok());
+}
+
+TEST(SqlErrors, TrailingGarbage) {
+  Fixture f;
+  EXPECT_FALSE(f.Parse("SELECT * FROM emp banana").ok());
+}
+
+TEST(SqlEndToEnd, ParseOptimizeExecute) {
+  Fixture f;
+  StatusOr<ParsedQuery> q = f.Parse(
+      "SELECT * FROM emp, dept "
+      "WHERE emp.a1 = dept.a0 AND dept.a1 < 3 ORDER BY emp.a0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q->expr, q->required);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE((*plan)->props()->Covers(*q->required));
+
+  exec::Database db = exec::GenerateDatabase(f.catalog, 61);
+  std::vector<exec::Row> got = exec::ExecutePlan(**plan, *f.model, db);
+  std::vector<exec::Row> want = exec::EvalLogical(*q->expr, *f.model, db);
+  exec::Schema gs = exec::PlanSchema(**plan, *f.model, db);
+  exec::Schema ws = exec::LogicalSchema(*q->expr, *f.model, db);
+  EXPECT_TRUE(
+      exec::SameMultiset(exec::ReorderToSchema(got, gs, ws), want));
+}
+
+TEST(SqlEndToEnd, GroupByQueryRuns) {
+  Fixture f;
+  StatusOr<ParsedQuery> q = f.Parse(
+      "SELECT emp.a2, COUNT(*) FROM emp GROUP BY emp.a2 ORDER BY emp.a2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q->expr, q->required);
+  ASSERT_TRUE(plan.ok());
+
+  exec::Database db = exec::GenerateDatabase(f.catalog, 67);
+  std::vector<exec::Row> rows = exec::ExecutePlan(**plan, *f.model, db);
+  EXPECT_LE(rows.size(), 10u);  // at most distinct(emp.a2) groups
+  EXPECT_TRUE(exec::IsSortedBy(rows, {0}));
+  int64_t total = 0;
+  for (const auto& row : rows) total += row[1];
+  EXPECT_EQ(total, 500);
+}
+
+}  // namespace
+}  // namespace volcano::rel

@@ -1,0 +1,163 @@
+// Support library tests: arena, interning, hashing, RNG, status, timer.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "support/arena.h"
+#include "support/hash.h"
+#include "support/intern.h"
+#include "support/rng.h"
+#include "support/status.h"
+#include "support/timer.h"
+
+namespace volcano {
+namespace {
+
+TEST(Arena, AllocatesAndAligns) {
+  Arena arena;
+  void* a = arena.Allocate(3, 1);
+  void* b = arena.Allocate(8, 8);
+  void* c = arena.Allocate(1, 64);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  EXPECT_GE(arena.bytes_allocated(), 12u);
+}
+
+TEST(Arena, GrowsAcrossBlocks) {
+  Arena arena(/*block_bytes=*/128);
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(64);
+    std::memset(p, i, 64);  // must be writable
+  }
+  EXPECT_GE(arena.bytes_reserved(), 100u * 64u);
+}
+
+TEST(Arena, OversizedAllocationGetsOwnBlock) {
+  Arena arena(/*block_bytes=*/64);
+  void* p = arena.Allocate(10000);
+  std::memset(p, 7, 10000);
+  EXPECT_GE(arena.bytes_reserved(), 10000u);
+}
+
+TEST(Arena, NewConstructsObjects) {
+  Arena arena;
+  struct Point {
+    int x, y;
+  };
+  Point* p = arena.New<Point>(Point{3, 4});
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(Arena, ResetReleasesEverything) {
+  Arena arena;
+  arena.Allocate(1000);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+}
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable t;
+  Symbol a = t.Intern("hello");
+  Symbol b = t.Intern("hello");
+  Symbol c = t.Intern("world");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(t.Name(a), "hello");
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SymbolTable, LookupWithoutInterning) {
+  SymbolTable t;
+  EXPECT_FALSE(t.Lookup("missing").valid());
+  Symbol a = t.Intern("present");
+  EXPECT_EQ(t.Lookup("present"), a);
+  EXPECT_EQ(t.size(), 1u);  // Lookup must not create entries
+}
+
+TEST(SymbolTable, InvalidSymbolName) {
+  SymbolTable t;
+  EXPECT_EQ(t.Name(Symbol()), "<invalid>");
+  EXPECT_FALSE(Symbol().valid());
+}
+
+TEST(Hash, Mix64Scatters) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  uint64_t a = HashCombine(HashCombine(0, 1), 2);
+  uint64_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hash, StringHashing) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, UniformRangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.UniformDouble(2.0, 3.0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Rng, UniformCoversDomain) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+  EXPECT_EQ(s.message(), "thing");
+  EXPECT_NE(s.ToString().find("NOT_FOUND"), std::string::npos);
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> v = 42;
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  StatusOr<int> e = Status::InvalidArgument("bad");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, 5.0);
+  EXPECT_LT(ms, 5000.0);
+  t.Restart();
+  EXPECT_LT(t.ElapsedMillis(), 5.0);
+}
+
+}  // namespace
+}  // namespace volcano

@@ -1,0 +1,188 @@
+// Uniqueness as a physical property (paper §4.1: "uniqueness might be a
+// physical property with two enforcers, sort- and hash-based") with the two
+// §2.2 enforcer behaviours: SORT_DEDUP "ensures two properties" (order and
+// uniqueness), HASH_DEDUP "enforces one but destroys another".
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/datagen.h"
+#include "exec/plan_exec.h"
+#include "relational/rel_plan_cost.h"
+#include "relational/sql.h"
+#include "search/optimizer.h"
+
+namespace volcano {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    // A two-column relation with few distinct values: projections produce
+    // plenty of duplicates.
+    VOLCANO_CHECK(catalog.AddRelation("T", 2000, 100, 3, {20, 10, 5}).ok());
+    model = std::make_unique<rel::RelModel>(catalog);
+  }
+  Symbol Attr(const char* n) { return catalog.symbols().Lookup(n); }
+  rel::Catalog catalog;
+  std::unique_ptr<rel::RelModel> model;
+};
+
+TEST(UniqueProps, CoverSemantics) {
+  SymbolTable syms;
+  Symbol a = syms.Intern("a");
+  PhysPropsPtr plain = rel::RelPhysProps::Make(syms);
+  PhysPropsPtr unique = rel::RelPhysProps::Make(syms, {}, {}, true);
+  PhysPropsPtr sorted_unique =
+      rel::RelPhysProps::Make(syms, rel::SortOrder{{a}}, {}, true);
+
+  EXPECT_TRUE(unique->Covers(*plain));
+  EXPECT_FALSE(plain->Covers(*unique));
+  EXPECT_TRUE(sorted_unique->Covers(*unique));
+  EXPECT_FALSE(unique->Covers(*sorted_unique));
+  EXPECT_FALSE(plain->Equals(*unique));
+  EXPECT_NE(plain->Hash(), unique->Hash());
+  EXPECT_NE(unique->ToString().find("unique"), std::string::npos);
+}
+
+TEST(Uniqueness, PureUniqueGoalUsesHashDedup) {
+  // No order required: the hash-based enforcer is cheaper than sorting.
+  Fixture f;
+  ExprPtr q = f.model->Project(f.model->Get("T"), {f.Attr("T.a2")});
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, f.model->Unique());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->op(), f.model->ops().hash_dedup);
+  EXPECT_TRUE(rel::ValidatePlan(**plan, *f.model).ok());
+}
+
+TEST(Uniqueness, OrderedUniqueGoalUsesSortDedup) {
+  // Order AND uniqueness required: one SORT_DEDUP establishes both — the
+  // "enforcer ensures two properties" case — beating sort-over-hash-dedup.
+  Fixture f;
+  ExprPtr q = f.model->Project(f.model->Get("T"), {f.Attr("T.a2")});
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan =
+      opt.Optimize(*q, f.model->SortedUnique({f.Attr("T.a2")}));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->op(), f.model->ops().sort_dedup);
+}
+
+TEST(Uniqueness, AggregationDeliversUniquenessForFree) {
+  // The aggregate output is one row per group: no dedup operator needed.
+  Fixture f;
+  Symbol cnt = f.catalog.symbols().Intern("cnt");
+  ExprPtr q = f.model->Aggregate(f.model->Get("T"), f.Attr("T.a0"), cnt);
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, f.model->Unique());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE((*plan)->props()->Covers(*f.model->Unique()));
+  EXPECT_NE((*plan)->op(), f.model->ops().hash_dedup);
+  EXPECT_NE((*plan)->op(), f.model->ops().sort_dedup);
+}
+
+TEST(Uniqueness, IntersectionDeliversUniquenessForFree) {
+  Fixture f;
+  rel::Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", 500, 100, 2, {20, 20}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", 500, 100, 2, {20, 20}).ok());
+  rel::RelModel model(catalog);
+  ExprPtr q = model.Intersect(model.Get("R"), model.Get("S"));
+  Optimizer opt(model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, model.Unique());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE((*plan)->op(), model.ops().hash_dedup);
+  EXPECT_NE((*plan)->op(), model.ops().sort_dedup);
+}
+
+TEST(Uniqueness, ProjectionCannotClaimUniqueness) {
+  // PROJECT drops columns and may create duplicates: the dedup must sit
+  // above the projection, never vanish into it.
+  Fixture f;
+  ExprPtr q = f.model->Project(f.model->Get("T"), {f.Attr("T.a2")});
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, f.model->Unique());
+  ASSERT_TRUE(plan.ok());
+  // Below the dedup enforcer sits the projection.
+  ASSERT_EQ((*plan)->num_inputs(), 1u);
+  EXPECT_EQ((*plan)->input(0)->op(), f.model->ops().project_op);
+}
+
+TEST(Uniqueness, ExecutionActuallyDeduplicates) {
+  Fixture f;
+  ExprPtr q = f.model->Project(f.model->Get("T"), {f.Attr("T.a2")});
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, f.model->Unique());
+  ASSERT_TRUE(plan.ok());
+
+  exec::Database db = exec::GenerateDatabase(f.catalog, 83);
+  std::vector<exec::Row> rows = exec::ExecutePlan(**plan, *f.model, db);
+  // At most distinct(T.a2) = 5 rows, all distinct, and exactly the distinct
+  // reference values.
+  EXPECT_LE(rows.size(), 5u);
+  std::set<exec::Row> unique_rows(rows.begin(), rows.end());
+  EXPECT_EQ(unique_rows.size(), rows.size());
+  std::vector<exec::Row> reference = exec::EvalLogical(*q, *f.model, db);
+  std::set<exec::Row> expected(reference.begin(), reference.end());
+  EXPECT_EQ(unique_rows, expected);
+}
+
+TEST(Uniqueness, SortDedupDeliversSortedOutput) {
+  Fixture f;
+  ExprPtr q = f.model->Project(f.model->Get("T"), {f.Attr("T.a1")});
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan =
+      opt.Optimize(*q, f.model->SortedUnique({f.Attr("T.a1")}));
+  ASSERT_TRUE(plan.ok());
+
+  exec::Database db = exec::GenerateDatabase(f.catalog, 89);
+  std::vector<exec::Row> rows = exec::ExecutePlan(**plan, *f.model, db);
+  EXPECT_TRUE(exec::IsSortedBy(rows, {0}));
+  std::set<exec::Row> unique_rows(rows.begin(), rows.end());
+  EXPECT_EQ(unique_rows.size(), rows.size());
+}
+
+TEST(Uniqueness, SqlSelectDistinct) {
+  Fixture f;
+  StatusOr<rel::ParsedQuery> q = rel::ParseSql(
+      "SELECT DISTINCT T.a2 FROM T ORDER BY T.a2", *f.model,
+      f.catalog.symbols());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(rel::AsRel(*q->required).unique());
+
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q->expr, q->required);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->op(), f.model->ops().sort_dedup);
+
+  exec::Database db = exec::GenerateDatabase(f.catalog, 97);
+  std::vector<exec::Row> rows = exec::ExecutePlan(**plan, *f.model, db);
+  EXPECT_LE(rows.size(), 5u);
+  EXPECT_TRUE(exec::IsSortedBy(rows, {0}));
+}
+
+TEST(Uniqueness, FilterAndSortPreserveUniqueness) {
+  // A selection on top of a DISTINCT subresult keeps it distinct: the
+  // requirement passes through FILTER without a second dedup.
+  Fixture f;
+  ExprPtr proj = f.model->Project(f.model->Get("T"), {f.Attr("T.a2")});
+  ExprPtr q = f.model->Select(proj, f.Attr("T.a2"), rel::CmpOp::kLess, 3,
+                              0.6);
+  Optimizer opt(*f.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*q, f.model->Unique());
+  ASSERT_TRUE(plan.ok());
+  int dedups = 0;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    if (node.op() == f.model->ops().hash_dedup ||
+        node.op() == f.model->ops().sort_dedup) {
+      ++dedups;
+    }
+    for (const auto& in : node.inputs()) walk(*in);
+  };
+  walk(**plan);
+  EXPECT_EQ(dedups, 1);
+  EXPECT_TRUE(rel::ValidatePlan(**plan, *f.model).ok());
+}
+
+}  // namespace
+}  // namespace volcano

@@ -1,0 +1,200 @@
+// vopt: command-line query optimizer.
+//
+// Usage:
+//   vopt [options] "SQL"
+//   vopt [options] --catalog schema.cat "SQL"
+//
+// Options:
+//   --catalog FILE   load a catalog description (see below)
+//   --dot            print the plan as a Graphviz digraph
+//   --memo           dump the memo after optimization
+//   --stats          print search-effort counters
+//   --execute SEED   generate data and run the plan
+//
+// Catalog description format, one declaration per line ('#' comments):
+//   relation <name> <cardinality> <tuple_bytes> <num_attrs>
+//   distinct <attr> <count>          # e.g. distinct emp.a1 50
+//   sorted <relation> <attr>...      # stored sort order
+//
+// Without --catalog, a small built-in demo schema (emp, dept) is used.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/datagen.h"
+#include "exec/plan_exec.h"
+#include "relational/sql.h"
+#include "search/dot.h"
+#include "search/optimizer.h"
+
+namespace {
+
+using namespace volcano;
+
+Status LoadCatalog(const std::string& path, rel::Catalog* catalog) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open catalog file " + path);
+
+  // First pass collects relations; distinct/sorted lines may appear in any
+  // order after their relation.
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    auto fail = [&](const std::string& msg) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": " + msg);
+    };
+    if (kind == "relation") {
+      std::string name;
+      double card, bytes;
+      int nattrs;
+      if (!(ls >> name >> card >> bytes >> nattrs)) {
+        return fail("expected: relation <name> <card> <bytes> <num_attrs>");
+      }
+      StatusOr<Symbol> r = catalog->AddRelation(name, card, bytes, nattrs);
+      if (!r.ok()) return fail(r.status().message());
+    } else if (kind == "distinct") {
+      std::string attr;
+      double count;
+      if (!(ls >> attr >> count)) {
+        return fail("expected: distinct <attr> <count>");
+      }
+      Symbol sym = catalog->symbols().Lookup(attr);
+      if (!catalog->RelationOf(sym).valid()) {
+        return fail("unknown attribute " + attr);
+      }
+      Status s = catalog->SetDistinct(sym, count);
+      if (!s.ok()) return fail(s.message());
+    } else if (kind == "sorted") {
+      std::string relname;
+      if (!(ls >> relname)) return fail("expected: sorted <relation> <attr>+");
+      Symbol rel = catalog->symbols().Lookup(relname);
+      if (!rel.valid()) return fail("unknown relation " + relname);
+      std::vector<Symbol> order;
+      std::string attr;
+      while (ls >> attr) {
+        Symbol sym = catalog->symbols().Lookup(attr);
+        if (!sym.valid()) return fail("unknown attribute " + attr);
+        order.push_back(sym);
+      }
+      Status s = catalog->SetSortedOn(rel, order);
+      if (!s.ok()) return fail(s.message());
+    } else {
+      return fail("unknown declaration '" + kind + "'");
+    }
+  }
+  return Status::OK();
+}
+
+void BuiltinCatalog(rel::Catalog* catalog) {
+  VOLCANO_CHECK(catalog->AddRelation("emp", 2000, 100, 3).ok());
+  VOLCANO_CHECK(catalog->AddRelation("dept", 50, 100, 2).ok());
+  VOLCANO_CHECK(catalog
+                    ->SetSortedOn(catalog->symbols().Lookup("emp"),
+                                  {catalog->symbols().Lookup("emp.a1")})
+                    .ok());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string catalog_path;
+  std::string sql;
+  bool dot = false, memo = false, stats = false, execute = false;
+  uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--catalog" && i + 1 < argc) {
+      catalog_path = argv[++i];
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--memo") {
+      memo = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--execute" && i + 1 < argc) {
+      execute = true;
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "vopt: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      sql = arg;
+    }
+  }
+  if (sql.empty()) {
+    std::fprintf(stderr,
+                 "usage: vopt [--catalog FILE] [--dot] [--memo] [--stats] "
+                 "[--execute SEED] \"SQL\"\n");
+    return 2;
+  }
+
+  volcano::rel::Catalog catalog;
+  if (!catalog_path.empty()) {
+    volcano::Status s = LoadCatalog(catalog_path, &catalog);
+    if (!s.ok()) {
+      std::fprintf(stderr, "vopt: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  } else {
+    BuiltinCatalog(&catalog);
+  }
+
+  volcano::rel::RelModel model(catalog);
+  volcano::StatusOr<volcano::rel::ParsedQuery> parsed =
+      volcano::rel::ParseSql(sql, model, catalog.symbols());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "vopt: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("algebra: %s\n", model.ExprToString(*parsed->expr).c_str());
+  std::printf("required: %s\n", parsed->required->ToString().c_str());
+
+  volcano::Optimizer optimizer(model);
+  volcano::StatusOr<volcano::PlanPtr> plan =
+      optimizer.Optimize(*parsed->expr, parsed->required);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "vopt: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nplan:\n%s",
+              PlanToString(**plan, model.registry(), model.cost_model())
+                  .c_str());
+
+  if (dot) {
+    std::printf("\n%s",
+                PlanToDot(**plan, model.registry(), model.cost_model())
+                    .c_str());
+  }
+  if (memo) {
+    std::printf("\nmemo:\n%s", optimizer.memo().ToString().c_str());
+  }
+  if (stats) {
+    std::printf("\nsearch effort:\n%s\n",
+                optimizer.stats().ToString().c_str());
+  }
+  if (execute) {
+    volcano::exec::Database db = volcano::exec::GenerateDatabase(catalog,
+                                                                 seed);
+    std::vector<volcano::exec::Row> rows =
+        volcano::exec::ExecutePlan(**plan, model, db);
+    std::printf("\nexecuted: %zu rows\n", rows.size());
+    for (size_t i = 0; i < rows.size() && i < 10; ++i) {
+      for (size_t j = 0; j < rows[i].size(); ++j) {
+        std::printf("%s%lld", j ? "\t" : "", (long long)rows[i][j]);
+      }
+      std::printf("\n");
+    }
+    if (rows.size() > 10) std::printf("... (%zu more)\n", rows.size() - 10);
+  }
+  return 0;
+}
