@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_guidance.dir/bench_ablation_guidance.cc.o"
+  "CMakeFiles/bench_ablation_guidance.dir/bench_ablation_guidance.cc.o.d"
+  "bench_ablation_guidance"
+  "bench_ablation_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

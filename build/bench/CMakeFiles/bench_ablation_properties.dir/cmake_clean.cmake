@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_properties.dir/bench_ablation_properties.cc.o"
+  "CMakeFiles/bench_ablation_properties.dir/bench_ablation_properties.cc.o.d"
+  "bench_ablation_properties"
+  "bench_ablation_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

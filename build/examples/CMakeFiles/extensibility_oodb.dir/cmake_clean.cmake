@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensibility_oodb.dir/extensibility_oodb.cpp.o"
+  "CMakeFiles/extensibility_oodb.dir/extensibility_oodb.cpp.o.d"
+  "extensibility_oodb"
+  "extensibility_oodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensibility_oodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

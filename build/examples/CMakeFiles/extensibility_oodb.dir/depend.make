@@ -1,0 +1,2 @@
+# Empty dependencies file for extensibility_oodb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_demo.dir/generator_demo.cpp.o"
+  "CMakeFiles/generator_demo.dir/generator_demo.cpp.o.d"
+  "generator_demo"
+  "generator_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

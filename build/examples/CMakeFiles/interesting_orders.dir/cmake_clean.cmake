@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interesting_orders.dir/interesting_orders.cpp.o"
+  "CMakeFiles/interesting_orders.dir/interesting_orders.cpp.o.d"
+  "interesting_orders"
+  "interesting_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interesting_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_join.dir/parallel_join.cpp.o"
+  "CMakeFiles/parallel_join.dir/parallel_join.cpp.o.d"
+  "parallel_join"
+  "parallel_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

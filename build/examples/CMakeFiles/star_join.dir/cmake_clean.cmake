@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_join.dir/star_join.cpp.o"
+  "CMakeFiles/star_join.dir/star_join.cpp.o.d"
+  "star_join"
+  "star_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

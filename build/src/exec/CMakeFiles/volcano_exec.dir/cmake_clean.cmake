@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volcano_exec.dir/datagen.cc.o"
+  "CMakeFiles/volcano_exec.dir/datagen.cc.o.d"
+  "CMakeFiles/volcano_exec.dir/iterators.cc.o"
+  "CMakeFiles/volcano_exec.dir/iterators.cc.o.d"
+  "CMakeFiles/volcano_exec.dir/plan_exec.cc.o"
+  "CMakeFiles/volcano_exec.dir/plan_exec.cc.o.d"
+  "libvolcano_exec.a"
+  "libvolcano_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volcano_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volcano_exodus.dir/exodus_optimizer.cc.o"
+  "CMakeFiles/volcano_exodus.dir/exodus_optimizer.cc.o.d"
+  "libvolcano_exodus.a"
+  "libvolcano_exodus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volcano_exodus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

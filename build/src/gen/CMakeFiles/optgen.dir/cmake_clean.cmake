@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optgen.dir/optgen_main.cc.o"
+  "CMakeFiles/optgen.dir/optgen_main.cc.o.d"
+  "optgen"
+  "optgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volcano_gen.dir/codegen.cc.o"
+  "CMakeFiles/volcano_gen.dir/codegen.cc.o.d"
+  "CMakeFiles/volcano_gen.dir/parser.cc.o"
+  "CMakeFiles/volcano_gen.dir/parser.cc.o.d"
+  "libvolcano_gen.a"
+  "libvolcano_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volcano_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

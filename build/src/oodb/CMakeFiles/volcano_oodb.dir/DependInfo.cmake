@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oodb/generated/oodb_gen.cc" "src/oodb/CMakeFiles/volcano_oodb.dir/generated/oodb_gen.cc.o" "gcc" "src/oodb/CMakeFiles/volcano_oodb.dir/generated/oodb_gen.cc.o.d"
+  "/root/repo/src/oodb/oodb_model.cc" "src/oodb/CMakeFiles/volcano_oodb.dir/oodb_model.cc.o" "gcc" "src/oodb/CMakeFiles/volcano_oodb.dir/oodb_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/volcano_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/volcano_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volcano_oodb.dir/generated/oodb_gen.cc.o"
+  "CMakeFiles/volcano_oodb.dir/generated/oodb_gen.cc.o.d"
+  "CMakeFiles/volcano_oodb.dir/oodb_model.cc.o"
+  "CMakeFiles/volcano_oodb.dir/oodb_model.cc.o.d"
+  "libvolcano_oodb.a"
+  "libvolcano_oodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volcano_oodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for volcano_oodb.
+# This may be replaced when dependencies are built.

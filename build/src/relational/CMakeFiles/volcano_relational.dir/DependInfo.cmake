@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/catalog.cc" "src/relational/CMakeFiles/volcano_relational.dir/catalog.cc.o" "gcc" "src/relational/CMakeFiles/volcano_relational.dir/catalog.cc.o.d"
+  "/root/repo/src/relational/generated/gen_rel_model.cc" "src/relational/CMakeFiles/volcano_relational.dir/generated/gen_rel_model.cc.o" "gcc" "src/relational/CMakeFiles/volcano_relational.dir/generated/gen_rel_model.cc.o.d"
+  "/root/repo/src/relational/generated/relational_gen.cc" "src/relational/CMakeFiles/volcano_relational.dir/generated/relational_gen.cc.o" "gcc" "src/relational/CMakeFiles/volcano_relational.dir/generated/relational_gen.cc.o.d"
+  "/root/repo/src/relational/query_gen.cc" "src/relational/CMakeFiles/volcano_relational.dir/query_gen.cc.o" "gcc" "src/relational/CMakeFiles/volcano_relational.dir/query_gen.cc.o.d"
+  "/root/repo/src/relational/rel_model.cc" "src/relational/CMakeFiles/volcano_relational.dir/rel_model.cc.o" "gcc" "src/relational/CMakeFiles/volcano_relational.dir/rel_model.cc.o.d"
+  "/root/repo/src/relational/rel_plan_cost.cc" "src/relational/CMakeFiles/volcano_relational.dir/rel_plan_cost.cc.o" "gcc" "src/relational/CMakeFiles/volcano_relational.dir/rel_plan_cost.cc.o.d"
+  "/root/repo/src/relational/rel_rules.cc" "src/relational/CMakeFiles/volcano_relational.dir/rel_rules.cc.o" "gcc" "src/relational/CMakeFiles/volcano_relational.dir/rel_rules.cc.o.d"
+  "/root/repo/src/relational/sql.cc" "src/relational/CMakeFiles/volcano_relational.dir/sql.cc.o" "gcc" "src/relational/CMakeFiles/volcano_relational.dir/sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/volcano_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/volcano_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

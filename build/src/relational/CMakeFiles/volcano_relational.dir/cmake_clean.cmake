@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volcano_relational.dir/catalog.cc.o"
+  "CMakeFiles/volcano_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/volcano_relational.dir/generated/gen_rel_model.cc.o"
+  "CMakeFiles/volcano_relational.dir/generated/gen_rel_model.cc.o.d"
+  "CMakeFiles/volcano_relational.dir/generated/relational_gen.cc.o"
+  "CMakeFiles/volcano_relational.dir/generated/relational_gen.cc.o.d"
+  "CMakeFiles/volcano_relational.dir/query_gen.cc.o"
+  "CMakeFiles/volcano_relational.dir/query_gen.cc.o.d"
+  "CMakeFiles/volcano_relational.dir/rel_model.cc.o"
+  "CMakeFiles/volcano_relational.dir/rel_model.cc.o.d"
+  "CMakeFiles/volcano_relational.dir/rel_plan_cost.cc.o"
+  "CMakeFiles/volcano_relational.dir/rel_plan_cost.cc.o.d"
+  "CMakeFiles/volcano_relational.dir/rel_rules.cc.o"
+  "CMakeFiles/volcano_relational.dir/rel_rules.cc.o.d"
+  "CMakeFiles/volcano_relational.dir/sql.cc.o"
+  "CMakeFiles/volcano_relational.dir/sql.cc.o.d"
+  "libvolcano_relational.a"
+  "libvolcano_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volcano_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

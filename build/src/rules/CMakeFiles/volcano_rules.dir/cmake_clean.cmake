@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volcano_rules.dir/rule.cc.o"
+  "CMakeFiles/volcano_rules.dir/rule.cc.o.d"
+  "libvolcano_rules.a"
+  "libvolcano_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volcano_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

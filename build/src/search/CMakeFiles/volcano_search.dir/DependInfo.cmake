@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/dot.cc" "src/search/CMakeFiles/volcano_search.dir/dot.cc.o" "gcc" "src/search/CMakeFiles/volcano_search.dir/dot.cc.o.d"
+  "/root/repo/src/search/memo.cc" "src/search/CMakeFiles/volcano_search.dir/memo.cc.o" "gcc" "src/search/CMakeFiles/volcano_search.dir/memo.cc.o.d"
+  "/root/repo/src/search/optimizer.cc" "src/search/CMakeFiles/volcano_search.dir/optimizer.cc.o" "gcc" "src/search/CMakeFiles/volcano_search.dir/optimizer.cc.o.d"
+  "/root/repo/src/search/plan.cc" "src/search/CMakeFiles/volcano_search.dir/plan.cc.o" "gcc" "src/search/CMakeFiles/volcano_search.dir/plan.cc.o.d"
+  "/root/repo/src/search/search_options.cc" "src/search/CMakeFiles/volcano_search.dir/search_options.cc.o" "gcc" "src/search/CMakeFiles/volcano_search.dir/search_options.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/volcano_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

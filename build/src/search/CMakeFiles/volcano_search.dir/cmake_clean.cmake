@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volcano_search.dir/dot.cc.o"
+  "CMakeFiles/volcano_search.dir/dot.cc.o.d"
+  "CMakeFiles/volcano_search.dir/memo.cc.o"
+  "CMakeFiles/volcano_search.dir/memo.cc.o.d"
+  "CMakeFiles/volcano_search.dir/optimizer.cc.o"
+  "CMakeFiles/volcano_search.dir/optimizer.cc.o.d"
+  "CMakeFiles/volcano_search.dir/plan.cc.o"
+  "CMakeFiles/volcano_search.dir/plan.cc.o.d"
+  "CMakeFiles/volcano_search.dir/search_options.cc.o"
+  "CMakeFiles/volcano_search.dir/search_options.cc.o.d"
+  "libvolcano_search.a"
+  "libvolcano_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volcano_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

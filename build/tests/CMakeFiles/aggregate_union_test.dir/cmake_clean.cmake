@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_union_test.dir/aggregate_union_test.cc.o"
+  "CMakeFiles/aggregate_union_test.dir/aggregate_union_test.cc.o.d"
+  "aggregate_union_test"
+  "aggregate_union_test.pdb"
+  "aggregate_union_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_union_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

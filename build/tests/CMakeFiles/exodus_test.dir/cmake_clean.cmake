@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exodus_test.dir/exodus_test.cc.o"
+  "CMakeFiles/exodus_test.dir/exodus_test.cc.o.d"
+  "exodus_test"
+  "exodus_test.pdb"
+  "exodus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exodus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

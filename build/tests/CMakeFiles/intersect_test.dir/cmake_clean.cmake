@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersect_test.dir/intersect_test.cc.o"
+  "CMakeFiles/intersect_test.dir/intersect_test.cc.o.d"
+  "intersect_test"
+  "intersect_test.pdb"
+  "intersect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/left_deep_test.dir/left_deep_test.cc.o"
+  "CMakeFiles/left_deep_test.dir/left_deep_test.cc.o.d"
+  "left_deep_test"
+  "left_deep_test.pdb"
+  "left_deep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/left_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

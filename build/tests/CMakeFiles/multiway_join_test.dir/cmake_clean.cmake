@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiway_join_test.dir/multiway_join_test.cc.o"
+  "CMakeFiles/multiway_join_test.dir/multiway_join_test.cc.o.d"
+  "multiway_join_test"
+  "multiway_join_test.pdb"
+  "multiway_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiway_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

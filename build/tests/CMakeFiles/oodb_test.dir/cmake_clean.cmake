@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_test.dir/oodb_test.cc.o"
+  "CMakeFiles/oodb_test.dir/oodb_test.cc.o.d"
+  "oodb_test"
+  "oodb_test.pdb"
+  "oodb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_gen_test.dir/query_gen_test.cc.o"
+  "CMakeFiles/query_gen_test.dir/query_gen_test.cc.o.d"
+  "query_gen_test"
+  "query_gen_test.pdb"
+  "query_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_model_test.dir/rel_model_test.cc.o"
+  "CMakeFiles/rel_model_test.dir/rel_model_test.cc.o.d"
+  "rel_model_test"
+  "rel_model_test.pdb"
+  "rel_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

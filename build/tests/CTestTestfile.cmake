@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/memo_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/rel_model_test[1]_include.cmake")
+include("/root/repo/build/tests/query_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/exodus_test[1]_include.cmake")
+include("/root/repo/build/tests/intersect_test[1]_include.cmake")
+include("/root/repo/build/tests/multiway_join_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_union_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/uniqueness_test[1]_include.cmake")
+include("/root/repo/build/tests/strategy_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_validate_test[1]_include.cmake")
+include("/root/repo/build/tests/oodb_test[1]_include.cmake")
+include("/root/repo/build/tests/left_deep_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vopt.dir/vopt.cc.o"
+  "CMakeFiles/vopt.dir/vopt.cc.o.d"
+  "vopt"
+  "vopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
