@@ -16,6 +16,7 @@
 #define VOLCANO_ALGEBRA_COST_H_
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -58,6 +59,20 @@ class Cost {
   double& at(int i) {
     VOLCANO_DCHECK(i >= 0 && i < dims_);
     return v_[i];
+  }
+
+  /// A cost is valid iff no component is NaN (+infinity is a legal "this
+  /// move is impossible" signal). A buggy or fault-injected model cost
+  /// function returning NaN would otherwise corrupt branch-and-bound
+  /// silently, because every NaN comparison is false and LessEq(a, b) =
+  /// !Less(b, a) would treat the garbage as both cheaper and more expensive
+  /// than everything. The engine rejects invalid costs at estimation time;
+  /// CostModel comparisons DCHECK against them as a second line of defense.
+  bool IsValid() const {
+    for (int i = 0; i < dims_; ++i) {
+      if (std::isnan(v_[i])) return false;
+    }
+    return true;
   }
 
  private:
@@ -104,8 +119,10 @@ class CostModel {
     return t;
   }
 
-  /// Strict ordering.
+  /// Strict ordering. NaN operands would make branch-and-bound pruning and
+  /// incumbent replacement silently arbitrary; they must never get here.
   virtual bool Less(const Cost& a, const Cost& b) const {
+    VOLCANO_DCHECK(a.IsValid() && b.IsValid());
     return Total(a) < Total(b);
   }
 

@@ -1,0 +1,33 @@
+#include "exodus/fallback.h"
+
+#include <utility>
+
+namespace volcano::exodus {
+
+StatusOr<PlanPtr> OptimizeWithFallback(const rel::RelModel& model,
+                                       const Expr& query,
+                                       PhysPropsPtr required,
+                                       const SearchOptions& options,
+                                       OptimizeOutcome* outcome,
+                                       const ExodusOptions& exodus_options) {
+  Optimizer optimizer(model, options);
+  StatusOr<PlanPtr> plan = optimizer.Optimize(query, required);
+  if (outcome != nullptr) *outcome = optimizer.outcome();
+  if (plan.ok() ||
+      plan.status().code() != Status::Code::kResourceExhausted) {
+    return plan;
+  }
+  ExodusOptimizer baseline(model, exodus_options);
+  StatusOr<PlanPtr> fallback = baseline.Optimize(query, std::move(required));
+  if (!fallback.ok()) {
+    // Keep the Volcano status: it carries the structured budget details.
+    return plan;
+  }
+  if (outcome != nullptr) {
+    outcome->source = PlanSource::kExodusFallback;
+    outcome->approximate = true;
+  }
+  return fallback;
+}
+
+}  // namespace volcano::exodus

@@ -1,0 +1,38 @@
+// Last-resort fallback for the degradation ladder.
+//
+// The Volcano engine degrades on budget exhaustion (anytime incumbent, then
+// a bounded greedy descent — see SearchOptions::Degradation). When even
+// those produce nothing, a relational-model caller can still get *some*
+// executable plan from the EXODUS baseline optimizer: it needs no
+// exploration closure, honours ORDER BY with an unconditional final sort,
+// and its plans run on the same execution engine. The plan quality is
+// whatever section 4 of the paper says it is — but "a worse plan beats no
+// plan" is exactly the contract an anytime optimizer owes its callers.
+
+#ifndef VOLCANO_EXODUS_FALLBACK_H_
+#define VOLCANO_EXODUS_FALLBACK_H_
+
+#include "exodus/exodus_optimizer.h"
+#include "relational/rel_model.h"
+#include "search/optimizer.h"
+#include "search/search_options.h"
+#include "support/status.h"
+
+namespace volcano::exodus {
+
+/// Runs the Volcano engine under `options`; if it returns ResourceExhausted
+/// (after its own degradation ladder), retries with the EXODUS baseline.
+/// `outcome`, when non-null, receives the Volcano outcome, overridden with
+/// source = kExodusFallback when the baseline supplied the plan. NotFound
+/// and other non-budget errors are returned as-is: when no plan exists, no
+/// fallback can conjure one.
+StatusOr<PlanPtr> OptimizeWithFallback(const rel::RelModel& model,
+                                       const Expr& query,
+                                       PhysPropsPtr required,
+                                       const SearchOptions& options,
+                                       OptimizeOutcome* outcome = nullptr,
+                                       const ExodusOptions& exodus_options = {});
+
+}  // namespace volcano::exodus
+
+#endif  // VOLCANO_EXODUS_FALLBACK_H_

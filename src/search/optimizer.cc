@@ -5,15 +5,71 @@
 #include <set>
 #include <utility>
 
+#include "support/fault.h"
+
 namespace volcano {
 
 Optimizer::Optimizer(const DataModel& model, SearchOptions options)
-    : model_(model), options_(options), memo_(model) {}
+    : model_(model), options_(options), memo_(model) {
+  mexpr_cap_ = std::min(options_.max_mexprs, options_.budget.max_mexprs);
+}
 
 bool Optimizer::CheckBudget() {
-  if (aborted_) return false;
-  if (memo_.num_exprs() > options_.max_mexprs) {
-    aborted_ = true;
+  if (trip_ != BudgetTrip::kNone) return false;
+  // The greedy fallback runs *after* budget exhaustion; it is bounded by
+  // construction (frozen memo, in-progress marks) and must not re-trip.
+  if (greedy_mode_) return true;
+  ++stats_.budget_checkpoints;
+  const OptimizationBudget& b = options_.budget;
+  if (options_.fault != nullptr && options_.fault->ExpireBudget()) {
+    trip_ = BudgetTrip::kInjected;
+  } else if (memo_.num_exprs() > mexpr_cap_) {
+    trip_ = BudgetTrip::kMemoLimit;
+  } else if (b.max_find_best_plan_calls > 0 &&
+             stats_.find_best_plan_calls > b.max_find_best_plan_calls) {
+    trip_ = BudgetTrip::kCallLimit;
+  } else if (b.cancel != nullptr && b.cancel->cancelled()) {
+    trip_ = BudgetTrip::kCancelled;
+  } else if (has_deadline_ &&
+             std::chrono::steady_clock::now() >= deadline_) {
+    trip_ = BudgetTrip::kDeadline;
+  }
+  return trip_ == BudgetTrip::kNone;
+}
+
+void Optimizer::ArmBudget() {
+  trip_ = BudgetTrip::kNone;
+  outcome_ = OptimizeOutcome{};
+  has_deadline_ = options_.budget.has_deadline();
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        options_.budget.timeout_ms));
+  }
+}
+
+Status Optimizer::ExhaustedStatus() const {
+  SearchStats s = stats();
+  return Status::ResourceExhausted(
+             std::string("optimization budget exhausted (") +
+             BudgetTripName(trip_) + ")")
+      .WithDetail("budget", BudgetTripName(trip_))
+      .WithDetail("mexprs", std::to_string(memo_.num_exprs()))
+      .WithDetail("mexpr_cap", std::to_string(mexpr_cap_))
+      .WithDetail("find_best_plan_calls",
+                  std::to_string(s.find_best_plan_calls))
+      .WithDetail("goals_completed", std::to_string(s.goals_completed))
+      .WithDetail("stats", s.ToString());
+}
+
+bool Optimizer::AdmitLocalCost(Cost* cost) {
+  if (options_.fault != nullptr && cost->dims() > 0) {
+    options_.fault->CorruptCost(&cost->at(0));
+  }
+  if (!cost->IsValid()) {
+    ++stats_.invalid_costs;
     return false;
   }
   return true;
@@ -39,10 +95,43 @@ StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
 StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
                                            PhysPropsPtr required, Cost limit) {
   if (required == nullptr) required = model_.AnyProps();
+  const CostModel& cm = model_.cost_model();
+  ArmBudget();
   Result r = FindBestPlan(group, required, limit, nullptr);
-  if (aborted_) {
-    return Status::ResourceExhausted("optimizer memo exceeded max_mexprs = " +
-                                     std::to_string(options_.max_mexprs));
+  if (aborted()) {
+    // Budget exhausted: degrade down the ladder instead of discarding the
+    // partial work (kAnytime), or abort with a structured error (kStrict).
+    outcome_.trip = trip_;
+    outcome_.search_completed =
+        stats_.find_best_plan_calls == 0
+            ? 0.0
+            : static_cast<double>(stats_.goals_completed) /
+                  static_cast<double>(stats_.find_best_plan_calls);
+    if (options_.degradation == SearchOptions::Degradation::kStrict) {
+      return ExhaustedStatus();
+    }
+    // Ladder step 1 — anytime mode: the root goal's incumbent, if any, is a
+    // complete, executable plan within the cost limit (PursueMove installs
+    // only fully planned moves); return it tagged approximate.
+    if (r.plan != nullptr) {
+      VOLCANO_CHECK(r.plan->props()->Covers(*required));
+      outcome_.source = PlanSource::kAnytimeIncumbent;
+      outcome_.approximate = true;
+      return r.plan;
+    }
+    // Ladder step 2 — bounded greedy heuristic over the frozen memo.
+    if (options_.heuristic_fallback) {
+      greedy_mode_ = true;
+      Result g = GreedyPlan(group, required, nullptr, 0);
+      greedy_mode_ = false;
+      if (g.plan != nullptr && cm.LessEq(g.cost, limit)) {
+        VOLCANO_CHECK(g.plan->props()->Covers(*required));
+        outcome_.source = PlanSource::kHeuristic;
+        outcome_.approximate = true;
+        return g.plan;
+      }
+    }
+    return ExhaustedStatus();
   }
   if (r.plan == nullptr) {
     return Status::NotFound(
@@ -56,6 +145,10 @@ StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
 }
 
 void Optimizer::ExploreGroup(GroupId group) {
+  // The greedy fallback plans over the memo as-is; deriving new expressions
+  // would make its running time proportional to the transformation closure
+  // it is trying to avoid.
+  if (greedy_mode_) return;
   group = memo_.Find(group);
   {
     Group& grp = memo_.group(group);
@@ -87,6 +180,10 @@ void Optimizer::ExploreGroup(GroupId group) {
         for (const Binding& b : bindings) {
           ++stats_.transformations_matched;
           if (!rule.Condition(b, memo_)) continue;
+          if (options_.fault != nullptr &&
+              options_.fault->FailRuleApplication()) {
+            continue;  // injected: the rule fails to fire
+          }
           RexPtr rex = rule.Apply(b, memo_);
           if (rex == nullptr) continue;
           ++stats_.transformations_applied;
@@ -100,7 +197,10 @@ void Optimizer::ExploreGroup(GroupId group) {
 
   group = memo_.Find(group);
   memo_.SetExploring(group, false);
-  memo_.SetExplored(group, true);
+  // An exploration cut short by the budget must not masquerade as complete:
+  // a later re-armed call on this optimizer would silently skip the rest of
+  // the closure.
+  if (!aborted()) memo_.SetExplored(group, true);
 }
 
 void Optimizer::CollectBindings(const Pattern& pattern, const MExpr& m,
@@ -185,6 +285,10 @@ void Optimizer::CollectAlgorithmMoves(GroupId group,
       CollectBindings(rule.pattern(), *m, &bindings);
       for (Binding& b : bindings) {
         if (!rule.Condition(b, memo_)) continue;
+        if (options_.fault != nullptr &&
+            options_.fault->FailRuleApplication()) {
+          continue;  // injected: the implementation rule fails to fire
+        }
         std::vector<AlgorithmAlternative> alts = rule.Applicability(
             b, memo_, required,
             excluded == nullptr ? nullptr : excluded.get());
@@ -227,14 +331,17 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
         // answers the goal or proves it infeasible under this limit.
         if (cm.LessEq(w->cost, limit)) {
           ++stats_.memo_winner_hits;
+          ++stats_.goals_completed;
           return {w->plan, w->cost};
         }
         ++stats_.memo_failure_hits;
+        ++stats_.goals_completed;
         return failure;
       }
       if (options_.memoize_failures && cm.LessEq(limit, w->cost)) {
         // Failed before with an equal or higher limit; must fail now too.
         ++stats_.memo_failure_hits;
+        ++stats_.goals_completed;
         return failure;
       }
     }
@@ -245,6 +352,7 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
   // 'in progress,' it is ignored" (section 3).
   if (memo_.IsInProgress(group, key)) {
     ++stats_.in_progress_hits;
+    ++stats_.goals_completed;
     return failure;
   }
   memo_.MarkInProgress(group, key);
@@ -303,13 +411,16 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
   memo_.UnmarkInProgress(group, key);
 
   // --- maintain the look-up table of explored facts ------------------------
-  if (options_.memoize_winners && !aborted_) {
+  // Nothing is recorded once the budget has tripped: a truncated search
+  // proves neither optimality nor infeasibility.
+  if (options_.memoize_winners && !aborted()) {
     if (best.plan != nullptr) {
       memo_.StoreWinner(group, key, Winner{best.plan, best.cost});
     } else if (options_.memoize_failures) {
       memo_.StoreWinner(group, key, Winner{nullptr, limit});
     }
   }
+  if (!aborted()) ++stats_.goals_completed;
   return best;
 }
 
@@ -338,6 +449,7 @@ void Optimizer::PursueMove(const Move& mv, GroupId group,
     ++stats_.algorithm_moves;
     ++stats_.cost_estimates;
     Cost total = mv.rule->LocalCost(mv.binding, memo_);
+    if (!AdmitLocalCost(&total)) return;      // NaN: invalid cost, reject
     if (std::isinf(cm.Total(total))) return;  // model says: impossible
     std::vector<PlanPtr> children;
     children.reserve(mv.binding.num_leaves());
@@ -368,6 +480,7 @@ void Optimizer::PursueMove(const Move& mv, GroupId group,
   ++stats_.enforcer_moves;
   ++stats_.cost_estimates;
   Cost local = mv.enforcer->LocalCost(*logical, *mv.app.delivered);
+  if (!AdmitLocalCost(&local)) return;
   if (std::isinf(cm.Total(local))) return;
   if (options_.branch_and_bound && !cm.LessEq(local, *best_cost)) {
     ++stats_.moves_pruned;
@@ -457,6 +570,10 @@ void Optimizer::RunInterleaved(GroupId* group, const PhysPropsPtr& required,
       for (const Binding& b : bindings) {
         ++stats_.transformations_matched;
         if (!tm.rule->Condition(b, memo_)) continue;
+        if (options_.fault != nullptr &&
+            options_.fault->FailRuleApplication()) {
+          continue;  // injected: the rule fails to fire
+        }
         RexPtr rex = tm.rule->Apply(b, memo_);
         if (rex == nullptr) continue;
         ++stats_.transformations_applied;
@@ -500,13 +617,97 @@ Optimizer::Result Optimizer::FindBestPlanWithGlue(GroupId group,
     if (!app.has_value()) continue;
     ++stats_.enforcer_moves;
     ++stats_.cost_estimates;
-    Cost total = cm.Add(base.cost, enf->LocalCost(*logical, *app->delivered));
+    Cost local = enf->LocalCost(*logical, *app->delivered);
+    if (!AdmitLocalCost(&local)) continue;
+    Cost total = cm.Add(base.cost, local);
     if (!cm.LessEq(total, limit)) continue;
     if (best.plan != nullptr && !cm.Less(total, best.cost)) continue;
     best.plan = PlanNode::Make(enf->enforcer(), enf->PlanArg(*app->delivered),
                                {base.plan}, app->delivered, logical, total);
     best.cost = total;
   }
+  return best;
+}
+
+Optimizer::Result Optimizer::GreedyPlan(GroupId group,
+                                        const PhysPropsPtr& required,
+                                        const PhysPropsPtr& excluded,
+                                        int depth) {
+  const CostModel& cm = model_.cost_model();
+  Result failure{nullptr, cm.Infinity()};
+  // The in-progress marks already cut (group, goal) cycles; the depth cap is
+  // defense in depth against pathological enforcer relaxation chains.
+  if (depth > 128) return failure;
+  group = memo_.Find(group);
+  GoalKey key{required, excluded};
+  // Winners recorded before the budget tripped are optimal and complete —
+  // reuse them rather than re-planning greedily.
+  if (const Winner* w = memo_.FindWinner(group, key);
+      w != nullptr && !w->failed()) {
+    return {w->plan, w->cost};
+  }
+  if (memo_.IsInProgress(group, key)) return failure;
+  memo_.MarkInProgress(group, key);
+
+  // Moves over the memo as it stands: no transformations, no exploration
+  // (ExploreGroup is suppressed in greedy mode), hence no memo growth.
+  std::vector<Move> moves;
+  CollectAlgorithmMoves(group, required, excluded, &moves);
+  group = memo_.Find(group);
+  const LogicalPropsPtr logical = memo_.LogicalOf(group);
+  CollectEnforcerMoves(required, excluded, *logical, &moves);
+  std::stable_sort(moves.begin(), moves.end(),
+                   [](const Move& a, const Move& b) {
+                     return a.promise > b.promise;
+                   });
+
+  // Greedy descent: the first move in promise order whose inputs can all be
+  // planned wins; later moves are only tried when earlier ones fail.
+  Result best = failure;
+  for (const Move& mv : moves) {
+    if (mv.rule != nullptr) {
+      ++stats_.algorithm_moves;
+      ++stats_.cost_estimates;
+      Cost total = mv.rule->LocalCost(mv.binding, memo_);
+      if (!AdmitLocalCost(&total)) continue;
+      if (std::isinf(cm.Total(total))) continue;
+      std::vector<PlanPtr> children;
+      children.reserve(mv.binding.num_leaves());
+      bool ok = true;
+      for (size_t i = 0; i < mv.binding.num_leaves(); ++i) {
+        Result r = GreedyPlan(mv.binding.leaf(i), mv.alt.input_props[i],
+                              nullptr, depth + 1);
+        if (r.plan == nullptr) {
+          ok = false;
+          break;
+        }
+        total = cm.Add(total, r.cost);
+        children.push_back(std::move(r.plan));
+      }
+      if (!ok) continue;
+      best.plan = PlanNode::Make(mv.rule->algorithm(),
+                                 mv.rule->PlanArg(mv.binding, memo_),
+                                 std::move(children), mv.alt.delivered,
+                                 logical, total);
+      best.cost = total;
+      break;
+    }
+    ++stats_.enforcer_moves;
+    ++stats_.cost_estimates;
+    Cost local = mv.enforcer->LocalCost(*logical, *mv.app.delivered);
+    if (!AdmitLocalCost(&local)) continue;
+    if (std::isinf(cm.Total(local))) continue;
+    Result r = GreedyPlan(group, mv.app.input_required, mv.app.excluded,
+                          depth + 1);
+    if (r.plan == nullptr) continue;
+    Cost total = cm.Add(local, r.cost);
+    best.plan = PlanNode::Make(mv.enforcer->enforcer(),
+                               mv.enforcer->PlanArg(*mv.app.delivered),
+                               {r.plan}, mv.app.delivered, logical, total);
+    best.cost = total;
+    break;
+  }
+  memo_.UnmarkInProgress(group, key);
   return best;
 }
 

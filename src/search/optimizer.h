@@ -13,6 +13,7 @@
 #ifndef VOLCANO_SEARCH_OPTIMIZER_H_
 #define VOLCANO_SEARCH_OPTIMIZER_H_
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "search/memo.h"
 #include "search/plan.h"
 #include "search/search_options.h"
+#include "support/budget.h"
 #include "support/status.h"
 
 namespace volcano {
@@ -36,8 +38,13 @@ class Optimizer {
   explicit Optimizer(const DataModel& model, SearchOptions options = {});
 
   /// Optimizes a logical query for the required physical properties (null
-  /// means "no requirement"). Returns the optimal plan, NotFound if no plan
-  /// exists, or ResourceExhausted if the memo cap was hit.
+  /// means "no requirement"). Returns the optimal plan or NotFound if no
+  /// plan exists. When the optimization budget (SearchOptions::budget)
+  /// trips, the engine degrades per SearchOptions::degradation: in kAnytime
+  /// mode it returns the best complete plan it can still produce (see
+  /// outcome() for provenance); in kStrict mode — or when even the
+  /// degradation ladder yields nothing — it returns ResourceExhausted whose
+  /// detail payload names the tripped budget and the partial search stats.
   StatusOr<PlanPtr> Optimize(const Expr& query,
                              PhysPropsPtr required = nullptr);
 
@@ -67,6 +74,11 @@ class Optimizer {
 
   /// Effort counters (search-side counters merged with memo counters).
   SearchStats stats() const;
+
+  /// How the most recent top-level Optimize/OptimizeGroup call concluded:
+  /// plan provenance (exhaustive / anytime incumbent / heuristic), which
+  /// budget tripped, and the fraction of the search completed.
+  const OptimizeOutcome& outcome() const { return outcome_; }
 
  private:
   struct Result {
@@ -136,13 +148,46 @@ class Optimizer {
   Result FindBestPlanWithGlue(GroupId group, const PhysPropsPtr& required,
                               Cost limit);
 
+  /// Cooperative budget checkpoint: returns false once any budget (deadline,
+  /// memo cap, call cap, cancellation, injected fault) has tripped. The
+  /// first trip is latched in trip_ until the next top-level call re-arms.
   bool CheckBudget();
+
+  /// Stamps the deadline and clears the trip latch at the start of a
+  /// top-level optimization.
+  void ArmBudget();
+
+  bool aborted() const { return trip_ != BudgetTrip::kNone; }
+
+  /// Builds ResourceExhausted with the structured detail payload (tripped
+  /// budget, effort counters, partial stats).
+  Status ExhaustedStatus() const;
+
+  /// Applies a freshly estimated local cost through the fault injector and
+  /// validity check; returns false (and counts the rejection) if the cost is
+  /// NaN and must not reach branch-and-bound comparisons.
+  bool AdmitLocalCost(Cost* cost);
+
+  /// Ladder step 2: bounded promise-ordered greedy descent. Considers only
+  /// algorithm/enforcer moves over expressions already in the memo (no
+  /// transformations, no exploration, no memo growth), takes the first move
+  /// in promise order whose inputs can be planned, and reuses memoized
+  /// winners opportunistically. Runs after the budget has tripped, so it
+  /// deliberately ignores the budget; it terminates because the memo is
+  /// frozen and (group, goal) re-entry is cut by the in-progress marks.
+  Result GreedyPlan(GroupId group, const PhysPropsPtr& required,
+                    const PhysPropsPtr& excluded, int depth);
 
   const DataModel& model_;
   SearchOptions options_;
   Memo memo_;
   SearchStats stats_;
-  bool aborted_ = false;
+  OptimizeOutcome outcome_;
+  BudgetTrip trip_ = BudgetTrip::kNone;
+  bool greedy_mode_ = false;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  size_t mexpr_cap_ = 0;
 };
 
 }  // namespace volcano

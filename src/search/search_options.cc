@@ -1,5 +1,6 @@
 #include "search/search_options.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace volcano {
@@ -18,7 +19,21 @@ std::string SearchStats::ToString() const {
      << ", enforcer moves: " << enforcer_moves
      << ", cost estimates: " << cost_estimates << "\n"
      << "pruned: " << moves_pruned << ", skipped by move limit: "
-     << moves_skipped;
+     << moves_skipped << "\n"
+     << "goals completed: " << goals_completed
+     << ", budget checkpoints: " << budget_checkpoints
+     << ", invalid costs rejected: " << invalid_costs;
+  return os.str();
+}
+
+std::string OptimizeOutcome::ToString() const {
+  std::ostringstream os;
+  os << "source: " << PlanSourceName(source)
+     << ", budget tripped: " << BudgetTripName(trip)
+     << ", approximate: " << (approximate ? "yes" : "no");
+  char pct[32];
+  std::snprintf(pct, sizeof(pct), "%.1f%%", search_completed * 100.0);
+  os << ", search completed: " << pct;
   return os.str();
 }
 

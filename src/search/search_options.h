@@ -15,7 +15,11 @@
 #include <cstdint>
 #include <string>
 
+#include "support/budget.h"
+
 namespace volcano {
+
+class FaultInjector;
 
 struct SearchOptions {
   /// How transformations are scheduled relative to implementation moves.
@@ -62,8 +66,66 @@ struct SearchOptions {
   /// (sections 5 and 6); bench_ablation_properties measures it.
   bool glue_properties = false;
 
-  /// Safety cap on memo size; exceeded => ResourceExhausted.
+  /// Safety cap on memo size (legacy knob; folded into the budget — the
+  /// smaller of this and budget.max_mexprs applies).
   size_t max_mexprs = 4u << 20;
+
+  /// Effort limits for each top-level Optimize/OptimizeGroup call: deadline,
+  /// memo cap, FindBestPlan-call cap, cancellation. Unlimited by default.
+  OptimizationBudget budget;
+
+  /// What happens when the budget trips mid-search.
+  enum class Degradation {
+    /// Abort with ResourceExhausted (detail payload names the tripped
+    /// budget), discarding partial results — the pre-governance behavior.
+    kStrict,
+    /// Degrade down the ladder instead of erroring: (1) return the best
+    /// complete incumbent plan found so far, tagged approximate; (2) if no
+    /// incumbent exists, re-run a bounded promise-ordered greedy descent
+    /// (no transformations, no memo growth) that terminates quickly.
+    /// ResourceExhausted is returned only if both steps come up empty;
+    /// callers can then fall back further (exodus::OptimizeWithFallback).
+    kAnytime,
+  };
+  Degradation degradation = Degradation::kAnytime;
+
+  /// Enables ladder step 2 (the greedy heuristic rerun).
+  bool heuristic_fallback = true;
+
+  /// Fault-injection harness for robustness tests; not owned, null in
+  /// production. See support/fault.h.
+  FaultInjector* fault = nullptr;
+};
+
+/// Where the returned plan came from, for the degradation ladder.
+enum class PlanSource {
+  kExhaustive,        ///< normal search ran to completion (paper default)
+  kAnytimeIncumbent,  ///< budget tripped; best complete plan found so far
+  kHeuristic,         ///< budget tripped with no incumbent; greedy descent
+  kExodusFallback,    ///< last resort: the EXODUS baseline optimizer
+};
+
+inline const char* PlanSourceName(PlanSource s) {
+  switch (s) {
+    case PlanSource::kExhaustive: return "exhaustive";
+    case PlanSource::kAnytimeIncumbent: return "anytime-incumbent";
+    case PlanSource::kHeuristic: return "heuristic";
+    case PlanSource::kExodusFallback: return "exodus-fallback";
+  }
+  return "unknown";
+}
+
+/// How the last top-level optimization concluded: which budget (if any)
+/// tripped, which ladder rung produced the plan, and how much of the search
+/// completed. `search_completed` is the fraction of started FindBestPlan
+/// goals that ran to completion — 1.0 for an exhaustive (optimal) result.
+struct OptimizeOutcome {
+  PlanSource source = PlanSource::kExhaustive;
+  BudgetTrip trip = BudgetTrip::kNone;
+  bool approximate = false;
+  double search_completed = 1.0;
+
+  std::string ToString() const;
 };
 
 /// Machine-independent effort counters, reported next to wall-clock times in
@@ -84,6 +146,9 @@ struct SearchStats {
   uint64_t cost_estimates = 0;
   uint64_t moves_pruned = 0;        ///< abandoned by branch-and-bound
   uint64_t moves_skipped = 0;       ///< cut by the move_limit heuristic
+  uint64_t goals_completed = 0;     ///< FindBestPlan calls that finished
+  uint64_t budget_checkpoints = 0;  ///< cooperative budget polls
+  uint64_t invalid_costs = 0;       ///< NaN cost estimates rejected
 
   std::string ToString() const;
 };

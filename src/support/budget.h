@@ -1,0 +1,90 @@
+// Resource governance for the search engine.
+//
+// The paper's FindBestPlan takes a cost limit and notes that "the user
+// interface may permit users to set their own limits to 'catch' unreasonable
+// queries" (section 3). OptimizationBudget generalizes that idea from cost
+// limits to *optimization effort* limits: a wall-clock deadline, a cap on
+// memo expressions (memory), a cap on FindBestPlan invocations, and an
+// externally signalable cancellation token. The engine polls the budget at
+// cooperative checkpoints; when it trips, the search degrades gracefully
+// (anytime incumbent -> greedy heuristic -> caller-side fallback) instead of
+// discarding all partial work. See SearchOptions::degradation.
+
+#ifndef VOLCANO_SUPPORT_BUDGET_H_
+#define VOLCANO_SUPPORT_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace volcano {
+
+/// Thread-safe one-shot cancellation flag. A caller (e.g. a user interface
+/// or a watchdog thread) sets it; the engine observes it at its budget
+/// checkpoints and winds down the search.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+using CancellationTokenPtr = std::shared_ptr<CancellationToken>;
+
+/// Effort limits for one top-level Optimize/OptimizeGroup call. Every limit
+/// is optional; the default budget is unlimited and keeps the engine on the
+/// paper-faithful exhaustive path.
+struct OptimizationBudget {
+  /// Wall-clock deadline, measured with steady_clock from the moment the
+  /// top-level optimization starts. <= 0 means no deadline.
+  double timeout_ms = 0.0;
+
+  /// Cap on memo expressions (memory proxy). Folded with the legacy
+  /// SearchOptions::max_mexprs cap: the smaller of the two applies.
+  size_t max_mexprs = std::numeric_limits<size_t>::max();
+
+  /// Cap on FindBestPlan invocations (a machine-independent effort limit,
+  /// useful for reproducible tests). 0 means unlimited.
+  uint64_t max_find_best_plan_calls = 0;
+
+  /// External cancellation; may be shared across optimizers. Null means
+  /// not cancellable.
+  CancellationTokenPtr cancel;
+
+  bool has_deadline() const { return timeout_ms > 0.0; }
+  bool unlimited() const {
+    return !has_deadline() &&
+           max_mexprs == std::numeric_limits<size_t>::max() &&
+           max_find_best_plan_calls == 0 && cancel == nullptr;
+  }
+};
+
+/// Which budget tripped first; kNone while the search is within budget.
+enum class BudgetTrip {
+  kNone = 0,
+  kDeadline,   ///< wall-clock deadline passed
+  kMemoLimit,  ///< memo expression cap exceeded (budget or legacy max_mexprs)
+  kCallLimit,  ///< FindBestPlan call cap exceeded
+  kCancelled,  ///< cancellation token signalled
+  kInjected,   ///< forced by the fault-injection harness
+};
+
+inline const char* BudgetTripName(BudgetTrip trip) {
+  switch (trip) {
+    case BudgetTrip::kNone: return "none";
+    case BudgetTrip::kDeadline: return "deadline";
+    case BudgetTrip::kMemoLimit: return "memo";
+    case BudgetTrip::kCallLimit: return "calls";
+    case BudgetTrip::kCancelled: return "cancelled";
+    case BudgetTrip::kInjected: return "injected";
+  }
+  return "unknown";
+}
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SUPPORT_BUDGET_H_

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the search engine.
+//
+// The robustness contract of the optimizer is "never crash, hang, or return
+// an invalid plan — degrade or fail with a clean Status". FaultInjector
+// exercises that contract: it can make transformation/implementation rules
+// fail to fire, corrupt cost estimates to NaN or infinity (which the engine
+// must detect and reject before they reach branch-and-bound comparisons),
+// and force the optimization budget to expire at chosen checkpoints. All
+// decisions derive from a seeded xoshiro RNG plus exact-occurrence triggers,
+// so every failure scenario is bit-reproducible.
+//
+// The injector is wired in through SearchOptions::fault and consulted only
+// at three engine sites (rule application, cost estimation, budget
+// checkpoints); a null injector costs one pointer test per site.
+
+#ifndef VOLCANO_SUPPORT_FAULT_H_
+#define VOLCANO_SUPPORT_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "support/rng.h"
+
+namespace volcano {
+
+class FaultInjector {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+
+    // Probabilistic faults, decided per site visit.
+    double rule_failure_prob = 0.0;   ///< rule fails to fire
+    double cost_nan_prob = 0.0;       ///< cost estimate becomes NaN
+    double cost_inf_prob = 0.0;       ///< cost estimate becomes +infinity
+    double budget_expiry_prob = 0.0;  ///< budget checkpoint trips
+
+    // Deterministic single-point faults (1-based occurrence index; 0 = off).
+    uint64_t fail_rule_at = 0;      ///< exactly the Nth rule application
+    uint64_t corrupt_cost_at = 0;   ///< exactly the Nth cost estimate (NaN)
+    uint64_t expire_budget_at = 0;  ///< exactly the Nth budget checkpoint
+  };
+
+  /// Site visits and faults actually fired, for test assertions.
+  struct Counters {
+    uint64_t rule_sites = 0;
+    uint64_t cost_sites = 0;
+    uint64_t budget_sites = 0;
+    uint64_t rules_failed = 0;
+    uint64_t costs_corrupted = 0;
+    uint64_t budgets_expired = 0;
+  };
+
+  explicit FaultInjector(Config config) : config_(config), rng_(config.seed) {}
+
+  /// Rule-application site: returns true if the rule should silently fail to
+  /// fire (no expression produced / no move generated).
+  bool FailRuleApplication() {
+    ++counters_.rule_sites;
+    bool fail = counters_.rule_sites == config_.fail_rule_at ||
+                Roll(config_.rule_failure_prob);
+    if (fail) ++counters_.rules_failed;
+    return fail;
+  }
+
+  /// Cost-estimation site: corrupts `*component` (the first component of a
+  /// freshly estimated local cost) to NaN or +infinity. Returns true if the
+  /// value was corrupted.
+  bool CorruptCost(double* component) {
+    ++counters_.cost_sites;
+    if (counters_.cost_sites == config_.corrupt_cost_at ||
+        Roll(config_.cost_nan_prob)) {
+      *component = std::numeric_limits<double>::quiet_NaN();
+      ++counters_.costs_corrupted;
+      return true;
+    }
+    if (Roll(config_.cost_inf_prob)) {
+      *component = std::numeric_limits<double>::infinity();
+      ++counters_.costs_corrupted;
+      return true;
+    }
+    return false;
+  }
+
+  /// Budget-checkpoint site: returns true if the budget should trip now.
+  bool ExpireBudget() {
+    ++counters_.budget_sites;
+    bool expire = counters_.budget_sites == config_.expire_budget_at ||
+                  Roll(config_.budget_expiry_prob);
+    if (expire) ++counters_.budgets_expired;
+    return expire;
+  }
+
+  const Config& config() const { return config_; }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  bool Roll(double prob) {
+    if (prob <= 0.0) return false;
+    return rng_.NextDouble() < prob;
+  }
+
+  Config config_;
+  Rng rng_;
+  Counters counters_;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SUPPORT_FAULT_H_

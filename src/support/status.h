@@ -13,10 +13,14 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace volcano {
 
-/// Result of a fallible operation: OK or an error code plus message.
+/// Result of a fallible operation: OK or an error code plus message, plus an
+/// optional structured detail payload (ordered key/value pairs) so callers
+/// can report *why* programmatically — e.g. which optimization budget
+/// tripped — without parsing the human-readable message.
 class Status {
  public:
   enum class Code {
@@ -56,6 +60,30 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 
+  /// Attaches one structured detail; chainable on both lvalues and rvalues:
+  ///   return Status::ResourceExhausted("budget exhausted")
+  ///       .WithDetail("budget", "deadline");
+  Status& WithDetail(std::string key, std::string value) & {
+    details_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Status&& WithDetail(std::string key, std::string value) && {
+    details_.emplace_back(std::move(key), std::move(value));
+    return std::move(*this);
+  }
+
+  const std::vector<std::pair<std::string, std::string>>& details() const {
+    return details_;
+  }
+
+  /// First value recorded under `key`, or nullptr.
+  const std::string* FindDetail(const std::string& key) const {
+    for (const auto& [k, v] : details_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
   std::string ToString() const {
     if (ok()) return "OK";
     const char* name = "UNKNOWN";
@@ -68,12 +96,22 @@ class Status {
       case Code::kInternal: name = "INTERNAL"; break;
       case Code::kUnimplemented: name = "UNIMPLEMENTED"; break;
     }
-    return std::string(name) + ": " + msg_;
+    std::string s = std::string(name) + ": " + msg_;
+    if (!details_.empty()) {
+      s += " {";
+      for (size_t i = 0; i < details_.size(); ++i) {
+        if (i) s += ", ";
+        s += details_[i].first + "=" + details_[i].second;
+      }
+      s += "}";
+    }
+    return s;
   }
 
  private:
   Code code_;
   std::string msg_;
+  std::vector<std::pair<std::string, std::string>> details_;
 };
 
 /// Either a value or an error Status.

@@ -293,13 +293,25 @@ TEST(Failures, WinnerIsReusedAcrossCalls) {
 }
 
 TEST(Budget, MemoCapAborts) {
+  // In strict mode the memo cap is a hard error; by default (anytime
+  // degradation) the same trip yields an approximate plan. The full budget
+  // and degradation matrix lives in budget_test.cc.
   Chain c(6);
   SearchOptions opts;
   opts.max_mexprs = 10;
+  opts.degradation = SearchOptions::Degradation::kStrict;
   Optimizer opt(*c.model, opts);
   StatusOr<PlanPtr> plan = opt.Optimize(*c.expr, nullptr);
   ASSERT_FALSE(plan.ok());
   EXPECT_EQ(plan.status().code(), Status::Code::kResourceExhausted);
+
+  SearchOptions anytime;
+  anytime.max_mexprs = 10;
+  Optimizer degraded(*c.model, anytime);
+  StatusOr<PlanPtr> approx = degraded.Optimize(*c.expr, nullptr);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  EXPECT_TRUE(degraded.outcome().approximate);
+  EXPECT_EQ(degraded.outcome().trip, BudgetTrip::kMemoLimit);
 }
 
 TEST(Heuristics, MoveLimitNeverImprovesCost) {

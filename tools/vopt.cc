@@ -10,6 +10,14 @@
 //   --memo           dump the memo after optimization
 //   --stats          print search-effort counters
 //   --execute SEED   generate data and run the plan
+//   --timeout-ms N   optimization deadline; on expiry the engine returns the
+//                    best plan found so far (anytime mode) or a fast
+//                    heuristic plan instead of failing
+//   --max-mexprs N   memo-expression budget (memory cap), same degradation
+//   --max-calls N    FindBestPlan-call budget, same degradation
+//   --strict         fail with RESOURCE_EXHAUSTED instead of degrading
+//   --fallback       use the EXODUS baseline as a last resort when even the
+//                    degradation ladder yields no plan
 //
 // Catalog description format, one declaration per line ('#' comments):
 //   relation <name> <cardinality> <tuple_bytes> <num_attrs>
@@ -27,6 +35,7 @@
 
 #include "exec/datagen.h"
 #include "exec/plan_exec.h"
+#include "exodus/fallback.h"
 #include "relational/sql.h"
 #include "search/dot.h"
 #include "search/optimizer.h"
@@ -109,7 +118,9 @@ int main(int argc, char** argv) {
   std::string catalog_path;
   std::string sql;
   bool dot = false, memo = false, stats = false, execute = false;
+  bool strict = false, fallback = false;
   uint64_t seed = 1;
+  volcano::SearchOptions search_options;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -124,6 +135,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--execute" && i + 1 < argc) {
       execute = true;
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      search_options.budget.timeout_ms = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--max-mexprs" && i + 1 < argc) {
+      search_options.budget.max_mexprs =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-calls" && i + 1 < argc) {
+      search_options.budget.max_find_best_plan_calls =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--strict") {
+      strict = true;
+      search_options.degradation =
+          volcano::SearchOptions::Degradation::kStrict;
+    } else if (arg == "--fallback") {
+      fallback = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "vopt: unknown option %s\n", arg.c_str());
       return 2;
@@ -134,7 +159,12 @@ int main(int argc, char** argv) {
   if (sql.empty()) {
     std::fprintf(stderr,
                  "usage: vopt [--catalog FILE] [--dot] [--memo] [--stats] "
-                 "[--execute SEED] \"SQL\"\n");
+                 "[--execute SEED] [--timeout-ms N] [--max-mexprs N] "
+                 "[--max-calls N] [--strict] [--fallback] \"SQL\"\n");
+    return 2;
+  }
+  if (strict && fallback) {
+    std::fprintf(stderr, "vopt: --strict and --fallback are exclusive\n");
     return 2;
   }
 
@@ -159,12 +189,20 @@ int main(int argc, char** argv) {
   std::printf("algebra: %s\n", model.ExprToString(*parsed->expr).c_str());
   std::printf("required: %s\n", parsed->required->ToString().c_str());
 
-  volcano::Optimizer optimizer(model);
+  volcano::Optimizer optimizer(model, search_options);
+  volcano::OptimizeOutcome outcome;
   volcano::StatusOr<volcano::PlanPtr> plan =
-      optimizer.Optimize(*parsed->expr, parsed->required);
+      fallback ? volcano::exodus::OptimizeWithFallback(
+                     model, *parsed->expr, parsed->required, search_options,
+                     &outcome)
+               : optimizer.Optimize(*parsed->expr, parsed->required);
+  if (!fallback) outcome = optimizer.outcome();
   if (!plan.ok()) {
     std::fprintf(stderr, "vopt: %s\n", plan.status().ToString().c_str());
     return 1;
+  }
+  if (outcome.approximate) {
+    std::printf("note: approximate plan (%s)\n", outcome.ToString().c_str());
   }
   std::printf("\nplan:\n%s",
               PlanToString(**plan, model.registry(), model.cost_model())
