@@ -10,6 +10,7 @@
 #ifndef VOLCANO_ALGEBRA_OP_ARG_H_
 #define VOLCANO_ALGEBRA_OP_ARG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -22,10 +23,27 @@ namespace volcano {
 /// memo entry iff operator, argument, and input groups all match.
 class OpArg {
  public:
+  OpArg() = default;
+  // The hash cache is identity-local, not part of the argument's value.
+  OpArg(const OpArg&) {}
+  OpArg& operator=(const OpArg&) { return *this; }
   virtual ~OpArg() = default;
 
   /// Value hash; must agree with Equals.
   virtual uint64_t Hash() const = 0;
+
+  /// Hash() computed at most once per object (arguments are immutable). The
+  /// memo's signature table probes with this so hash-consing an expression
+  /// never re-hashes its argument.
+  uint64_t CachedHash() const {
+    uint64_t h = cached_hash_.load(std::memory_order_relaxed);
+    if (h == 0) {
+      h = Hash();
+      if (h == 0) h = 0x9e3779b97f4a7c15ULL;  // keep 0 as "uncomputed"
+      cached_hash_.store(h, std::memory_order_relaxed);
+    }
+    return h;
+  }
 
   /// Value equality. `other` is guaranteed by callers to be compared only
   /// against arguments of operators from the same data model; implementations
@@ -34,13 +52,16 @@ class OpArg {
 
   /// Human-readable rendering for plan/expression dumps.
   virtual std::string ToString() const = 0;
+
+ private:
+  mutable std::atomic<uint64_t> cached_hash_{0};
 };
 
 using OpArgPtr = std::shared_ptr<const OpArg>;
 
 /// Hash of a possibly-null argument pointer.
 inline uint64_t HashOpArg(const OpArg* arg) {
-  return arg == nullptr ? 0x5851f42d4c957f2dULL : arg->Hash();
+  return arg == nullptr ? 0x5851f42d4c957f2dULL : arg->CachedHash();
 }
 
 /// Equality of possibly-null argument pointers.

@@ -13,6 +13,7 @@
 #ifndef VOLCANO_ALGEBRA_PROPERTIES_H_
 #define VOLCANO_ALGEBRA_PROPERTIES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -38,10 +39,28 @@ using LogicalPropsPtr = std::shared_ptr<const LogicalProps>;
 /// satisfy required ones).
 class PhysProps {
  public:
+  PhysProps() = default;
+  // Copies start with a cold hash cache; the cache is identity-local state,
+  // not part of the value.
+  PhysProps(const PhysProps&) {}
+  PhysProps& operator=(const PhysProps&) { return *this; }
   virtual ~PhysProps() = default;
 
   /// Value hash; must agree with Equals.
   virtual uint64_t Hash() const = 0;
+
+  /// Hash() computed at most once per object (immutable vectors only).
+  /// Winner-table and interner probes use this so repeated goal look-ups
+  /// never re-walk the property representation.
+  uint64_t CachedHash() const {
+    uint64_t h = cached_hash_.load(std::memory_order_relaxed);
+    if (h == 0) {
+      h = Hash();
+      if (h == 0) h = 0x9e3779b97f4a7c15ULL;  // keep 0 as "uncomputed"
+      cached_hash_.store(h, std::memory_order_relaxed);
+    }
+    return h;
+  }
 
   /// Value equality against another vector of the same model.
   virtual bool Equals(const PhysProps& other) const = 0;
@@ -52,6 +71,9 @@ class PhysProps {
   virtual bool Covers(const PhysProps& required) const = 0;
 
   virtual std::string ToString() const = 0;
+
+ private:
+  mutable std::atomic<uint64_t> cached_hash_{0};
 };
 
 using PhysPropsPtr = std::shared_ptr<const PhysProps>;

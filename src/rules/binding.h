@@ -9,9 +9,8 @@
 #ifndef VOLCANO_RULES_BINDING_H_
 #define VOLCANO_RULES_BINDING_H_
 
-#include <vector>
-
 #include "algebra/ids.h"
+#include "support/small_vector.h"
 #include "support/status.h"
 
 namespace volcano {
@@ -19,8 +18,13 @@ namespace volcano {
 class MExpr;
 
 /// One complete match of a pattern. Valid only during the rule callback.
+/// Bindings mirror rule patterns, which are a handful of nodes; inline
+/// storage keeps match enumeration allocation-free.
 class Binding {
  public:
+  using Nodes = SmallVector<const MExpr*, 4>;
+  using Leaves = SmallVector<GroupId, 4>;
+
   /// Matched multi-expression for the i-th operator node of the pattern, in
   /// pre-order; node 0 is the pattern root.
   const MExpr& node(size_t i) const {
@@ -36,15 +40,15 @@ class Binding {
     return leaves_[i];
   }
   size_t num_leaves() const { return leaves_.size(); }
-  const std::vector<GroupId>& leaves() const { return leaves_; }
+  const Leaves& leaves() const { return leaves_; }
 
   // Mutation is reserved for the match driver in the search engine.
-  std::vector<const MExpr*>& mutable_nodes() { return nodes_; }
-  std::vector<GroupId>& mutable_leaves() { return leaves_; }
+  Nodes& mutable_nodes() { return nodes_; }
+  Leaves& mutable_leaves() { return leaves_; }
 
  private:
-  std::vector<const MExpr*> nodes_;
-  std::vector<GroupId> leaves_;
+  Nodes nodes_;
+  Leaves leaves_;
 };
 
 }  // namespace volcano

@@ -22,8 +22,11 @@ namespace volcano {
 class RuleSet {
  public:
   /// Maximum number of transformation rules (the per-expression "already
-  /// fired" mask is a 64-bit word).
+  /// fired" mask is a 64-bit word; see MExpr::fired_mask()).
   static constexpr size_t kMaxTransformationRules = 64;
+  static_assert(kMaxTransformationRules <= 64,
+                "transformation rule ids are shifted into MExpr's 64-bit "
+                "fired mask; widen the mask before raising this limit");
 
   RuleId AddTransformation(std::unique_ptr<TransformationRule> rule) {
     VOLCANO_CHECK(transformations_.size() < kMaxTransformationRules);

@@ -5,7 +5,37 @@
 
 namespace volcano {
 
-Memo::~Memo() = default;
+namespace {
+
+/// True iff `e`'s signature is (op, arg, inputs). `inputs` must already be
+/// normalized to the same generation as `e`'s stored inputs.
+bool SigMatches(const MExpr& e, OperatorId op, const OpArg* arg,
+                std::span<const GroupId> inputs) {
+  if (e.op() != op || e.num_inputs() != inputs.size()) return false;
+  std::span<const GroupId> ein = e.inputs();
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (ein[i] != inputs[i]) return false;
+  }
+  return OpArgEquals(e.arg().get(), arg);
+}
+
+uint64_t SigBase(OperatorId op, const OpArg* arg) {
+  return HashCombine(Mix64(op), HashOpArg(arg));
+}
+
+uint64_t MixInputs(uint64_t base, std::span<const GroupId> inputs) {
+  for (GroupId g : inputs) base = HashCombine(base, g);
+  return base;
+}
+
+}  // namespace
+
+Memo::~Memo() {
+  // Arena storage is released wholesale; run the node destructors explicitly
+  // (MExpr holds an OpArgPtr, Group holds plans and logical properties).
+  for (MExpr* m : exprs_) m->~MExpr();
+  for (Group* g : groups_) g->~Group();
+}
 
 GroupId Memo::Find(GroupId g) const {
   VOLCANO_DCHECK(g < parent_.size());
@@ -16,40 +46,39 @@ GroupId Memo::Find(GroupId g) const {
   return g;
 }
 
-std::vector<GroupId> Memo::Normalize(
-    const std::vector<GroupId>& inputs) const {
-  std::vector<GroupId> out;
-  out.reserve(inputs.size());
-  for (GroupId g : inputs) out.push_back(Find(g));
-  return out;
-}
-
 GroupId Memo::NewGroup(OperatorId op, const OpArg* arg,
                        const std::vector<GroupId>& inputs) {
-  std::vector<LogicalPropsPtr> in_props;
-  in_props.reserve(inputs.size());
-  for (GroupId g : inputs) in_props.push_back(LogicalOf(g));
-  LogicalPropsPtr lp = model_.DeriveLogicalProps(op, arg, in_props);
+  scratch_in_props_.clear();
+  for (GroupId g : inputs) scratch_in_props_.push_back(LogicalOf(g));
+  LogicalPropsPtr lp = model_.DeriveLogicalProps(op, arg, scratch_in_props_);
+  scratch_in_props_.clear();
 
   GroupId id = static_cast<GroupId>(groups_.size());
-  groups_.push_back(std::make_unique<Group>());
-  groups_.back()->logical_ = std::move(lp);
+  Group* grp = arena_.New<Group>();
+  grp->logical_ = std::move(lp);
+  groups_.push_back(grp);
   parent_.push_back(id);
   ++num_live_groups_;
   return id;
 }
 
 std::pair<MExpr*, bool> Memo::InsertMExpr(OperatorId op, OpArgPtr arg,
-                                          std::vector<GroupId> inputs,
+                                          std::span<const GroupId> inputs,
                                           GroupId target) {
   VOLCANO_DCHECK(model_.registry().IsLogical(op));
-  inputs = Normalize(inputs);
+  scratch_inputs_.clear();
+  for (GroupId g : inputs) scratch_inputs_.push_back(Find(g));
   if (target != kInvalidGroup) target = Find(target);
 
-  Sig sig{op, arg.get(), inputs};
-  auto it = sig_table_.find(sig);
-  if (it != sig_table_.end()) {
-    MExpr* existing = it->second;
+  const OpArg* argp = arg.get();
+  uint64_t base = SigBase(op, argp);
+  uint64_t hash = MixInputs(base, scratch_inputs_);
+
+  if (MExpr* const* found =
+          sig_table_.FindHashed(hash, [&](const MExpr* e) {
+            return SigMatches(*e, op, argp, scratch_inputs_);
+          })) {
+    MExpr* existing = *found;
     GroupId eg = Find(existing->group_);
     if (target != kInvalidGroup && eg != target) {
       // The "same" expression was derived into two classes: the classes are
@@ -59,21 +88,26 @@ std::pair<MExpr*, bool> Memo::InsertMExpr(OperatorId op, OpArgPtr arg,
     return {existing, false};
   }
 
-  GroupId g = target != kInvalidGroup ? target : NewGroup(op, arg.get(), inputs);
-  auto owned = std::make_unique<MExpr>(op, std::move(arg), inputs, g);
-  MExpr* m = owned.get();
-  exprs_.push_back(std::move(owned));
+  GroupId g =
+      target != kInvalidGroup ? target : NewGroup(op, argp, scratch_inputs_);
+  GroupId* in_arr =
+      arena_.NewArray<GroupId>(scratch_inputs_.data(), scratch_inputs_.size());
+  MExpr* m = arena_.New<MExpr>(op, std::move(arg), in_arr,
+                               static_cast<uint32_t>(scratch_inputs_.size()),
+                               g, base, hash);
+  exprs_.push_back(m);
   groups_[g]->exprs_.push_back(m);
   ++num_live_exprs_;
 
-  sig_table_.emplace(Sig{op, m->arg().get(), m->inputs()}, m);
+  sig_table_.InsertHashed(hash, m);
 
   // Register m under each distinct input class for later re-canonicalization.
-  std::vector<GroupId> distinct = m->inputs();
-  std::sort(distinct.begin(), distinct.end());
-  distinct.erase(std::unique(distinct.begin(), distinct.end()),
-                 distinct.end());
-  for (GroupId in : distinct) referencing_[in].push_back(m);
+  scratch_distinct_ = scratch_inputs_;
+  std::sort(scratch_distinct_.begin(), scratch_distinct_.end());
+  scratch_distinct_.erase(
+      std::unique(scratch_distinct_.begin(), scratch_distinct_.end()),
+      scratch_distinct_.end());
+  for (GroupId in : scratch_distinct_) referencing_[in].push_back(m);
 
   return {m, true};
 }
@@ -82,7 +116,7 @@ GroupId Memo::InsertQuery(const Expr& expr) {
   std::vector<GroupId> inputs;
   inputs.reserve(expr.num_inputs());
   for (const auto& in : expr.inputs()) inputs.push_back(InsertQuery(*in));
-  auto [m, created] = InsertMExpr(expr.op(), expr.arg(), std::move(inputs),
+  auto [m, created] = InsertMExpr(expr.op(), expr.arg(), inputs,
                                   kInvalidGroup);
   (void)created;
   return Find(m->group());
@@ -109,12 +143,12 @@ GroupId Memo::InsertRex(const RexNode& rex, GroupId target) {
     }
   }
   if (target == kInvalidGroup) {
-    auto [m, created] = InsertMExpr(rex.op(), rex.arg(), std::move(inputs),
+    auto [m, created] = InsertMExpr(rex.op(), rex.arg(), inputs,
                                     kInvalidGroup);
     (void)created;
     return Find(m->group());
   }
-  InsertMExpr(rex.op(), rex.arg(), std::move(inputs), target);
+  InsertMExpr(rex.op(), rex.arg(), inputs, target);
   return Find(target);
 }
 
@@ -146,48 +180,58 @@ void Memo::RunMergeWorklist() {
     }
     gb.exprs_.clear();
 
+    // Winner keys are canonical goals from the memo-wide interner, so the
+    // same goal has the same key (and hash) in both classes' tables.
     const CostModel& cm = model_.cost_model();
-    for (auto& [key, w] : gb.winners_) {
-      auto it = ga.winners_.find(key);
-      if (it == ga.winners_.end()) {
-        ga.winners_.emplace(key, w);
-        continue;
+    gb.winners_.ForEach([&](Goal key, Winner& w) {
+      Winner* cur = ga.winners_.Find(key);
+      if (cur == nullptr) {
+        ga.winners_.TryEmplace(key, std::move(w));
+        return;
       }
-      Winner& cur = it->second;
-      if (cur.failed() && !w.failed()) {
-        cur = w;
-      } else if (!cur.failed() && !w.failed() && cm.Less(w.cost, cur.cost)) {
-        cur = w;
-      } else if (cur.failed() && w.failed() && cm.Less(cur.cost, w.cost)) {
-        cur = w;  // keep the failure with the higher proven-infeasible limit
+      if (cur->failed() && !w.failed()) {
+        *cur = std::move(w);
+      } else if (!cur->failed() && !w.failed() && cm.Less(w.cost, cur->cost)) {
+        *cur = std::move(w);
+      } else if (cur->failed() && w.failed() && cm.Less(cur->cost, w.cost)) {
+        *cur = std::move(w);  // keep the failure with the higher limit
       }
-    }
-    gb.winners_.clear();
+    });
+    gb.winners_.Clear();
 
-    for (const auto& k : gb.in_progress_) ga.in_progress_.insert(k);
-    gb.in_progress_.clear();
+    gb.in_progress_.ForEach([&](Goal k) { ga.in_progress_.Insert(k); });
+    gb.in_progress_.Clear();
 
     // The merged class has new expressions; transformations must be
     // re-checked (fired masks keep the re-check cheap).
     ga.explored_ = false;
 
     // Re-canonicalize every expression that referenced the loser class.
-    auto rit = referencing_.find(b);
-    if (rit == referencing_.end()) continue;
-    std::vector<MExpr*> refs = std::move(rit->second);
-    referencing_.erase(rit);
+    std::vector<MExpr*>* rvec = referencing_.Find(b);
+    if (rvec == nullptr) continue;
+    std::vector<MExpr*> refs = std::move(*rvec);
+    referencing_.Erase(b);
     for (MExpr* m : refs) {
       if (m->dead_) continue;
-      // Invariant: the signature table key for a live expression equals its
-      // stored (op, arg, inputs). Erase, normalize, re-insert.
-      sig_table_.erase(Sig{m->op_, m->arg_.get(), m->inputs_});
-      m->inputs_ = Normalize(m->inputs_);
-      Sig nsig{m->op_, m->arg_.get(), m->inputs_};
-      auto [pos, inserted] = sig_table_.emplace(nsig, m);
-      if (!inserted) {
+      // Invariant: a live expression's signature-table entry is keyed by its
+      // current sig_hash_ and (op, arg, inputs). Erase, normalize the input
+      // array in place, re-mix the hash from the cached (op, arg) base, and
+      // re-insert.
+      sig_table_.EraseHashed(m->sig_hash_,
+                             [m](const MExpr* e) { return e == m; });
+      uint64_t h = m->sig_base_;
+      for (uint32_t i = 0; i < m->num_inputs_; ++i) {
+        m->inputs_[i] = Find(m->inputs_[i]);
+        h = HashCombine(h, m->inputs_[i]);
+      }
+      m->sig_hash_ = h;
+      if (MExpr* const* found =
+              sig_table_.FindHashed(h, [&](const MExpr* e) {
+                return SigMatches(*e, m->op_, m->arg_.get(), m->inputs());
+              })) {
         // The normalized expression already exists elsewhere: m is a
         // duplicate; its class and the existing one are equivalent.
-        MExpr* canonical = pos->second;
+        MExpr* canonical = *found;
         m->dead_ = true;
         --num_live_exprs_;
         GroupId mg = Find(m->group_);
@@ -197,11 +241,13 @@ void Memo::RunMergeWorklist() {
         if (mg != cg) merge_worklist_.emplace_back(mg, cg);
         continue;
       }
-      for (GroupId in : m->inputs_) {
+      sig_table_.InsertHashed(h, m);
+      for (GroupId in : m->inputs()) {
         if (in == a) {
-          auto& vec = referencing_[a];
-          if (std::find(vec.begin(), vec.end(), m) == vec.end())
+          std::vector<MExpr*>& vec = referencing_[a];
+          if (std::find(vec.begin(), vec.end(), m) == vec.end()) {
             vec.push_back(m);
+          }
           break;
         }
       }
@@ -210,19 +256,18 @@ void Memo::RunMergeWorklist() {
   merging_ = false;
 }
 
-void Memo::StoreWinner(GroupId g, const GoalKey& key, Winner w) {
+void Memo::StoreWinner(GroupId g, Goal goal, Winner w) {
   Group& grp = group(g);
-  auto it = grp.winners_.find(key);
-  if (it == grp.winners_.end()) {
-    grp.winners_.emplace(key, std::move(w));
+  Winner* cur = grp.winners_.Find(goal);
+  if (cur == nullptr) {
+    grp.winners_.TryEmplace(goal, std::move(w));
     return;
   }
-  Winner& cur = it->second;
   const CostModel& cm = model_.cost_model();
-  if (cur.failed()) {
-    if (!w.failed() || cm.Less(cur.cost, w.cost)) cur = std::move(w);
-  } else if (!w.failed() && cm.Less(w.cost, cur.cost)) {
-    cur = std::move(w);
+  if (cur->failed()) {
+    if (!w.failed() || cm.Less(cur->cost, w.cost)) *cur = std::move(w);
+  } else if (!w.failed() && cm.Less(w.cost, cur->cost)) {
+    *cur = std::move(w);
   }
 }
 
@@ -254,7 +299,7 @@ std::string Memo::ToString() const {
       }
       os << "\n";
     }
-    for (const auto& [key, w] : grp.winners_) {
+    grp.winners_.ForEach([&](Goal key, const Winner& w) {
       os << "  goal " << key.required->ToString();
       if (key.excluded != nullptr)
         os << " excluding " << key.excluded->ToString();
@@ -265,7 +310,7 @@ std::string Memo::ToString() const {
         os << " -> " << PlanToLine(*w.plan, reg) << " cost "
            << model_.cost_model().ToString(w.cost) << "\n";
       }
-    }
+    });
   }
   return os.str();
 }

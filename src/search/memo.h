@@ -14,15 +14,21 @@
 // properties as well as failures that can save future optimization effort
 // for a logical expression and a physical property vector with the same or
 // even lower cost limits."
+//
+// Memory layout (see DESIGN.md §7): multi-expressions and classes are
+// bump-allocated from a per-memo arena; input-class lists are arena arrays
+// normalized in place across merges; all look-up tables are open-addressing
+// (support/flat_hash.h); and optimization goals are canonicalized through a
+// property-vector interner so goal equality is pointer identity and goal
+// hashes are precomputed.
 
 #ifndef VOLCANO_SEARCH_MEMO_H_
 #define VOLCANO_SEARCH_MEMO_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -31,27 +37,35 @@
 #include "algebra/ids.h"
 #include "algebra/op_arg.h"
 #include "algebra/properties.h"
+#include "algebra/props_interner.h"
 #include "rules/rex.h"
 #include "search/plan.h"
+#include "support/arena.h"
+#include "support/flat_hash.h"
 #include "support/hash.h"
 #include "support/status.h"
 
 namespace volcano {
 
+/// Width of MExpr's fired-rule mask: one bit per transformation rule.
+/// RuleSet::kMaxTransformationRules must never exceed this.
+inline constexpr uint32_t kFiredMaskBits = 64;
+
 /// A logical multi-expression: an operator over equivalence classes. Stored
 /// input group ids may become stale after class merges; always resolve
-/// through Memo::Find().
+/// through Memo::Find(). Instances live in the owning memo's arena; the
+/// input-class list is an arena array rewritten in place when classes merge.
 class MExpr {
  public:
-  MExpr(OperatorId op, OpArgPtr arg, std::vector<GroupId> inputs,
-        GroupId group)
-      : op_(op), arg_(std::move(arg)), inputs_(std::move(inputs)),
-        group_(group) {}
+  MExpr(OperatorId op, OpArgPtr arg, GroupId* inputs, uint32_t num_inputs,
+        GroupId group, uint64_t sig_base, uint64_t sig_hash)
+      : op_(op), num_inputs_(num_inputs), group_(group), arg_(std::move(arg)),
+        inputs_(inputs), sig_base_(sig_base), sig_hash_(sig_hash) {}
 
   OperatorId op() const { return op_; }
   const OpArgPtr& arg() const { return arg_; }
-  const std::vector<GroupId>& inputs() const { return inputs_; }
-  size_t num_inputs() const { return inputs_.size(); }
+  std::span<const GroupId> inputs() const { return {inputs_, num_inputs_}; }
+  size_t num_inputs() const { return num_inputs_; }
   GroupId input(size_t i) const { return inputs_[i]; }
 
   /// Owning equivalence class (kept current across merges).
@@ -62,10 +76,16 @@ class MExpr {
 
   /// Mask of transformation rules already applied to this expression; guards
   /// against re-deriving the same expressions and detects rule inverses
-  /// together with the in-progress marking.
+  /// together with the in-progress marking. Rule ids at or past
+  /// kFiredMaskBits would shift out of the mask and silently disable the
+  /// guard, so they are rejected outright.
   uint64_t fired_mask() const { return fired_; }
-  void MarkFired(RuleId rule) { fired_ |= uint64_t{1} << rule; }
+  void MarkFired(RuleId rule) {
+    VOLCANO_CHECK(rule < kFiredMaskBits);
+    fired_ |= uint64_t{1} << rule;
+  }
   bool HasFired(RuleId rule) const {
+    VOLCANO_DCHECK(rule < kFiredMaskBits);
     return (fired_ & (uint64_t{1} << rule)) != 0;
   }
 
@@ -73,10 +93,16 @@ class MExpr {
   friend class Memo;
 
   OperatorId op_;
-  OpArgPtr arg_;
-  std::vector<GroupId> inputs_;
+  uint32_t num_inputs_;
   GroupId group_;
+  OpArgPtr arg_;
+  GroupId* inputs_;  // arena array; normalized in place on merges
   uint64_t fired_ = 0;
+  // Signature hashing is split so re-canonicalization after a merge only
+  // re-mixes the input ids: sig_base_ covers (op, arg) — the part that never
+  // changes — and sig_hash_ is the full table hash kept current.
+  uint64_t sig_base_;
+  uint64_t sig_hash_;
   bool dead_ = false;
 };
 
@@ -91,6 +117,8 @@ struct Winner {
 
 /// Key for the winner table: required physical properties plus the optional
 /// excluding physical property vector (used when optimizing enforcer inputs).
+/// This is the by-value form used at API boundaries; internally the memo
+/// canonicalizes it to a Goal (interned pointers) once per look-up.
 struct GoalKey {
   PhysPropsPtr required;
   PhysPropsPtr excluded;  ///< may be null
@@ -102,16 +130,34 @@ struct GoalKey {
   }
 };
 
-struct GoalKeyHash {
-  size_t operator()(const GoalKey& k) const {
-    uint64_t h = k.required->Hash();
-    if (k.excluded != nullptr) h = HashCombine(h, k.excluded->Hash());
-    return static_cast<size_t>(h);
+/// A canonicalized optimization goal: both vectors are interned in the memo's
+/// PropsInterner, so equality is pointer identity and the hash reuses the
+/// vectors' cached value hashes. The interner (and thus the memo) keeps the
+/// pointed-to vectors alive. See docs/SEARCH.md.
+struct Goal {
+  const PhysProps* required = nullptr;
+  const PhysProps* excluded = nullptr;  ///< may be null
+
+  friend bool operator==(Goal a, Goal b) {
+    return a.required == b.required && a.excluded == b.excluded;
+  }
+  friend bool operator!=(Goal a, Goal b) { return !(a == b); }
+};
+
+/// Hashes a Goal by the *values* of its vectors (cached), not by pointer, so
+/// table layouts — and hence iteration order and run-to-run behavior — do not
+/// depend on allocation addresses. Consistent with Goal's pointer equality
+/// because interning maps value equality to pointer identity.
+struct GoalHash {
+  uint64_t operator()(Goal g) const {
+    uint64_t h = g.required->CachedHash();
+    if (g.excluded != nullptr) h = HashCombine(h, g.excluded->CachedHash());
+    return h;
   }
 };
 
 /// An equivalence class: logical expressions, winners per goal, logical
-/// properties, and exploration state.
+/// properties, and exploration state. Instances live in the memo's arena.
 class Group {
  public:
   const std::vector<MExpr*>& exprs() const { return exprs_; }
@@ -120,10 +166,24 @@ class Group {
   bool explored() const { return explored_; }
   bool exploring() const { return exploring_; }
 
-  /// Winner or memoized failure for a goal, if known.
+  /// Winner or memoized failure for a canonical goal, if known.
+  const Winner* FindWinner(Goal goal) const {
+    return winners_.FindHashed(GoalHash{}(goal),
+                               [goal](Goal g) { return g == goal; });
+  }
+
+  /// Value-based probe for a non-canonical key (test/diagnostic path): same
+  /// hash (goal hashes are value hashes), deep equality.
   const Winner* FindWinner(const GoalKey& key) const {
-    auto it = winners_.find(key);
-    return it == winners_.end() ? nullptr : &it->second;
+    uint64_t h = key.required->CachedHash();
+    if (key.excluded != nullptr) {
+      h = HashCombine(h, key.excluded->CachedHash());
+    }
+    return winners_.FindHashed(h, [&key](Goal g) {
+      if (!g.required->Equals(*key.required)) return false;
+      if ((g.excluded == nullptr) != (key.excluded == nullptr)) return false;
+      return g.excluded == nullptr || g.excluded->Equals(*key.excluded);
+    });
   }
 
   size_t num_winners() const { return winners_.size(); }
@@ -135,8 +195,8 @@ class Group {
   LogicalPropsPtr logical_;
   bool explored_ = false;
   bool exploring_ = false;
-  std::unordered_map<GoalKey, Winner, GoalKeyHash> winners_;
-  std::unordered_set<GoalKey, GoalKeyHash> in_progress_;
+  FlatHashMap<Goal, Winner, GoalHash> winners_;
+  FlatHashSet<Goal, GoalHash> in_progress_;
 };
 
 /// The expression / equivalence-class store with duplicate detection and
@@ -160,16 +220,20 @@ class Memo {
   /// new class unless an identical expression already exists". Returns the
   /// expression (new or existing) and whether it was newly created.
   std::pair<MExpr*, bool> InsertMExpr(OperatorId op, OpArgPtr arg,
-                                      std::vector<GroupId> inputs,
+                                      std::span<const GroupId> inputs,
                                       GroupId target);
+  std::pair<MExpr*, bool> InsertMExpr(OperatorId op, OpArgPtr arg,
+                                      const std::vector<GroupId>& inputs,
+                                      GroupId target) {
+    return InsertMExpr(op, std::move(arg), std::span<const GroupId>(inputs),
+                       target);
+  }
 
   /// Resolves a class id through pending merges (union-find with path
   /// compression).
   GroupId Find(GroupId g) const;
 
-  Group& group(GroupId g) {
-    return *groups_[Find(g)];
-  }
+  Group& group(GroupId g) { return *groups_[Find(g)]; }
   const Group& group(GroupId g) const { return *groups_[Find(g)]; }
 
   /// Logical properties of a class (derived once at class creation).
@@ -177,22 +241,56 @@ class Memo {
     return group(g).logical_;
   }
 
+  // --- goal canonicalization ----------------------------------------------
+
+  /// Interns a property vector; all goals passing through the memo's tables
+  /// use canonical vectors, so two Goals are equal iff their pointers are.
+  PhysPropsPtr InternProps(const PhysPropsPtr& props) const {
+    return interner_.Intern(props);
+  }
+
+  /// Canonical goal for (required, excluded != null only under an enforcer).
+  Goal CanonicalGoal(const PhysPropsPtr& required,
+                     const PhysPropsPtr& excluded) const {
+    Goal g;
+    g.required = interner_.InternRaw(required);
+    g.excluded = interner_.InternRaw(excluded);
+    return g;
+  }
+
+  /// Distinct property-vector values interned so far (diagnostics).
+  size_t num_interned_props() const { return interner_.size(); }
+
   // --- winner table -------------------------------------------------------
 
-  const Winner* FindWinner(GroupId g, const GoalKey& key) const {
-    return group(g).FindWinner(key);
+  const Winner* FindWinner(GroupId g, Goal goal) const {
+    return group(g).FindWinner(goal);
   }
-  void StoreWinner(GroupId g, const GoalKey& key, Winner w);
+  const Winner* FindWinner(GroupId g, const GoalKey& key) const {
+    return FindWinner(g, CanonicalGoal(key.required, key.excluded));
+  }
+  void StoreWinner(GroupId g, Goal goal, Winner w);
+  void StoreWinner(GroupId g, const GoalKey& key, Winner w) {
+    StoreWinner(g, CanonicalGoal(key.required, key.excluded), std::move(w));
+  }
 
+  bool IsInProgress(GroupId g, Goal goal) const {
+    return group(g).in_progress_.Contains(goal);
+  }
   bool IsInProgress(GroupId g, const GoalKey& key) const {
-    const Group& grp = group(g);
-    return grp.in_progress_.find(key) != grp.in_progress_.end();
+    return IsInProgress(g, CanonicalGoal(key.required, key.excluded));
+  }
+  void MarkInProgress(GroupId g, Goal goal) {
+    group(g).in_progress_.Insert(goal);
   }
   void MarkInProgress(GroupId g, const GoalKey& key) {
-    group(g).in_progress_.insert(key);
+    MarkInProgress(g, CanonicalGoal(key.required, key.excluded));
+  }
+  void UnmarkInProgress(GroupId g, Goal goal) {
+    group(g).in_progress_.Erase(goal);
   }
   void UnmarkInProgress(GroupId g, const GoalKey& key) {
-    group(g).in_progress_.erase(key);
+    UnmarkInProgress(g, CanonicalGoal(key.required, key.excluded));
   }
 
   // --- exploration state --------------------------------------------------
@@ -206,6 +304,9 @@ class Memo {
   size_t num_exprs() const { return num_live_exprs_; }
   size_t num_merges() const { return num_merges_; }
 
+  /// Arena bytes backing the node stores (memory-consumption telemetry).
+  size_t arena_bytes() const { return arena_.bytes_reserved(); }
+
   /// All class ids currently live (normalized, deduplicated).
   std::vector<GroupId> LiveGroups() const;
 
@@ -213,39 +314,33 @@ class Memo {
   std::string ToString() const;
 
  private:
-  struct Sig {
-    OperatorId op;
-    const OpArg* arg;  // borrowed from the owning MExpr
-    std::vector<GroupId> inputs;
-
-    friend bool operator==(const Sig& a, const Sig& b) {
-      return a.op == b.op && a.inputs == b.inputs && OpArgEquals(a.arg, b.arg);
-    }
-  };
-  struct SigHash {
-    size_t operator()(const Sig& s) const {
-      uint64_t h = Mix64(s.op);
-      h = HashCombine(h, HashOpArg(s.arg));
-      for (GroupId g : s.inputs) h = HashCombine(h, g);
-      return static_cast<size_t>(h);
-    }
-  };
-
   GroupId NewGroup(OperatorId op, const OpArg* arg,
                    const std::vector<GroupId>& inputs);
   void MergeGroups(GroupId a, GroupId b);
   void RunMergeWorklist();
-  std::vector<GroupId> Normalize(const std::vector<GroupId>& inputs) const;
 
   const DataModel& model_;
-  std::vector<std::unique_ptr<Group>> groups_;
+  Arena arena_;
+  // All nodes ever created, live and dead; the arena never runs destructors,
+  // so ~Memo destroys them explicitly through these lists.
+  std::vector<Group*> groups_;
+  std::vector<MExpr*> exprs_;
   mutable std::vector<GroupId> parent_;  // union-find
-  std::unordered_map<Sig, MExpr*, SigHash> sig_table_;
-  std::vector<std::unique_ptr<MExpr>> exprs_;
+  // Signature table: the key *is* the expression (its op/arg/inputs are the
+  // signature; its sig_hash_ is the stored slot hash). Every access goes
+  // through the *Hashed entry points; the set's default hash functor is
+  // never invoked.
+  FlatHashSet<MExpr*> sig_table_;
   // Parents index: classes -> expressions referencing them as inputs; used
   // to re-canonicalize signatures after merges.
-  std::unordered_map<GroupId, std::vector<MExpr*>> referencing_;
+  FlatHashMap<GroupId, std::vector<MExpr*>> referencing_;
   std::vector<std::pair<GroupId, GroupId>> merge_worklist_;
+  mutable PropsInterner interner_;
+  // Scratch buffers for the non-reentrant insertion path (InsertMExpr never
+  // calls itself; merges normalize in place and don't use these).
+  std::vector<GroupId> scratch_inputs_;
+  std::vector<GroupId> scratch_distinct_;
+  std::vector<LogicalPropsPtr> scratch_in_props_;
   bool merging_ = false;
   size_t num_live_groups_ = 0;
   size_t num_live_exprs_ = 0;

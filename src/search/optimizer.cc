@@ -12,7 +12,28 @@ namespace volcano {
 Optimizer::Optimizer(const DataModel& model, SearchOptions options)
     : model_(model), options_(options), memo_(model) {
   mexpr_cap_ = std::min(options_.max_mexprs, options_.budget.max_mexprs);
+  any_props_ = memo_.InternProps(model_.AnyProps());
 }
+
+namespace {
+
+/// Stable descending sort by promise. Insertion sort keeps equal-promise
+/// moves in collection order (matching the std::stable_sort it replaces)
+/// without stable_sort's temporary-buffer allocation; move sets are small.
+template <typename MoveT>
+void SortMovesByPromise(std::vector<MoveT>& moves) {
+  for (size_t i = 1; i < moves.size(); ++i) {
+    MoveT tmp = std::move(moves[i]);
+    size_t j = i;
+    while (j > 0 && moves[j - 1].promise < tmp.promise) {
+      moves[j] = std::move(moves[j - 1]);
+      --j;
+    }
+    moves[j] = std::move(tmp);
+  }
+}
+
+}  // namespace
 
 bool Optimizer::CheckBudget() {
   if (trip_ != BudgetTrip::kNone) return false;
@@ -76,25 +97,30 @@ bool Optimizer::AdmitLocalCost(Cost* cost) {
 }
 
 StatusOr<PlanPtr> Optimizer::Optimize(const Expr& query,
-                                      PhysPropsPtr required) {
-  return Optimize(query, std::move(required), model_.cost_model().Infinity());
+                                      const PhysPropsPtr& required) {
+  return Optimize(query, required, model_.cost_model().Infinity());
 }
 
 StatusOr<PlanPtr> Optimizer::Optimize(const Expr& query,
-                                      PhysPropsPtr required, Cost limit) {
+                                      const PhysPropsPtr& required,
+                                      Cost limit) {
   GroupId root = memo_.InsertQuery(query);
-  return OptimizeGroup(root, std::move(required), limit);
+  return OptimizeGroup(root, required, limit);
 }
 
 StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
-                                           PhysPropsPtr required) {
-  return OptimizeGroup(group, std::move(required),
-                       model_.cost_model().Infinity());
+                                           const PhysPropsPtr& required) {
+  return OptimizeGroup(group, required, model_.cost_model().Infinity());
 }
 
 StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
-                                           PhysPropsPtr required, Cost limit) {
-  if (required == nullptr) required = model_.AnyProps();
+                                           const PhysPropsPtr& required_in,
+                                           Cost limit) {
+  // Bind the fallback without copying the caller's pointer on the hot path.
+  PhysPropsPtr fallback;
+  if (required_in == nullptr) fallback = model_.AnyProps();
+  const PhysPropsPtr& required = required_in != nullptr ? required_in
+                                                        : fallback;
   const CostModel& cm = model_.cost_model();
   ArmBudget();
   Result r = FindBestPlan(group, required, limit, nullptr);
@@ -114,10 +140,11 @@ StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
     // complete, executable plan within the cost limit (PursueMove installs
     // only fully planned moves); return it tagged approximate.
     if (r.plan != nullptr) {
-      VOLCANO_CHECK(r.plan->props()->Covers(*required));
+      VOLCANO_CHECK(r.plan->props().get() == required.get() ||
+                    r.plan->props()->Covers(*required));
       outcome_.source = PlanSource::kAnytimeIncumbent;
       outcome_.approximate = true;
-      return r.plan;
+      return std::move(r.plan);
     }
     // Ladder step 2 — bounded greedy heuristic over the frozen memo.
     if (options_.heuristic_fallback) {
@@ -125,10 +152,11 @@ StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
       Result g = GreedyPlan(group, required, nullptr, 0);
       greedy_mode_ = false;
       if (g.plan != nullptr && cm.LessEq(g.cost, limit)) {
-        VOLCANO_CHECK(g.plan->props()->Covers(*required));
+        VOLCANO_CHECK(g.plan->props().get() == required.get() ||
+                      g.plan->props()->Covers(*required));
         outcome_.source = PlanSource::kHeuristic;
         outcome_.approximate = true;
-        return g.plan;
+        return std::move(g.plan);
       }
     }
     return ExhaustedStatus();
@@ -140,8 +168,11 @@ StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
   }
   // Final consistency check (paper section 2.2): the chosen plan's physical
   // properties really do satisfy the physical property vector of the goal.
-  VOLCANO_CHECK(r.plan->props()->Covers(*required));
-  return r.plan;
+  // A pointer match (plan props shared with the goal) skips the virtual
+  // Covers call.
+  VOLCANO_CHECK(r.plan->props().get() == required.get() ||
+                r.plan->props()->Covers(*required));
+  return std::move(r.plan);
 }
 
 void Optimizer::ExploreGroup(GroupId group) {
@@ -161,6 +192,8 @@ void Optimizer::ExploreGroup(GroupId group) {
   // iterate; re-resolve on every step). The per-expression fired mask makes
   // repeated sweeps cheap and guarantees termination together with memo
   // deduplication.
+  ScratchLease<Binding> bindings_lease(binding_pool_);
+  std::vector<Binding>& bindings = *bindings_lease;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -175,7 +208,7 @@ void Optimizer::ExploreGroup(GroupId group) {
         if (m->HasFired(rid)) continue;
         m->MarkFired(rid);
         const TransformationRule& rule = rules.transformation(rid);
-        std::vector<Binding> bindings;
+        bindings.clear();
         CollectBindings(rule.pattern(), *m, &bindings);
         for (const Binding& b : bindings) {
           ++stats_.transformations_matched;
@@ -273,6 +306,8 @@ void Optimizer::CollectAlgorithmMoves(GroupId group,
                                       const PhysPropsPtr& excluded,
                                       std::vector<Move>* moves) {
   const RuleSet& rules = model_.rule_set();
+  ScratchLease<Binding> bindings_lease(binding_pool_);
+  std::vector<Binding>& bindings = *bindings_lease;
   for (size_t i = 0;; ++i) {
     group = memo_.Find(group);
     const Group& grp = memo_.group(group);
@@ -281,7 +316,7 @@ void Optimizer::CollectAlgorithmMoves(GroupId group,
     if (m->dead()) continue;
     for (RuleId rid : rules.ImplementationsFor(m->op())) {
       const ImplementationRule& rule = rules.implementation(rid);
-      std::vector<Binding> bindings;
+      bindings.clear();
       CollectBindings(rule.pattern(), *m, &bindings);
       for (Binding& b : bindings) {
         if (!rule.Condition(b, memo_)) continue;
@@ -320,11 +355,13 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
   if (!CheckBudget()) return failure;
 
   group = memo_.Find(group);
-  GoalKey key{required, excluded};
+  // One canonicalization per goal; every table operation below is a pointer
+  // probe with a precomputed hash.
+  Goal goal = memo_.CanonicalGoal(required, excluded);
 
   // --- the look-up table part of Figure 2 ---------------------------------
   if (options_.memoize_winners) {
-    if (const Winner* w = memo_.FindWinner(group, key)) {
+    if (const Winner* w = memo_.FindWinner(group, goal)) {
       if (!w->failed()) {
         // A recorded winner is the goal's optimum (branch-and-bound never
         // discards a plan cheaper than the best known one), so it either
@@ -350,18 +387,20 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
   // Rule inverses (commutativity applied twice, etc.) re-derive this very
   // goal; "if a newly formed expression already exists ... and is marked as
   // 'in progress,' it is ignored" (section 3).
-  if (memo_.IsInProgress(group, key)) {
+  if (memo_.IsInProgress(group, goal)) {
     ++stats_.in_progress_hits;
     ++stats_.goals_completed;
     return failure;
   }
-  memo_.MarkInProgress(group, key);
+  memo_.MarkInProgress(group, goal);
 
   Result best = failure;
   Cost best_cost = limit;
 
+  // Canonical pointers make "is this the vacuous requirement?" an identity
+  // test (was: AnyProps()->Equals(*required)).
   if (options_.glue_properties && excluded == nullptr &&
-      !model_.AnyProps()->Equals(*required)) {
+      goal.required != any_props_.get()) {
     best = FindBestPlanWithGlue(group, required, limit);
     if (best.plan != nullptr) best_cost = best.cost;
   } else if (options_.strategy == SearchOptions::Strategy::kInterleaved) {
@@ -375,7 +414,8 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
     // Matching multi-level patterns explores input classes, which can merge
     // this class with another mid-sweep; restart the collection until the
     // class is stable so no expression is missed.
-    std::vector<Move> moves;
+    ScratchLease<Move> moves_lease(move_pool_);
+    std::vector<Move>& moves = *moves_lease;
     bool stable = false;
     while (!stable) {
       moves.clear();
@@ -390,10 +430,7 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
     CollectEnforcerMoves(required, excluded, *logical, &moves);
 
     // --- order the set of moves by promise ---------------------------------
-    std::stable_sort(moves.begin(), moves.end(),
-                     [](const Move& a, const Move& b) {
-                       return a.promise > b.promise;
-                     });
+    SortMovesByPromise(moves);
     if (options_.move_limit > 0 &&
         moves.size() > static_cast<size_t>(options_.move_limit)) {
       stats_.moves_skipped += moves.size() - options_.move_limit;
@@ -408,16 +445,16 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
   }
 
   group = memo_.Find(group);
-  memo_.UnmarkInProgress(group, key);
+  memo_.UnmarkInProgress(group, goal);
 
   // --- maintain the look-up table of explored facts ------------------------
   // Nothing is recorded once the budget has tripped: a truncated search
   // proves neither optimality nor infeasibility.
   if (options_.memoize_winners && !aborted()) {
     if (best.plan != nullptr) {
-      memo_.StoreWinner(group, key, Winner{best.plan, best.cost});
+      memo_.StoreWinner(group, goal, Winner{best.plan, best.cost});
     } else if (options_.memoize_failures) {
-      memo_.StoreWinner(group, key, Winner{nullptr, limit});
+      memo_.StoreWinner(group, goal, Winner{nullptr, limit});
     }
   }
   if (!aborted()) ++stats_.goals_completed;
@@ -543,7 +580,8 @@ void Optimizer::RunInterleaved(GroupId* group, const PhysPropsPtr& required,
     }
 
     // Algorithm moves for expressions not pursued under this goal yet.
-    std::vector<Move> moves;
+    ScratchLease<Move> moves_lease(move_pool_);
+    std::vector<Move>& moves = *moves_lease;
     CollectAlgorithmMoves(*group, required, excluded, &moves);
     moves.erase(std::remove_if(moves.begin(), moves.end(),
                                [&](const Move& mv) {
@@ -581,10 +619,7 @@ void Optimizer::RunInterleaved(GroupId* group, const PhysPropsPtr& required,
       }
     }
 
-    std::stable_sort(moves.begin(), moves.end(),
-                     [](const Move& a, const Move& b) {
-                       return a.promise > b.promise;
-                     });
+    SortMovesByPromise(moves);
     for (const Move& mv : moves) {
       if (!CheckBudget()) return;
       if (mv.rule != nullptr) {
@@ -639,27 +674,25 @@ Optimizer::Result Optimizer::GreedyPlan(GroupId group,
   // defense in depth against pathological enforcer relaxation chains.
   if (depth > 128) return failure;
   group = memo_.Find(group);
-  GoalKey key{required, excluded};
+  Goal goal = memo_.CanonicalGoal(required, excluded);
   // Winners recorded before the budget tripped are optimal and complete —
   // reuse them rather than re-planning greedily.
-  if (const Winner* w = memo_.FindWinner(group, key);
+  if (const Winner* w = memo_.FindWinner(group, goal);
       w != nullptr && !w->failed()) {
     return {w->plan, w->cost};
   }
-  if (memo_.IsInProgress(group, key)) return failure;
-  memo_.MarkInProgress(group, key);
+  if (memo_.IsInProgress(group, goal)) return failure;
+  memo_.MarkInProgress(group, goal);
 
   // Moves over the memo as it stands: no transformations, no exploration
   // (ExploreGroup is suppressed in greedy mode), hence no memo growth.
-  std::vector<Move> moves;
+  ScratchLease<Move> moves_lease(move_pool_);
+  std::vector<Move>& moves = *moves_lease;
   CollectAlgorithmMoves(group, required, excluded, &moves);
   group = memo_.Find(group);
   const LogicalPropsPtr logical = memo_.LogicalOf(group);
   CollectEnforcerMoves(required, excluded, *logical, &moves);
-  std::stable_sort(moves.begin(), moves.end(),
-                   [](const Move& a, const Move& b) {
-                     return a.promise > b.promise;
-                   });
+  SortMovesByPromise(moves);
 
   // Greedy descent: the first move in promise order whose inputs can all be
   // planned wins; later moves are only tried when earlier ones fail.
@@ -707,7 +740,7 @@ Optimizer::Result Optimizer::GreedyPlan(GroupId group,
     best.cost = total;
     break;
   }
-  memo_.UnmarkInProgress(group, key);
+  memo_.UnmarkInProgress(group, goal);
   return best;
 }
 

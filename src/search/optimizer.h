@@ -25,6 +25,7 @@
 #include "search/plan.h"
 #include "search/search_options.h"
 #include "support/budget.h"
+#include "support/scratch.h"
 #include "support/status.h"
 
 namespace volcano {
@@ -46,22 +47,23 @@ class Optimizer {
   /// degradation ladder yields nothing — it returns ResourceExhausted whose
   /// detail payload names the tripped budget and the partial search stats.
   StatusOr<PlanPtr> Optimize(const Expr& query,
-                             PhysPropsPtr required = nullptr);
+                             const PhysPropsPtr& required = nullptr);
 
   /// As above with a user-supplied cost limit: "this limit is typically
   /// infinity for a user query, but the user interface may permit users to
   /// set their own limits to 'catch' unreasonable queries" (paper, §3).
   /// Returns NotFound if no plan meets the limit.
-  StatusOr<PlanPtr> Optimize(const Expr& query, PhysPropsPtr required,
+  StatusOr<PlanPtr> Optimize(const Expr& query, const PhysPropsPtr& required,
                              Cost limit);
 
   /// Re-optimizes an existing class for different required properties; the
   /// dynamic-programming table is shared with previous calls. Used by tests
   /// and the interesting-orders example.
-  StatusOr<PlanPtr> OptimizeGroup(GroupId group, PhysPropsPtr required);
+  StatusOr<PlanPtr> OptimizeGroup(GroupId group,
+                                  const PhysPropsPtr& required);
 
   /// OptimizeGroup with a user-supplied cost limit.
-  StatusOr<PlanPtr> OptimizeGroup(GroupId group, PhysPropsPtr required,
+  StatusOr<PlanPtr> OptimizeGroup(GroupId group, const PhysPropsPtr& required,
                                   Cost limit);
 
   /// Inserts a query without optimizing; returns its root class.
@@ -181,6 +183,15 @@ class Optimizer {
   const DataModel& model_;
   SearchOptions options_;
   Memo memo_;
+  /// Canonical (interned) "no requirement" vector: the FindBestPlan glue
+  /// gate compares goal pointers against this instead of calling Equals.
+  PhysPropsPtr any_props_;
+  // Scratch pools for move/binding collection. FindBestPlan and exploration
+  // are mutually recursive, so each nesting level leases its own buffer;
+  // released buffers keep their capacity, making steady-state collection
+  // allocation-free.
+  ScratchPool<Move> move_pool_;
+  ScratchPool<Binding> binding_pool_;
   SearchStats stats_;
   OptimizeOutcome outcome_;
   BudgetTrip trip_ = BudgetTrip::kNone;

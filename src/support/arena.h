@@ -21,9 +21,10 @@
 
 namespace volcano {
 
-/// A monotonic allocation region. Objects allocated here are never
-/// individually destroyed; trivially-destructible payloads only (enforced for
-/// the templated helpers via static_assert).
+/// A monotonic allocation region. The arena never runs destructors: objects
+/// placed here must either be trivially destructible or have their
+/// destructors invoked explicitly by the owner before Reset/teardown (the
+/// memo does this for its node stores).
 class Arena {
  public:
   explicit Arena(size_t block_bytes = kDefaultBlockBytes)
@@ -49,7 +50,8 @@ class Arena {
     return reinterpret_cast<void*>(aligned);
   }
 
-  /// Constructs a T in the arena. T's destructor is never run.
+  /// Constructs a T in the arena. The arena never runs T's destructor; for a
+  /// non-trivially-destructible T the owner must call it explicitly.
   template <typename T, typename... Args>
   T* New(Args&&... args) {
     void* mem = Allocate(sizeof(T), alignof(T));
@@ -72,13 +74,21 @@ class Arena {
   /// Total bytes reserved from the system.
   size_t bytes_reserved() const { return reserved_; }
 
-  /// Releases all blocks. Invalidates every pointer previously returned.
+  /// Invalidates every pointer previously returned. The first block is
+  /// retained and rewound (so a reused optimizer doesn't re-pay the block
+  /// allocation each query); overflow blocks are released.
   void Reset() {
-    blocks_.clear();
-    ptr_ = nullptr;
-    remaining_ = 0;
+    if (blocks_.size() > 1) blocks_.resize(1);
+    if (blocks_.empty()) {
+      ptr_ = nullptr;
+      remaining_ = 0;
+      reserved_ = 0;
+    } else {
+      ptr_ = blocks_.front().get();
+      remaining_ = first_block_size_;
+      reserved_ = first_block_size_;
+    }
     allocated_ = 0;
-    reserved_ = 0;
   }
 
  private:
@@ -87,13 +97,17 @@ class Arena {
   void NewBlock(size_t min_bytes) {
     size_t size = block_bytes_;
     while (size < min_bytes) size *= 2;
-    blocks_.push_back(std::make_unique<char[]>(size));
+    // Uninitialized storage: make_unique<char[]> would value-initialize
+    // (memset) the whole block, which dwarfs small-memo insertion costs.
+    blocks_.emplace_back(new char[size]);
+    if (blocks_.size() == 1) first_block_size_ = size;
     ptr_ = blocks_.back().get();
     remaining_ = size;
     reserved_ += size;
   }
 
   size_t block_bytes_;
+  size_t first_block_size_ = 0;
   std::vector<std::unique_ptr<char[]>> blocks_;
   char* ptr_ = nullptr;
   size_t remaining_ = 0;

@@ -6,6 +6,10 @@
 // operator arguments (relation names, attribute names) is interned to a small
 // integer Symbol, and all equality tests and hashes on identifiers are
 // integer operations.
+//
+// Intern/Lookup probe by std::string_view without materializing a
+// std::string: the table stores symbol ids keyed by the hash of the spelled
+// name and compares candidates against the strings_ store directly.
 
 #ifndef VOLCANO_SUPPORT_INTERN_H_
 #define VOLCANO_SUPPORT_INTERN_H_
@@ -13,8 +17,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "support/flat_hash.h"
+#include "support/hash.h"
 
 namespace volcano {
 
@@ -41,20 +47,30 @@ class SymbolTable {
  public:
   SymbolTable() { strings_.emplace_back(); /* slot 0 = invalid */ }
 
-  /// Returns the symbol for `s`, creating it if needed.
+  /// Returns the symbol for `s`, creating it if needed. Allocation-free on
+  /// the hit path.
   Symbol Intern(std::string_view s) {
-    auto it = map_.find(std::string(s));
-    if (it != map_.end()) return Symbol(it->second);
+    uint64_t h = HashString(s);
+    auto match = [this, s](uint32_t id) {
+      return std::string_view(strings_[id]) == s;
+    };
+    if (const uint32_t* id = ids_.FindHashed(h, match)) {
+      return Symbol(*id);
+    }
     uint32_t id = static_cast<uint32_t>(strings_.size());
     strings_.emplace_back(s);
-    map_.emplace(strings_.back(), id);
+    ids_.InsertHashed(h, id, id);
     return Symbol(id);
   }
 
   /// Returns the symbol for `s` if present, otherwise an invalid Symbol.
+  /// Never allocates.
   Symbol Lookup(std::string_view s) const {
-    auto it = map_.find(std::string(s));
-    return it == map_.end() ? Symbol() : Symbol(it->second);
+    auto match = [this, s](uint32_t id) {
+      return std::string_view(strings_[id]) == s;
+    };
+    const uint32_t* id = ids_.FindHashed(HashString(s), match);
+    return id == nullptr ? Symbol() : Symbol(*id);
   }
 
   /// String for a symbol; "<invalid>" for the null symbol.
@@ -68,7 +84,11 @@ class SymbolTable {
 
  private:
   std::vector<std::string> strings_;
-  std::unordered_map<std::string, uint32_t> map_;
+  // Keys are indices into strings_; the spelled name never lives in the
+  // table, so probes need no key materialization. The identity hash functor
+  // is never used (all probes go through FindHashed/InsertHashed with the
+  // name's hash).
+  FlatHashMap<uint32_t, uint32_t> ids_;
 };
 
 }  // namespace volcano

@@ -1,0 +1,186 @@
+// SmallVector<T, N>: a vector with N elements of inline storage.
+//
+// Multi-expression input lists and rule bindings are short (join operators
+// have two inputs; bindings mirror rule patterns of a handful of nodes), so a
+// heap allocation per list is pure overhead. SmallVector keeps the first N
+// elements in the object itself and only touches the heap when a list
+// outgrows that, at which point it behaves like a normal geometric vector.
+
+#ifndef VOLCANO_SUPPORT_SMALL_VECTOR_H_
+#define VOLCANO_SUPPORT_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace volcano {
+
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) {
+      new (data_ + i) T(other.data_[i]);
+    }
+    size_ = other.size_;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) {
+      new (data_ + i) T(other.data_[i]);
+    }
+    size_ = other.size_;
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    Destroy();
+    MoveFrom(std::move(other));
+    return *this;
+  }
+
+  ~SmallVector() { Destroy(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+  bool is_inline() const { return data_ == InlineData(); }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) Grow(cap_ * 2);
+    T* slot = new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > cap_) Grow(n);
+  }
+
+  void resize(size_t n) {
+    if (n < size_) {
+      for (size_t i = n; i < size_; ++i) data_[i].~T();
+    } else {
+      reserve(n);
+      for (size_t i = size_; i < n; ++i) new (data_ + i) T();
+    }
+    size_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_); }
+  const T* InlineData() const { return reinterpret_cast<const T*>(inline_); }
+
+  void Grow(size_t new_cap) {
+    new_cap = std::max(new_cap, size_t{N} * 2);
+    T* mem = static_cast<T*>(::operator new(new_cap * sizeof(T),
+                                            std::align_val_t{alignof(T)}));
+    for (size_t i = 0; i < size_; ++i) {
+      new (mem + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!is_inline()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+    data_ = mem;
+    cap_ = new_cap;
+  }
+
+  void Destroy() {
+    clear();
+    if (!is_inline()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+      data_ = InlineData();
+      cap_ = N;
+    }
+  }
+
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (other.is_inline()) {
+      data_ = InlineData();
+      cap_ = N;
+      for (size_t i = 0; i < other.size_; ++i) {
+        new (data_ + i) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+    } else {
+      // Steal the heap buffer.
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.InlineData();
+      other.cap_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t cap_ = N;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SUPPORT_SMALL_VECTOR_H_

@@ -254,6 +254,116 @@ TEST(Memo, InProgressMarking) {
   EXPECT_FALSE(memo.IsInProgress(g, key));
 }
 
+TEST(Memo, MergeRecanonicalizesSignaturesAndPreservesWinners) {
+  // Stress the merge path of the flat signature table: a two-level parent
+  // chain over two classes that become equivalent. After the cascade, every
+  // surviving signature entry must be re-canonicalized (duplicate inserts
+  // under either old input spelling are detected), dead expressions must
+  // stay dead, fired-rule masks must be OR-merged into the survivor, and
+  // winner tables must survive with their cached-hash keys intact.
+  Fixture f;
+  Memo memo(*f.model);
+
+  ExprPtr sel = f.model->Select(f.model->Get("A"), f.Attr("A.a0"),
+                                rel::CmpOp::kLess, 10, 0.1);
+  GroupId g1 = memo.InsertQuery(*sel);
+  GroupId ga = memo.InsertQuery(*f.model->Get("A"));
+  GroupId gb = memo.InsertQuery(*f.model->Get("B"));
+  GroupId gc = memo.InsertQuery(*f.model->Get("C"));
+  ASSERT_NE(memo.Find(g1), memo.Find(ga));
+
+  OpArgPtr j1 =
+      rel::JoinArg::Make(f.catalog.symbols(), f.Attr("A.a0"), f.Attr("B.a0"));
+  OpArgPtr j2 =
+      rel::JoinArg::Make(f.catalog.symbols(), f.Attr("B.a1"), f.Attr("C.a0"));
+
+  // Level-1 parents over g1 and ga; duplicates once g1 == ga.
+  auto [p1, c1] = memo.InsertMExpr(f.model->ops().join, j1, {g1, gb},
+                                   kInvalidGroup);
+  auto [p2, c2] = memo.InsertMExpr(f.model->ops().join, j1, {ga, gb},
+                                   kInvalidGroup);
+  ASSERT_TRUE(c1 && c2);
+  // Level-2 parents over the level-1 classes; the merge must cascade.
+  auto [q1, d1] = memo.InsertMExpr(f.model->ops().join, j2,
+                                   {p1->group(), gc}, kInvalidGroup);
+  auto [q2, d2] = memo.InsertMExpr(f.model->ops().join, j2,
+                                   {p2->group(), gc}, kInvalidGroup);
+  ASSERT_TRUE(d1 && d2);
+
+  p1->MarkFired(3);
+  p2->MarkFired(5);
+
+  // Winners on the to-be-merged level-1 classes: same goal with different
+  // costs, plus a memoized failure under a second goal.
+  GoalKey any{f.model->AnyProps(), nullptr};
+  GoalKey sorted{f.model->Sorted({f.Attr("A.a0")}), nullptr};
+  PlanPtr costly = PlanNode::Make(f.model->ops().file_scan, nullptr, {},
+                                  f.model->AnyProps(),
+                                  memo.LogicalOf(p1->group()),
+                                  Cost::Scalar(4.0));
+  PlanPtr cheap = PlanNode::Make(f.model->ops().file_scan, nullptr, {},
+                                 f.model->AnyProps(),
+                                 memo.LogicalOf(p2->group()),
+                                 Cost::Scalar(1.0));
+  memo.StoreWinner(p1->group(), any, Winner{costly, costly->cost()});
+  memo.StoreWinner(p2->group(), any, Winner{cheap, cheap->cost()});
+  memo.StoreWinner(p2->group(), sorted, Winner{nullptr, Cost::Scalar(7.0)});
+
+  size_t exprs_before = memo.num_exprs();
+  size_t merges_before = memo.num_merges();
+
+  // Declare g1 == ga; level-1 and level-2 classes must cascade-merge.
+  memo.InsertRex(*RexNode::Leaf(ga), g1);
+  EXPECT_EQ(memo.Find(g1), memo.Find(ga));
+  EXPECT_EQ(memo.Find(p1->group()), memo.Find(p2->group()));
+  EXPECT_EQ(memo.Find(q1->group()), memo.Find(q2->group()));
+  EXPECT_EQ(memo.num_merges(), merges_before + 3);
+
+  // Exactly one duplicate died at each level, and the survivor carries the
+  // union of the fired-rule marks.
+  EXPECT_NE(p1->dead(), p2->dead());
+  EXPECT_NE(q1->dead(), q2->dead());
+  const MExpr* live = p1->dead() ? p2 : p1;
+  EXPECT_TRUE(live->HasFired(3));
+  EXPECT_TRUE(live->HasFired(5));
+  EXPECT_EQ(memo.num_exprs(), exprs_before - 2);
+
+  // Dead expressions are invisible to duplicate detection: re-inserting the
+  // parent under *either* old input spelling finds the live survivor, with
+  // no new expression or class created.
+  size_t groups_before = memo.num_groups();
+  auto [r1, created1] = memo.InsertMExpr(f.model->ops().join, j1, {g1, gb},
+                                         kInvalidGroup);
+  auto [r2, created2] = memo.InsertMExpr(f.model->ops().join, j1, {ga, gb},
+                                         kInvalidGroup);
+  EXPECT_FALSE(created1);
+  EXPECT_FALSE(created2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, live);
+  EXPECT_FALSE(r1->dead());
+  EXPECT_EQ(memo.num_groups(), groups_before);
+
+  // The merged class holds exactly one live level-1 expression.
+  GroupId merged = memo.Find(p1->group());
+  size_t live_count = 0;
+  for (const MExpr* m : memo.group(merged).exprs()) {
+    if (!m->dead()) ++live_count;
+  }
+  EXPECT_EQ(live_count, 1u);
+
+  // Winner tables survived the merge: the cheaper plan won under `any`, the
+  // memoized failure under `sorted` carried over, and both remain reachable
+  // through the canonical-goal probe (cached hashes stayed consistent).
+  const Winner* w = memo.FindWinner(merged, any);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->plan, cheap);
+  const Winner* wf = memo.FindWinner(merged, sorted);
+  ASSERT_NE(wf, nullptr);
+  EXPECT_TRUE(wf->failed());
+  EXPECT_DOUBLE_EQ(wf->cost[0], 7.0);
+  EXPECT_EQ(memo.group(merged).num_winners(), 2u);
+}
+
 TEST(Memo, ToStringMentionsClassesAndWinners) {
   Fixture f;
   Memo memo(*f.model);

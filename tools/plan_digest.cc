@@ -1,0 +1,76 @@
+// plan_digest: deterministic plan-equivalence fingerprint over the
+// query_gen workloads.
+//
+// Optimizes a fixed grid of generated workloads (chain joins of 2-10
+// relations x several seeds, with and without ORDER BY) and prints one line
+// per query with the chosen plan and its cost, plus an aggregate FNV-1a
+// digest over all lines. Two builds of the optimizer are plan-equivalent iff
+// their digests match; the perf-trajectory runner (tools/bench_report) uses
+// this to prove that memo-layout work changed no optimization outcome.
+//
+// Usage:
+//   plan_digest [--verbose]
+//
+// Output (stdout):
+//   <lines, only with --verbose>
+//   digest: <16 hex digits>
+//   queries: <count>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+#include "support/hash.h"
+
+int main(int argc, char** argv) {
+  using namespace volcano;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
+  }
+
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  int queries = 0;
+  auto fold = [&](const std::string& line) {
+    for (unsigned char c : line) {
+      digest ^= c;
+      digest *= 0x100000001b3ULL;
+    }
+    if (verbose) std::printf("%s\n", line.c_str());
+  };
+
+  for (int order_by = 0; order_by <= 1; ++order_by) {
+    for (int n = 2; n <= 10; ++n) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        rel::WorkloadOptions wopts;
+        wopts.num_relations = n;
+        wopts.join_graph = rel::WorkloadOptions::JoinGraph::kChain;
+        wopts.hub_attr_prob = 0.25;
+        wopts.sorted_base_prob = 0.5;
+        wopts.order_by_prob = order_by ? 1.0 : 0.0;
+        rel::Workload w = rel::GenerateWorkload(wopts, seed);
+
+        Optimizer opt(*w.model);
+        StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+        std::string line = "n=" + std::to_string(n) +
+                           " seed=" + std::to_string(seed) +
+                           " order_by=" + std::to_string(order_by);
+        if (!plan.ok()) {
+          line += " status=" + plan.status().ToString();
+        } else {
+          line += " cost=" +
+                  w.model->cost_model().ToString((*plan)->cost()) + " plan=" +
+                  PlanToLine(**plan, w.model->registry());
+        }
+        fold(line);
+        ++queries;
+      }
+    }
+  }
+
+  std::printf("digest: %016llx\n", static_cast<unsigned long long>(digest));
+  std::printf("queries: %d\n", queries);
+  return 0;
+}
