@@ -108,6 +108,40 @@ void BM_OptimizeOrderBy(benchmark::State& state) {
 BENCHMARK(BM_OptimizeOrderBy)->DenseRange(2, 8, 2)
     ->Unit(benchmark::kMicrosecond);
 
+void BM_OptimizeTraced(benchmark::State& state) {
+  // Tracing overhead: the same end-to-end optimization as BM_Exploration's
+  // shape with (arg=1) and without (arg=0) a minimal sink attached. The
+  // arg=0 row is the null-sink hot path — one pointer test per would-be
+  // event — and must stay indistinguishable from an untraced build; the
+  // delta to arg=1 is the cost of materializing every event.
+  class CountingSink final : public TraceSink {
+   public:
+    void OnEvent(const TraceEvent& event) override {
+      benchmark::DoNotOptimize(&event);
+      ++count_;
+    }
+    uint64_t count() const { return count_; }
+
+   private:
+    uint64_t count_ = 0;
+  };
+
+  rel::Workload w = MakeChain(6, 3);
+  CountingSink sink;
+  SearchOptions options;
+  if (state.range(0) != 0) options.trace = &sink;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    Optimizer opt(*w.model, options);
+    benchmark::DoNotOptimize(opt.Optimize(*w.query, w.required).ok());
+  }
+  events = sink.count();
+  state.counters["events"] = static_cast<double>(
+      state.iterations() == 0 ? 0 : events / state.iterations());
+}
+BENCHMARK(BM_OptimizeTraced)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_SymbolIntern(benchmark::State& state) {
   // Hit-path interning with identifiers long enough to defeat the small
   // string optimization: a std::string round-trip per probe shows up here.

@@ -34,12 +34,14 @@ class OpArg {
 
   /// Hash() computed at most once per object (arguments are immutable). The
   /// memo's signature table probes with this so hash-consing an expression
-  /// never re-hashes its argument.
+  /// never re-hashes its argument. Bit 63 is the "computed" marker (same
+  /// scheme as PhysProps::CachedHash): a zero value hash caches as 1 << 63
+  /// rather than colliding with the "unset" sentinel, and a concurrent
+  /// double-compute stores the same word, so the relaxed race is benign.
   uint64_t CachedHash() const {
     uint64_t h = cached_hash_.load(std::memory_order_relaxed);
     if (h == 0) {
-      h = Hash();
-      if (h == 0) h = 0x9e3779b97f4a7c15ULL;  // keep 0 as "uncomputed"
+      h = Hash() | (uint64_t{1} << 63);
       cached_hash_.store(h, std::memory_order_relaxed);
     }
     return h;

@@ -51,12 +51,17 @@ class PhysProps {
 
   /// Hash() computed at most once per object (immutable vectors only).
   /// Winner-table and interner probes use this so repeated goal look-ups
-  /// never re-walk the property representation.
+  /// never re-walk the property representation. Bit 63 is reserved as the
+  /// "computed" marker: the cached word is Hash() | (1 << 63), so a
+  /// legitimately-zero value hash still caches as a nonzero word instead of
+  /// colliding with the "unset" sentinel (which would silently recompute on
+  /// every call). Concurrent first calls may both compute, but they store
+  /// the same word (relaxed atomics; the race is benign — see
+  /// tests/props_interner_test.cc).
   uint64_t CachedHash() const {
     uint64_t h = cached_hash_.load(std::memory_order_relaxed);
     if (h == 0) {
-      h = Hash();
-      if (h == 0) h = 0x9e3779b97f4a7c15ULL;  // keep 0 as "uncomputed"
+      h = Hash() | (uint64_t{1} << 63);
       cached_hash_.store(h, std::memory_order_relaxed);
     }
     return h;

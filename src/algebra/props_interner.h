@@ -61,6 +61,16 @@ class PropsInterner {
     return raw;
   }
 
+  /// Drops every interned vector and resets the one-entry canonicalization
+  /// cache. Callers that reuse an interner across memo lifetimes (Memo::Reset)
+  /// must call this: the cache holds a raw pointer into the dropped set, and
+  /// a stale hit would hand out a canonical pointer the interner no longer
+  /// pins alive.
+  void Clear() {
+    set_.Clear();
+    last_canonical_ = nullptr;
+  }
+
   /// Distinct property-vector values interned so far.
   size_t size() const { return set_.size(); }
 

@@ -32,6 +32,17 @@ std::string ExodusStats::ToString() const {
   return os.str();
 }
 
+std::string ExodusStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"mesh_nodes\": " << mesh_nodes << ", \"exprs\": " << exprs
+     << ", \"classes\": " << classes
+     << ", \"transformations\": " << transformations
+     << ", \"reanalyses\": " << reanalyses
+     << ", \"cost_estimates\": " << cost_estimates
+     << ", \"aborted\": " << (aborted ? "true" : "false") << "}";
+  return os.str();
+}
+
 class ExodusOptimizer::Impl {
  public:
   Impl(const rel::RelModel& model, ExodusOptions options)

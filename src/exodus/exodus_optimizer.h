@@ -65,6 +65,9 @@ struct ExodusStats {
   bool aborted = false;
 
   std::string ToString() const;
+  /// Same counters as JSON, so baseline effort can sit next to the Volcano
+  /// engine's SearchStats::ToJson in `vopt --stats-json` output.
+  std::string ToJson() const;
 };
 
 /// One-shot baseline optimizer over the relational model.

@@ -22,6 +22,10 @@ int EmitPlanNode(const PlanNode& plan, const OperatorRegistry& reg,
   int id = (*counter)++;
   std::string label = reg.Name(plan.op());
   if (plan.arg() != nullptr) label += "\\n" + plan.arg()->ToString();
+  if (plan.rule() != nullptr) {
+    label += std::string("\\nvia ") + plan.rule();
+    if (plan.from_enforcer()) label += " (enforcer)";
+  }
   label += "\\n{" + plan.props()->ToString() + "}";
   label += "\\ncost " + cm.ToString(plan.cost());
   os << "  n" << id << " [shape=box, label=\"" << Escape(label) << "\"];\n";
@@ -59,6 +63,10 @@ std::string MemoToDot(const Memo& memo, const OperatorRegistry& reg) {
       if (m->dead()) continue;
       label << "|<e" << idx << "> " << reg.Name(m->op());
       if (m->arg() != nullptr) label << " [" << m->arg()->ToString() << "]";
+      // Rule provenance recorded at insertion: which transformation derived
+      // this expression (absent for expressions of the original query).
+      if (m->provenance() != nullptr) label << " (via " << m->provenance()
+                                            << ")";
       ++idx;
     }
     os << "  g" << g << " [label=\"" << Escape(label.str()) << "\"];\n";

@@ -1,0 +1,42 @@
+#include "search/explain.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace volcano {
+
+namespace {
+
+void Render(const PlanNode& plan, const OperatorRegistry& reg,
+            const CostModel& cm, int indent, std::ostringstream& os) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << reg.Name(plan.op());
+  if (plan.arg() != nullptr) os << " [" << plan.arg()->ToString() << "]";
+  os << "  via ";
+  if (plan.rule() != nullptr) {
+    os << (plan.from_enforcer() ? "enforcer '" : "rule '") << plan.rule()
+       << "'";
+  } else {
+    os << "?";
+  }
+  os << "  {" << plan.props()->ToString() << "}";
+  double total = cm.Total(plan.cost());
+  double local = total;
+  for (const auto& in : plan.inputs()) local -= cm.Total(in->cost());
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  cost=%.6g local=%.6g", total, local);
+  os << buf << "\n";
+  for (const auto& in : plan.inputs()) Render(*in, reg, cm, indent + 1, os);
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanNode& plan, const OperatorRegistry& reg,
+                        const CostModel& cm) {
+  std::ostringstream os;
+  os << "winning plan lineage (cost = inclusive, local = this step):\n";
+  Render(plan, reg, cm, 0, os);
+  return os.str();
+}
+
+}  // namespace volcano

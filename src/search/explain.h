@@ -1,0 +1,31 @@
+// Winner lineage rendering for `vopt --explain`.
+//
+// The memo records, for every goal it solved, which implementation or
+// enforcer move produced the winning plan (PlanNode::rule). ExplainPlan walks
+// the final plan and prints that lineage: one line per plan node with the
+// algorithm or enforcer chosen, the rule that chose it, the properties it
+// delivers, and its cumulative and local cost — the "chain of rules and
+// enforcers" behind the answer, which the raw plan dump deliberately omits.
+
+#ifndef VOLCANO_SEARCH_EXPLAIN_H_
+#define VOLCANO_SEARCH_EXPLAIN_H_
+
+#include <string>
+
+#include "algebra/cost.h"
+#include "algebra/operator_def.h"
+#include "search/plan.h"
+
+namespace volcano {
+
+/// Multi-line lineage rendering. Each node prints as
+///   <op> [<arg>]  via <rule kind> '<name>'  {<props>}  cost=<total> local=<l>
+/// where total is the node's inclusive cost and local = total minus the sum
+/// of its inputs' inclusive costs (both as the cost model's scalar). Nodes
+/// without recorded provenance (glue patches, EXODUS plans) print "via ?".
+std::string ExplainPlan(const PlanNode& plan, const OperatorRegistry& reg,
+                        const CostModel& cm);
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SEARCH_EXPLAIN_H_

@@ -59,6 +59,7 @@ GroupId Memo::NewGroup(OperatorId op, const OpArg* arg,
   groups_.push_back(grp);
   parent_.push_back(id);
   ++num_live_groups_;
+  VOLCANO_TRACE(trace_, {.kind = TraceEventKind::kGroupCreated, .group = id});
   return id;
 }
 
@@ -95,9 +96,16 @@ std::pair<MExpr*, bool> Memo::InsertMExpr(OperatorId op, OpArgPtr arg,
   MExpr* m = arena_.New<MExpr>(op, std::move(arg), in_arr,
                                static_cast<uint32_t>(scratch_inputs_.size()),
                                g, base, hash);
+  m->id_ = static_cast<uint32_t>(exprs_.size());
+  m->provenance_ = provenance_;
   exprs_.push_back(m);
   groups_[g]->exprs_.push_back(m);
   ++num_live_exprs_;
+  VOLCANO_TRACE(trace_, {.kind = TraceEventKind::kMExprCreated,
+                         .group = g,
+                         .other = m->id_,
+                         .rule = provenance_,
+                         .detail = model_.registry().Name(op).c_str()});
 
   sig_table_.InsertHashed(hash, m);
 
@@ -169,6 +177,9 @@ void Memo::RunMergeWorklist() {
     parent_[b] = a;
     ++num_merges_;
     --num_live_groups_;
+    VOLCANO_TRACE(trace_, {.kind = TraceEventKind::kGroupsMerged,
+                           .group = a,
+                           .other = b});
 
     Group& ga = *groups_[a];
     Group& gb = *groups_[b];
@@ -269,6 +280,28 @@ void Memo::StoreWinner(GroupId g, Goal goal, Winner w) {
   } else if (!w.failed() && cm.Less(w.cost, cur->cost)) {
     *cur = std::move(w);
   }
+}
+
+void Memo::Reset() {
+  for (MExpr* m : exprs_) m->~MExpr();
+  for (Group* g : groups_) g->~Group();
+  exprs_.clear();
+  groups_.clear();
+  parent_.clear();
+  sig_table_.Clear();
+  referencing_.Clear();
+  merge_worklist_.clear();
+  scratch_inputs_.clear();
+  scratch_distinct_.clear();
+  scratch_in_props_.clear();
+  interner_.Clear();  // must precede arena Reset conceptually: its cached
+                      // canonical pointer refers to vectors it pinned alive
+  arena_.Reset();
+  merging_ = false;
+  provenance_ = nullptr;
+  num_live_groups_ = 0;
+  num_live_exprs_ = 0;
+  num_merges_ = 0;
 }
 
 std::vector<GroupId> Memo::LiveGroups() const {

@@ -44,6 +44,7 @@
 #include "support/flat_hash.h"
 #include "support/hash.h"
 #include "support/status.h"
+#include "support/trace.h"
 
 namespace volcano {
 
@@ -71,6 +72,15 @@ class MExpr {
   /// Owning equivalence class (kept current across merges).
   GroupId group() const { return group_; }
 
+  /// Creation serial within the memo (stable across merges; dead expressions
+  /// keep theirs). Used by traces and the dot dump to name expressions.
+  uint32_t id() const { return id_; }
+
+  /// Name of the transformation rule whose application derived this
+  /// expression, or null for expressions copied in from the original query.
+  /// Borrowed from the RuleSet, which outlives the memo.
+  const char* provenance() const { return provenance_; }
+
   /// True once superseded by an identical expression after a class merge.
   bool dead() const { return dead_; }
 
@@ -97,6 +107,8 @@ class MExpr {
   GroupId group_;
   OpArgPtr arg_;
   GroupId* inputs_;  // arena array; normalized in place on merges
+  uint32_t id_ = 0;  // creation serial, assigned by the memo
+  const char* provenance_ = nullptr;  // deriving rule name (borrowed)
   uint64_t fired_ = 0;
   // Signature hashing is split so re-canonicalization after a merge only
   // re-mixes the input ids: sig_base_ covers (op, arg) — the part that never
@@ -298,6 +310,27 @@ class Memo {
   void SetExploring(GroupId g, bool v) { group(g).exploring_ = v; }
   void SetExplored(GroupId g, bool v) { group(g).explored_ = v; }
 
+  // --- observability ------------------------------------------------------
+
+  /// Installs (or clears, with null) the trace sink receiving structural
+  /// events: class creation, expression creation, class merges. The sink is
+  /// borrowed and must outlive the memo or be cleared first.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace() const { return trace_; }
+
+  /// Sets the rule name recorded as provenance on expressions created until
+  /// the next call (null = "from the original query"). The optimizer brackets
+  /// each rule application with this; the name is borrowed from the RuleSet.
+  void SetProvenance(const char* rule) { provenance_ = rule; }
+
+  // --- reuse --------------------------------------------------------------
+
+  /// Returns the memo to its freshly-constructed state: destroys every node,
+  /// clears all tables, rewinds the arena, and — critically — clears the
+  /// property interner (its one-entry cache would otherwise serve stale
+  /// canonical pointers into freed storage; see PropsInterner::Clear).
+  void Reset();
+
   // --- statistics ---------------------------------------------------------
 
   size_t num_groups() const { return num_live_groups_; }
@@ -345,6 +378,8 @@ class Memo {
   size_t num_live_groups_ = 0;
   size_t num_live_exprs_ = 0;
   size_t num_merges_ = 0;
+  TraceSink* trace_ = nullptr;        // borrowed; see set_trace
+  const char* provenance_ = nullptr;  // current rule-application bracket
 };
 
 }  // namespace volcano

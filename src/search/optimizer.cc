@@ -13,6 +13,23 @@ Optimizer::Optimizer(const DataModel& model, SearchOptions options)
     : model_(model), options_(options), memo_(model) {
   mexpr_cap_ = std::min(options_.max_mexprs, options_.budget.max_mexprs);
   any_props_ = memo_.InternProps(model_.AnyProps());
+  memo_.set_trace(options_.trace);
+  const RuleSet& rules = model_.rule_set();
+  metrics_.transformations.resize(rules.transformations().size());
+  for (size_t i = 0; i < rules.transformations().size(); ++i) {
+    metrics_.transformations[i].name = rules.transformation(
+        static_cast<RuleId>(i)).name().c_str();
+  }
+  metrics_.implementations.resize(rules.implementations().size());
+  for (size_t i = 0; i < rules.implementations().size(); ++i) {
+    metrics_.implementations[i].name = rules.implementation(
+        static_cast<RuleId>(i)).name().c_str();
+  }
+  metrics_.enforcers.resize(rules.enforcers().size());
+  for (size_t i = 0; i < rules.enforcers().size(); ++i) {
+    metrics_.enforcers[i].name = rules.enforcers()[i]->name().c_str();
+  }
+  metrics_.phases.enabled = options_.collect_phase_timing;
 }
 
 namespace {
@@ -32,6 +49,34 @@ void SortMovesByPromise(std::vector<MoveT>& moves) {
     moves[j] = std::move(tmp);
   }
 }
+
+/// Accumulates wall-clock into `acc` for the outermost activation of a phase
+/// (depth-guarded; the search is mutually recursive). Does nothing — and
+/// never touches the clock — unless `enabled`.
+class PhaseScope {
+ public:
+  PhaseScope(bool enabled, int* depth, double* acc)
+      : enabled_(enabled), depth_(depth), acc_(acc) {
+    if (!enabled_) return;
+    if ((*depth_)++ == 0) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseScope() {
+    if (!enabled_) return;
+    if (--(*depth_) == 0) {
+      *acc_ += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+    }
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  bool enabled_;
+  int* depth_;
+  double* acc_;
+  std::chrono::steady_clock::time_point start_{};
+};
 
 }  // namespace
 
@@ -54,6 +99,10 @@ bool Optimizer::CheckBudget() {
   } else if (has_deadline_ &&
              std::chrono::steady_clock::now() >= deadline_) {
     trip_ = BudgetTrip::kDeadline;
+  }
+  if (trip_ != BudgetTrip::kNone) {
+    VOLCANO_TRACE(options_.trace, {.kind = TraceEventKind::kBudgetTrip,
+                                   .detail = BudgetTripName(trip_)});
   }
   return trip_ == BudgetTrip::kNone;
 }
@@ -123,16 +172,25 @@ StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
                                                         : fallback;
   const CostModel& cm = model_.cost_model();
   ArmBudget();
+  PhaseScope total_scope(options_.collect_phase_timing, &total_depth_,
+                         &metrics_.phases.total_seconds);
   Result r = FindBestPlan(group, required, limit, nullptr);
   if (aborted()) {
     // Budget exhausted: degrade down the ladder instead of discarding the
     // partial work (kAnytime), or abort with a structured error (kStrict).
     outcome_.trip = trip_;
+    // Fraction of *distinct started goals* that ran to full completion.
+    // Counting winner-table hits and in-progress re-entries (as the old
+    // goals_completed / find_best_plan_calls ratio did) lets the quotient
+    // wander outside [0, 1] depending on how often finished goals are
+    // re-queried; started/finished counts only real searches, and the clamp
+    // keeps any residual accounting skew from leaking past the contract.
     outcome_.search_completed =
-        stats_.find_best_plan_calls == 0
+        stats_.goals_started == 0
             ? 0.0
-            : static_cast<double>(stats_.goals_completed) /
-                  static_cast<double>(stats_.find_best_plan_calls);
+            : std::clamp(static_cast<double>(stats_.goals_finished) /
+                             static_cast<double>(stats_.goals_started),
+                         0.0, 1.0);
     if (options_.degradation == SearchOptions::Degradation::kStrict) {
       return ExhaustedStatus();
     }
@@ -187,6 +245,11 @@ void Optimizer::ExploreGroup(GroupId group) {
   }
   memo_.SetExploring(group, true);
   const RuleSet& rules = model_.rule_set();
+  // Exploration triggered from inside a pursued move is accounted as pursue
+  // time, not explore time, so the phase report's explore + pursue <= total.
+  PhaseScope explore_scope(
+      options_.collect_phase_timing && pursue_depth_ == 0, &explore_depth_,
+      &metrics_.phases.explore_seconds);
 
   // Sweep expressions (the vector may grow and the class may merge while we
   // iterate; re-resolve on every step). The per-expression fired mask makes
@@ -210,6 +273,8 @@ void Optimizer::ExploreGroup(GroupId group) {
         const TransformationRule& rule = rules.transformation(rid);
         bindings.clear();
         CollectBindings(rule.pattern(), *m, &bindings);
+        uint32_t applied = 0;
+        memo_.SetProvenance(rule.name().c_str());
         for (const Binding& b : bindings) {
           ++stats_.transformations_matched;
           if (!rule.Condition(b, memo_)) continue;
@@ -217,11 +282,23 @@ void Optimizer::ExploreGroup(GroupId group) {
               options_.fault->FailRuleApplication()) {
             continue;  // injected: the rule fails to fire
           }
+          ++metrics_.transformations[rid].fired;
           RexPtr rex = rule.Apply(b, memo_);
           if (rex == nullptr) continue;
           ++stats_.transformations_applied;
+          ++metrics_.transformations[rid].succeeded;
+          ++applied;
           memo_.InsertRex(*rex, memo_.Find(m->group()));
           changed = true;
+        }
+        memo_.SetProvenance(nullptr);
+        if (!bindings.empty()) {
+          VOLCANO_TRACE(options_.trace,
+                        {.kind = TraceEventKind::kRuleFired,
+                         .group = memo_.Find(group),
+                         .rule_id = rid,
+                         .count = applied,
+                         .rule = rule.name().c_str()});
         }
       }
     }
@@ -393,6 +470,10 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
     return failure;
   }
   memo_.MarkInProgress(group, goal);
+  // Only calls that reach this point start a real search; winner-table hits
+  // and in-progress re-entries above answered without searching and must not
+  // dilute (or inflate) the search_completed fraction.
+  ++stats_.goals_started;
 
   Result best = failure;
   Cost best_cost = limit;
@@ -457,22 +538,44 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
       memo_.StoreWinner(group, goal, Winner{nullptr, limit});
     }
   }
-  if (!aborted()) ++stats_.goals_completed;
+  if (!aborted()) {
+    ++stats_.goals_completed;
+    ++stats_.goals_finished;
+    if (best.plan != nullptr) CreditWinner(*best.plan);
+  }
   return best;
+}
+
+void Optimizer::CreditWinner(const PlanNode& plan) {
+  const char* rule = plan.rule();
+  if (rule == nullptr) return;
+  // Rule names on plan nodes are borrowed from the RuleSet's std::strings,
+  // so pointer equality identifies the rule.
+  std::vector<RuleCounters>& table =
+      plan.from_enforcer() ? metrics_.enforcers : metrics_.implementations;
+  for (RuleCounters& rc : table) {
+    if (rc.name == rule) {
+      ++rc.winners;
+      return;
+    }
+  }
 }
 
 void Optimizer::CollectEnforcerMoves(const PhysPropsPtr& required,
                                      const PhysPropsPtr& excluded,
                                      const LogicalProps& logical,
                                      std::vector<Move>* moves) {
-  for (const auto& enf : model_.rule_set().enforcers()) {
+  const auto& enforcers = model_.rule_set().enforcers();
+  for (size_t i = 0; i < enforcers.size(); ++i) {
+    const EnforcerRule* enf = enforcers[i].get();
     std::optional<EnforcerApplication> app = enf->Enforce(required, logical);
     if (!app.has_value()) continue;
     VOLCANO_DCHECK(app->delivered->Covers(*required));
     if (excluded != nullptr && app->delivered->Covers(*excluded)) continue;
     Move mv;
-    mv.enforcer = enf.get();
+    mv.enforcer = enf;
     mv.app = std::move(*app);
+    mv.enforcer_id = static_cast<uint32_t>(i);
     mv.promise = enf->Promise(*required, logical);
     moves->push_back(std::move(mv));
   }
@@ -482,9 +585,18 @@ void Optimizer::PursueMove(const Move& mv, GroupId group,
                            const LogicalPropsPtr& logical, Result* best,
                            Cost* best_cost) {
   const CostModel& cm = model_.cost_model();
+  PhaseScope pursue_scope(options_.collect_phase_timing, &pursue_depth_,
+                          &metrics_.phases.pursue_seconds);
   if (mv.rule != nullptr) {
     ++stats_.algorithm_moves;
     ++stats_.cost_estimates;
+    ++metrics_.implementations[mv.rule->id()].fired;
+    VOLCANO_TRACE(options_.trace,
+                  {.kind = TraceEventKind::kAlgorithmPursued,
+                   .group = group,
+                   .rule_id = mv.rule->id(),
+                   .rule = mv.rule->name().c_str(),
+                   .promise = mv.promise});
     Cost total = mv.rule->LocalCost(mv.binding, memo_);
     if (!AdmitLocalCost(&total)) return;      // NaN: invalid cost, reject
     if (std::isinf(cm.Total(total))) return;  // model says: impossible
@@ -493,6 +605,12 @@ void Optimizer::PursueMove(const Move& mv, GroupId group,
     for (size_t i = 0; i < mv.binding.num_leaves(); ++i) {
       if (options_.branch_and_bound && !cm.LessEq(total, *best_cost)) {
         ++stats_.moves_pruned;
+        VOLCANO_TRACE(options_.trace,
+                      {.kind = TraceEventKind::kMovePruned,
+                       .group = group,
+                       .rule_id = mv.rule->id(),
+                       .rule = mv.rule->name().c_str(),
+                       .cost = cm.Total(*best_cost)});
         return;
       }
       Cost child_limit = options_.branch_and_bound ? cm.Sub(*best_cost, total)
@@ -505,22 +623,45 @@ void Optimizer::PursueMove(const Move& mv, GroupId group,
     }
     if (!cm.LessEq(total, *best_cost)) return;
     if (best->plan != nullptr && !cm.Less(total, *best_cost)) return;
+    VOLCANO_TRACE(options_.trace,
+                  {.kind = best->plan == nullptr
+                               ? TraceEventKind::kWinnerInstalled
+                               : TraceEventKind::kWinnerImproved,
+                   .group = group,
+                   .rule_id = mv.rule->id(),
+                   .rule = mv.rule->name().c_str(),
+                   .cost = cm.Total(total)});
     best->plan = PlanNode::Make(mv.rule->algorithm(),
                                 mv.rule->PlanArg(mv.binding, memo_),
                                 std::move(children), mv.alt.delivered,
-                                logical, total);
+                                logical, total, mv.rule->name().c_str(),
+                                /*from_enforcer=*/false);
     best->cost = total;
     *best_cost = total;
+    ++metrics_.implementations[mv.rule->id()].succeeded;
     return;
   }
 
   ++stats_.enforcer_moves;
   ++stats_.cost_estimates;
+  ++metrics_.enforcers[mv.enforcer_id].fired;
+  VOLCANO_TRACE(options_.trace,
+                {.kind = TraceEventKind::kEnforcerPursued,
+                 .group = group,
+                 .rule_id = mv.enforcer_id,
+                 .rule = mv.enforcer->name().c_str(),
+                 .promise = mv.promise});
   Cost local = mv.enforcer->LocalCost(*logical, *mv.app.delivered);
   if (!AdmitLocalCost(&local)) return;
   if (std::isinf(cm.Total(local))) return;
   if (options_.branch_and_bound && !cm.LessEq(local, *best_cost)) {
     ++stats_.moves_pruned;
+    VOLCANO_TRACE(options_.trace,
+                  {.kind = TraceEventKind::kMovePruned,
+                   .group = group,
+                   .rule_id = mv.enforcer_id,
+                   .rule = mv.enforcer->name().c_str(),
+                   .cost = cm.Total(*best_cost)});
     return;
   }
   // "The original logical expression is optimized ... with a suitably
@@ -534,11 +675,22 @@ void Optimizer::PursueMove(const Move& mv, GroupId group,
   Cost total = cm.Add(local, r.cost);
   if (!cm.LessEq(total, *best_cost)) return;
   if (best->plan != nullptr && !cm.Less(total, *best_cost)) return;
+  VOLCANO_TRACE(options_.trace,
+                {.kind = best->plan == nullptr
+                             ? TraceEventKind::kWinnerInstalled
+                             : TraceEventKind::kWinnerImproved,
+                 .group = group,
+                 .rule_id = mv.enforcer_id,
+                 .rule = mv.enforcer->name().c_str(),
+                 .cost = cm.Total(total)});
   best->plan = PlanNode::Make(mv.enforcer->enforcer(),
                               mv.enforcer->PlanArg(*mv.app.delivered),
-                              {r.plan}, mv.app.delivered, logical, total);
+                              {r.plan}, mv.app.delivered, logical, total,
+                              mv.enforcer->name().c_str(),
+                              /*from_enforcer=*/true);
   best->cost = total;
   *best_cost = total;
+  ++metrics_.enforcers[mv.enforcer_id].succeeded;
 }
 
 void Optimizer::RunInterleaved(GroupId* group, const PhysPropsPtr& required,
@@ -605,6 +757,8 @@ void Optimizer::RunInterleaved(GroupId* group, const PhysPropsPtr& required,
       tm.expr->MarkFired(tm.rule->id());
       std::vector<Binding> bindings;
       CollectBindings(tm.rule->pattern(), *tm.expr, &bindings);
+      uint32_t applied = 0;
+      memo_.SetProvenance(tm.rule->name().c_str());
       for (const Binding& b : bindings) {
         ++stats_.transformations_matched;
         if (!tm.rule->Condition(b, memo_)) continue;
@@ -612,10 +766,22 @@ void Optimizer::RunInterleaved(GroupId* group, const PhysPropsPtr& required,
             options_.fault->FailRuleApplication()) {
           continue;  // injected: the rule fails to fire
         }
+        ++metrics_.transformations[tm.rule->id()].fired;
         RexPtr rex = tm.rule->Apply(b, memo_);
         if (rex == nullptr) continue;
         ++stats_.transformations_applied;
+        ++metrics_.transformations[tm.rule->id()].succeeded;
+        ++applied;
         memo_.InsertRex(*rex, memo_.Find(tm.expr->group()));
+      }
+      memo_.SetProvenance(nullptr);
+      if (!bindings.empty()) {
+        VOLCANO_TRACE(options_.trace,
+                      {.kind = TraceEventKind::kRuleFired,
+                       .group = memo_.Find(*group),
+                       .rule_id = tm.rule->id(),
+                       .count = applied,
+                       .rule = tm.rule->name().c_str()});
       }
     }
 
@@ -658,7 +824,8 @@ Optimizer::Result Optimizer::FindBestPlanWithGlue(GroupId group,
     if (!cm.LessEq(total, limit)) continue;
     if (best.plan != nullptr && !cm.Less(total, best.cost)) continue;
     best.plan = PlanNode::Make(enf->enforcer(), enf->PlanArg(*app->delivered),
-                               {base.plan}, app->delivered, logical, total);
+                               {base.plan}, app->delivered, logical, total,
+                               enf->name().c_str(), /*from_enforcer=*/true);
     best.cost = total;
   }
   return best;
@@ -721,7 +888,8 @@ Optimizer::Result Optimizer::GreedyPlan(GroupId group,
       best.plan = PlanNode::Make(mv.rule->algorithm(),
                                  mv.rule->PlanArg(mv.binding, memo_),
                                  std::move(children), mv.alt.delivered,
-                                 logical, total);
+                                 logical, total, mv.rule->name().c_str(),
+                                 /*from_enforcer=*/false);
       best.cost = total;
       break;
     }
@@ -736,7 +904,9 @@ Optimizer::Result Optimizer::GreedyPlan(GroupId group,
     Cost total = cm.Add(local, r.cost);
     best.plan = PlanNode::Make(mv.enforcer->enforcer(),
                                mv.enforcer->PlanArg(*mv.app.delivered),
-                               {r.plan}, mv.app.delivered, logical, total);
+                               {r.plan}, mv.app.delivered, logical, total,
+                               mv.enforcer->name().c_str(),
+                               /*from_enforcer=*/true);
     best.cost = total;
     break;
   }

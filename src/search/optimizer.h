@@ -25,8 +25,10 @@
 #include "search/plan.h"
 #include "search/search_options.h"
 #include "support/budget.h"
+#include "support/metrics.h"
 #include "support/scratch.h"
 #include "support/status.h"
+#include "support/trace.h"
 
 namespace volcano {
 
@@ -82,6 +84,11 @@ class Optimizer {
   /// budget tripped, and the fraction of the search completed.
   const OptimizeOutcome& outcome() const { return outcome_; }
 
+  /// Per-rule fired/succeeded/winner counters and (when
+  /// SearchOptions::collect_phase_timing is set) per-phase timers,
+  /// accumulated over the optimizer's lifetime. See support/metrics.h.
+  const SearchMetrics& metrics() const { return metrics_; }
+
  private:
   struct Result {
     PlanPtr plan;  // null on failure
@@ -98,6 +105,9 @@ class Optimizer {
     // Enforcer move fields (enforcer != nullptr):
     const EnforcerRule* enforcer = nullptr;
     EnforcerApplication app;
+    // Enforcer registration index (EnforcerRule stores no id); indexes
+    // SearchMetrics::enforcers and trace events.
+    uint32_t enforcer_id = 0;
 
     double promise = 1.0;
   };
@@ -170,6 +180,10 @@ class Optimizer {
   /// NaN and must not reach branch-and-bound comparisons.
   bool AdmitLocalCost(Cost* cost);
 
+  /// Credits the rule that produced a goal's final winner in the metrics
+  /// registry (matches by borrowed name pointer; see PlanNode::rule()).
+  void CreditWinner(const PlanNode& plan);
+
   /// Ladder step 2: bounded promise-ordered greedy descent. Considers only
   /// algorithm/enforcer moves over expressions already in the memo (no
   /// transformations, no exploration, no memo growth), takes the first move
@@ -193,9 +207,16 @@ class Optimizer {
   ScratchPool<Move> move_pool_;
   ScratchPool<Binding> binding_pool_;
   SearchStats stats_;
+  SearchMetrics metrics_;
   OptimizeOutcome outcome_;
   BudgetTrip trip_ = BudgetTrip::kNone;
   bool greedy_mode_ = false;
+  // Phase-timer nesting depths: only the outermost activation of each phase
+  // accumulates (the search is mutually recursive), and exploration nested
+  // under a pursued move counts as pursue time, not explore time.
+  int total_depth_ = 0;
+  int explore_depth_ = 0;
+  int pursue_depth_ = 0;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
   size_t mexpr_cap_ = 0;

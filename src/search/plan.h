@@ -30,19 +30,23 @@ using PlanPtr = std::shared_ptr<const PlanNode>;
 class PlanNode {
  public:
   PlanNode(OperatorId op, OpArgPtr arg, std::vector<PlanPtr> inputs,
-           PhysPropsPtr props, LogicalPropsPtr logical, Cost cost)
+           PhysPropsPtr props, LogicalPropsPtr logical, Cost cost,
+           const char* rule = nullptr, bool from_enforcer = false)
       : op_(op),
         arg_(std::move(arg)),
         inputs_(std::move(inputs)),
         props_(std::move(props)),
         logical_(std::move(logical)),
-        cost_(cost) {}
+        cost_(cost),
+        rule_(rule),
+        from_enforcer_(from_enforcer) {}
 
   static PlanPtr Make(OperatorId op, OpArgPtr arg, std::vector<PlanPtr> inputs,
-                      PhysPropsPtr props, LogicalPropsPtr logical, Cost cost) {
+                      PhysPropsPtr props, LogicalPropsPtr logical, Cost cost,
+                      const char* rule = nullptr, bool from_enforcer = false) {
     return std::make_shared<PlanNode>(op, std::move(arg), std::move(inputs),
                                       std::move(props), std::move(logical),
-                                      cost);
+                                      cost, rule, from_enforcer);
   }
 
   OperatorId op() const { return op_; }
@@ -60,6 +64,16 @@ class PlanNode {
   /// Total estimated cost including all inputs.
   const Cost& cost() const { return cost_; }
 
+  /// Name of the implementation or enforcer rule whose move built this node,
+  /// or null when the producer recorded none (glue patching, EXODUS
+  /// baseline). Borrowed from the rule set, which outlives any plan built
+  /// against its model; `vopt --explain` renders the lineage from this.
+  const char* rule() const { return rule_; }
+
+  /// True when this node was inserted by an enforcer move rather than an
+  /// algorithm implementation.
+  bool from_enforcer() const { return from_enforcer_; }
+
   size_t TreeSize() const {
     size_t n = 1;
     for (const auto& in : inputs_) n += in->TreeSize();
@@ -73,6 +87,8 @@ class PlanNode {
   PhysPropsPtr props_;
   LogicalPropsPtr logical_;
   Cost cost_;
+  const char* rule_;
+  bool from_enforcer_;
 };
 
 /// Multi-line, indented plan rendering for examples and debugging.

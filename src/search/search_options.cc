@@ -21,8 +21,34 @@ std::string SearchStats::ToString() const {
      << "pruned: " << moves_pruned << ", skipped by move limit: "
      << moves_skipped << "\n"
      << "goals completed: " << goals_completed
+     << ", goals started/finished: " << goals_started << "/" << goals_finished
      << ", budget checkpoints: " << budget_checkpoints
      << ", invalid costs rejected: " << invalid_costs;
+  return os.str();
+}
+
+std::string SearchStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"find_best_plan_calls\": " << find_best_plan_calls
+     << ", \"memo_winner_hits\": " << memo_winner_hits
+     << ", \"memo_failure_hits\": " << memo_failure_hits
+     << ", \"in_progress_hits\": " << in_progress_hits
+     << ", \"groups_created\": " << groups_created
+     << ", \"mexprs_created\": " << mexprs_created
+     << ", \"mexprs_deduped\": " << mexprs_deduped
+     << ", \"group_merges\": " << group_merges
+     << ", \"transformations_matched\": " << transformations_matched
+     << ", \"transformations_applied\": " << transformations_applied
+     << ", \"algorithm_moves\": " << algorithm_moves
+     << ", \"enforcer_moves\": " << enforcer_moves
+     << ", \"cost_estimates\": " << cost_estimates
+     << ", \"moves_pruned\": " << moves_pruned
+     << ", \"moves_skipped\": " << moves_skipped
+     << ", \"goals_completed\": " << goals_completed
+     << ", \"goals_started\": " << goals_started
+     << ", \"goals_finished\": " << goals_finished
+     << ", \"budget_checkpoints\": " << budget_checkpoints
+     << ", \"invalid_costs\": " << invalid_costs << "}";
   return os.str();
 }
 
@@ -34,6 +60,17 @@ std::string OptimizeOutcome::ToString() const {
   char pct[32];
   std::snprintf(pct, sizeof(pct), "%.1f%%", search_completed * 100.0);
   os << ", search completed: " << pct;
+  return os.str();
+}
+
+std::string OptimizeOutcome::ToJson() const {
+  std::ostringstream os;
+  char frac[32];
+  std::snprintf(frac, sizeof(frac), "%.6f", search_completed);
+  os << "{\"source\": \"" << PlanSourceName(source) << "\", \"budget_trip\": \""
+     << BudgetTripName(trip) << "\", \"approximate\": "
+     << (approximate ? "true" : "false") << ", \"search_completed\": " << frac
+     << "}";
   return os.str();
 }
 

@@ -20,6 +20,7 @@
 namespace volcano {
 
 class FaultInjector;
+class TraceSink;
 
 struct SearchOptions {
   /// How transformations are scheduled relative to implementation moves.
@@ -95,6 +96,15 @@ struct SearchOptions {
   /// Fault-injection harness for robustness tests; not owned, null in
   /// production. See support/fault.h.
   FaultInjector* fault = nullptr;
+
+  /// Structured trace sink (support/trace.h); not owned, null disables
+  /// emission. With null the per-site overhead is one pointer test; building
+  /// with -DVOLCANO_TRACE=OFF removes even that.
+  TraceSink* trace = nullptr;
+
+  /// Collect the coarse per-phase wall-clock timers in SearchMetrics. Off by
+  /// default because the timers call the clock on the search path.
+  bool collect_phase_timing = false;
 };
 
 /// Where the returned plan came from, for the degradation ladder.
@@ -117,8 +127,11 @@ inline const char* PlanSourceName(PlanSource s) {
 
 /// How the last top-level optimization concluded: which budget (if any)
 /// tripped, which ladder rung produced the plan, and how much of the search
-/// completed. `search_completed` is the fraction of started FindBestPlan
-/// goals that ran to completion — 1.0 for an exhaustive (optimal) result.
+/// completed. `search_completed` is the fraction of *distinct started goals*
+/// (FindBestPlan activations that began a real search, not winner-table hits
+/// or in-progress re-entries) that ran to completion; it is clamped to
+/// [0, 1], with 1.0 for an exhaustive (optimal) result and 0.0 when nothing
+/// was started.
 struct OptimizeOutcome {
   PlanSource source = PlanSource::kExhaustive;
   BudgetTrip trip = BudgetTrip::kNone;
@@ -126,6 +139,7 @@ struct OptimizeOutcome {
   double search_completed = 1.0;
 
   std::string ToString() const;
+  std::string ToJson() const;
 };
 
 /// Machine-independent effort counters, reported next to wall-clock times in
@@ -147,10 +161,13 @@ struct SearchStats {
   uint64_t moves_pruned = 0;        ///< abandoned by branch-and-bound
   uint64_t moves_skipped = 0;       ///< cut by the move_limit heuristic
   uint64_t goals_completed = 0;     ///< FindBestPlan calls that finished
+  uint64_t goals_started = 0;       ///< distinct goals that began a search
+  uint64_t goals_finished = 0;      ///< of those, ran to full completion
   uint64_t budget_checkpoints = 0;  ///< cooperative budget polls
   uint64_t invalid_costs = 0;       ///< NaN cost estimates rejected
 
   std::string ToString() const;
+  std::string ToJson() const;
 };
 
 }  // namespace volcano

@@ -1,0 +1,64 @@
+// Trace sinks: JSON-lines writing and in-memory capture.
+//
+// JsonTraceSink renders each TraceEvent as one JSON object per line — the
+// format `vopt --trace=FILE` writes and tests/golden/trace_small.jsonl pins.
+// TraceLog simply copies events into a vector for programmatic inspection
+// (tests, the dot annotator). Both copy any borrowed strings they keep, so
+// they may outlive the optimizer that emitted into them.
+
+#ifndef VOLCANO_SEARCH_TRACE_IO_H_
+#define VOLCANO_SEARCH_TRACE_IO_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/trace.h"
+
+namespace volcano {
+
+/// Writes one JSON object per event to a stream, in emission order, with a
+/// monotonically increasing "seq" field. Unused fields are omitted, so each
+/// line carries only what its event kind populates; costs and promises print
+/// with %.6g. The stream is borrowed and must outlive the sink.
+class JsonTraceSink : public TraceSink {
+ public:
+  explicit JsonTraceSink(std::ostream& out) : out_(out) {}
+
+  void OnEvent(const TraceEvent& event) override;
+
+  /// Events written so far.
+  uint64_t seq() const { return seq_; }
+
+ private:
+  std::ostream& out_;
+  uint64_t seq_ = 0;
+};
+
+/// Captures events in memory. Borrowed strings are interned into owned
+/// storage at capture time.
+class TraceLog : public TraceSink {
+ public:
+  struct Entry {
+    TraceEvent event;     ///< rule/detail nulled out; use the owned copies
+    std::string rule;     ///< owned copy ("" when the event carried none)
+    std::string detail;   ///< owned copy
+  };
+
+  void OnEvent(const TraceEvent& event) override;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+  /// Number of captured events of one kind.
+  size_t CountOf(TraceEventKind kind) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SEARCH_TRACE_IO_H_

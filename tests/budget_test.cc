@@ -121,6 +121,35 @@ TEST(Budget, MemoCapDegradesToValidPlan) {
   }
 }
 
+TEST(Budget, SearchCompletedIsAGoalFraction) {
+  // search_completed = goals_finished / goals_started over *distinct* goals,
+  // clamped to [0,1]. The old definition (goals_completed per FindBestPlan
+  // call) exceeded 1.0 whenever memoized hits let several goals finish
+  // between budget checks; pin the fraction semantics directly.
+  for (uint64_t seed = 30; seed < 40; ++seed) {
+    rel::Workload w = SmallWorkload(6, seed);
+    SearchOptions opts;
+    opts.budget.max_find_best_plan_calls = 5 + seed;  // trips mid-search
+    Optimizer opt(*w.model, opts);
+    (void)opt.Optimize(*w.query, w.required);
+
+    const SearchStats& stats = opt.stats();
+    const OptimizeOutcome& out = opt.outcome();
+    EXPECT_GE(out.search_completed, 0.0) << "seed " << seed;
+    EXPECT_LE(out.search_completed, 1.0) << "seed " << seed;
+    ASSERT_GT(stats.goals_started, 0u) << "seed " << seed;
+    EXPECT_LE(stats.goals_finished, stats.goals_started) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(out.search_completed,
+                     static_cast<double>(stats.goals_finished) /
+                         static_cast<double>(stats.goals_started))
+        << "seed " << seed;
+    if (out.trip != BudgetTrip::kNone) {
+      // The goal in flight at the trip started but never finished.
+      EXPECT_LT(out.search_completed, 1.0) << "seed " << seed;
+    }
+  }
+}
+
 TEST(Budget, OneMillisecondDeadlineOnTenRelationJoin) {
   // The acceptance scenario: a 10-relation join whose exhaustive search
   // space is far beyond a 1 ms deadline still yields a valid plan whose

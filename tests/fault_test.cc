@@ -88,6 +88,14 @@ RunResult RunScenario(const Scenario& sc, bool check_execution) {
   Optimizer opt(*w.model, opts);
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
 
+  // search_completed is a fraction of distinct goals finished over started;
+  // it must stay in [0,1] no matter how the search ended (a per-call ratio
+  // here used to exceed 1 when memo hits finished goals without new calls).
+  EXPECT_GE(opt.outcome().search_completed, 0.0)
+      << "seed " << sc.workload_seed;
+  EXPECT_LE(opt.outcome().search_completed, 1.0)
+      << "seed " << sc.workload_seed;
+
   RunResult out;
   if (!plan.ok()) {
     out.code = plan.status().code();

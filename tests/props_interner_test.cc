@@ -1,0 +1,179 @@
+// Tests for PropsInterner and the PhysProps::CachedHash protocol:
+//  * canonicalization and the one-entry InternRaw cache,
+//  * Clear() must drop the cache (a stale raw-pointer hit after Clear would
+//    hand out a vector the interner no longer pins alive),
+//  * bit-63 "computed" marker: a vector whose value hash is legitimately 0
+//    still caches (Hash() called exactly once),
+//  * the relaxed-atomics double-compute race is benign: concurrent first
+//    CachedHash calls all observe the same word.
+
+#include "algebra/props_interner.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "algebra/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace volcano {
+namespace {
+
+/// Minimal property vector: value identity is one integer. Counts Hash()
+/// invocations so tests can assert the cache actually caches.
+class IntProps : public PhysProps {
+ public:
+  explicit IntProps(uint64_t value) : value_(value) {}
+  // The atomic call counter deletes the default copy; value copies like the
+  // base class: cold cache, fresh counter.
+  IntProps(const IntProps& other) : PhysProps(other), value_(other.value_) {}
+
+  uint64_t Hash() const override {
+    hash_calls_.fetch_add(1, std::memory_order_relaxed);
+    return value_;
+  }
+  bool Equals(const PhysProps& other) const override {
+    return value_ == static_cast<const IntProps&>(other).value_;
+  }
+  bool Covers(const PhysProps& required) const override {
+    return Equals(required);
+  }
+  std::string ToString() const override {
+    return "int:" + std::to_string(value_);
+  }
+
+  int hash_calls() const {
+    return hash_calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t value_;
+  mutable std::atomic<int> hash_calls_{0};
+};
+
+PhysPropsPtr MakeProps(uint64_t v) { return std::make_shared<IntProps>(v); }
+
+TEST(PropsInterner, EqualValuesCollapseToCanonicalPointer) {
+  PropsInterner interner;
+  PhysPropsPtr a = MakeProps(7);
+  PhysPropsPtr b = MakeProps(7);  // equal value, distinct object
+  PhysPropsPtr c = MakeProps(8);
+
+  EXPECT_EQ(interner.Intern(a).get(), a.get());  // first of its class wins
+  EXPECT_EQ(interner.Intern(b).get(), a.get());  // collapses onto a
+  EXPECT_EQ(interner.Intern(c).get(), c.get());
+  EXPECT_EQ(interner.size(), 2u);
+
+  EXPECT_EQ(interner.InternRaw(b), a.get());
+  EXPECT_EQ(interner.InternRaw(a), a.get());
+}
+
+TEST(PropsInterner, NullInternsToNull) {
+  PropsInterner interner;
+  EXPECT_EQ(interner.Intern(nullptr), nullptr);
+  EXPECT_EQ(interner.InternRaw(nullptr), nullptr);
+  EXPECT_EQ(interner.size(), 0u);
+}
+
+TEST(PropsInterner, ClearDropsOneEntryCache) {
+  PropsInterner interner;
+  PhysPropsPtr original = MakeProps(42);
+  // Prime the one-entry cache with `original` as the canonical pointer.
+  ASSERT_EQ(interner.InternRaw(original), original.get());
+  ASSERT_EQ(interner.InternRaw(original), original.get());
+
+  interner.Clear();
+  EXPECT_EQ(interner.size(), 0u);
+
+  // Before the Clear() fix the cache still held `original`'s raw pointer;
+  // re-interning the *same object* hit the cache and returned it without
+  // re-inserting, so the interner handed out a pointer it no longer pinned
+  // and its table stayed empty.
+  const PhysProps* canonical = interner.InternRaw(original);
+  EXPECT_EQ(canonical, original.get());
+  EXPECT_EQ(interner.size(), 1u) << "stale cache hit skipped re-insertion";
+
+  // And an equal-valued newcomer must now canonicalize onto the re-interned
+  // vector, proving the table really owns it again.
+  PhysPropsPtr twin = MakeProps(42);
+  EXPECT_EQ(interner.InternRaw(twin), original.get());
+}
+
+TEST(PropsInterner, ClearThenDistinctObjectBecomesNewCanonical) {
+  PropsInterner interner;
+  const PhysProps* old_canonical;
+  {
+    PhysPropsPtr doomed = MakeProps(5);
+    old_canonical = interner.InternRaw(doomed);
+    ASSERT_EQ(old_canonical, doomed.get());
+    interner.Clear();
+    // `doomed` dies here; only Clear() stands between the cache and a
+    // dangling canonical pointer.
+  }
+  PhysPropsPtr fresh = MakeProps(5);
+  EXPECT_EQ(interner.InternRaw(fresh), fresh.get());
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+// --- CachedHash protocol ---------------------------------------------------
+
+TEST(CachedHash, ComputesOnceAndSetsBit63) {
+  auto p = std::make_shared<IntProps>(123);
+  uint64_t h1 = p->CachedHash();
+  uint64_t h2 = p->CachedHash();
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1, 123u | (uint64_t{1} << 63));
+  EXPECT_EQ(p->hash_calls(), 1) << "second call re-walked the value";
+}
+
+TEST(CachedHash, ZeroValueHashStillCaches) {
+  // Before the bit-63 marker, Hash()==0 cached as the word 0 — identical to
+  // the "unset" sentinel — so every CachedHash call recomputed.
+  auto p = std::make_shared<IntProps>(0);
+  uint64_t h = p->CachedHash();
+  EXPECT_NE(h, 0u);
+  EXPECT_EQ(h, uint64_t{1} << 63);
+  p->CachedHash();
+  p->CachedHash();
+  EXPECT_EQ(p->hash_calls(), 1) << "zero hash collided with unset sentinel";
+}
+
+TEST(CachedHash, CopyStartsCold) {
+  IntProps a(9);
+  a.CachedHash();
+  IntProps b(a);
+  EXPECT_EQ(b.hash_calls(), 0);
+  EXPECT_EQ(b.CachedHash(), a.CachedHash());
+}
+
+TEST(CachedHash, ConcurrentFirstCallsAgree) {
+  // Relaxed load/store race on first use: several threads may each compute
+  // Hash(), but all must store — and return — the identical word. Run under
+  // TSan this also documents that the race is by design (atomics, no UB).
+  for (int round = 0; round < 50; ++round) {
+    auto p = std::make_shared<IntProps>(0x00ffee00u + round);
+    constexpr int kThreads = 4;
+    std::vector<uint64_t> results(kThreads, 0);
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (ready.load() < kThreads) {}  // rendezvous for maximum overlap
+        results[t] = p->CachedHash();
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(results[t], (0x00ffee00u + round) | (uint64_t{1} << 63))
+          << "thread " << t << " round " << round;
+    }
+    EXPECT_GE(p->hash_calls(), 1);  // double-compute allowed, wrong value not
+  }
+}
+
+}  // namespace
+}  // namespace volcano

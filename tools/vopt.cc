@@ -9,6 +9,13 @@
 //   --dot            print the plan as a Graphviz digraph
 //   --memo           dump the memo after optimization
 //   --stats          print search-effort counters
+//   --stats-json     print effort counters, per-rule metrics, and the
+//                    outcome as one JSON object on stdout
+//   --explain        print the winning plan's lineage: the chain of
+//                    implementation rules and enforcers that produced it,
+//                    with per-step costs
+//   --trace FILE     write the structured search trace (JSON-lines) to FILE
+//                    ('-' = stdout); --trace=FILE also accepted
 //   --execute SEED   generate data and run the plan
 //   --timeout-ms N   optimization deadline; on expiry the engine returns the
 //                    best plan found so far (anytime mode) or a fast
@@ -29,6 +36,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,7 +47,10 @@
 #include "exodus/fallback.h"
 #include "relational/sql.h"
 #include "search/dot.h"
+#include "search/explain.h"
 #include "search/optimizer.h"
+#include "search/trace_io.h"
+#include "support/metrics.h"
 
 namespace {
 
@@ -119,6 +131,8 @@ int main(int argc, char** argv) {
   std::string sql;
   bool dot = false, memo = false, stats = false, execute = false;
   bool strict = false, fallback = false;
+  bool stats_json = false, explain = false;
+  std::string trace_path;
   uint64_t seed = 1;
   volcano::SearchOptions search_options;
 
@@ -132,6 +146,14 @@ int main(int argc, char** argv) {
       memo = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--stats-json") {
+      stats_json = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
     } else if (arg == "--execute" && i + 1 < argc) {
       execute = true;
       seed = std::strtoull(argv[++i], nullptr, 10);
@@ -159,6 +181,7 @@ int main(int argc, char** argv) {
   if (sql.empty()) {
     std::fprintf(stderr,
                  "usage: vopt [--catalog FILE] [--dot] [--memo] [--stats] "
+                 "[--stats-json] [--explain] [--trace FILE] "
                  "[--execute SEED] [--timeout-ms N] [--max-mexprs N] "
                  "[--max-calls N] [--strict] [--fallback] \"SQL\"\n");
     return 2;
@@ -189,6 +212,29 @@ int main(int argc, char** argv) {
   std::printf("algebra: %s\n", model.ExprToString(*parsed->expr).c_str());
   std::printf("required: %s\n", parsed->required->ToString().c_str());
 
+  // The trace sink must outlive the optimizer (the memo holds a pointer).
+  std::unique_ptr<std::ofstream> trace_file;
+  std::unique_ptr<volcano::JsonTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+#if !VOLCANO_TRACE_COMPILED_IN
+    std::fprintf(stderr,
+                 "vopt: built with -DVOLCANO_TRACE=OFF; --trace will emit "
+                 "no events\n");
+#endif
+    if (trace_path == "-") {
+      trace_sink = std::make_unique<volcano::JsonTraceSink>(std::cout);
+    } else {
+      trace_file = std::make_unique<std::ofstream>(trace_path);
+      if (!*trace_file) {
+        std::fprintf(stderr, "vopt: cannot open trace file %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      trace_sink = std::make_unique<volcano::JsonTraceSink>(*trace_file);
+    }
+    search_options.trace = trace_sink.get();
+  }
+
   volcano::Optimizer optimizer(model, search_options);
   volcano::OptimizeOutcome outcome;
   volcano::StatusOr<volcano::PlanPtr> plan =
@@ -216,9 +262,22 @@ int main(int argc, char** argv) {
   if (memo) {
     std::printf("\nmemo:\n%s", optimizer.memo().ToString().c_str());
   }
+  if (explain) {
+    std::printf("\n%s",
+                ExplainPlan(**plan, model.registry(), model.cost_model())
+                    .c_str());
+  }
   if (stats) {
     std::printf("\nsearch effort:\n%s\n",
                 optimizer.stats().ToString().c_str());
+  }
+  if (stats_json) {
+    // In --fallback mode the plan may come from an internal optimizer whose
+    // counters are not visible here; the outcome still reports provenance.
+    std::printf("\n{\"stats\": %s, \"outcome\": %s, \"metrics\": %s}\n",
+                optimizer.stats().ToJson().c_str(),
+                outcome.ToJson().c_str(),
+                MetricsToJson(optimizer.metrics()).c_str());
   }
   if (execute) {
     volcano::exec::Database db = volcano::exec::GenerateDatabase(catalog,
