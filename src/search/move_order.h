@@ -1,0 +1,37 @@
+// Shared move-ordering helper for the search engines (internal).
+//
+// "the moves are sorted by their promise" (paper, section 3). Both the
+// recursive engine (optimizer.cc) and the task engine (task_engine.cc) must
+// order moves identically — the differential tests compare their plans
+// byte for byte — so the sort lives in one place.
+
+#ifndef VOLCANO_SEARCH_MOVE_ORDER_H_
+#define VOLCANO_SEARCH_MOVE_ORDER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace volcano {
+namespace search_internal {
+
+/// Stable descending sort by promise. Insertion sort keeps equal-promise
+/// moves in collection order (matching the std::stable_sort it replaces)
+/// without stable_sort's temporary-buffer allocation; move sets are small.
+template <typename MoveT>
+void SortMovesByPromise(std::vector<MoveT>& moves) {
+  for (size_t i = 1; i < moves.size(); ++i) {
+    MoveT tmp = std::move(moves[i]);
+    size_t j = i;
+    while (j > 0 && moves[j - 1].promise < tmp.promise) {
+      moves[j] = std::move(moves[j - 1]);
+      --j;
+    }
+    moves[j] = std::move(tmp);
+  }
+}
+
+}  // namespace search_internal
+}  // namespace volcano
+
+#endif  // VOLCANO_SEARCH_MOVE_ORDER_H_

@@ -5,6 +5,8 @@
 #include <set>
 #include <utility>
 
+#include "search/move_order.h"
+#include "search/task_engine.h"
 #include "support/fault.h"
 
 namespace volcano {
@@ -13,6 +15,13 @@ Optimizer::Optimizer(const DataModel& model, SearchOptions options)
     : model_(model), options_(options), memo_(model) {
   mexpr_cap_ = std::min(options_.max_mexprs, options_.budget.max_mexprs);
   any_props_ = memo_.InternProps(model_.AnyProps());
+  if (options_.trace != nullptr) {
+    // Interpose the stamper so every event — from the memo and from either
+    // engine, on any worker thread — carries a monotonic sequence number and
+    // the emitting worker's id before the user's sink sees it.
+    trace_stamper_.set_inner(options_.trace);
+    options_.trace = &trace_stamper_;
+  }
   memo_.set_trace(options_.trace);
   const RuleSet& rules = model_.rule_set();
   metrics_.transformations.resize(rules.transformations().size());
@@ -32,23 +41,12 @@ Optimizer::Optimizer(const DataModel& model, SearchOptions options)
   metrics_.phases.enabled = options_.collect_phase_timing;
 }
 
+// Out of line so the unique_ptr<TaskEngine> member destroys a complete type.
+Optimizer::~Optimizer() = default;
+
 namespace {
 
-/// Stable descending sort by promise. Insertion sort keeps equal-promise
-/// moves in collection order (matching the std::stable_sort it replaces)
-/// without stable_sort's temporary-buffer allocation; move sets are small.
-template <typename MoveT>
-void SortMovesByPromise(std::vector<MoveT>& moves) {
-  for (size_t i = 1; i < moves.size(); ++i) {
-    MoveT tmp = std::move(moves[i]);
-    size_t j = i;
-    while (j > 0 && moves[j - 1].promise < tmp.promise) {
-      moves[j] = std::move(moves[j - 1]);
-      --j;
-    }
-    moves[j] = std::move(tmp);
-  }
-}
+using search_internal::SortMovesByPromise;
 
 /// Accumulates wall-clock into `acc` for the outermost activation of a phase
 /// (depth-guarded; the search is mutually recursive). Does nothing — and
@@ -92,7 +90,8 @@ bool Optimizer::CheckBudget() {
   } else if (memo_.num_exprs() > mexpr_cap_) {
     trip_ = BudgetTrip::kMemoLimit;
   } else if (b.max_find_best_plan_calls > 0 &&
-             stats_.find_best_plan_calls > b.max_find_best_plan_calls) {
+             stats_.find_best_plan_calls - call_budget_base_ >
+                 b.max_find_best_plan_calls) {
     trip_ = BudgetTrip::kCallLimit;
   } else if (b.cancel != nullptr && b.cancel->cancelled()) {
     trip_ = BudgetTrip::kCancelled;
@@ -110,6 +109,9 @@ bool Optimizer::CheckBudget() {
 void Optimizer::ArmBudget() {
   trip_ = BudgetTrip::kNone;
   outcome_ = OptimizeOutcome{};
+  // Re-base the FindBestPlan-call allowance so the budget really is "per top
+  // level call" (as documented) and a resumed run gets a fresh allowance.
+  call_budget_base_ = stats_.find_best_plan_calls;
   has_deadline_ = options_.budget.has_deadline();
   if (has_deadline_) {
     deadline_ = std::chrono::steady_clock::now() +
@@ -170,27 +172,88 @@ StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
   if (required_in == nullptr) fallback = model_.AnyProps();
   const PhysPropsPtr& required = required_in != nullptr ? required_in
                                                         : fallback;
-  const CostModel& cm = model_.cost_model();
   ArmBudget();
+  // A suspended run the caller chose not to resume must not leak its frozen
+  // frames (or the in-progress marks they hold) into this fresh search.
+  if (engine_ != nullptr && engine_->suspended()) engine_->Abandon();
+  char base;
+  stack_base_ = &base;
   PhaseScope total_scope(options_.collect_phase_timing, &total_depth_,
                          &metrics_.phases.total_seconds);
-  Result r = FindBestPlan(group, required, limit, nullptr);
+  Result r;
+  if (options_.engine == SearchOptions::Engine::kRecursive) {
+    r = FindBestPlan(group, required, limit, nullptr);
+  } else {
+    if (engine_ == nullptr) engine_ = std::make_unique<TaskEngine>(*this);
+    r = engine_->Run(group, required, limit);
+    if (engine_->suspended()) {
+      resume_group_ = group;
+      resume_required_ = required;
+      resume_limit_ = limit;
+      return SuspendedStatus();
+    }
+  }
+  return FinalizeTopLevel(std::move(r), group, required, limit);
+}
+
+Status Optimizer::SuspendedStatus() {
+  outcome_.trip = trip_;
+  outcome_.suspended = true;
+  outcome_.search_completed = SearchCompletedFraction();
+  return ExhaustedStatus().WithDetail("suspended", "true");
+}
+
+double Optimizer::SearchCompletedFraction() const {
+  // Fraction of *distinct started goals* that ran to full completion.
+  // Counting winner-table hits and in-progress re-entries (as the old
+  // goals_completed / find_best_plan_calls ratio did) lets the quotient
+  // wander outside [0, 1] depending on how often finished goals are
+  // re-queried; started/finished counts only real searches, and the clamp
+  // keeps any residual accounting skew from leaking past the contract.
+  return stats_.goals_started == 0
+             ? 0.0
+             : std::clamp(static_cast<double>(stats_.goals_finished) /
+                              static_cast<double>(stats_.goals_started),
+                          0.0, 1.0);
+}
+
+bool Optimizer::CanResume() const {
+  return engine_ != nullptr && engine_->suspended();
+}
+
+StatusOr<PlanPtr> Optimizer::Resume() {
+  if (!CanResume()) {
+    return Status::InvalidArgument("no suspended optimization to resume");
+  }
+  ArmBudget();
+  char base;
+  stack_base_ = &base;
+  PhaseScope total_scope(options_.collect_phase_timing, &total_depth_,
+                         &metrics_.phases.total_seconds);
+  Result r = engine_->Continue();
+  if (engine_->suspended()) return SuspendedStatus();
+  return FinalizeTopLevel(std::move(r), resume_group_, resume_required_,
+                          resume_limit_);
+}
+
+StatusOr<PlanPtr> Optimizer::Resume(const OptimizationBudget& budget) {
+  if (!CanResume()) {
+    return Status::InvalidArgument("no suspended optimization to resume");
+  }
+  options_.budget = budget;
+  mexpr_cap_ = std::min(options_.max_mexprs, budget.max_mexprs);
+  return Resume();
+}
+
+StatusOr<PlanPtr> Optimizer::FinalizeTopLevel(Result r, GroupId group,
+                                              const PhysPropsPtr& required,
+                                              Cost limit) {
+  const CostModel& cm = model_.cost_model();
   if (aborted()) {
     // Budget exhausted: degrade down the ladder instead of discarding the
     // partial work (kAnytime), or abort with a structured error (kStrict).
     outcome_.trip = trip_;
-    // Fraction of *distinct started goals* that ran to full completion.
-    // Counting winner-table hits and in-progress re-entries (as the old
-    // goals_completed / find_best_plan_calls ratio did) lets the quotient
-    // wander outside [0, 1] depending on how often finished goals are
-    // re-queried; started/finished counts only real searches, and the clamp
-    // keeps any residual accounting skew from leaking past the contract.
-    outcome_.search_completed =
-        stats_.goals_started == 0
-            ? 0.0
-            : std::clamp(static_cast<double>(stats_.goals_finished) /
-                             static_cast<double>(stats_.goals_started),
-                         0.0, 1.0);
+    outcome_.search_completed = SearchCompletedFraction();
     if (options_.degradation == SearchOptions::Degradation::kStrict) {
       return ExhaustedStatus();
     }
@@ -238,6 +301,7 @@ void Optimizer::ExploreGroup(GroupId group) {
   // would make its running time proportional to the transformation closure
   // it is trying to avoid.
   if (greedy_mode_) return;
+  ProbeNativeStack();
   group = memo_.Find(group);
   {
     Group& grp = memo_.group(group);
@@ -348,6 +412,7 @@ void Optimizer::MatchNode(const Pattern& pattern, const MExpr& m,
 void Optimizer::MatchChildren(const Pattern& pattern, const MExpr& m,
                               size_t child, Binding* partial,
                               const std::function<void()>& emit) {
+  ProbeNativeStack();
   if (child == m.num_inputs()) {
     emit();
     return;
@@ -427,6 +492,7 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
                                           Cost limit,
                                           const PhysPropsPtr& excluded) {
   ++stats_.find_best_plan_calls;
+  ProbeNativeStack();
   const CostModel& cm = model_.cost_model();
   Result failure{nullptr, limit};
   if (!CheckBudget()) return failure;

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "algebra/data_model.h"
@@ -32,6 +33,8 @@
 
 namespace volcano {
 
+class TaskEngine;
+
 /// One optimizer instance optimizes queries against one data model. The memo
 /// ("set of partial optimization results") lives for the lifetime of the
 /// instance; the paper's generated optimizers reinitialize it per query, so
@@ -39,6 +42,7 @@ namespace volcano {
 class Optimizer {
  public:
   explicit Optimizer(const DataModel& model, SearchOptions options = {});
+  ~Optimizer();
 
   /// Optimizes a logical query for the required physical properties (null
   /// means "no requirement"). Returns the optimal plan or NotFound if no
@@ -68,6 +72,23 @@ class Optimizer {
   StatusOr<PlanPtr> OptimizeGroup(GroupId group, const PhysPropsPtr& required,
                                   Cost limit);
 
+  /// True when the previous Optimize/OptimizeGroup call suspended on a
+  /// budget trip (SearchOptions::suspend_on_trip with the task engine): the
+  /// task stack is frozen and Resume() can continue it.
+  bool CanResume() const;
+
+  /// Continues a suspended optimization from the exact preemption point. The
+  /// budget is re-armed (the deadline is re-stamped and the FindBestPlan
+  /// call allowance restarts); a memo-size trip needs a larger budget to
+  /// make progress — pass one via the overload. Returns the same plan an
+  /// uninterrupted run would have produced, or suspends again on the next
+  /// trip. InvalidArgument when there is nothing to resume.
+  StatusOr<PlanPtr> Resume();
+
+  /// Resume with a replacement budget (e.g. a raised memo cap or a fresh
+  /// deadline) that applies to this continuation and later calls.
+  StatusOr<PlanPtr> Resume(const OptimizationBudget& budget);
+
   /// Inserts a query without optimizing; returns its root class.
   GroupId AddQuery(const Expr& query) { return memo_.InsertQuery(query); }
 
@@ -90,6 +111,12 @@ class Optimizer {
   const SearchMetrics& metrics() const { return metrics_; }
 
  private:
+  // The task engine (search/task_engine.h) runs the same search as the
+  // recursive methods below on an explicit frame stack; it reuses the
+  // shared helpers (budget checkpoints, move collection, winner crediting)
+  // and the private Result/Move types directly.
+  friend class TaskEngine;
+
   struct Result {
     PlanPtr plan;  // null on failure
     Cost cost;
@@ -175,6 +202,32 @@ class Optimizer {
   /// budget, effort counters, partial stats).
   Status ExhaustedStatus() const;
 
+  /// Shared tail of OptimizeGroup and Resume: the degradation ladder on
+  /// abort, NotFound on failure, and the final Covers consistency check.
+  StatusOr<PlanPtr> FinalizeTopLevel(Result r, GroupId group,
+                                     const PhysPropsPtr& required, Cost limit);
+
+  /// Records the suspension in outcome_ and builds the ResourceExhausted
+  /// status tagged with suspended=true (Resume() can continue).
+  Status SuspendedStatus();
+
+  /// goals_finished / goals_started, clamped to [0, 1].
+  double SearchCompletedFraction() const;
+
+  /// Records the peak native-stack consumption below the top-level entry
+  /// point in stats_.native_stack_high_water. The recursive engine calls
+  /// this on its recursion paths (where it grows with plan depth); the task
+  /// engine calls it per step (where it stays flat).
+  void ProbeNativeStack() {
+    if (stack_base_ == nullptr) return;
+    char probe;
+    ptrdiff_t depth = stack_base_ - &probe;  // stack grows down on our targets
+    if (depth > 0 &&
+        static_cast<uint64_t>(depth) > stats_.native_stack_high_water) {
+      stats_.native_stack_high_water = static_cast<uint64_t>(depth);
+    }
+  }
+
   /// Applies a freshly estimated local cost through the fault injector and
   /// validity check; returns false (and counts the rejection) if the cost is
   /// NaN and must not reach branch-and-bound comparisons.
@@ -220,6 +273,26 @@ class Optimizer {
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
   size_t mexpr_cap_ = 0;
+  // The FindBestPlan-call allowance is re-based at every ArmBudget so the
+  // budget really is "per top-level call" (as documented) and a resumed run
+  // gets a fresh allowance.
+  uint64_t call_budget_base_ = 0;
+  // Task engine (created lazily on the first kTask optimization; owns the
+  // frame arena and, when suspended, the frozen task stack).
+  std::unique_ptr<TaskEngine> engine_;
+  // Saved context for Resume(): the goal of the suspended top-level call.
+  GroupId resume_group_ = kInvalidGroup;
+  PhysPropsPtr resume_required_;
+  Cost resume_limit_;
+  // Native-stack high-water probing (see ProbeNativeStack).
+  char* stack_base_ = nullptr;
+  // Serializes all shared-state access (memo, stats, trace) between parallel
+  // workers: each worker holds it for one whole move evaluation, so memo
+  // invariants (in-progress marks, fired masks, union-find) behave exactly
+  // as in the single-threaded engine. See DESIGN.md §9.
+  std::mutex engine_mu_;
+  // Interposed in front of any user trace sink (see StampingTraceSink).
+  StampingTraceSink trace_stamper_;
 };
 
 }  // namespace volcano

@@ -23,7 +23,19 @@ std::string SearchStats::ToString() const {
      << "goals completed: " << goals_completed
      << ", goals started/finished: " << goals_started << "/" << goals_finished
      << ", budget checkpoints: " << budget_checkpoints
-     << ", invalid costs rejected: " << invalid_costs;
+     << ", invalid costs rejected: " << invalid_costs << "\n"
+     << "tasks executed: " << tasks_executed
+     << ", task stack high-water: " << task_stack_high_water
+     << ", suspensions: " << suspensions
+     << ", native stack high-water: " << native_stack_high_water << " bytes";
+  if (!worker_busy_seconds.empty()) {
+    os << "\nworker busy seconds:";
+    for (size_t i = 0; i < worker_busy_seconds.size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %.3f", worker_busy_seconds[i]);
+      os << buf;
+    }
+  }
   return os.str();
 }
 
@@ -48,7 +60,18 @@ std::string SearchStats::ToJson() const {
      << ", \"goals_started\": " << goals_started
      << ", \"goals_finished\": " << goals_finished
      << ", \"budget_checkpoints\": " << budget_checkpoints
-     << ", \"invalid_costs\": " << invalid_costs << "}";
+     << ", \"invalid_costs\": " << invalid_costs
+     << ", \"tasks_executed\": " << tasks_executed
+     << ", \"task_stack_high_water\": " << task_stack_high_water
+     << ", \"suspensions\": " << suspensions
+     << ", \"native_stack_high_water\": " << native_stack_high_water
+     << ", \"worker_busy_seconds\": [";
+  for (size_t i = 0; i < worker_busy_seconds.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", worker_busy_seconds[i]);
+    os << (i == 0 ? "" : ", ") << buf;
+  }
+  os << "]}";
   return os.str();
 }
 
@@ -56,7 +79,8 @@ std::string OptimizeOutcome::ToString() const {
   std::ostringstream os;
   os << "source: " << PlanSourceName(source)
      << ", budget tripped: " << BudgetTripName(trip)
-     << ", approximate: " << (approximate ? "yes" : "no");
+     << ", approximate: " << (approximate ? "yes" : "no")
+     << ", suspended: " << (suspended ? "yes" : "no");
   char pct[32];
   std::snprintf(pct, sizeof(pct), "%.1f%%", search_completed * 100.0);
   os << ", search completed: " << pct;
@@ -69,7 +93,8 @@ std::string OptimizeOutcome::ToJson() const {
   std::snprintf(frac, sizeof(frac), "%.6f", search_completed);
   os << "{\"source\": \"" << PlanSourceName(source) << "\", \"budget_trip\": \""
      << BudgetTripName(trip) << "\", \"approximate\": "
-     << (approximate ? "true" : "false") << ", \"search_completed\": " << frac
+     << (approximate ? "true" : "false") << ", \"suspended\": "
+     << (suspended ? "true" : "false") << ", \"search_completed\": " << frac
      << "}";
   return os.str();
 }

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "support/budget.h"
 
@@ -39,6 +40,39 @@ struct SearchOptions {
   };
 
   Strategy strategy = Strategy::kExploreFirst;
+
+  /// Which search core executes FindBestPlan.
+  enum class Engine {
+    /// Explicit task engine: the Figure-2 recursion is run as a stack of
+    /// small state-machine tasks whose pending state lives on the heap, so
+    /// search depth is independent of the native call stack, a tripped
+    /// budget can freeze the stack for Resume(), and independent subgoals
+    /// can fan out across workers. Default; plan-for-plan identical to
+    /// kRecursive in single-threaded mode.
+    kTask,
+    /// The literal recursive descent of Figure 2 (the pre-task-engine
+    /// implementation). Kept as a compatibility path for differential
+    /// testing; cannot suspend or parallelize.
+    kRecursive,
+  };
+  Engine engine = Engine::kTask;
+
+  /// Parallel search width (task engine only). 0 or 1 runs single-threaded
+  /// with strict Figure-2 move ordering; N > 1 evaluates the independent
+  /// moves of each goal on a pool of N workers over a mutex-sharded memo,
+  /// reducing move results in promise order so the chosen plan matches the
+  /// single-threaded search. Per-move branch-and-bound limit tightening is
+  /// disabled in parallel mode (each subgoal's winner must be its
+  /// schedule-independent optimum), so parallel runs do strictly more work
+  /// per goal but return plans of identical cost.
+  int workers = 0;
+
+  /// When true (task engine only), a tripped OptimizationBudget freezes the
+  /// task stack instead of unwinding it: Optimize returns ResourceExhausted
+  /// with detail suspended=true, and Optimizer::Resume() re-arms the budget
+  /// and continues from the exact preemption point. When false, a trip
+  /// degrades per `degradation` exactly like the recursive engine.
+  bool suspend_on_trip = false;
 
   /// Branch-and-bound: pass reduced cost limits down ("Limit - TotalCost",
   /// Figure 2) and abandon moves that exceed the best known plan.
@@ -136,6 +170,9 @@ struct OptimizeOutcome {
   PlanSource source = PlanSource::kExhaustive;
   BudgetTrip trip = BudgetTrip::kNone;
   bool approximate = false;
+  /// True when the budget tripped with SearchOptions::suspend_on_trip set:
+  /// the task stack is frozen and Optimizer::Resume() can continue it.
+  bool suspended = false;
   double search_completed = 1.0;
 
   std::string ToString() const;
@@ -165,6 +202,18 @@ struct SearchStats {
   uint64_t goals_finished = 0;      ///< of those, ran to full completion
   uint64_t budget_checkpoints = 0;  ///< cooperative budget polls
   uint64_t invalid_costs = 0;       ///< NaN cost estimates rejected
+
+  // Task-engine counters (zero under SearchOptions::Engine::kRecursive).
+  uint64_t tasks_executed = 0;          ///< task state-machine steps run
+  uint64_t task_stack_high_water = 0;   ///< max concurrent task frames
+  uint64_t suspensions = 0;             ///< budget trips frozen for Resume()
+  /// Peak native C++ stack consumption observed inside the search (bytes
+  /// below the top-level entry point). The task engine keeps this flat in
+  /// plan depth; the recursive engine grows it linearly.
+  uint64_t native_stack_high_water = 0;
+  /// Wall-clock seconds each parallel worker spent stepping tasks (indexed
+  /// by worker id; empty for single-threaded runs).
+  std::vector<double> worker_busy_seconds;
 
   std::string ToString() const;
   std::string ToJson() const;

@@ -1,0 +1,1391 @@
+#include "search/task_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "search/move_order.h"
+#include "support/fault.h"
+
+namespace volcano {
+
+// ---------------------------------------------------------------------------
+// Matcher
+// ---------------------------------------------------------------------------
+
+void TaskEngine::Matcher::Start(const Pattern& pattern, const MExpr& m,
+                                Memo& memo, std::vector<Binding>* out) {
+  acts_.clear();
+  partial_ = Binding{};
+  out_ = out;
+  need_group_ = kInvalidGroup;
+  // Fast path for depth-1 patterns (every child is "any"): identical to
+  // Optimizer::CollectBindings — the single binding is the expression itself
+  // over its input classes, completed synchronously.
+  if (pattern.NumOpNodes() == 1) {
+    if (pattern.op() != m.op()) return;
+    Binding b;
+    b.mutable_nodes().push_back(&m);
+    auto& leaves = b.mutable_leaves();
+    leaves.reserve(m.num_inputs());
+    for (size_t i = 0; i < m.num_inputs(); ++i) {
+      leaves.push_back(memo.Find(m.input(i)));
+    }
+    out->push_back(std::move(b));
+    return;
+  }
+  Act root;
+  root.kind = Act::Kind::kNode;
+  root.p = &pattern;
+  root.m = &m;
+  root.cont = kEmitCont;
+  acts_.push_back(root);
+}
+
+TaskEngine::Matcher::Status TaskEngine::Matcher::Step(Memo& memo) {
+  // Each Act is one suspended activation of MatchNode (kNode) or
+  // MatchChildren (kChildren) from the recursive matcher; `pc` is the resume
+  // point and `cont` the act index of the MatchChildren call-site whose
+  // continuation runs when a subtree match completes (kEmitCont = emit the
+  // binding). All Act fields are copied to locals before any push: pushes
+  // may reallocate acts_.
+  while (!acts_.empty()) {
+    size_t idx = acts_.size() - 1;
+    Act& a = acts_[idx];
+    if (a.kind == Act::Kind::kNode) {
+      if (a.pc == 0) {
+        VOLCANO_DCHECK(!a.p->is_any());
+        if (a.p->op() != a.m->op()) {
+          acts_.pop_back();
+          continue;
+        }
+        partial_.mutable_nodes().push_back(a.m);
+        a.pc = 1;
+        Act c;
+        c.kind = Act::Kind::kChildren;
+        c.p = a.p;
+        c.m = a.m;
+        c.child = 0;
+        c.cont = a.cont;
+        acts_.push_back(c);
+        continue;
+      }
+      // pc == 1: MatchChildren returned.
+      partial_.mutable_nodes().pop_back();
+      acts_.pop_back();
+      continue;
+    }
+    // kChildren.
+    switch (a.pc) {
+      case 0: {
+        if (a.child == a.m->num_inputs()) {
+          if (a.cont == kEmitCont) {
+            out_->push_back(partial_);
+            acts_.pop_back();
+          } else {
+            // Run the caller MatchChildren's continuation: advance it one
+            // child position. This act waits in pc=2 for it to finish.
+            a.pc = 2;
+            const Act& site = acts_[static_cast<size_t>(a.cont)];
+            Act c;
+            c.kind = Act::Kind::kChildren;
+            c.p = site.p;
+            c.m = site.m;
+            c.child = site.child + 1;
+            c.cont = site.cont;
+            acts_.push_back(c);
+          }
+          continue;
+        }
+        // A pattern with fewer children than the operator's arity treats the
+        // missing positions as "any".
+        const Pattern* cp = a.child < a.p->children().size()
+                                ? &a.p->children()[a.child]
+                                : nullptr;
+        if (cp == nullptr || cp->is_any()) {
+          partial_.mutable_leaves().push_back(memo.Find(a.m->input(a.child)));
+          a.pc = 1;
+          Act c;
+          c.kind = Act::Kind::kChildren;
+          c.p = a.p;
+          c.m = a.m;
+          c.child = a.child + 1;
+          c.cont = a.cont;
+          acts_.push_back(c);
+          continue;
+        }
+        // Specific operator below: direct the search — the input class must
+        // be explored before its expressions are enumerated.
+        a.cg = memo.Find(a.m->input(a.child));
+        a.pc = 3;
+        a.enum_i = 0;
+        need_group_ = a.cg;
+        return Status::kNeedExplore;
+      }
+      case 1:  // "any" child position finished.
+        partial_.mutable_leaves().pop_back();
+        acts_.pop_back();
+        continue;
+      case 2:  // caller continuation finished.
+        acts_.pop_back();
+        continue;
+      case 3: {
+        // Enumerate candidate expressions of the explored input class.
+        a.cg = memo.Find(a.cg);
+        const Group& grp = memo.group(a.cg);
+        if (a.enum_i >= grp.exprs().size()) {
+          acts_.pop_back();
+          continue;
+        }
+        const MExpr* cm = grp.exprs()[a.enum_i];
+        ++a.enum_i;
+        if (cm->dead()) continue;
+        const Pattern* cp = &a.p->children()[a.child];
+        Act c;
+        c.kind = Act::Kind::kNode;
+        c.p = cp;
+        c.m = cm;
+        c.cont = static_cast<int32_t>(idx);  // completion resumes child+1 here
+        acts_.push_back(c);
+        continue;
+      }
+    }
+  }
+  return Status::kDone;
+}
+
+// ---------------------------------------------------------------------------
+// Frame reuse
+// ---------------------------------------------------------------------------
+
+void TaskEngine::GoalFrame::Reuse() {
+  parent = nullptr;
+  required = nullptr;
+  excluded = nullptr;
+  out = nullptr;
+  goal = Goal{};
+  marked = false;
+  fan_out = false;
+  best = Optimizer::Result{};
+  logical = nullptr;
+  moves.clear();
+  move_idx = 0;
+  collect_before = kInvalidGroup;
+  collect_size_before = 0;
+  sweep_group = kInvalidGroup;
+  sweep_expr_idx = 0;
+  sweep_rule_pos = 0;
+  sweep_expr = nullptr;
+  sweep_rule = nullptr;
+  sweep_next = 0;
+  bindings.clear();
+  glue_base = Optimizer::Result{};
+  tmoves.clear();
+  tmove_idx = 0;
+  trans_rule = nullptr;
+  pursued.clear();
+  enforcers_done = false;
+}
+
+void TaskEngine::MoveFrame::Reuse() {
+  parent = nullptr;
+  mv = nullptr;
+  group = kInvalidGroup;
+  logical = nullptr;
+  goal = nullptr;
+  children.clear();
+  input_idx = 0;
+  child_result = Optimizer::Result{};
+}
+
+void TaskEngine::ExploreFrame::Reuse() {
+  parent = nullptr;
+  group = kInvalidGroup;
+  changed = false;
+  expr_idx = 0;
+  rule_pos = 0;
+  expr = nullptr;
+  rule = nullptr;
+  bindings.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Engine lifecycle
+// ---------------------------------------------------------------------------
+
+TaskEngine::TaskEngine(Optimizer& opt, bool worker_mode)
+    : opt_(opt),
+      goal_pool_(&arena_),
+      move_pool_(&arena_),
+      explore_pool_(&arena_),
+      worker_mode_(worker_mode) {}
+
+TaskEngine::~TaskEngine() = default;
+
+bool TaskEngine::Parking() const {
+  // Workers never park: suspension freezes exactly one stack — the main
+  // engine's — and suspend_on_trip is documented unsupported with workers>1.
+  return !worker_mode_ && opt_.options_.suspend_on_trip && !abandoning_;
+}
+
+Optimizer::Result TaskEngine::Run(GroupId group, const PhysPropsPtr& required,
+                                  Cost limit, const PhysPropsPtr& excluded) {
+  VOLCANO_CHECK(stack_.Empty());
+  suspended_ = false;
+  root_result_ = Optimizer::Result{nullptr, limit};
+  if (EnterGoal(group, required, limit, excluded, &root_result_, nullptr)) {
+    // Parallel mode fans the root goal's moves across the worker pool. Only
+    // the kExploreFirst pursue loop fans out (the interleaved strategy and
+    // the glue ablation pursue serially), and suspension is incompatible
+    // with fan-out, so the flag stays off when suspend_on_trip is set.
+    if (!worker_mode_ && opt_.options_.workers > 1 &&
+        !opt_.options_.suspend_on_trip) {
+      static_cast<GoalFrame*>(stack_.Top())->fan_out = true;
+    }
+    return Loop();
+  }
+  return std::move(root_result_);
+}
+
+Optimizer::Result TaskEngine::Continue() {
+  VOLCANO_CHECK(suspended_);
+  suspended_ = false;
+  return Loop();
+}
+
+void TaskEngine::Abandon() {
+  // Manual unwind: clear every mark the frozen frames hold without running
+  // any further search steps (the memo must come out consistent even when
+  // the budget that froze us is still tripped).
+  abandoning_ = true;
+  const std::vector<Frame*>& frames = stack_.frames();
+  for (size_t i = frames.size(); i > 0; --i) {
+    Frame* f = frames[i - 1];
+    switch (f->kind) {
+      case Frame::Kind::kGoal: {
+        GoalFrame* g = static_cast<GoalFrame*>(f);
+        if (g->marked) {
+          opt_.memo_.UnmarkInProgress(opt_.memo_.Find(g->group), g->goal);
+        }
+        g->Reuse();
+        goal_pool_.Release(g);
+        break;
+      }
+      case Frame::Kind::kMove: {
+        MoveFrame* m = static_cast<MoveFrame*>(f);
+        m->Reuse();
+        move_pool_.Release(m);
+        break;
+      }
+      case Frame::Kind::kExplore: {
+        ExploreFrame* e = static_cast<ExploreFrame*>(f);
+        opt_.memo_.SetExploring(opt_.memo_.Find(e->group), false);
+        e->Reuse();
+        explore_pool_.Release(e);
+        break;
+      }
+    }
+  }
+  stack_.Clear();
+  suspended_ = false;
+  abandoning_ = false;
+}
+
+Optimizer::Result TaskEngine::Loop() {
+  // Both predicates are loop-invariant (Abandon never runs inside Loop), so
+  // hoist them off the per-task dispatch path. Workers short-circuit before
+  // touching the trip latch (they read it only under Optimizer::engine_mu_,
+  // inside their steps).
+  const bool may_park = Parking();
+  // Task count accumulates in a register and lands in stats_ at every exit
+  // (nothing reads it mid-run; budgets count goals and cost estimates).
+  uint64_t tasks = 0;
+  while (!stack_.Empty()) {
+    if (may_park && opt_.aborted()) {
+      // A budget trip with suspension enabled freezes the stack in place;
+      // Optimizer::Resume re-arms the budget and calls Continue().
+      suspended_ = true;
+      ++opt_.stats_.suspensions;
+      opt_.stats_.tasks_executed += tasks;
+      if (stack_.high_water() > opt_.stats_.task_stack_high_water) {
+        opt_.stats_.task_stack_high_water = stack_.high_water();
+      }
+      return Optimizer::Result{};
+    }
+    ++tasks;
+    // The engine's native depth is flat — every task steps from this very
+    // loop — so a sampled probe sees the same high water as a per-task one.
+    // Workers run on foreign thread stacks; the probe base is the main
+    // thread's, so only the main engine measures.
+    if (!worker_mode_ && (tasks & 63) == 0) opt_.ProbeNativeStack();
+    Frame* f = stack_.Top();
+    switch (f->kind) {
+      case Frame::Kind::kGoal:
+        StepGoal(static_cast<GoalFrame*>(f));
+        break;
+      case Frame::Kind::kMove:
+        StepMove(static_cast<MoveFrame*>(f));
+        break;
+      case Frame::Kind::kExplore:
+        StepExplore(static_cast<ExploreFrame*>(f));
+        break;
+    }
+  }
+  opt_.stats_.tasks_executed += tasks;
+  if (stack_.high_water() > opt_.stats_.task_stack_high_water) {
+    opt_.stats_.task_stack_high_water = stack_.high_water();
+  }
+  return std::move(root_result_);
+}
+
+// ---------------------------------------------------------------------------
+// Goal entry/exit (the FindBestPlan prologue and epilogue)
+// ---------------------------------------------------------------------------
+
+bool TaskEngine::EnterGoal(GroupId group, const PhysPropsPtr& required,
+                           Cost limit, const PhysPropsPtr& excluded,
+                           Optimizer::Result* out, Frame* parent) {
+  ++opt_.stats_.find_best_plan_calls;
+  const CostModel& cm = opt_.model_.cost_model();
+  if (!opt_.CheckBudget()) {
+    if (Parking()) {
+      // Park exactly at the entry checkpoint: a resumed run re-polls the
+      // budget and then runs the memo probes it has not yet done.
+      GoalFrame* f = goal_pool_.Acquire();
+      f->kind = Frame::Kind::kGoal;
+      f->state = kGoalEnter;
+      f->parent = parent;
+      f->group = group;
+      f->required = required;
+      f->excluded = excluded;
+      f->limit = limit;
+      f->out = out;
+      stack_.Push(f);
+      return true;
+    }
+    *out = Optimizer::Result{nullptr, limit};
+    return false;
+  }
+
+  group = opt_.memo_.Find(group);
+  Goal goal = opt_.memo_.CanonicalGoal(required, excluded);
+
+  // --- the look-up table part of Figure 2 ---------------------------------
+  if (opt_.options_.memoize_winners) {
+    if (const Winner* w = opt_.memo_.FindWinner(group, goal)) {
+      if (!w->failed()) {
+        if (cm.LessEq(w->cost, limit)) {
+          ++opt_.stats_.memo_winner_hits;
+          ++opt_.stats_.goals_completed;
+          *out = Optimizer::Result{w->plan, w->cost};
+          return false;
+        }
+        ++opt_.stats_.memo_failure_hits;
+        ++opt_.stats_.goals_completed;
+        *out = Optimizer::Result{nullptr, limit};
+        return false;
+      }
+      if (opt_.options_.memoize_failures && cm.LessEq(limit, w->cost)) {
+        ++opt_.stats_.memo_failure_hits;
+        ++opt_.stats_.goals_completed;
+        *out = Optimizer::Result{nullptr, limit};
+        return false;
+      }
+    }
+  }
+
+  // Rule inverses re-derive this very goal; "if a newly formed expression
+  // already exists ... and is marked as 'in progress,' it is ignored".
+  if (opt_.memo_.IsInProgress(group, goal)) {
+    ++opt_.stats_.in_progress_hits;
+    ++opt_.stats_.goals_completed;
+    *out = Optimizer::Result{nullptr, limit};
+    return false;
+  }
+  opt_.memo_.MarkInProgress(group, goal);
+  ++opt_.stats_.goals_started;
+
+  GoalFrame* f = goal_pool_.Acquire();
+  f->kind = Frame::Kind::kGoal;
+  f->state = kGoalDispatch;
+  f->parent = parent;
+  f->group = group;
+  f->required = required;
+  f->excluded = excluded;
+  f->limit = limit;
+  f->out = out;
+  f->goal = goal;
+  f->marked = true;
+  f->best = Optimizer::Result{nullptr, limit};
+  f->best_cost = limit;
+  stack_.Push(f);
+  return true;
+}
+
+void TaskEngine::FinishGoal(GoalFrame* f) {
+  GroupId group = opt_.memo_.Find(f->group);
+  opt_.memo_.UnmarkInProgress(group, f->goal);
+  f->marked = false;
+
+  // --- maintain the look-up table of explored facts ------------------------
+  // Nothing is recorded once the budget has tripped: a truncated search
+  // proves neither optimality nor infeasibility.
+  if (opt_.options_.memoize_winners && !opt_.aborted()) {
+    if (f->best.plan != nullptr) {
+      opt_.memo_.StoreWinner(group, f->goal,
+                             Winner{f->best.plan, f->best.cost});
+    } else if (opt_.options_.memoize_failures) {
+      opt_.memo_.StoreWinner(group, f->goal, Winner{nullptr, f->limit});
+    }
+  }
+  if (!opt_.aborted()) {
+    ++opt_.stats_.goals_completed;
+    ++opt_.stats_.goals_finished;
+    if (f->best.plan != nullptr) opt_.CreditWinner(*f->best.plan);
+  }
+  *f->out = std::move(f->best);
+  stack_.Pop();
+  f->Reuse();
+  goal_pool_.Release(f);
+}
+
+// ---------------------------------------------------------------------------
+// Explore entry/exit
+// ---------------------------------------------------------------------------
+
+bool TaskEngine::EnterExplore(GroupId group, Frame* parent) {
+  // The greedy fallback never runs on the task stack (GreedyPlan stays
+  // recursive and bounded), so no greedy_mode_ gate is needed here.
+  group = opt_.memo_.Find(group);
+  {
+    Group& grp = opt_.memo_.group(group);
+    if (grp.explored() || grp.exploring()) return false;
+  }
+  opt_.memo_.SetExploring(group, true);
+  ExploreFrame* f = explore_pool_.Acquire();
+  f->kind = Frame::Kind::kExplore;
+  f->state = kExpRoundStart;
+  f->parent = parent;
+  f->group = group;
+  stack_.Push(f);
+  return true;
+}
+
+void TaskEngine::FinishExplore(ExploreFrame* f) {
+  GroupId group = opt_.memo_.Find(f->group);
+  opt_.memo_.SetExploring(group, false);
+  // An exploration cut short by the budget must not masquerade as complete.
+  if (!opt_.aborted()) opt_.memo_.SetExplored(group, true);
+  stack_.Pop();
+  f->Reuse();
+  explore_pool_.Release(f);
+}
+
+// ---------------------------------------------------------------------------
+// Move entry/exit
+// ---------------------------------------------------------------------------
+
+void TaskEngine::PushMove(const Optimizer::Move* mv, GoalFrame* goal) {
+  MoveFrame* f = move_pool_.Acquire();
+  f->kind = Frame::Kind::kMove;
+  f->state = kMoveStart;
+  f->parent = goal;
+  f->mv = mv;
+  // The recursive engine pursues all of a goal's moves with the group id it
+  // resolved before the pursue loop (it does not re-resolve between moves,
+  // even if a nested optimization merges the class); use the same id so
+  // trace events match byte for byte.
+  f->group = goal->group;
+  f->logical = goal->logical;
+  f->goal = goal;
+  stack_.Push(f);
+}
+
+void TaskEngine::FinishMove(MoveFrame* f) {
+  stack_.Pop();
+  f->Reuse();
+  move_pool_.Release(f);
+}
+
+// ---------------------------------------------------------------------------
+// Matcher driver
+// ---------------------------------------------------------------------------
+
+bool TaskEngine::RunMatcher(Matcher& matcher, Frame* frame) {
+  for (;;) {
+    Matcher::Status s = matcher.Step(opt_.memo_);
+    if (s == Matcher::Status::kDone) return true;
+    // kNeedExplore: the matcher reached a specific-operator child position;
+    // explore the input class on demand, then resume matching.
+    if (EnterExplore(matcher.need_group(), frame)) return false;
+    // Class already explored (or exploring higher up the stack): keep going.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Goal stepping
+// ---------------------------------------------------------------------------
+
+void TaskEngine::StepGoal(GoalFrame* f) {
+  const CostModel& cm = opt_.model_.cost_model();
+  switch (f->state) {
+    case kGoalEnter: {
+      // Parked at the entry budget checkpoint; re-run the prologue.
+      if (!opt_.CheckBudget()) {
+        if (Parking()) return;  // stay parked
+        *f->out = Optimizer::Result{nullptr, f->limit};
+        stack_.Pop();
+        f->Reuse();
+        goal_pool_.Release(f);
+        return;
+      }
+      GroupId group = opt_.memo_.Find(f->group);
+      Goal goal = opt_.memo_.CanonicalGoal(f->required, f->excluded);
+      if (opt_.options_.memoize_winners) {
+        if (const Winner* w = opt_.memo_.FindWinner(group, goal)) {
+          if (!w->failed()) {
+            if (cm.LessEq(w->cost, f->limit)) {
+              ++opt_.stats_.memo_winner_hits;
+              ++opt_.stats_.goals_completed;
+              *f->out = Optimizer::Result{w->plan, w->cost};
+            } else {
+              ++opt_.stats_.memo_failure_hits;
+              ++opt_.stats_.goals_completed;
+              *f->out = Optimizer::Result{nullptr, f->limit};
+            }
+            stack_.Pop();
+            f->Reuse();
+            goal_pool_.Release(f);
+            return;
+          }
+          if (opt_.options_.memoize_failures &&
+              cm.LessEq(f->limit, w->cost)) {
+            ++opt_.stats_.memo_failure_hits;
+            ++opt_.stats_.goals_completed;
+            *f->out = Optimizer::Result{nullptr, f->limit};
+            stack_.Pop();
+            f->Reuse();
+            goal_pool_.Release(f);
+            return;
+          }
+        }
+      }
+      if (opt_.memo_.IsInProgress(group, goal)) {
+        ++opt_.stats_.in_progress_hits;
+        ++opt_.stats_.goals_completed;
+        *f->out = Optimizer::Result{nullptr, f->limit};
+        stack_.Pop();
+        f->Reuse();
+        goal_pool_.Release(f);
+        return;
+      }
+      opt_.memo_.MarkInProgress(group, goal);
+      ++opt_.stats_.goals_started;
+      f->group = group;
+      f->goal = goal;
+      f->marked = true;
+      f->best = Optimizer::Result{nullptr, f->limit};
+      f->best_cost = f->limit;
+      f->state = kGoalDispatch;
+      return;
+    }
+
+    case kGoalDispatch: {
+      // Canonical pointers make "is this the vacuous requirement?" an
+      // identity test.
+      if (opt_.options_.glue_properties && f->excluded == nullptr &&
+          f->goal.required != opt_.any_props_.get()) {
+        f->state = kGoalGlueDone;
+        f->glue_base = Optimizer::Result{};
+        EnterGoal(f->group, opt_.model_.AnyProps(), f->limit, nullptr,
+                  &f->glue_base, f);
+        return;
+      }
+      if (opt_.options_.strategy == SearchOptions::Strategy::kInterleaved) {
+        f->pursued.clear();
+        f->enforcers_done = false;
+        f->state = kGoalInterRound;
+        return;
+      }
+      // --- derive all equivalent logical expressions ----------------------
+      f->state = kGoalCollectInit;
+      EnterExplore(f->group, f);
+      return;
+    }
+
+    case kGoalCollectInit: {
+      // One round of the stable-collection loop: matching multi-level
+      // patterns explores input classes, which can merge this class with
+      // another mid-sweep; restart until the class is stable.
+      f->group = opt_.memo_.Find(f->group);
+      f->moves.clear();
+      f->collect_before = f->group;
+      f->collect_size_before =
+          opt_.memo_.group(f->collect_before).exprs().size();
+      f->sweep_group = f->collect_before;
+      f->sweep_expr_idx = 0;
+      f->sweep_next = kGoalCollectCheck;
+      f->state = kGoalSweepExpr;
+      return;
+    }
+
+    case kGoalSweepExpr: {
+      // CollectAlgorithmMoves: next expression in the class (the vector may
+      // grow and the class may merge while we sweep; re-resolve each step).
+      f->sweep_group = opt_.memo_.Find(f->sweep_group);
+      const Group& grp = opt_.memo_.group(f->sweep_group);
+      // Skipping dead expressions mutates nothing, so it needs no dispatch
+      // round-trips.
+      while (f->sweep_expr_idx < grp.exprs().size() &&
+             grp.exprs()[f->sweep_expr_idx]->dead()) {
+        ++f->sweep_expr_idx;
+      }
+      if (f->sweep_expr_idx >= grp.exprs().size()) {
+        f->state = f->sweep_next;
+        return;
+      }
+      f->sweep_expr = grp.exprs()[f->sweep_expr_idx];
+      f->sweep_rule_pos = 0;
+      f->state = kGoalSweepRule;
+      return;
+    }
+
+    case kGoalSweepRule: {
+      const RuleSet& rules = opt_.model_.rule_set();
+      const std::vector<RuleId>& impls =
+          rules.ImplementationsFor(f->sweep_expr->op());
+      if (f->sweep_rule_pos >= impls.size()) {
+        ++f->sweep_expr_idx;
+        f->state = kGoalSweepExpr;
+        return;
+      }
+      f->sweep_rule = &rules.implementation(impls[f->sweep_rule_pos]);
+      f->bindings.clear();
+      f->matcher.Start(f->sweep_rule->pattern(), *f->sweep_expr, opt_.memo_,
+                       &f->bindings);
+      f->state = kGoalSweepMatch;
+      return;
+    }
+
+    case kGoalSweepMatch: {
+      if (!RunMatcher(f->matcher, f)) return;  // exploring an input class
+      // Matching finished: turn the bindings into algorithm moves.
+      const ImplementationRule& rule = *f->sweep_rule;
+      for (Binding& b : f->bindings) {
+        if (!rule.Condition(b, opt_.memo_)) continue;
+        if (opt_.options_.fault != nullptr &&
+            opt_.options_.fault->FailRuleApplication()) {
+          continue;  // injected: the implementation rule fails to fire
+        }
+        std::vector<AlgorithmAlternative> alts = rule.Applicability(
+            b, opt_.memo_, f->required,
+            f->excluded == nullptr ? nullptr : f->excluded.get());
+        for (AlgorithmAlternative& alt : alts) {
+          VOLCANO_CHECK(alt.input_props.size() == b.num_leaves());
+          VOLCANO_DCHECK(alt.delivered->Covers(*f->required));
+          if (f->excluded != nullptr &&
+              alt.delivered->Covers(*f->excluded)) {
+            continue;  // would qualify redundantly below the enforcer
+          }
+          Optimizer::Move mv;
+          mv.rule = &rule;
+          mv.binding = b;
+          mv.alt = std::move(alt);
+          mv.promise = rule.Promise(b, opt_.memo_);
+          f->moves.push_back(std::move(mv));
+        }
+      }
+      ++f->sweep_rule_pos;
+      f->state = kGoalSweepRule;
+      return;
+    }
+
+    case kGoalCollectCheck: {
+      f->group = opt_.memo_.Find(f->group);
+      bool stable =
+          f->group == f->collect_before &&
+          opt_.memo_.group(f->group).exprs().size() == f->collect_size_before;
+      if (!stable) {
+        f->state = kGoalCollectInit;
+        return;
+      }
+      f->logical = opt_.memo_.LogicalOf(f->group);
+      opt_.CollectEnforcerMoves(f->required, f->excluded, *f->logical,
+                                &f->moves);
+      // --- order the set of moves by promise -------------------------------
+      search_internal::SortMovesByPromise(f->moves);
+      if (opt_.options_.move_limit > 0 &&
+          f->moves.size() >
+              static_cast<size_t>(opt_.options_.move_limit)) {
+        opt_.stats_.moves_skipped +=
+            f->moves.size() - opt_.options_.move_limit;
+        f->moves.resize(opt_.options_.move_limit);
+      }
+      f->move_idx = 0;
+      f->state = kGoalPursueNext;
+      return;
+    }
+
+    case kGoalPursueNext: {
+      if (f->fan_out && f->moves.size() > 1) {
+        FanOutMoves(f);
+        FinishGoal(f);
+        return;
+      }
+      if (f->move_idx >= f->moves.size()) {
+        FinishGoal(f);
+        return;
+      }
+      if (!opt_.CheckBudget()) {
+        if (Parking()) return;  // park right at the pursue checkpoint
+        FinishGoal(f);
+        return;
+      }
+      const Optimizer::Move* mv = &f->moves[f->move_idx];
+      ++f->move_idx;
+      PushMove(mv, f);
+      return;
+    }
+
+    case kGoalGlueDone: {
+      // FindBestPlanWithGlue's tail: the base "any properties" goal has been
+      // answered into glue_base; patch it with glue enforcers if needed.
+      if (f->glue_base.plan == nullptr) {
+        f->best = Optimizer::Result{nullptr, f->limit};
+        FinishGoal(f);
+        return;
+      }
+      if (f->glue_base.plan->props()->Covers(*f->required)) {
+        f->best = f->glue_base;
+        f->best_cost = f->best.cost;
+        FinishGoal(f);
+        return;
+      }
+      GroupId group = opt_.memo_.Find(f->group);
+      const LogicalPropsPtr& logical = opt_.memo_.LogicalOf(group);
+      Optimizer::Result best{nullptr, f->limit};
+      for (const auto& enf : opt_.model_.rule_set().enforcers()) {
+        std::optional<EnforcerApplication> app =
+            enf->Enforce(f->required, *logical);
+        if (!app.has_value()) continue;
+        ++opt_.stats_.enforcer_moves;
+        ++opt_.stats_.cost_estimates;
+        Cost local = enf->LocalCost(*logical, *app->delivered);
+        if (!opt_.AdmitLocalCost(&local)) continue;
+        Cost total = cm.Add(f->glue_base.cost, local);
+        if (!cm.LessEq(total, f->limit)) continue;
+        if (best.plan != nullptr && !cm.Less(total, best.cost)) continue;
+        best.plan = PlanNode::Make(enf->enforcer(),
+                                   enf->PlanArg(*app->delivered),
+                                   {f->glue_base.plan}, app->delivered,
+                                   logical, total, enf->name().c_str(),
+                                   /*from_enforcer=*/true);
+        best.cost = total;
+      }
+      f->best = std::move(best);
+      if (f->best.plan != nullptr) f->best_cost = f->best.cost;
+      FinishGoal(f);
+      return;
+    }
+
+    case kGoalInterRound: {
+      // One round of RunInterleaved: collect transformation moves and start
+      // the algorithm-move sweep; the round's pursue phase follows.
+      if (!opt_.CheckBudget()) {
+        if (Parking()) return;
+        FinishGoal(f);
+        return;
+      }
+      f->group = opt_.memo_.Find(f->group);
+      f->logical = opt_.memo_.LogicalOf(f->group);
+      const RuleSet& rules = opt_.model_.rule_set();
+      f->tmoves.clear();
+      for (size_t i = 0;; ++i) {
+        f->group = opt_.memo_.Find(f->group);
+        const Group& grp = opt_.memo_.group(f->group);
+        if (i >= grp.exprs().size()) break;
+        MExpr* m = grp.exprs()[i];
+        if (m->dead()) continue;
+        for (RuleId rid : rules.TransformationsFor(m->op())) {
+          if (!m->HasFired(rid)) {
+            f->tmoves.push_back({m, &rules.transformation(rid)});
+          }
+        }
+      }
+      f->moves.clear();
+      f->sweep_group = f->group;
+      f->sweep_expr_idx = 0;
+      f->sweep_next = kGoalInterFilter;
+      f->state = kGoalSweepExpr;
+      return;
+    }
+
+    case kGoalInterFilter: {
+      // Algorithm moves for expressions not pursued under this goal yet.
+      f->moves.erase(
+          std::remove_if(f->moves.begin(), f->moves.end(),
+                         [&](const Optimizer::Move& mv) {
+                           return f->pursued.count(
+                                      {&mv.binding.root(), mv.rule}) > 0;
+                         }),
+          f->moves.end());
+      if (!f->enforcers_done) {
+        opt_.CollectEnforcerMoves(f->required, f->excluded, *f->logical,
+                                  &f->moves);
+      }
+      if (f->tmoves.empty() && f->moves.empty()) {
+        FinishGoal(f);
+        return;
+      }
+      f->tmove_idx = 0;
+      f->state = kGoalInterTrans;
+      return;
+    }
+
+    case kGoalInterTrans: {
+      // Pursue transformations first within a round (their results enlarge
+      // the next round's move set).
+      if (f->tmove_idx >= f->tmoves.size()) {
+        search_internal::SortMovesByPromise(f->moves);
+        f->move_idx = 0;
+        f->state = kGoalInterPursue;
+        return;
+      }
+      if (!opt_.CheckBudget()) {
+        if (Parking()) return;
+        FinishGoal(f);
+        return;
+      }
+      GoalFrame::TransMove& tm = f->tmoves[f->tmove_idx];
+      if (tm.expr->dead() || tm.expr->HasFired(tm.rule->id())) {
+        ++f->tmove_idx;
+        return;
+      }
+      tm.expr->MarkFired(tm.rule->id());
+      f->trans_rule = tm.rule;
+      f->bindings.clear();
+      f->matcher.Start(tm.rule->pattern(), *tm.expr, opt_.memo_,
+                       &f->bindings);
+      f->state = kGoalInterMatch;
+      return;
+    }
+
+    case kGoalInterMatch: {
+      if (!RunMatcher(f->matcher, f)) return;
+      const GoalFrame::TransMove& tm = f->tmoves[f->tmove_idx];
+      const TransformationRule& rule = *f->trans_rule;
+      uint32_t applied = 0;
+      opt_.memo_.SetProvenance(rule.name().c_str());
+      for (const Binding& b : f->bindings) {
+        ++opt_.stats_.transformations_matched;
+        if (!rule.Condition(b, opt_.memo_)) continue;
+        if (opt_.options_.fault != nullptr &&
+            opt_.options_.fault->FailRuleApplication()) {
+          continue;  // injected: the rule fails to fire
+        }
+        ++opt_.metrics_.transformations[rule.id()].fired;
+        RexPtr rex = rule.Apply(b, opt_.memo_);
+        if (rex == nullptr) continue;
+        ++opt_.stats_.transformations_applied;
+        ++opt_.metrics_.transformations[rule.id()].succeeded;
+        ++applied;
+        opt_.memo_.InsertRex(*rex, opt_.memo_.Find(tm.expr->group()));
+      }
+      opt_.memo_.SetProvenance(nullptr);
+      if (!f->bindings.empty()) {
+        VOLCANO_TRACE(opt_.options_.trace,
+                      {.kind = TraceEventKind::kRuleFired,
+                       .group = opt_.memo_.Find(f->group),
+                       .rule_id = rule.id(),
+                       .count = applied,
+                       .rule = rule.name().c_str()});
+      }
+      ++f->tmove_idx;
+      f->state = kGoalInterTrans;
+      return;
+    }
+
+    case kGoalInterPursue: {
+      if (f->move_idx >= f->moves.size()) {
+        f->state = kGoalInterRound;
+        return;
+      }
+      if (!opt_.CheckBudget()) {
+        if (Parking()) return;
+        FinishGoal(f);
+        return;
+      }
+      Optimizer::Move* mv = &f->moves[f->move_idx];
+      ++f->move_idx;
+      if (mv->rule != nullptr) {
+        f->pursued.insert({&mv->binding.root(), mv->rule});
+      } else {
+        f->enforcers_done = true;
+      }
+      PushMove(mv, f);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Move stepping (PursueMove)
+// ---------------------------------------------------------------------------
+
+void TaskEngine::StepMove(MoveFrame* f) {
+  const CostModel& cm = opt_.model_.cost_model();
+  const Optimizer::Move& mv = *f->mv;
+  switch (f->state) {
+    case kMoveStart: {
+      if (mv.rule != nullptr) {
+        ++opt_.stats_.algorithm_moves;
+        ++opt_.stats_.cost_estimates;
+        ++opt_.metrics_.implementations[mv.rule->id()].fired;
+        VOLCANO_TRACE(opt_.options_.trace,
+                      {.kind = TraceEventKind::kAlgorithmPursued,
+                       .group = f->group,
+                       .rule_id = mv.rule->id(),
+                       .rule = mv.rule->name().c_str(),
+                       .promise = mv.promise});
+        f->total = mv.rule->LocalCost(mv.binding, opt_.memo_);
+        if (!opt_.AdmitLocalCost(&f->total)) {  // NaN: invalid cost, reject
+          FinishMove(f);
+          return;
+        }
+        if (std::isinf(cm.Total(f->total))) {  // model says: impossible
+          FinishMove(f);
+          return;
+        }
+        f->children.clear();
+        f->children.reserve(mv.binding.num_leaves());
+        f->input_idx = 0;
+        f->state = kMoveInput;
+        return;
+      }
+      ++opt_.stats_.enforcer_moves;
+      ++opt_.stats_.cost_estimates;
+      ++opt_.metrics_.enforcers[mv.enforcer_id].fired;
+      VOLCANO_TRACE(opt_.options_.trace,
+                    {.kind = TraceEventKind::kEnforcerPursued,
+                     .group = f->group,
+                     .rule_id = mv.enforcer_id,
+                     .rule = mv.enforcer->name().c_str(),
+                     .promise = mv.promise});
+      Cost local = mv.enforcer->LocalCost(*f->logical, *mv.app.delivered);
+      if (!opt_.AdmitLocalCost(&local)) {
+        FinishMove(f);
+        return;
+      }
+      if (std::isinf(cm.Total(local))) {
+        FinishMove(f);
+        return;
+      }
+      if (opt_.options_.branch_and_bound &&
+          !cm.LessEq(local, f->goal->best_cost)) {
+        ++opt_.stats_.moves_pruned;
+        VOLCANO_TRACE(opt_.options_.trace,
+                      {.kind = TraceEventKind::kMovePruned,
+                       .group = f->group,
+                       .rule_id = mv.enforcer_id,
+                       .rule = mv.enforcer->name().c_str(),
+                       .cost = cm.Total(f->goal->best_cost)});
+        FinishMove(f);
+        return;
+      }
+      f->total = local;
+      // "The original logical expression is optimized ... with a suitably
+      // modified (i.e., relaxed) physical property vector" — the enforcer
+      // cost is already subtracted from the bound (section 6).
+      Cost child_limit = opt_.options_.branch_and_bound
+                             ? cm.Sub(f->goal->best_cost, local)
+                             : cm.Infinity();
+      f->state = kMoveEnforcerDone;
+      EnterGoal(f->group, mv.app.input_required, child_limit, mv.app.excluded,
+                &f->child_result, f);
+      return;
+    }
+
+    case kMoveInput: {
+      if (f->input_idx == mv.binding.num_leaves()) {
+        // All inputs planned: install if the move beats the incumbent.
+        if (!cm.LessEq(f->total, f->goal->best_cost)) {
+          FinishMove(f);
+          return;
+        }
+        if (f->goal->best.plan != nullptr &&
+            !cm.Less(f->total, f->goal->best_cost)) {
+          FinishMove(f);
+          return;
+        }
+        VOLCANO_TRACE(opt_.options_.trace,
+                      {.kind = f->goal->best.plan == nullptr
+                                   ? TraceEventKind::kWinnerInstalled
+                                   : TraceEventKind::kWinnerImproved,
+                       .group = f->group,
+                       .rule_id = mv.rule->id(),
+                       .rule = mv.rule->name().c_str(),
+                       .cost = cm.Total(f->total)});
+        f->goal->best.plan = PlanNode::Make(
+            mv.rule->algorithm(), mv.rule->PlanArg(mv.binding, opt_.memo_),
+            std::move(f->children), mv.alt.delivered, f->logical, f->total,
+            mv.rule->name().c_str(), /*from_enforcer=*/false);
+        f->goal->best.cost = f->total;
+        f->goal->best_cost = f->total;
+        ++opt_.metrics_.implementations[mv.rule->id()].succeeded;
+        FinishMove(f);
+        return;
+      }
+      if (opt_.options_.branch_and_bound &&
+          !cm.LessEq(f->total, f->goal->best_cost)) {
+        ++opt_.stats_.moves_pruned;
+        VOLCANO_TRACE(opt_.options_.trace,
+                      {.kind = TraceEventKind::kMovePruned,
+                       .group = f->group,
+                       .rule_id = mv.rule->id(),
+                       .rule = mv.rule->name().c_str(),
+                       .cost = cm.Total(f->goal->best_cost)});
+        FinishMove(f);
+        return;
+      }
+      Cost child_limit = opt_.options_.branch_and_bound
+                             ? cm.Sub(f->goal->best_cost, f->total)
+                             : cm.Infinity();
+      f->state = kMoveInputDone;
+      EnterGoal(mv.binding.leaf(f->input_idx),
+                mv.alt.input_props[f->input_idx], child_limit, nullptr,
+                &f->child_result, f);
+      return;
+    }
+
+    case kMoveInputDone: {
+      if (f->child_result.plan == nullptr) {
+        FinishMove(f);
+        return;
+      }
+      f->total = cm.Add(f->total, f->child_result.cost);
+      f->children.push_back(std::move(f->child_result.plan));
+      ++f->input_idx;
+      f->state = kMoveInput;
+      return;
+    }
+
+    case kMoveEnforcerDone: {
+      if (f->child_result.plan == nullptr) {
+        FinishMove(f);
+        return;
+      }
+      Cost total = cm.Add(f->total, f->child_result.cost);
+      if (!cm.LessEq(total, f->goal->best_cost)) {
+        FinishMove(f);
+        return;
+      }
+      if (f->goal->best.plan != nullptr &&
+          !cm.Less(total, f->goal->best_cost)) {
+        FinishMove(f);
+        return;
+      }
+      VOLCANO_TRACE(opt_.options_.trace,
+                    {.kind = f->goal->best.plan == nullptr
+                                 ? TraceEventKind::kWinnerInstalled
+                                 : TraceEventKind::kWinnerImproved,
+                     .group = f->group,
+                     .rule_id = mv.enforcer_id,
+                     .rule = mv.enforcer->name().c_str(),
+                     .cost = cm.Total(total)});
+      f->goal->best.plan = PlanNode::Make(
+          mv.enforcer->enforcer(), mv.enforcer->PlanArg(*mv.app.delivered),
+          {f->child_result.plan}, mv.app.delivered, f->logical, total,
+          mv.enforcer->name().c_str(), /*from_enforcer=*/true);
+      f->goal->best.cost = total;
+      f->goal->best_cost = total;
+      ++opt_.metrics_.enforcers[mv.enforcer_id].succeeded;
+      FinishMove(f);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel fan-out (SearchOptions::workers > 1)
+// ---------------------------------------------------------------------------
+
+bool TaskEngine::EvaluateMoveParallel(const Optimizer::Move& mv, GroupId group,
+                                      const LogicalPropsPtr& logical,
+                                      PlanPtr* plan, Cost* total) {
+  const CostModel& cm = opt_.model_.cost_model();
+  if (mv.rule != nullptr) {
+    ++opt_.stats_.algorithm_moves;
+    ++opt_.stats_.cost_estimates;
+    ++opt_.metrics_.implementations[mv.rule->id()].fired;
+    VOLCANO_TRACE(opt_.options_.trace,
+                  {.kind = TraceEventKind::kAlgorithmPursued,
+                   .group = group,
+                   .rule_id = mv.rule->id(),
+                   .rule = mv.rule->name().c_str(),
+                   .promise = mv.promise});
+    Cost t = mv.rule->LocalCost(mv.binding, opt_.memo_);
+    if (!opt_.AdmitLocalCost(&t)) return false;
+    if (std::isinf(cm.Total(t))) return false;
+    std::vector<PlanPtr> children;
+    children.reserve(mv.binding.num_leaves());
+    // Infinite child limits: a subgoal's winner is its schedule-independent
+    // optimum, so a move a serial search would have pruned mid-way instead
+    // completes here with a total the reduce step rejects — same outcome,
+    // and the memoized winners stay valid for every later query.
+    for (size_t i = 0; i < mv.binding.num_leaves(); ++i) {
+      Optimizer::Result r =
+          Run(mv.binding.leaf(i), mv.alt.input_props[i], cm.Infinity());
+      if (r.plan == nullptr) return false;
+      t = cm.Add(t, r.cost);
+      children.push_back(std::move(r.plan));
+    }
+    *plan = PlanNode::Make(mv.rule->algorithm(),
+                           mv.rule->PlanArg(mv.binding, opt_.memo_),
+                           std::move(children), mv.alt.delivered, logical, t,
+                           mv.rule->name().c_str(), /*from_enforcer=*/false);
+    *total = t;
+    return true;
+  }
+  ++opt_.stats_.enforcer_moves;
+  ++opt_.stats_.cost_estimates;
+  ++opt_.metrics_.enforcers[mv.enforcer_id].fired;
+  VOLCANO_TRACE(opt_.options_.trace,
+                {.kind = TraceEventKind::kEnforcerPursued,
+                 .group = group,
+                 .rule_id = mv.enforcer_id,
+                 .rule = mv.enforcer->name().c_str(),
+                 .promise = mv.promise});
+  Cost local = mv.enforcer->LocalCost(*logical, *mv.app.delivered);
+  if (!opt_.AdmitLocalCost(&local)) return false;
+  if (std::isinf(cm.Total(local))) return false;
+  Optimizer::Result r =
+      Run(group, mv.app.input_required, cm.Infinity(), mv.app.excluded);
+  if (r.plan == nullptr) return false;
+  Cost t = cm.Add(local, r.cost);
+  *plan = PlanNode::Make(mv.enforcer->enforcer(),
+                         mv.enforcer->PlanArg(*mv.app.delivered), {r.plan},
+                         mv.app.delivered, logical, t,
+                         mv.enforcer->name().c_str(), /*from_enforcer=*/true);
+  *total = t;
+  return true;
+}
+
+void TaskEngine::FanOutMoves(GoalFrame* f) {
+  struct Slot {
+    PlanPtr plan;
+    Cost total;
+    bool ok = false;
+  };
+  const CostModel& cm = opt_.model_.cost_model();
+  std::vector<Slot> slots(f->moves.size());
+  const int workers =
+      std::min<int>(opt_.options_.workers, static_cast<int>(f->moves.size()));
+  std::vector<double> busy(static_cast<size_t>(workers), 0.0);
+  std::atomic<size_t> cursor{0};
+  std::mutex turn_mu;
+  std::condition_variable turn_cv;
+  size_t turn = 0;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([this, f, w, &slots, &busy, &cursor, &turn_mu,
+                       &turn_cv, &turn] {
+      trace_internal::tls_worker_id = static_cast<uint32_t>(w + 1);
+      TaskEngine engine(opt_, /*worker_mode=*/true);
+      for (;;) {
+        size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= f->moves.size()) break;
+        // Turnstile: moves evaluate in strict index order, so every shared
+        // side effect — memo growth, fault-injector site visits, trace
+        // emission — happens in exactly the sequence a serial pursue loop
+        // would produce. Runs are bit-reproducible regardless of thread
+        // scheduling.
+        {
+          std::unique_lock<std::mutex> tl(turn_mu);
+          turn_cv.wait(tl, [&] { return turn == i; });
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        {
+          // One whole move per lock hold: the memo's transient invariants
+          // (in-progress marks, fired masks, union-find path compression)
+          // see exactly one engine at a time, so every subgoal winner
+          // matches the single-threaded search. This is the first sharding
+          // step described in DESIGN.md §9 — correctness and plumbing
+          // first, finer-grained locking later.
+          std::lock_guard<std::mutex> lock(opt_.engine_mu_);
+          slots[i].ok =
+              engine.EvaluateMoveParallel(f->moves[i], f->group, f->logical,
+                                          &slots[i].plan, &slots[i].total);
+        }
+        busy[static_cast<size_t>(w)] +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        {
+          std::lock_guard<std::mutex> tl(turn_mu);
+          ++turn;
+        }
+        turn_cv.notify_all();
+      }
+      trace_internal::tls_worker_id = 0;
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  if (opt_.stats_.worker_busy_seconds.size() < busy.size()) {
+    opt_.stats_.worker_busy_seconds.resize(busy.size(), 0.0);
+  }
+  for (size_t w = 0; w < busy.size(); ++w) {
+    opt_.stats_.worker_busy_seconds[w] += busy[w];
+  }
+
+  // Deterministic reduce in promise order with the serial install semantics:
+  // within the goal's limit, strictly cheaper than the incumbent. Cost ties
+  // resolve to the earlier move exactly as the single-threaded pursue loop
+  // does, and moves a serial search would have pruned or failed on a finite
+  // child limit fail the same comparisons here — so the installed winner
+  // (and the plan digest) is identical to the single-threaded run.
+  for (size_t i = 0; i < f->moves.size(); ++i) {
+    Slot& s = slots[i];
+    if (!s.ok || s.plan == nullptr) continue;
+    if (!cm.LessEq(s.total, f->best_cost)) continue;
+    if (f->best.plan != nullptr && !cm.Less(s.total, f->best_cost)) continue;
+    const Optimizer::Move& mv = f->moves[i];
+    VOLCANO_TRACE(
+        opt_.options_.trace,
+        {.kind = f->best.plan == nullptr ? TraceEventKind::kWinnerInstalled
+                                         : TraceEventKind::kWinnerImproved,
+         .group = f->group,
+         .rule_id = mv.rule != nullptr ? mv.rule->id() : mv.enforcer_id,
+         .rule = mv.rule != nullptr ? mv.rule->name().c_str()
+                                    : mv.enforcer->name().c_str(),
+         .cost = cm.Total(s.total)});
+    f->best.plan = std::move(s.plan);
+    f->best.cost = s.total;
+    f->best_cost = s.total;
+    if (mv.rule != nullptr) {
+      ++opt_.metrics_.implementations[mv.rule->id()].succeeded;
+    } else {
+      ++opt_.metrics_.enforcers[mv.enforcer_id].succeeded;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Explore stepping (ExploreGroup)
+// ---------------------------------------------------------------------------
+
+void TaskEngine::StepExplore(ExploreFrame* f) {
+  switch (f->state) {
+    case kExpRoundStart: {
+      f->changed = false;
+      f->expr_idx = 0;
+      f->state = kExpSweepExpr;
+      return;
+    }
+
+    case kExpSweepExpr: {
+      if (!opt_.CheckBudget()) {
+        if (Parking()) return;
+        FinishExplore(f);
+        return;
+      }
+      f->group = opt_.memo_.Find(f->group);
+      Group& grp = opt_.memo_.group(f->group);
+      if (f->expr_idx >= grp.exprs().size()) {
+        f->state = kExpRoundEnd;
+        return;
+      }
+      MExpr* m = grp.exprs()[f->expr_idx];
+      if (m->dead()) {
+        ++f->expr_idx;
+        return;
+      }
+      f->expr = m;
+      f->rule_pos = 0;
+      f->state = kExpRuleNext;
+      return;
+    }
+
+    case kExpRuleNext: {
+      const RuleSet& rules = opt_.model_.rule_set();
+      const std::vector<RuleId>& trans =
+          rules.TransformationsFor(f->expr->op());
+      if (f->rule_pos >= trans.size()) {
+        ++f->expr_idx;
+        f->state = kExpSweepExpr;
+        return;
+      }
+      RuleId rid = trans[f->rule_pos];
+      if (f->expr->HasFired(rid)) {
+        ++f->rule_pos;
+        return;
+      }
+      f->expr->MarkFired(rid);
+      f->rule = &rules.transformation(rid);
+      f->bindings.clear();
+      f->matcher.Start(f->rule->pattern(), *f->expr, opt_.memo_,
+                       &f->bindings);
+      f->state = kExpMatch;
+      return;
+    }
+
+    case kExpMatch: {
+      if (!RunMatcher(f->matcher, f)) return;
+      const TransformationRule& rule = *f->rule;
+      uint32_t applied = 0;
+      opt_.memo_.SetProvenance(rule.name().c_str());
+      for (const Binding& b : f->bindings) {
+        ++opt_.stats_.transformations_matched;
+        if (!rule.Condition(b, opt_.memo_)) continue;
+        if (opt_.options_.fault != nullptr &&
+            opt_.options_.fault->FailRuleApplication()) {
+          continue;  // injected: the rule fails to fire
+        }
+        ++opt_.metrics_.transformations[rule.id()].fired;
+        RexPtr rex = rule.Apply(b, opt_.memo_);
+        if (rex == nullptr) continue;
+        ++opt_.stats_.transformations_applied;
+        ++opt_.metrics_.transformations[rule.id()].succeeded;
+        ++applied;
+        opt_.memo_.InsertRex(*rex, opt_.memo_.Find(f->expr->group()));
+        f->changed = true;
+      }
+      opt_.memo_.SetProvenance(nullptr);
+      if (!f->bindings.empty()) {
+        VOLCANO_TRACE(opt_.options_.trace,
+                      {.kind = TraceEventKind::kRuleFired,
+                       .group = opt_.memo_.Find(f->group),
+                       .rule_id = rule.id(),
+                       .count = applied,
+                       .rule = rule.name().c_str()});
+      }
+      ++f->rule_pos;
+      f->state = kExpRuleNext;
+      return;
+    }
+
+    case kExpRoundEnd: {
+      // Mirrors the recursive engine's trailing `if (!CheckBudget()) break;`
+      // after each fixpoint round.
+      if (!opt_.CheckBudget()) {
+        if (Parking()) return;
+        FinishExplore(f);
+        return;
+      }
+      if (f->changed) {
+        f->state = kExpRoundStart;
+        return;
+      }
+      FinishExplore(f);
+      return;
+    }
+  }
+}
+
+}  // namespace volcano

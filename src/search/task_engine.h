@@ -1,0 +1,305 @@
+// The explicit task-based search core.
+//
+// Figure 2's FindBestPlan is a recursive procedure; run literally (see
+// SearchOptions::Engine::kRecursive) its search depth is bounded by the
+// native call stack, a tripped budget can only abandon the search, and
+// nothing can run concurrently. TaskEngine executes the same algorithm as an
+// explicit stack of small state-machine frames — OptimizeGoal, ApplyMove,
+// ExploreGroup, plus an iterative pattern matcher — whose pending state
+// lives in an arena next to the memo (support/task_stack.h). Three
+// properties follow:
+//
+//   1. Stack safety: native stack consumption is constant in plan depth; a
+//      256-way chain join optimizes in a few kilobytes of C++ stack.
+//   2. Suspension: with SearchOptions::suspend_on_trip, a tripped budget
+//      freezes the frames in place and Optimizer::Resume() continues from
+//      the exact preemption point.
+//   3. Parallelism: with SearchOptions::workers > 1, the independent moves
+//      of each goal fan out across a worker pool (see DESIGN.md §9).
+//
+// In default single-threaded mode the engine replicates the recursive
+// control flow site for site — budget checkpoints, move collection and
+// ordering, branch-and-bound limits, in-progress cycle detection, enforcer
+// glue, winner memoization — and is verified plan-for-plan identical against
+// the recursive engine by tests/engine_differential_test.cc and the
+// committed plan digest.
+
+#ifndef VOLCANO_SEARCH_TASK_ENGINE_H_
+#define VOLCANO_SEARCH_TASK_ENGINE_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "search/optimizer.h"
+#include "support/arena.h"
+#include "support/task_stack.h"
+
+namespace volcano {
+
+class TaskEngine {
+ public:
+  /// `worker_mode` engines are the short-lived per-thread engines of a
+  /// parallel fan-out (see FanOutMoves): they never park on a budget trip,
+  /// never probe the native stack (they run on a foreign thread's stack),
+  /// and execute entirely under Optimizer::engine_mu_.
+  explicit TaskEngine(Optimizer& opt, bool worker_mode = false);
+  ~TaskEngine();
+
+  TaskEngine(const TaskEngine&) = delete;
+  TaskEngine& operator=(const TaskEngine&) = delete;
+
+  /// Runs FindBestPlan(group, required, limit, excluded) to completion
+  /// (or budget trip / suspension) on the task stack. Mirrors the recursive
+  /// engine's result exactly in single-threaded mode.
+  Optimizer::Result Run(GroupId group, const PhysPropsPtr& required,
+                        Cost limit, const PhysPropsPtr& excluded = nullptr);
+
+  /// True when a budget trip froze the stack (SearchOptions::suspend_on_trip)
+  /// instead of unwinding it.
+  bool suspended() const { return suspended_; }
+
+  /// Continues a frozen run from the exact preemption point. The caller must
+  /// have re-armed the budget (Optimizer::Resume does).
+  Optimizer::Result Continue();
+
+  /// Unwinds a frozen stack without further search work: clears the
+  /// in-progress marks and exploring flags the frozen frames hold, releases
+  /// the frames, and leaves the memo consistent for a fresh Optimize call.
+  void Abandon();
+
+ private:
+  // --- the iterative pattern matcher --------------------------------------
+  // Replaces the MatchNode/MatchChildren recursion (which recurses across
+  // equivalence classes and is therefore depth-proportional on deep plans)
+  // with an explicit activation stack. Suspends with kNeedExplore when a
+  // specific-operator child position requires its input class explored,
+  // mirroring the on-demand ExploreGroup call in the recursive matcher.
+  class Matcher {
+   public:
+    enum class Status : uint8_t { kDone, kNeedExplore };
+
+    /// Mirrors Optimizer::CollectBindings (including the depth-1 fast path,
+    /// which completes synchronously inside Start).
+    void Start(const Pattern& pattern, const MExpr& m, Memo& memo,
+               std::vector<Binding>* out);
+
+    /// Advances until every match is emitted (kDone) or an input class needs
+    /// exploration first (kNeedExplore; see need_group()). Re-invoke after
+    /// the exploration (or immediately, if the class was already explored).
+    Status Step(Memo& memo);
+
+    GroupId need_group() const { return need_group_; }
+
+   private:
+    struct Act {
+      enum class Kind : uint8_t { kNode, kChildren };
+      Kind kind;
+      uint8_t pc = 0;
+      const Pattern* p = nullptr;
+      const MExpr* m = nullptr;
+      uint32_t child = 0;   // kChildren: child position being matched
+      uint32_t enum_i = 0;  // kChildren: candidate cursor at a specific child
+      GroupId cg = kInvalidGroup;
+      int32_t cont = kEmitCont;  // continuation: call-site act index or emit
+    };
+    static constexpr int32_t kEmitCont = -1;
+
+    std::vector<Act> acts_;
+    Binding partial_;
+    std::vector<Binding>* out_ = nullptr;
+    GroupId need_group_ = kInvalidGroup;
+  };
+
+  // --- frames --------------------------------------------------------------
+
+  struct GoalFrame;
+
+  struct Frame {
+    enum class Kind : uint8_t { kGoal, kMove, kExplore };
+    Kind kind{};
+    uint8_t state = 0;
+    Frame* parent = nullptr;
+  };
+
+  /// One FindBestPlan activation past its memo-probe prologue.
+  struct GoalFrame : Frame {
+    // Goal inputs.
+    GroupId group = kInvalidGroup;
+    PhysPropsPtr required;
+    PhysPropsPtr excluded;
+    Cost limit;
+    Optimizer::Result* out = nullptr;
+    bool fan_out = false;  ///< pursue moves on the worker pool (root goal)
+
+    // Search state.
+    Goal goal{};
+    bool marked = false;  ///< MarkInProgress done (Abandon must undo)
+    Optimizer::Result best;
+    Cost best_cost;
+    LogicalPropsPtr logical;
+    std::vector<Optimizer::Move> moves;
+    size_t move_idx = 0;
+
+    // Stable-collection restart loop (kExploreFirst).
+    GroupId collect_before = kInvalidGroup;
+    size_t collect_size_before = 0;
+
+    // CollectAlgorithmMoves sweep.
+    GroupId sweep_group = kInvalidGroup;
+    size_t sweep_expr_idx = 0;
+    size_t sweep_rule_pos = 0;
+    const MExpr* sweep_expr = nullptr;
+    const ImplementationRule* sweep_rule = nullptr;
+    uint8_t sweep_next = 0;  ///< state entered when the sweep completes
+    std::vector<Binding> bindings;
+    Matcher matcher;
+
+    // Glue ablation path.
+    Optimizer::Result glue_base;
+
+    // kInterleaved strategy.
+    struct TransMove {
+      MExpr* expr;
+      const TransformationRule* rule;
+    };
+    std::vector<TransMove> tmoves;
+    size_t tmove_idx = 0;
+    const TransformationRule* trans_rule = nullptr;
+    std::set<std::pair<const MExpr*, const ImplementationRule*>> pursued;
+    bool enforcers_done = false;
+
+    void Reuse();
+  };
+
+  /// One PursueMove activation (algorithm or enforcer move).
+  struct MoveFrame : Frame {
+    const Optimizer::Move* mv = nullptr;
+    GroupId group = kInvalidGroup;
+    LogicalPropsPtr logical;
+    GoalFrame* goal = nullptr;  ///< incumbent lives in the owning goal
+    Cost total;
+    std::vector<PlanPtr> children;
+    size_t input_idx = 0;
+    Optimizer::Result child_result;
+
+    void Reuse();
+  };
+
+  /// One ExploreGroup activation (transformation closure of one class).
+  struct ExploreFrame : Frame {
+    GroupId group = kInvalidGroup;
+    bool changed = false;
+    size_t expr_idx = 0;
+    size_t rule_pos = 0;
+    MExpr* expr = nullptr;
+    const TransformationRule* rule = nullptr;
+    std::vector<Binding> bindings;
+    Matcher matcher;
+
+    void Reuse();
+  };
+
+  // Goal frame states.
+  enum GoalState : uint8_t {
+    kGoalEnter,        // parked at the entry budget checkpoint (suspension)
+    kGoalDispatch,     // prologue done; choose glue / interleaved / explore
+    kGoalCollectInit,  // start one round of the stable-collection loop
+    kGoalSweepExpr,    // CollectAlgorithmMoves: next expression
+    kGoalSweepRule,    // CollectAlgorithmMoves: next implementation rule
+    kGoalSweepMatch,   // CollectAlgorithmMoves: matcher running
+    kGoalCollectCheck, // class stable? then enforcers + sort + trim
+    kGoalPursueNext,   // pursue moves in promise order
+    kGoalGlueDone,     // glue base goal answered; patch with enforcers
+    kGoalInterRound,   // interleaved: collect this round's moves
+    kGoalInterFilter,  // interleaved: filter pursued, add enforcers
+    kGoalInterTrans,   // interleaved: fire next transformation move
+    kGoalInterMatch,   // interleaved: matcher running for a transformation
+    kGoalInterPursue,  // interleaved: pursue this round's moves
+  };
+
+  // Move frame states.
+  enum MoveState : uint8_t {
+    kMoveStart,         // local cost, admission, trace
+    kMoveInput,         // prune check + optimize next algorithm input
+    kMoveInputDone,     // input subgoal answered
+    kMoveEnforcerDone,  // enforcer input subgoal answered
+  };
+
+  // Explore frame states.
+  enum ExploreState : uint8_t {
+    kExpRoundStart,  // begin one fixpoint round
+    kExpSweepExpr,   // next expression in the class
+    kExpRuleNext,    // next transformation rule for the expression
+    kExpMatch,       // matcher running; then apply bindings
+    kExpRoundEnd,    // round done: repeat if anything changed
+  };
+
+  // --- engine core ---------------------------------------------------------
+
+  Optimizer::Result Loop();
+  void StepGoal(GoalFrame* f);
+  void StepMove(MoveFrame* f);
+  void StepExplore(ExploreFrame* f);
+
+  /// Mirrors the FindBestPlan prologue: counts the call, polls the budget,
+  /// probes the winner / in-progress tables. Returns true when a frame was
+  /// pushed (result delivered later into *out), false when *out was answered
+  /// inline.
+  bool EnterGoal(GroupId group, const PhysPropsPtr& required, Cost limit,
+                 const PhysPropsPtr& excluded, Optimizer::Result* out,
+                 Frame* parent);
+
+  /// Mirrors the ExploreGroup prologue. Returns true when an ExploreFrame
+  /// was pushed, false when the class is already explored / exploring.
+  bool EnterExplore(GroupId group, Frame* parent);
+
+  void PushMove(const Optimizer::Move* mv, GoalFrame* goal);
+
+  /// The FindBestPlan epilogue: unmark, memoize, deliver, pop.
+  void FinishGoal(GoalFrame* f);
+  void FinishMove(MoveFrame* f);
+  void FinishExplore(ExploreFrame* f);
+
+  /// Runs the matcher until done, entering exploration subtasks on demand.
+  /// Returns false when a child frame was pushed (re-step this frame later).
+  bool RunMatcher(Matcher& matcher, Frame* frame);
+
+  /// True when a budget trip should freeze the stack instead of unwinding.
+  bool Parking() const;
+
+  // --- parallel fan-out (SearchOptions::workers > 1) -----------------------
+
+  /// Pursues all collected moves of `f` on a worker pool instead of the task
+  /// stack: workers claim moves from a shared cursor, evaluate each one
+  /// start-to-finish with a private worker engine while holding
+  /// Optimizer::engine_mu_, and the main thread reduces the results in move
+  /// (promise) order with the exact serial install semantics. Fills
+  /// f->best / f->best_cost; the caller finishes the goal.
+  void FanOutMoves(GoalFrame* f);
+
+  /// Worker-side evaluation of one move (algorithm inputs or enforcer input
+  /// via Run with an infinite cost limit — subgoal winners are
+  /// limit-independent, so the reduce step reproduces serial pruning).
+  /// Returns true and fills *plan / *total when the move yielded a complete
+  /// plan; the install decision belongs to the reduce step.
+  bool EvaluateMoveParallel(const Optimizer::Move& mv, GroupId group,
+                            const LogicalPropsPtr& logical, PlanPtr* plan,
+                            Cost* total);
+
+  Optimizer& opt_;
+  Arena arena_;
+  FramePool<GoalFrame> goal_pool_;
+  FramePool<MoveFrame> move_pool_;
+  FramePool<ExploreFrame> explore_pool_;
+  TaskStack<Frame> stack_;
+  Optimizer::Result root_result_;
+  bool suspended_ = false;
+  bool abandoning_ = false;
+  bool worker_mode_ = false;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SEARCH_TASK_ENGINE_H_

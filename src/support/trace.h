@@ -84,6 +84,12 @@ struct TraceEvent {
   const char* detail = nullptr;  ///< operator name, budget-trip name, ...
   double promise = 0.0;          ///< move ordering key, where applicable
   double cost = 0.0;             ///< scalar cost summary, where applicable
+  /// Monotonic per-optimizer sequence number, stamped at emission (before
+  /// the sink sees the event). Total order over one optimizer's stream even
+  /// when parallel workers emit; 1-based so 0 means "not stamped".
+  uint64_t seq = 0;
+  /// Emitting worker: 0 = the main search thread, 1..N = parallel workers.
+  uint32_t worker = 0;
 };
 
 /// Receiver interface. Implementations must tolerate events arriving in any
@@ -92,6 +98,34 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+namespace trace_internal {
+/// Which worker the current thread is: 0 = the main search thread; parallel
+/// workers set 1..N around their move evaluation (search/task_engine.cc).
+inline thread_local uint32_t tls_worker_id = 0;
+}  // namespace trace_internal
+
+/// Stamps every event with a per-optimizer monotonic sequence number and the
+/// emitting worker's id (TraceEvent::seq / ::worker), then forwards to the
+/// wrapped sink. The optimizer interposes one of these in front of any
+/// user-installed sink; parallel workers emit while holding the engine's
+/// task mutex, so the stamped sequence is a total order even across workers
+/// and merged streams can be re-sorted by it.
+class StampingTraceSink : public TraceSink {
+ public:
+  void set_inner(TraceSink* inner) { inner_ = inner; }
+
+  void OnEvent(const TraceEvent& event) override {
+    TraceEvent e = event;
+    e.seq = ++seq_;
+    e.worker = trace_internal::tls_worker_id;
+    if (inner_ != nullptr) inner_->OnEvent(e);
+  }
+
+ private:
+  TraceSink* inner_ = nullptr;
+  uint64_t seq_ = 0;
 };
 
 /// Emission macro: evaluates the event expression only when a sink is

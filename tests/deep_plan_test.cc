@@ -1,0 +1,95 @@
+// Deep-plan stress: the explicit task stack makes search depth a heap
+// property, not a native-stack property. A 256-way chain join must optimize
+// under the task engine with native stack consumption that stays flat as the
+// plan deepens, while the recursive Figure-2 engine's consumption grows in
+// proportion to depth (SearchStats::native_stack_high_water measures both).
+
+#include <gtest/gtest.h>
+
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+
+namespace volcano {
+namespace {
+
+// A linear chain join with the reordering transformations off: the memo and
+// the goal graph stay linear in n, so depth — not breadth — is what scales.
+rel::Workload MakeDeepChain(int n) {
+  rel::WorkloadOptions wopts;
+  wopts.num_relations = n;
+  wopts.join_graph = rel::WorkloadOptions::JoinGraph::kChain;
+  wopts.sorted_base_prob = 0.0;
+  wopts.order_by_prob = 0.0;
+  rel::RelModelOptions mopts;
+  mopts.enable_join_commute = false;
+  mopts.enable_join_assoc_left = false;
+  mopts.enable_join_assoc_right = false;
+  return rel::GenerateWorkload(wopts, /*seed=*/1, mopts);
+}
+
+SearchStats OptimizeDeepChain(int n, SearchOptions::Engine engine) {
+  rel::Workload w = MakeDeepChain(n);
+  SearchOptions opts;
+  opts.engine = engine;
+  Optimizer opt(*w.model, opts);
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  EXPECT_TRUE(plan.ok()) << "n=" << n << ": " << plan.status().ToString();
+  if (plan.ok()) {
+    EXPECT_TRUE((*plan)->props()->Covers(*w.required));
+  }
+  return opt.stats();
+}
+
+TEST(DeepPlan, TaskEngineNativeStackStaysFlatAt256Way) {
+  SearchStats shallow = OptimizeDeepChain(32, SearchOptions::Engine::kTask);
+  SearchStats deep = OptimizeDeepChain(256, SearchOptions::Engine::kTask);
+
+  ASSERT_GT(shallow.native_stack_high_water, 0u);
+  ASSERT_GT(deep.native_stack_high_water, 0u);
+  // 8x the plan depth must not buy 8x the native stack: the task engine's
+  // per-step consumption is constant, so the high water at 256 relations
+  // stays within noise of the high water at 32.
+  EXPECT_LT(deep.native_stack_high_water,
+            2 * shallow.native_stack_high_water + 16384);
+  // The pending search state went somewhere: the task stack itself is what
+  // grows with depth.
+  EXPECT_GT(deep.task_stack_high_water, shallow.task_stack_high_water);
+}
+
+TEST(DeepPlan, RecursiveEngineNativeStackGrowsWithDepth) {
+  SearchStats shallow =
+      OptimizeDeepChain(32, SearchOptions::Engine::kRecursive);
+  SearchStats deep = OptimizeDeepChain(256, SearchOptions::Engine::kRecursive);
+
+  // The recursive engine consumes native stack in proportion to plan depth —
+  // this is the failure mode the task engine removes, kept here as the
+  // baseline that makes the flat-stack assertion above meaningful.
+  EXPECT_GT(deep.native_stack_high_water,
+            3 * shallow.native_stack_high_water);
+  // And at equal depth the task engine uses far less native stack.
+  SearchStats task = OptimizeDeepChain(256, SearchOptions::Engine::kTask);
+  EXPECT_LT(task.native_stack_high_water,
+            deep.native_stack_high_water / 4);
+}
+
+TEST(DeepPlan, DeepChainMatchesAcrossEngines) {
+  rel::Workload w = MakeDeepChain(256);
+  SearchOptions task;
+  task.engine = SearchOptions::Engine::kTask;
+  SearchOptions recursive;
+  recursive.engine = SearchOptions::Engine::kRecursive;
+
+  Optimizer topt(*w.model, task);
+  Optimizer ropt(*w.model, recursive);
+  StatusOr<PlanPtr> tp = topt.Optimize(*w.query, w.required);
+  StatusOr<PlanPtr> rp = ropt.Optimize(*w.query, w.required);
+  ASSERT_TRUE(tp.ok());
+  ASSERT_TRUE(rp.ok());
+  EXPECT_EQ(PlanToLine(**tp, w.model->registry()),
+            PlanToLine(**rp, w.model->registry()));
+  EXPECT_DOUBLE_EQ(w.model->cost_model().Total((*tp)->cost()),
+                   w.model->cost_model().Total((*rp)->cost()));
+}
+
+}  // namespace
+}  // namespace volcano

@@ -1,0 +1,204 @@
+// Differential engine tests: the task engine (single-threaded and parallel)
+// must choose byte-identical plans at identical cost to the recursive
+// Figure-2 engine on every committed workload. This is the acceptance gate
+// for the explicit search core — any divergence in budget checkpoints, move
+// ordering, branch-and-bound limits, or tie-breaking shows up here as a
+// plan-line mismatch long before it would move the committed plan digest
+// (tools/plan_digest).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+#include "search/trace_io.h"
+
+namespace volcano {
+namespace {
+
+struct RunOutput {
+  bool ok = false;
+  std::string status;
+  std::string plan_line;
+  double cost = 0.0;
+  SearchStats stats;
+};
+
+RunOutput RunOne(const rel::Workload& w, const SearchOptions& opts) {
+  Optimizer opt(*w.model, opts);
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  RunOutput out;
+  out.stats = opt.stats();
+  if (!plan.ok()) {
+    out.status = plan.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  out.plan_line = PlanToLine(**plan, w.model->registry());
+  out.cost = w.model->cost_model().Total((*plan)->cost());
+  return out;
+}
+
+rel::Workload MakeChain(int n, uint64_t seed, bool order_by) {
+  rel::WorkloadOptions wopts;
+  wopts.num_relations = n;
+  wopts.join_graph = rel::WorkloadOptions::JoinGraph::kChain;
+  wopts.hub_attr_prob = 0.25;
+  wopts.sorted_base_prob = 0.5;
+  wopts.order_by_prob = order_by ? 1.0 : 0.0;
+  return rel::GenerateWorkload(wopts, seed);
+}
+
+// The same grid the committed plan digest covers: chain joins of 2..10
+// relations x 3 seeds, with and without ORDER BY.
+TEST(EngineDifferential, TaskMatchesRecursiveOnDigestGrid) {
+  for (int order_by = 0; order_by <= 1; ++order_by) {
+    for (int n = 2; n <= 10; ++n) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        rel::Workload w = MakeChain(n, seed, order_by != 0);
+        SearchOptions recursive;
+        recursive.engine = SearchOptions::Engine::kRecursive;
+        SearchOptions task;
+        task.engine = SearchOptions::Engine::kTask;
+
+        RunOutput r = RunOne(w, recursive);
+        RunOutput t = RunOne(w, task);
+        SCOPED_TRACE("n=" + std::to_string(n) + " seed=" +
+                     std::to_string(seed) + " order_by=" +
+                     std::to_string(order_by));
+        ASSERT_EQ(r.ok, t.ok) << r.status << " vs " << t.status;
+        if (!r.ok) continue;
+        EXPECT_EQ(r.plan_line, t.plan_line);
+        EXPECT_DOUBLE_EQ(r.cost, t.cost);
+        // Effort parity: the task engine replicates the recursive control
+        // flow site for site, so the shared counters agree exactly.
+        EXPECT_EQ(r.stats.find_best_plan_calls, t.stats.find_best_plan_calls);
+        EXPECT_EQ(r.stats.goals_started, t.stats.goals_started);
+        EXPECT_EQ(r.stats.algorithm_moves, t.stats.algorithm_moves);
+        EXPECT_EQ(r.stats.enforcer_moves, t.stats.enforcer_moves);
+        EXPECT_EQ(r.stats.moves_pruned, t.stats.moves_pruned);
+        EXPECT_EQ(r.stats.budget_checkpoints, t.stats.budget_checkpoints);
+        // And only the task engine steps tasks.
+        EXPECT_EQ(r.stats.tasks_executed, 0u);
+        EXPECT_GT(t.stats.tasks_executed, 0u);
+      }
+    }
+  }
+}
+
+TEST(EngineDifferential, ParallelMatchesSingleThreadedOnDigestGrid) {
+  bool any_fan_out = false;
+  for (int order_by = 0; order_by <= 1; ++order_by) {
+    for (int n = 2; n <= 10; ++n) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        rel::Workload w = MakeChain(n, seed, order_by != 0);
+        SearchOptions serial;
+        SearchOptions parallel;
+        parallel.workers = 4;
+
+        RunOutput s = RunOne(w, serial);
+        RunOutput p = RunOne(w, parallel);
+        SCOPED_TRACE("n=" + std::to_string(n) + " seed=" +
+                     std::to_string(seed) + " order_by=" +
+                     std::to_string(order_by));
+        ASSERT_EQ(s.ok, p.ok) << s.status << " vs " << p.status;
+        if (!s.ok) continue;
+        EXPECT_EQ(s.plan_line, p.plan_line);
+        EXPECT_DOUBLE_EQ(s.cost, p.cost);
+        EXPECT_TRUE(s.stats.worker_busy_seconds.empty());
+        if (!p.stats.worker_busy_seconds.empty()) any_fan_out = true;
+      }
+    }
+  }
+  // The grid must actually exercise the worker pool somewhere, or the
+  // parallel comparison above proves nothing.
+  EXPECT_TRUE(any_fan_out);
+}
+
+// The interleaved (Figure 2 verbatim) strategy pursues serially even with
+// workers configured; plans still match the recursive engine.
+TEST(EngineDifferential, InterleavedStrategyMatchesAcrossEngines) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    rel::Workload w = MakeChain(4, seed, seed % 2 == 0);
+    SearchOptions recursive;
+    recursive.engine = SearchOptions::Engine::kRecursive;
+    recursive.strategy = SearchOptions::Strategy::kInterleaved;
+    SearchOptions task = recursive;
+    task.engine = SearchOptions::Engine::kTask;
+    task.workers = 4;
+
+    RunOutput r = RunOne(w, recursive);
+    RunOutput t = RunOne(w, task);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ASSERT_EQ(r.ok, t.ok) << r.status << " vs " << t.status;
+    if (!r.ok) continue;
+    EXPECT_EQ(r.plan_line, t.plan_line);
+    EXPECT_DOUBLE_EQ(r.cost, t.cost);
+  }
+}
+
+// Glue-properties ablation: both engines run the Starburst-style glue path.
+TEST(EngineDifferential, GluePropertiesMatchesAcrossEngines) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    rel::Workload w = MakeChain(4, seed, /*order_by=*/true);
+    SearchOptions recursive;
+    recursive.engine = SearchOptions::Engine::kRecursive;
+    recursive.glue_properties = true;
+    SearchOptions task = recursive;
+    task.engine = SearchOptions::Engine::kTask;
+
+    RunOutput r = RunOne(w, recursive);
+    RunOutput t = RunOne(w, task);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ASSERT_EQ(r.ok, t.ok) << r.status << " vs " << t.status;
+    if (!r.ok) continue;
+    EXPECT_EQ(r.plan_line, t.plan_line);
+    EXPECT_DOUBLE_EQ(r.cost, t.cost);
+  }
+}
+
+// Trace determinism: the optimizer stamps every event with a 1-based,
+// strictly contiguous per-optimizer sequence number, single-threaded events
+// carry worker 0, and parallel workers stamp their own ids — so merged
+// multi-worker streams re-sort into one total order.
+TEST(EngineDifferential, TraceSequenceIsMonotonicAndContiguous) {
+  rel::Workload w = MakeChain(5, 1, /*order_by=*/false);
+  TraceLog log;
+  SearchOptions opts;
+  opts.trace = &log;
+  Optimizer opt(*w.model, opts);
+  ASSERT_TRUE(opt.Optimize(*w.query, w.required).ok());
+  ASSERT_FALSE(log.entries().empty());
+  uint64_t expect_seq = 1;
+  for (const TraceLog::Entry& e : log.entries()) {
+    EXPECT_EQ(e.event.seq, expect_seq);
+    EXPECT_EQ(e.event.worker, 0u);
+    ++expect_seq;
+  }
+}
+
+TEST(EngineDifferential, ParallelTraceCarriesWorkerIds) {
+  rel::Workload w = MakeChain(5, 1, /*order_by=*/false);
+  TraceLog log;
+  SearchOptions opts;
+  opts.trace = &log;
+  opts.workers = 4;
+  Optimizer opt(*w.model, opts);
+  ASSERT_TRUE(opt.Optimize(*w.query, w.required).ok());
+  ASSERT_FALSE(log.entries().empty());
+  uint64_t expect_seq = 1;
+  bool any_worker = false;
+  for (const TraceLog::Entry& e : log.entries()) {
+    EXPECT_EQ(e.event.seq, expect_seq);  // total order across workers
+    EXPECT_LE(e.event.worker, 4u);
+    if (e.event.worker != 0) any_worker = true;
+    ++expect_seq;
+  }
+  EXPECT_TRUE(any_worker);
+  EXPECT_FALSE(opt.stats().worker_busy_seconds.empty());
+}
+
+}  // namespace
+}  // namespace volcano

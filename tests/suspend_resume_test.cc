@@ -1,0 +1,205 @@
+// Anytime suspension: with SearchOptions::suspend_on_trip, a tripped budget
+// freezes the task stack in place and Optimizer::Resume() continues from the
+// exact preemption point. The contract under test — over a hundred
+// fault-injected preemption points — is that trip + Resume() produces
+// exactly the plan an uninterrupted run produces: suspension is invisible to
+// the search result.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+#include "support/fault.h"
+
+namespace volcano {
+namespace {
+
+rel::Workload MakeWorkload(uint64_t seed) {
+  rel::WorkloadOptions wopts;
+  wopts.num_relations = 3 + static_cast<int>(seed % 4);
+  wopts.join_graph = static_cast<rel::WorkloadOptions::JoinGraph>(seed % 3);
+  wopts.sorted_base_prob = 0.5;
+  wopts.order_by_prob = 0.5;
+  wopts.min_cardinality = 50;
+  wopts.max_cardinality = 200;
+  return rel::GenerateWorkload(wopts, seed);
+}
+
+struct PlanLine {
+  bool ok = false;
+  std::string line;
+  double cost = 0.0;
+};
+
+PlanLine Uninterrupted(const rel::Workload& w) {
+  Optimizer opt(*w.model);
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  PlanLine out;
+  if (!plan.ok()) return out;
+  out.ok = true;
+  out.line = PlanToLine(**plan, w.model->registry());
+  out.cost = w.model->cost_model().Total((*plan)->cost());
+  return out;
+}
+
+// Injects a budget trip at one deterministic checkpoint, suspends there, and
+// resumes to completion. 120 seeds x varying preemption points; nearly every
+// scenario actually suspends (asserted in aggregate at the bottom).
+TEST(SuspendResume, ResumedRunMatchesUninterruptedAcrossScenarios) {
+  int suspended_scenarios = 0;
+  for (uint64_t seed = 0; seed < 120; ++seed) {
+    rel::Workload w = MakeWorkload(seed);
+    PlanLine base = Uninterrupted(w);
+    if (!base.ok) continue;  // NotFound baseline: nothing to compare
+
+    FaultInjector::Config fc;
+    fc.seed = seed;
+    fc.expire_budget_at = 1 + (seed * 7) % 60;
+    FaultInjector injector(fc);
+    SearchOptions opts;
+    opts.suspend_on_trip = true;
+    opts.fault = &injector;
+    Optimizer opt(*w.model, opts);
+
+    StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+    bool suspended = false;
+    int resumes = 0;
+    while (!plan.ok() && opt.CanResume()) {
+      suspended = true;
+      EXPECT_EQ(plan.status().code(), Status::Code::kResourceExhausted)
+          << "seed " << seed;
+      EXPECT_TRUE(opt.outcome().suspended) << "seed " << seed;
+      plan = opt.Resume();
+      ASSERT_LT(++resumes, 1000) << "seed " << seed;
+    }
+    ASSERT_TRUE(plan.ok()) << "seed " << seed << ": "
+                           << plan.status().ToString();
+    EXPECT_EQ(PlanToLine(**plan, w.model->registry()), base.line)
+        << "seed " << seed;
+    EXPECT_DOUBLE_EQ(w.model->cost_model().Total((*plan)->cost()), base.cost)
+        << "seed " << seed;
+    if (suspended) {
+      ++suspended_scenarios;
+      EXPECT_GE(opt.stats().suspensions, 1u) << "seed " << seed;
+      EXPECT_FALSE(opt.outcome().suspended) << "seed " << seed;
+      EXPECT_FALSE(opt.CanResume()) << "seed " << seed;
+    }
+  }
+  // The sweep is only meaningful if preemption actually happened at scale.
+  EXPECT_GE(suspended_scenarios, 100);
+}
+
+// Repeated preemption: a probabilistic budget fault can trip the resumed run
+// again (and again); each Resume() picks up where the last trip parked.
+TEST(SuspendResume, SurvivesRepeatedPreemption) {
+  rel::Workload w = MakeWorkload(7);
+  PlanLine base = Uninterrupted(w);
+  ASSERT_TRUE(base.ok);
+
+  FaultInjector::Config fc;
+  fc.seed = 99;
+  fc.budget_expiry_prob = 0.02;
+  FaultInjector injector(fc);
+  SearchOptions opts;
+  opts.suspend_on_trip = true;
+  opts.fault = &injector;
+  Optimizer opt(*w.model, opts);
+
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  int resumes = 0;
+  while (!plan.ok() && opt.CanResume()) {
+    plan = opt.Resume();
+    ASSERT_LT(++resumes, 10000);
+  }
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(PlanToLine(**plan, w.model->registry()), base.line);
+  EXPECT_EQ(opt.stats().suspensions, static_cast<uint64_t>(resumes));
+}
+
+// A real (non-injected) call budget: each Resume() re-arms the per-call
+// allowance, so a search too big for one slice completes across several.
+TEST(SuspendResume, CallBudgetCompletesInSlices) {
+  rel::Workload w = MakeWorkload(11);
+  PlanLine base = Uninterrupted(w);
+  ASSERT_TRUE(base.ok);
+
+  SearchOptions opts;
+  opts.suspend_on_trip = true;
+  opts.budget.max_find_best_plan_calls = 20;
+  Optimizer opt(*w.model, opts);
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  int resumes = 0;
+  while (!plan.ok() && opt.CanResume()) {
+    plan = opt.Resume();
+    ASSERT_LT(++resumes, 10000);
+  }
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GT(resumes, 0);
+  EXPECT_EQ(PlanToLine(**plan, w.model->registry()), base.line);
+}
+
+// A memo-size trip cannot progress on the same budget; Resume(budget) raises
+// the cap for the continuation.
+TEST(SuspendResume, ResumeWithRaisedBudgetClearsMemoTrip) {
+  rel::Workload w = MakeWorkload(13);
+  PlanLine base = Uninterrupted(w);
+  ASSERT_TRUE(base.ok);
+
+  SearchOptions opts;
+  opts.suspend_on_trip = true;
+  opts.budget.max_mexprs = 8;
+  Optimizer opt(*w.model, opts);
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  ASSERT_FALSE(plan.ok());
+  ASSERT_TRUE(opt.CanResume());
+
+  OptimizationBudget raised;  // default: effectively unlimited
+  plan = opt.Resume(raised);
+  int resumes = 0;
+  while (!plan.ok() && opt.CanResume()) {
+    plan = opt.Resume();
+    ASSERT_LT(++resumes, 100);
+  }
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(PlanToLine(**plan, w.model->registry()), base.line);
+}
+
+TEST(SuspendResume, ResumeWithoutSuspensionIsInvalid) {
+  rel::Workload w = MakeWorkload(1);
+  Optimizer opt(*w.model);
+  EXPECT_FALSE(opt.CanResume());
+  StatusOr<PlanPtr> r = opt.Resume();
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+// Starting a fresh Optimize abandons a suspended run cleanly: the frozen
+// frames' in-progress marks are unwound and the new search is unaffected.
+TEST(SuspendResume, FreshOptimizeAbandonsSuspendedRun) {
+  rel::Workload w = MakeWorkload(17);
+  PlanLine base = Uninterrupted(w);
+  ASSERT_TRUE(base.ok);
+
+  FaultInjector::Config fc;
+  fc.seed = 17;
+  fc.expire_budget_at = 5;
+  FaultInjector injector(fc);
+  SearchOptions opts;
+  opts.suspend_on_trip = true;
+  opts.fault = &injector;
+  Optimizer opt(*w.model, opts);
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  ASSERT_FALSE(plan.ok());
+  ASSERT_TRUE(opt.CanResume());
+
+  // Re-optimize from scratch instead of resuming (the single-point fault is
+  // already spent, so this run goes uninterrupted).
+  plan = opt.Optimize(*w.query, w.required);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(opt.CanResume());
+  EXPECT_EQ(PlanToLine(**plan, w.model->registry()), base.line);
+}
+
+}  // namespace
+}  // namespace volcano

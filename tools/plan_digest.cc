@@ -9,7 +9,11 @@
 // this to prove that memo-layout work changed no optimization outcome.
 //
 // Usage:
-//   plan_digest [--verbose]
+//   plan_digest [--verbose] [--engine=task|recursive] [--workers=N]
+//
+// --engine and --workers select the search engine; every combination must
+// print the same digest (tests/engine_differential_test.cc holds the
+// committed value).
 //
 // Output (stdout):
 //   <lines, only with --verbose>
@@ -17,6 +21,7 @@
 //   queries: <count>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -27,8 +32,18 @@
 int main(int argc, char** argv) {
   using namespace volcano;
   bool verbose = false;
+  SearchOptions base;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
+    if (std::strcmp(argv[i], "--engine=recursive") == 0) {
+      base.engine = SearchOptions::Engine::kRecursive;
+    }
+    if (std::strcmp(argv[i], "--engine=task") == 0) {
+      base.engine = SearchOptions::Engine::kTask;
+    }
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      base.workers = std::atoi(argv[i] + 10);
+    }
   }
 
   uint64_t digest = 0xcbf29ce484222325ULL;
@@ -52,7 +67,7 @@ int main(int argc, char** argv) {
         wopts.order_by_prob = order_by ? 1.0 : 0.0;
         rel::Workload w = rel::GenerateWorkload(wopts, seed);
 
-        Optimizer opt(*w.model);
+        Optimizer opt(*w.model, base);
         StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
         std::string line = "n=" + std::to_string(n) +
                            " seed=" + std::to_string(seed) +

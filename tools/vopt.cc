@@ -25,6 +25,17 @@
 //   --strict         fail with RESOURCE_EXHAUSTED instead of degrading
 //   --fallback       use the EXODUS baseline as a last resort when even the
 //                    degradation ladder yields no plan
+//   --engine E       search engine: 'task' (default; explicit task stack,
+//                    suspendable, stack-safe) or 'recursive' (Figure 2 run
+//                    literally); both choose identical plans
+//   --workers N      task engine only: fan the root goal's moves across N
+//                    worker threads; the chosen plan is identical to the
+//                    single-threaded search (trace events carry worker ids)
+//
+// A budget trip can also suspend instead of degrading: with
+// SearchOptions::suspend_on_trip (library API), the task stack freezes in
+// place and Optimizer::Resume() — optionally with a fresh budget — continues
+// the search from the exact preemption point.
 //
 // Catalog description format, one declaration per line ('#' comments):
 //   relation <name> <cardinality> <tuple_bytes> <num_attrs>
@@ -171,6 +182,19 @@ int main(int argc, char** argv) {
           volcano::SearchOptions::Degradation::kStrict;
     } else if (arg == "--fallback") {
       fallback = true;
+    } else if (arg == "--engine" && i + 1 < argc) {
+      std::string engine = argv[++i];
+      if (engine == "task") {
+        search_options.engine = volcano::SearchOptions::Engine::kTask;
+      } else if (engine == "recursive") {
+        search_options.engine = volcano::SearchOptions::Engine::kRecursive;
+      } else {
+        std::fprintf(stderr, "vopt: unknown engine '%s'\n", engine.c_str());
+        return 2;
+      }
+    } else if (arg == "--workers" && i + 1 < argc) {
+      search_options.workers =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "vopt: unknown option %s\n", arg.c_str());
       return 2;
@@ -183,7 +207,8 @@ int main(int argc, char** argv) {
                  "usage: vopt [--catalog FILE] [--dot] [--memo] [--stats] "
                  "[--stats-json] [--explain] [--trace FILE] "
                  "[--execute SEED] [--timeout-ms N] [--max-mexprs N] "
-                 "[--max-calls N] [--strict] [--fallback] \"SQL\"\n");
+                 "[--max-calls N] [--strict] [--fallback] "
+                 "[--engine task|recursive] [--workers N] \"SQL\"\n");
     return 2;
   }
   if (strict && fallback) {
