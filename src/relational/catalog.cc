@@ -10,7 +10,8 @@ Status Catalog::AddRelation(RelationInfo info) {
   }
   if (relations_.find(info.name) != relations_.end()) {
     return Status::AlreadyExists("relation already defined: " +
-                                 symbols_.Name(info.name));
+                                 symbols_.Name(info.name))
+        .WithDetail("relation", symbols_.Name(info.name));
   }
   if (info.cardinality < 0) {
     return Status::InvalidArgument("negative cardinality");
@@ -18,7 +19,8 @@ Status Catalog::AddRelation(RelationInfo info) {
   for (const auto& a : info.attributes) {
     if (attr_owner_.find(a.name) != attr_owner_.end()) {
       return Status::AlreadyExists("attribute already defined: " +
-                                   symbols_.Name(a.name));
+                                   symbols_.Name(a.name))
+          .WithDetail("attribute", symbols_.Name(a.name));
     }
   }
   for (const auto& a : info.attributes) {
@@ -27,6 +29,7 @@ Status Catalog::AddRelation(RelationInfo info) {
   }
   Symbol name = info.name;
   relations_.emplace(name, std::move(info));
+  ++version_;
   return Status::OK();
 }
 
@@ -54,22 +57,27 @@ StatusOr<Symbol> Catalog::AddRelation(std::string_view name,
 Status Catalog::SetSortedOn(Symbol relation, std::vector<Symbol> order) {
   auto it = relations_.find(relation);
   if (it == relations_.end()) {
-    return Status::NotFound("unknown relation");
+    return Status::NotFound("unknown relation: " + symbols_.Name(relation))
+        .WithDetail("relation", symbols_.Name(relation));
   }
   for (Symbol attr : order) {
     if (!it->second.HasAttribute(attr)) {
       return Status::InvalidArgument("sort attribute not in relation: " +
-                                     symbols_.Name(attr));
+                                     symbols_.Name(attr))
+          .WithDetail("attribute", symbols_.Name(attr))
+          .WithDetail("relation", symbols_.Name(relation));
     }
   }
   it->second.sorted_on = std::move(order);
+  ++version_;
   return Status::OK();
 }
 
 Status Catalog::SetDistinct(Symbol attr, double distinct_values) {
   auto it = attr_distinct_.find(attr);
   if (it == attr_distinct_.end()) {
-    return Status::NotFound("unknown attribute");
+    return Status::NotFound("unknown attribute: " + symbols_.Name(attr))
+        .WithDetail("attribute", symbols_.Name(attr));
   }
   if (distinct_values < 1.0) {
     return Status::InvalidArgument("distinct count must be >= 1");
@@ -80,6 +88,7 @@ Status Catalog::SetDistinct(Symbol attr, double distinct_values) {
   for (auto& a : rel->second.attributes) {
     if (a.name == attr) a.distinct_values = distinct_values;
   }
+  ++version_;
   return Status::OK();
 }
 

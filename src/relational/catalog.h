@@ -47,6 +47,11 @@ struct RelationInfo {
 
 /// A mutable schema catalog. Owns the symbol table used for all relation and
 /// attribute names of one database.
+///
+/// Every mutation advances a monotonic version counter. Long-lived consumers
+/// (the serving layer's cross-query plan cache, see src/serve/) key cached
+/// results on the version so a schema or statistics change observably
+/// invalidates everything derived from the old state.
 class Catalog {
  public:
   Catalog() = default;
@@ -94,8 +99,19 @@ class Catalog {
   size_t num_relations() const { return relations_.size(); }
   std::vector<Symbol> RelationNames() const;
 
+  /// Monotonic catalog epoch. Starts at 1 and advances on every successful
+  /// mutation (AddRelation, SetSortedOn, SetDistinct, BumpVersion). Plans and
+  /// other derived artifacts cached against an older version are stale.
+  uint64_t version() const { return version_; }
+
+  /// Advances the version without changing any content — the hook for
+  /// external invalidation events (statistics refresh, DDL executed outside
+  /// this process) and for cache-poisoning fault injection in tests.
+  uint64_t BumpVersion() { return ++version_; }
+
  private:
   SymbolTable symbols_;
+  uint64_t version_ = 1;
   std::unordered_map<Symbol, RelationInfo> relations_;
   std::unordered_map<Symbol, Symbol> attr_owner_;
   std::unordered_map<Symbol, double> attr_distinct_;

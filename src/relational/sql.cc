@@ -91,7 +91,9 @@ StatusOr<std::vector<Token>> Lex(std::string_view sql) {
         break;
       default:
         return Status::InvalidArgument(std::string("unexpected character '") +
-                                       c + "' in SQL");
+                                       c + "' in SQL")
+            .WithDetail("character", std::string(1, c))
+            .WithDetail("position", std::to_string(pos));
     }
   }
   out.push_back({Token::Kind::kEnd, ""});
@@ -145,7 +147,9 @@ class SqlParser {
   Status Expect(std::string_view kw) {
     if (!Consume(kw)) {
       return Status::InvalidArgument("expected " + std::string(kw) +
-                                     ", found '" + Peek().text + "'");
+                                     ", found '" + Peek().text + "'")
+          .WithDetail("expected", std::string(kw))
+          .WithDetail("found", Peek().text);
     }
     return Status::OK();
   }
@@ -158,7 +162,8 @@ class SqlParser {
     std::string name = Advance().text;
     Symbol sym = model_.symbols().Lookup(name);
     if (!sym.valid() || !model_.catalog().RelationOf(sym).valid()) {
-      return Status::InvalidArgument("unknown attribute " + name);
+      return Status::InvalidArgument("unknown attribute " + name)
+          .WithDetail("attribute", name);
     }
     return sym;
   }
@@ -249,10 +254,12 @@ Status SqlParser::ParseFrom() {
     std::string name = Advance().text;
     Symbol rel = model_.symbols().Lookup(name);
     if (!rel.valid() || model_.catalog().FindRelation(rel) == nullptr) {
-      return Status::InvalidArgument("unknown relation " + name);
+      return Status::InvalidArgument("unknown relation " + name)
+          .WithDetail("relation", name);
     }
     if (std::find(from_.begin(), from_.end(), rel) != from_.end()) {
-      return Status::InvalidArgument("relation listed twice: " + name);
+      return Status::InvalidArgument("relation listed twice: " + name)
+          .WithDetail("relation", name);
     }
     from_.push_back(rel);
     if (Peek().kind != Token::Kind::kComma) break;
@@ -451,7 +458,8 @@ StatusOr<ParsedQuery> SqlParser::Run() {
   s = ParseOrderBy();
   if (!s.ok()) return s;
   if (Peek().kind != Token::Kind::kEnd) {
-    return Status::InvalidArgument("trailing input: '" + Peek().text + "'");
+    return Status::InvalidArgument("trailing input: '" + Peek().text + "'")
+        .WithDetail("found", Peek().text);
   }
 
   // ORDER BY attributes must survive into the final result.
@@ -502,6 +510,41 @@ StatusOr<ParsedQuery> ParseSql(std::string_view sql, const RelModel& model,
   if (!tokens.ok()) return tokens.status();
   SqlParser parser(std::move(*tokens), model, symbols);
   return parser.Run();
+}
+
+StatusOr<std::string> NormalizeSql(std::string_view sql,
+                                   const Catalog& catalog) {
+  static constexpr std::string_view kKeywords[] = {
+      "SELECT", "DISTINCT", "COUNT", "FROM", "WHERE",
+      "AND",    "GROUP",    "ORDER", "BY",
+  };
+  StatusOr<std::vector<Token>> tokens = Lex(sql);
+  if (!tokens.ok()) return tokens.status();
+  std::string out;
+  out.reserve(sql.size());
+  for (const Token& t : *tokens) {
+    if (t.kind == Token::Kind::kEnd) break;
+    std::string text = t.text;
+    if (t.kind == Token::Kind::kIdent) {
+      // Fold keyword spellings to upper case — unless the exact spelling
+      // names a catalog object (a relation called "from" stays itself).
+      Symbol sym = catalog.symbols().Lookup(text);
+      bool is_catalog_name =
+          sym.valid() && (catalog.FindRelation(sym) != nullptr ||
+                          catalog.RelationOf(sym).valid());
+      if (!is_catalog_name) {
+        for (std::string_view kw : kKeywords) {
+          if (KeywordIs(t, kw)) {
+            text.assign(kw);
+            break;
+          }
+        }
+      }
+    }
+    if (!out.empty()) out += ' ';
+    out += text;
+  }
+  return out;
 }
 
 }  // namespace volcano::rel

@@ -44,6 +44,18 @@ struct ParsedQuery {
 StatusOr<ParsedQuery> ParseSql(std::string_view sql, const RelModel& model,
                                SymbolTable& symbols);
 
+/// Canonicalizes `sql` into a cache-signature string: the token stream
+/// re-rendered with single-space separation and keyword spellings folded to
+/// upper case (an identifier that names a catalog relation or attribute
+/// keeps its spelling). Two texts with the same normalized form parse to the
+/// same algebra expression and required properties, so the serving layer's
+/// cross-query plan cache keys on this string (src/serve/plan_cache.h).
+/// Constants are part of the signature — they feed selectivity estimation,
+/// so parameterizing them could change the winning plan. Returns the lexer's
+/// InvalidArgument for text that cannot be tokenized.
+StatusOr<std::string> NormalizeSql(std::string_view sql,
+                                   const Catalog& catalog);
+
 }  // namespace volcano::rel
 
 #endif  // VOLCANO_RELATIONAL_SQL_H_

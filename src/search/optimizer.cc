@@ -147,6 +147,23 @@ bool Optimizer::AdmitLocalCost(Cost* cost) {
   return true;
 }
 
+void Optimizer::ResetForReuse() {
+  // A frozen task stack holds in-progress marks and frame state pointing
+  // into the memo; unwind it before the memo's storage is rewound.
+  if (engine_ != nullptr && engine_->suspended()) engine_->Abandon();
+  memo_.Reset();
+  // Memo::Reset clears the property interner, so the cached canonical "any"
+  // vector must be re-interned — it would otherwise dangle.
+  any_props_ = memo_.InternProps(model_.AnyProps());
+  stats_ = SearchStats{};
+  outcome_ = OptimizeOutcome{};
+  trip_ = BudgetTrip::kNone;
+  greedy_mode_ = false;
+  resume_group_ = kInvalidGroup;
+  resume_required_ = nullptr;
+  stack_base_ = nullptr;
+}
+
 StatusOr<PlanPtr> Optimizer::Optimize(const Expr& query,
                                       const PhysPropsPtr& required) {
   return Optimize(query, required, model_.cost_model().Infinity());

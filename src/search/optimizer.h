@@ -13,6 +13,7 @@
 #ifndef VOLCANO_SEARCH_OPTIMIZER_H_
 #define VOLCANO_SEARCH_OPTIMIZER_H_
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -89,8 +90,25 @@ class Optimizer {
   /// deadline) that applies to this continuation and later calls.
   StatusOr<PlanPtr> Resume(const OptimizationBudget& budget);
 
+  /// Returns the optimizer to a fresh-query state while retaining its warmed
+  /// allocations: abandons any suspended search, resets the memo (arena
+  /// blocks and hash-table capacity are retained, see Memo::Reset), re-interns
+  /// the canonical "any" property vector, and zeroes the per-query stats and
+  /// outcome. Cumulative rule metrics survive. This is the serving-layer hook
+  /// that lets one Optimizer handle an unbounded request stream with a flat
+  /// steady-state memory footprint (src/serve/session.h).
+  void ResetForReuse();
+
   /// Inserts a query without optimizing; returns its root class.
   GroupId AddQuery(const Expr& query) { return memo_.InsertQuery(query); }
+
+  /// Replaces the effort budget applied to subsequent top-level
+  /// Optimize/OptimizeGroup calls. The serving layer uses this to give every
+  /// request its own deadline on a long-lived, memo-reusing optimizer.
+  void set_budget(const OptimizationBudget& budget) {
+    options_.budget = budget;
+    mexpr_cap_ = std::min(options_.max_mexprs, budget.max_mexprs);
+  }
 
   Memo& memo() { return memo_; }
   const Memo& memo() const { return memo_; }

@@ -1,0 +1,87 @@
+#include "serve/plan_cache.h"
+
+namespace volcano::serve {
+
+std::string PlanCache::MakeKey(const std::string& signature,
+                               uint64_t catalog_version,
+                               const std::string& required) {
+  // \x1f (unit separator) cannot appear in SQL token text or property
+  // renderings, so the concatenation is unambiguous.
+  std::string key;
+  key.reserve(signature.size() + required.size() + 24);
+  key += signature;
+  key += '\x1f';
+  key += std::to_string(catalog_version);
+  key += '\x1f';
+  key += required;
+  return key;
+}
+
+std::optional<CachedPlan> PlanCache::Lookup(const std::string& signature,
+                                            uint64_t catalog_version,
+                                            const std::string& required) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(MakeKey(signature, catalog_version, required));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& signature, uint64_t catalog_version,
+                       const std::string& required, CachedPlan plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = MakeKey(signature, catalog_version, required);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, catalog_version, std::move(plan)});
+  index_.emplace(std::move(key), lru_.begin());
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+size_t PlanCache::InvalidateOlderThan(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->version < version) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += dropped;
+  return dropped;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace volcano::serve

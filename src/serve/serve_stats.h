@@ -1,0 +1,62 @@
+// Serving-layer counters.
+//
+// The soak tests and the `bench_serve` benchmark assert robustness through
+// these numbers: every request must be accounted for (ok + errors + shed ==
+// requests), cache behavior must be observable (hits/misses/invalidations),
+// and degraded responses must be countable so a fault-injected run can prove
+// the degradation ladder engaged instead of the process dying. `vopt serve
+// --stats-json` prints ToJson() on shutdown; the `!stats` request returns it
+// mid-stream.
+
+#ifndef VOLCANO_SERVE_SERVE_STATS_H_
+#define VOLCANO_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace volcano::serve {
+
+struct ServeStats {
+  // Request accounting. `requests` counts every non-empty line accepted by
+  // the protocol; ok + errors + shed == requests always holds.
+  uint64_t requests = 0;
+  uint64_t ok = 0;        ///< responses carrying a plan or admin ack
+  uint64_t errors = 0;    ///< structured error responses (incl. malformed)
+  uint64_t shed = 0;      ///< OVERLOADED responses from admission control
+
+  // Plan provenance.
+  uint64_t cached = 0;    ///< answered from the cross-query plan cache
+  uint64_t degraded = 0;  ///< plan produced below the exhaustive rung
+                          ///< (anytime incumbent, greedy, or EXODUS)
+
+  // Plan-cache counters (mirrored from PlanCache at report time).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_insertions = 0;
+  uint64_t cache_invalidations = 0;  ///< entries dropped by a version bump
+  uint64_t cache_evictions = 0;      ///< entries dropped by LRU capacity
+
+  // Catalog / session lifecycle.
+  uint64_t catalog_bumps = 0;    ///< version bumps (admin or fault-injected)
+  uint64_t model_rebuilds = 0;   ///< sessions re-deriving their RelModel
+
+  std::string ToJson() const {
+    std::ostringstream os;
+    os << "{\"requests\": " << requests << ", \"ok\": " << ok
+       << ", \"errors\": " << errors << ", \"shed\": " << shed
+       << ", \"cached\": " << cached << ", \"degraded\": " << degraded
+       << ", \"cache_hits\": " << cache_hits
+       << ", \"cache_misses\": " << cache_misses
+       << ", \"cache_insertions\": " << cache_insertions
+       << ", \"cache_invalidations\": " << cache_invalidations
+       << ", \"cache_evictions\": " << cache_evictions
+       << ", \"catalog_bumps\": " << catalog_bumps
+       << ", \"model_rebuilds\": " << model_rebuilds << "}";
+    return os.str();
+  }
+};
+
+}  // namespace volcano::serve
+
+#endif  // VOLCANO_SERVE_SERVE_STATS_H_

@@ -1,0 +1,431 @@
+#include "serve/server.h"
+
+#include <future>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "relational/sql.h"
+#include "serve/session.h"
+
+namespace volcano::serve {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::Code::kNotFound: return "NOT_FOUND";
+    case Status::Code::kAlreadyExists: return "ALREADY_EXISTS";
+    case Status::Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Status::Code::kInternal: return "INTERNAL";
+    case Status::Code::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonString(std::string_view s) {
+  std::string out = "\"";
+  AppendJsonEscaped(s, &out);
+  out += "\"";
+  return out;
+}
+
+/// The shared shape of cold and cached plan responses: identical field
+/// renderings, differing only in the "cached" flag (and the optional stats
+/// tail on cold responses) — the byte-identity contract of the plan cache.
+std::string PlanResponse(uint64_t id, bool cached, bool degraded,
+                         const char* source, uint64_t catalog_version,
+                         const std::string& algebra,
+                         const std::string& required, const std::string& plan,
+                         const std::string& cost, const std::string& extra) {
+  std::ostringstream os;
+  os << "{\"id\": " << id << ", \"ok\": true, \"cached\": "
+     << (cached ? "true" : "false") << ", \"degraded\": "
+     << (degraded ? "true" : "false") << ", \"source\": \"" << source
+     << "\", \"catalog_version\": " << catalog_version
+     << ", \"algebra\": " << JsonString(algebra)
+     << ", \"required\": " << JsonString(required)
+     << ", \"plan\": " << JsonString(plan)
+     << ", \"cost\": " << JsonString(cost) << extra << "}";
+  return os.str();
+}
+
+std::string ErrorResponse(uint64_t id, const Status& status,
+                          bool shed = false) {
+  std::ostringstream os;
+  os << "{\"id\": " << id << ", \"ok\": false, ";
+  if (shed) os << "\"shed\": true, ";
+  os << "\"error\": {\"code\": \""
+     << (shed ? "OVERLOADED" : CodeName(status.code())) << "\", \"message\": "
+     << JsonString(status.message());
+  if (!status.details().empty()) {
+    os << ", \"details\": {";
+    bool first = true;
+    for (const auto& [k, v] : status.details()) {
+      if (!first) os << ", ";
+      first = false;
+      os << JsonString(k) << ": " << JsonString(v);
+    }
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string AdminResponse(uint64_t id, const char* what,
+                          uint64_t catalog_version) {
+  std::ostringstream os;
+  os << "{\"id\": " << id << ", \"ok\": true, \"admin\": \"" << what
+     << "\", \"catalog_version\": " << catalog_version << "}";
+  return os.str();
+}
+
+}  // namespace
+
+Server::Server(rel::Catalog* catalog, ServerOptions options)
+    : catalog_(catalog),
+      options_(std::move(options)),
+      cache_(options_.cache_capacity) {
+  VOLCANO_CHECK(catalog_ != nullptr);
+  VOLCANO_CHECK(options_.workers >= 1);
+  // The serving loop owns the degradation ladder; the engine must hand back
+  // its best (anytime/greedy) answer rather than erroring outright.
+  options_.search.degradation = SearchOptions::Degradation::kAnytime;
+  // Pre-intern the one symbol the SQL parser creates, so concurrent request
+  // parsing never writes to the shared symbol table (sessions only Lookup).
+  catalog_->symbols().Intern("count(*)");
+  session_arena_bytes_ =
+      std::make_unique<std::atomic<size_t>[]>(options_.workers);
+  for (int i = 0; i < options_.workers; ++i) {
+    session_arena_bytes_[i].store(0, std::memory_order_relaxed);
+  }
+  workers_.reserve(options_.workers);
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Server::~Server() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool Server::Submit(std::string line, std::function<void(std::string)> done) {
+  uint64_t id;
+  bool shed = false;
+  size_t inflight;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    id = next_id_++;
+    inflight = inflight_;
+    if (inflight_ >= options_.max_inflight) {
+      shed = true;
+    } else {
+      ++inflight_;
+      queue_.push_back(Request{id, std::move(line), std::move(done)});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    if (shed) ++stats_.shed;
+  }
+  if (shed) {
+    done(ErrorResponse(
+        id,
+        Status::ResourceExhausted("server at capacity")
+            .WithDetail("in_flight", std::to_string(inflight))
+            .WithDetail("max_inflight",
+                        std::to_string(options_.max_inflight)),
+        /*shed=*/true));
+    return false;
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+std::string Server::HandleLine(std::string line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  Submit(std::move(line),
+         [&promise](std::string resp) { promise.set_value(std::move(resp)); });
+  return future.get();
+}
+
+uint64_t Server::Serve(std::istream& in, std::ostream& out) {
+  std::mutex out_mu;
+  uint64_t served = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip blank lines without a response (keep-alive noise on pipes).
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line == "!quit") break;
+    ++served;
+    Submit(std::move(line), [&out, &out_mu](std::string resp) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      out << resp << "\n" << std::flush;
+    });
+    line.clear();
+  }
+  Drain();
+  return served;
+}
+
+void Server::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drain_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+uint64_t Server::BumpCatalog() {
+  uint64_t version;
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    version = catalog_->BumpVersion();
+  }
+  cache_.InvalidateOlderThan(version);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.catalog_bumps;
+  }
+  return version;
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  PlanCache::Stats c = cache_.stats();
+  s.cache_hits = c.hits;
+  s.cache_misses = c.misses;
+  s.cache_insertions = c.insertions;
+  s.cache_invalidations = c.invalidations;
+  s.cache_evictions = c.evictions;
+  return s;
+}
+
+uint64_t Server::catalog_version() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return catalog_->version();
+}
+
+std::vector<size_t> Server::SessionArenaBytes() const {
+  std::vector<size_t> out(options_.workers);
+  for (int i = 0; i < options_.workers; ++i) {
+    out[i] = session_arena_bytes_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Server::WorkerLoop(int worker_index) {
+  // The session's model derives from catalog state; build it under the
+  // reader lock so a concurrent version bump cannot interleave.
+  std::optional<Session> session;
+  {
+    SearchOptions base = options_.search;
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    session.emplace(*catalog_, base, options_.model);
+  }
+  while (true) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::string resp = Process(*session, req.id, std::move(req.line));
+    session_arena_bytes_[worker_index].store(session->arena_bytes(),
+                                             std::memory_order_relaxed);
+    req.done(std::move(resp));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --inflight_;
+      if (inflight_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+std::string Server::Process(Session& session, uint64_t id, std::string line) {
+  OptimizationBudget budget = options_.budget;
+  bool malform = false, shrink = false, bump = false;
+  if (options_.fault != nullptr) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    options_.fault->OnRequest(&malform, &shrink, &bump);
+  }
+  // Cache-poisoning attempt: the catalog moves right before this request.
+  // The version key must keep any stale entry from ever being served.
+  if (bump) BumpCatalog();
+
+  if (!line.empty() && line[0] == '!') return ProcessAdmin(id, line);
+
+  if (malform) line.insert(line.begin(), '\x01');
+  if (shrink) {
+    // Mid-request budget trip: the tightest call budget trips at the first
+    // checkpoint past the root, exercising the degradation ladder.
+    budget = OptimizationBudget{};
+    budget.max_find_best_plan_calls = 1;
+  }
+  return ProcessSql(session, id, line, budget);
+}
+
+std::string Server::ProcessAdmin(uint64_t id, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == "!bump") {
+    uint64_t version = BumpCatalog();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.ok;
+    return AdminResponse(id, "bump", version);
+  }
+  if (cmd == "!distinct") {
+    std::string attr;
+    double count = 0.0;
+    if (!(in >> attr >> count)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.errors;
+      return ErrorResponse(
+          id, Status::InvalidArgument("expected: !distinct <attr> <count>")
+                  .WithDetail("command", cmd));
+    }
+    Status status;
+    uint64_t version;
+    {
+      std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+      Symbol sym = catalog_->symbols().Lookup(attr);
+      status = catalog_->SetDistinct(sym, count);
+      version = catalog_->version();
+    }
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.errors;
+      return ErrorResponse(id, status);
+    }
+    // SetDistinct advanced the version; sweep the now-stale entries.
+    cache_.InvalidateOlderThan(version);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.catalog_bumps;
+      ++stats_.ok;
+    }
+    return AdminResponse(id, "distinct", version);
+  }
+  if (cmd == "!stats") {
+    std::string serve_json = stats().ToJson();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.ok;
+    std::ostringstream os;
+    os << "{\"id\": " << id << ", \"ok\": true, \"serve\": " << serve_json
+       << "}";
+    return os.str();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
+  }
+  return ErrorResponse(id,
+                       Status::InvalidArgument("unknown admin command")
+                           .WithDetail("command", cmd));
+}
+
+std::string Server::ProcessSql(Session& session, uint64_t id,
+                               const std::string& sql,
+                               const OptimizationBudget& budget) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  uint64_t version = catalog_->version();
+  if (session.SyncCatalog()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.model_rebuilds;
+  }
+
+  StatusOr<std::string> signature = rel::NormalizeSql(sql, *catalog_);
+  if (!signature.ok()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.errors;
+    return ErrorResponse(id, signature.status());
+  }
+
+  // Parse unconditionally: a hit must only be served for a request that is
+  // still valid under the current catalog, and the required-props component
+  // of the cache key comes from the parse.
+  StatusOr<rel::ParsedQuery> parsed = session.Parse(sql);
+  if (!parsed.ok()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.errors;
+    return ErrorResponse(id, parsed.status());
+  }
+  std::string required = parsed->required->ToString();
+
+  if (std::optional<CachedPlan> hit =
+          cache_.Lookup(*signature, version, required)) {
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.ok;
+      ++stats_.cached;
+    }
+    return PlanResponse(id, /*cached=*/true, /*degraded=*/false, "exhaustive",
+                        version, hit->algebra, hit->required, hit->plan,
+                        hit->cost, /*extra=*/"");
+  }
+
+  Session::Result r =
+      session.Optimize(*parsed, budget, options_.exodus_fallback);
+  if (!r.status.ok()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.errors;
+    return ErrorResponse(id, r.status);
+  }
+  // Only optimal plans enter the cache: a degraded plan reflects one
+  // request's budget weather, not the query.
+  if (!r.degraded) {
+    cache_.Insert(*signature, version, required,
+                  CachedPlan{r.algebra, r.required, r.plan, r.cost});
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.ok;
+    if (r.degraded) ++stats_.degraded;
+  }
+  std::string extra;
+  if (options_.stats_in_response) {
+    extra = ", \"stats\": " + r.stats.ToJson() +
+            ", \"outcome\": " + r.outcome.ToJson();
+  }
+  return PlanResponse(id, /*cached=*/false, r.degraded,
+                      PlanSourceName(r.source), version, r.algebra,
+                      r.required, r.plan, r.cost, extra);
+}
+
+}  // namespace volcano::serve

@@ -38,6 +38,13 @@ class FaultInjector {
     uint64_t fail_rule_at = 0;      ///< exactly the Nth rule application
     uint64_t corrupt_cost_at = 0;   ///< exactly the Nth cost estimate (NaN)
     uint64_t expire_budget_at = 0;  ///< exactly the Nth budget checkpoint
+
+    // Serving-layer faults (src/serve/server.h), decided per request.
+    double request_malform_prob = 0.0;  ///< garble the request text
+    double request_budget_prob = 0.0;   ///< shrink the request's budget to
+                                        ///< nothing (mid-request trip)
+    double catalog_bump_prob = 0.0;     ///< bump the catalog version before
+                                        ///< the request (cache poisoning)
   };
 
   /// Site visits and faults actually fired, for test assertions.
@@ -48,6 +55,10 @@ class FaultInjector {
     uint64_t rules_failed = 0;
     uint64_t costs_corrupted = 0;
     uint64_t budgets_expired = 0;
+    uint64_t request_sites = 0;
+    uint64_t requests_malformed = 0;
+    uint64_t request_budgets_shrunk = 0;
+    uint64_t catalog_bumps = 0;
   };
 
   explicit FaultInjector(Config config) : config_(config), rng_(config.seed) {}
@@ -88,6 +99,23 @@ class FaultInjector {
                   Roll(config_.budget_expiry_prob);
     if (expire) ++counters_.budgets_expired;
     return expire;
+  }
+
+  /// Serving-layer request-admission site: consulted once per request by the
+  /// server. The out-parameters direct the server to garble the request text
+  /// (exercising the malformed-input error path), to replace the request's
+  /// optimization budget with an immediately-tripping one, and/or to bump
+  /// the catalog version first (a cache-poisoning attempt: a stale cached
+  /// plan served after the bump would be a correctness bug the soak test
+  /// catches). Independent rolls; any combination can fire on one request.
+  void OnRequest(bool* malform, bool* shrink_budget, bool* bump_catalog) {
+    ++counters_.request_sites;
+    *malform = Roll(config_.request_malform_prob);
+    *shrink_budget = Roll(config_.request_budget_prob);
+    *bump_catalog = Roll(config_.catalog_bump_prob);
+    if (*malform) ++counters_.requests_malformed;
+    if (*shrink_budget) ++counters_.request_budgets_shrunk;
+    if (*bump_catalog) ++counters_.catalog_bumps;
   }
 
   const Config& config() const { return config_; }

@@ -1,0 +1,288 @@
+// Serving-loop tests: response schema, cache hit byte-identity, catalog-bump
+// invalidation, admission-control shedding, structured errors, and the
+// counter invariants the soak test builds on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "relational/catalog.h"
+#include "serve/server.h"
+#include "support/fault.h"
+
+namespace volcano::serve {
+namespace {
+
+void FillCatalog(rel::Catalog* catalog) {
+  VOLCANO_CHECK(
+      catalog->AddRelation("emp", 500, 100, 3, {500, 40, 10}).ok());
+  VOLCANO_CHECK(catalog->AddRelation("dept", 40, 100, 2, {40, 5}).ok());
+  VOLCANO_CHECK(catalog->AddRelation("loc", 10, 100, 2, {10, 10}).ok());
+}
+
+// The request grid the cache tests replay: each entry optimizes to a
+// deterministic plan on the fixture catalog.
+const char* const kQueries[] = {
+    "SELECT * FROM emp",
+    "SELECT * FROM emp WHERE emp.a1 < 10",
+    "SELECT * FROM emp WHERE emp.a1 < 10 ORDER BY emp.a2",
+    "SELECT * FROM emp, dept WHERE emp.a1 = dept.a0",
+    "SELECT * FROM emp, dept WHERE emp.a1 = dept.a0 ORDER BY emp.a1",
+    "SELECT * FROM emp, dept, loc "
+    "WHERE emp.a1 = dept.a0 AND dept.a1 = loc.a0",
+    "SELECT emp.a1, count(*) FROM emp GROUP BY emp.a1",
+};
+
+bool Contains(const std::string& s, const std::string& sub) {
+  return s.find(sub) != std::string::npos;
+}
+
+TEST(Serve, PlanResponseSchema) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  Server server(&catalog);
+  std::string resp = server.HandleLine("SELECT * FROM emp");
+  EXPECT_TRUE(Contains(resp, "\"ok\": true")) << resp;
+  EXPECT_TRUE(Contains(resp, "\"cached\": false")) << resp;
+  EXPECT_TRUE(Contains(resp, "\"degraded\": false")) << resp;
+  EXPECT_TRUE(Contains(resp, "\"source\": \"exhaustive\"")) << resp;
+  EXPECT_TRUE(Contains(resp, "\"algebra\": \"GET[emp]\"")) << resp;
+  EXPECT_TRUE(Contains(resp, "\"plan\": ")) << resp;
+  EXPECT_TRUE(Contains(resp, "\"cost\": ")) << resp;
+}
+
+// A cache hit must be byte-identical to the cold response except for the
+// "cached" flag — the contract that makes the cache safe to trust.
+TEST(Serve, CacheHitsAreByteIdentical) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  Server server(&catalog);
+  for (const char* sql : kQueries) {
+    std::string cold = server.HandleLine(sql);
+    std::string warm = server.HandleLine(sql);
+    ASSERT_TRUE(Contains(cold, "\"cached\": false")) << cold;
+    ASSERT_TRUE(Contains(warm, "\"cached\": true")) << warm;
+    // Responses carry distinct ids; normalize id and cached flag.
+    auto strip = [](std::string s) {
+      size_t comma = s.find(',');
+      s = s.substr(comma);  // drop {"id": N
+      size_t pos = s.find("\"cached\": ");
+      size_t end = s.find_first_of(",}", pos);
+      return s.substr(0, pos) + s.substr(end);
+    };
+    EXPECT_EQ(strip(cold), strip(warm)) << sql;
+  }
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, std::size(kQueries));
+  EXPECT_EQ(stats.cached, std::size(kQueries));
+}
+
+// Spelling variants that normalize to the same signature share an entry;
+// different constants do not (they change selectivity).
+TEST(Serve, SignatureNormalization) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  Server server(&catalog);
+  server.HandleLine("SELECT * FROM emp WHERE emp.a1 < 10");
+  std::string variant =
+      server.HandleLine("select  *  from emp where emp.a1 < 10");
+  EXPECT_TRUE(Contains(variant, "\"cached\": true")) << variant;
+  std::string other_constant =
+      server.HandleLine("SELECT * FROM emp WHERE emp.a1 < 11");
+  EXPECT_TRUE(Contains(other_constant, "\"cached\": false")) << other_constant;
+}
+
+TEST(Serve, CatalogBumpInvalidatesCache) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  Server server(&catalog);
+  server.HandleLine("SELECT * FROM emp");
+  EXPECT_TRUE(
+      Contains(server.HandleLine("SELECT * FROM emp"), "\"cached\": true"));
+
+  uint64_t before = server.catalog_version();
+  std::string bump = server.HandleLine("!bump");
+  EXPECT_TRUE(Contains(bump, "\"ok\": true")) << bump;
+  EXPECT_EQ(server.catalog_version(), before + 1);
+
+  std::string after = server.HandleLine("SELECT * FROM emp");
+  EXPECT_TRUE(Contains(after, "\"cached\": false")) << after;
+  ServeStats stats = server.stats();
+  EXPECT_GE(stats.cache_invalidations, 1u);
+  EXPECT_EQ(stats.catalog_bumps, 1u);
+  EXPECT_EQ(stats.model_rebuilds, 1u);
+}
+
+// A statistics change must invalidate: the plan for the same SQL may change.
+TEST(Serve, DistinctUpdateInvalidates) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  Server server(&catalog);
+  server.HandleLine("SELECT * FROM emp WHERE emp.a1 = 3");
+  std::string resp = server.HandleLine("!distinct emp.a1 2");
+  EXPECT_TRUE(Contains(resp, "\"admin\": \"distinct\"")) << resp;
+  std::string after = server.HandleLine("SELECT * FROM emp WHERE emp.a1 = 3");
+  EXPECT_TRUE(Contains(after, "\"cached\": false")) << after;
+
+  std::string bad = server.HandleLine("!distinct nosuch.a1 5");
+  EXPECT_TRUE(Contains(bad, "\"ok\": false")) << bad;
+}
+
+TEST(Serve, StructuredErrorsNeverKillTheLoop) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  Server server(&catalog);
+  struct Case {
+    const char* line;
+    const char* code;
+  } cases[] = {
+      {"SELEC * FROM emp", "INVALID_ARGUMENT"},
+      {"SELECT * FROM nowhere", "INVALID_ARGUMENT"},
+      {"SELECT * FROM emp WHERE emp.bogus = 1", "INVALID_ARGUMENT"},
+      {"\x01garbage\x02", "INVALID_ARGUMENT"},
+      {"!frobnicate", "INVALID_ARGUMENT"},
+      {"!distinct", "INVALID_ARGUMENT"},
+  };
+  for (const Case& c : cases) {
+    std::string resp = server.HandleLine(c.line);
+    EXPECT_TRUE(Contains(resp, "\"ok\": false")) << resp;
+    EXPECT_TRUE(Contains(resp, c.code)) << resp;
+  }
+  // The loop survives: a normal request still succeeds afterwards.
+  EXPECT_TRUE(
+      Contains(server.HandleLine("SELECT * FROM emp"), "\"ok\": true"));
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.errors, std::size(cases));
+  EXPECT_EQ(stats.ok + stats.errors + stats.shed, stats.requests);
+}
+
+// With the admission cap at zero every request is shed — deterministically
+// exercising the OVERLOADED path.
+TEST(Serve, AdmissionControlSheds) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  ServerOptions options;
+  options.max_inflight = 0;
+  Server server(&catalog, options);
+  std::string resp;
+  bool accepted =
+      server.Submit("SELECT * FROM emp", [&](std::string r) { resp = r; });
+  EXPECT_FALSE(accepted);
+  EXPECT_TRUE(Contains(resp, "\"shed\": true")) << resp;
+  EXPECT_TRUE(Contains(resp, "OVERLOADED")) << resp;
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.requests, 1u);
+}
+
+// Concurrency: many submitters against few workers and a small admission
+// cap. Every request must be answered exactly once (ok or shed), and the
+// counter invariant must hold.
+TEST(Serve, ConcurrentSubmittersAllAnswered) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  ServerOptions options;
+  options.workers = 4;
+  options.max_inflight = 8;
+  Server server(&catalog, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<int> answered{0};
+  std::atomic<int> shed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const char* sql = kQueries[(t + i) % std::size(kQueries)];
+        bool accepted = server.Submit(sql, [&](std::string r) {
+          ++answered;
+          if (r.find("\"shed\": true") != std::string::npos) ++shed;
+        });
+        (void)accepted;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.Drain();
+
+  EXPECT_EQ(answered.load(), kThreads * kPerThread);
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests, uint64_t(kThreads * kPerThread));
+  EXPECT_EQ(stats.ok + stats.errors + stats.shed, stats.requests);
+  EXPECT_EQ(stats.shed, uint64_t(shed.load()));
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+// Degraded plans answer the request but must not enter the cache: a plan
+// shaped by one request's budget weather is not the query's plan.
+TEST(Serve, DegradedPlansAreNotCached) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  ServerOptions options;
+  options.budget.max_find_best_plan_calls = 1;
+  Server server(&catalog, options);
+  const char* sql =
+      "SELECT * FROM emp, dept, loc "
+      "WHERE emp.a1 = dept.a0 AND dept.a1 = loc.a0";
+  std::string first = server.HandleLine(sql);
+  EXPECT_TRUE(Contains(first, "\"ok\": true")) << first;
+  EXPECT_TRUE(Contains(first, "\"degraded\": true")) << first;
+  std::string second = server.HandleLine(sql);
+  EXPECT_TRUE(Contains(second, "\"cached\": false")) << second;
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.cache_insertions, 0u);
+  EXPECT_GE(stats.degraded, 2u);
+}
+
+// The serve-layer fault injector only perturbs requests; every response is
+// still well-formed and accounted.
+TEST(Serve, FaultInjectedRequestsStayAccounted) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  FaultInjector fault({.seed = 7,
+                       .request_malform_prob = 0.3,
+                       .request_budget_prob = 0.3,
+                       .catalog_bump_prob = 0.1});
+  ServerOptions options;
+  options.fault = &fault;
+  Server server(&catalog, options);
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    std::string resp =
+        server.HandleLine(kQueries[i % std::size(kQueries)]);
+    EXPECT_TRUE(Contains(resp, "\"ok\": ")) << resp;
+  }
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests, uint64_t(kRequests));
+  EXPECT_EQ(stats.ok + stats.errors + stats.shed, stats.requests);
+  const FaultInjector::Counters& fc = fault.counters();
+  EXPECT_EQ(fc.request_sites, uint64_t(kRequests));
+  // The malformed ones surfaced as errors.
+  EXPECT_GE(stats.errors, fc.requests_malformed);
+  EXPECT_EQ(stats.catalog_bumps, fc.catalog_bumps);
+}
+
+TEST(Serve, ServePumpSpeaksTheLineProtocol) {
+  rel::Catalog catalog;
+  FillCatalog(&catalog);
+  Server server(&catalog);
+  std::istringstream in(
+      "SELECT * FROM emp\n"
+      "\n"
+      "!stats\n"
+      "!quit\n"
+      "SELECT * FROM emp\n");  // after !quit: never read
+  std::ostringstream out;
+  uint64_t served = server.Serve(in, out);
+  EXPECT_EQ(served, 2u);  // blank line skipped, !quit terminates
+  std::string text = out.str();
+  EXPECT_TRUE(Contains(text, "\"plan\": ")) << text;
+  EXPECT_TRUE(Contains(text, "\"serve\": ")) << text;
+}
+
+}  // namespace
+}  // namespace volcano::serve

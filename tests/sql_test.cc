@@ -129,6 +129,95 @@ TEST(SqlErrors, TrailingGarbage) {
   EXPECT_FALSE(f.Parse("SELECT * FROM emp banana").ok());
 }
 
+// Error Statuses carry structured detail payloads — the serving layer
+// forwards them verbatim in JSON error responses, so tooling can react to
+// the offending object, not just a prose message.
+TEST(SqlErrors, DetailPayloads) {
+  Fixture f;
+  {
+    StatusOr<ParsedQuery> q = f.Parse("SELECT * FROM ghosts");
+    ASSERT_FALSE(q.ok());
+    ASSERT_NE(q.status().FindDetail("relation"), nullptr);
+    EXPECT_EQ(*q.status().FindDetail("relation"), "ghosts");
+  }
+  {
+    StatusOr<ParsedQuery> q = f.Parse("SELECT * FROM emp WHERE emp.zz < 3");
+    ASSERT_FALSE(q.ok());
+    ASSERT_NE(q.status().FindDetail("attribute"), nullptr);
+    EXPECT_EQ(*q.status().FindDetail("attribute"), "emp.zz");
+  }
+  {
+    StatusOr<ParsedQuery> q = f.Parse("SELECT * FROM emp, emp");
+    ASSERT_FALSE(q.ok());
+    ASSERT_NE(q.status().FindDetail("relation"), nullptr);
+  }
+  {
+    StatusOr<ParsedQuery> q = f.Parse("SELECT * FROM emp banana");
+    ASSERT_FALSE(q.ok());
+    ASSERT_NE(q.status().FindDetail("found"), nullptr);
+    EXPECT_EQ(*q.status().FindDetail("found"), "banana");
+  }
+  {
+    StatusOr<ParsedQuery> q = f.Parse("SELECT * FROM emp WHERE \x01");
+    ASSERT_FALSE(q.ok());
+    EXPECT_NE(q.status().FindDetail("position"), nullptr);
+  }
+  {
+    // FROM is consumed as an attribute name here; the payload names it.
+    StatusOr<ParsedQuery> q = f.Parse("SELECT FROM emp");
+    ASSERT_FALSE(q.ok());
+    EXPECT_NE(q.status().FindDetail("attribute"), nullptr);
+  }
+}
+
+// Catalog mutators report the offending object the same way.
+TEST(SqlErrors, CatalogDetailPayloads) {
+  Fixture f;
+  Symbol ghost = f.catalog.symbols().Intern("ghost.a0");
+  Status s = f.catalog.SetDistinct(ghost, 5);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.FindDetail("attribute"), nullptr);
+}
+
+// --- query normalization (the plan cache's signature pass) ---------------
+
+TEST(SqlNormalize, KeywordCaseAndWhitespaceFold) {
+  Fixture f;
+  StatusOr<std::string> a =
+      NormalizeSql("select * from emp where emp.a1 < 10", f.catalog);
+  StatusOr<std::string> b =
+      NormalizeSql("SELECT  *  FROM emp\tWHERE emp.a1 < 10", f.catalog);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SqlNormalize, ConstantsStayInTheSignature) {
+  // Constants feed selectivity estimation, so they must distinguish
+  // signatures — cached plans for other constants would be wrong.
+  Fixture f;
+  StatusOr<std::string> a =
+      NormalizeSql("SELECT * FROM emp WHERE emp.a1 < 10", f.catalog);
+  StatusOr<std::string> b =
+      NormalizeSql("SELECT * FROM emp WHERE emp.a1 < 11", f.catalog);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(SqlNormalize, CatalogSpellingsArePreserved) {
+  // An identifier that collides with a keyword but names a catalog object
+  // must keep its spelling (folding it would alias distinct queries).
+  Fixture f;
+  VOLCANO_CHECK(f.catalog.AddRelation("from", 10, 10, 1).ok());
+  StatusOr<std::string> s = NormalizeSql("SELECT * FROM from", f.catalog);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(*s, "SELECT * FROM from");
+}
+
+TEST(SqlNormalize, LexErrorsPropagate) {
+  Fixture f;
+  EXPECT_FALSE(NormalizeSql("SELECT \x01 FROM emp", f.catalog).ok());
+}
+
 TEST(SqlEndToEnd, ParseOptimizeExecute) {
   Fixture f;
   StatusOr<ParsedQuery> q = f.Parse(

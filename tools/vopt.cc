@@ -3,6 +3,28 @@
 // Usage:
 //   vopt [options] "SQL"
 //   vopt [options] --catalog schema.cat "SQL"
+//   vopt serve [serve options]
+//
+// Exit codes (one-shot mode):
+//   0  success
+//   2  usage error (bad flags, missing SQL)
+//   3  parse / semantic error (malformed SQL, unknown table or column,
+//      malformed catalog file)
+//   4  budget exhausted under --strict (RESOURCE_EXHAUSTED)
+//   5  internal error (anything else)
+//
+// Serve mode (`vopt serve`) reads line-delimited requests from stdin and
+// writes one JSON response per line to stdout until EOF or a `!quit` line
+// (see src/serve/server.h for the protocol). Serve options:
+//   --catalog FILE       as below
+//   --serve-workers N    worker threads (default 1)
+//   --max-inflight N     admission cap; excess requests answered OVERLOADED
+//   --cache-capacity N   plan-cache entries (0 disables)
+//   --timeout-ms/--max-mexprs/--max-calls   per-request budget
+//   --stats-in-response  append search stats JSON to cold plan responses
+//   --stats-json         print final ServeStats JSON to stdout at shutdown
+// Serve mode exits 0 after a clean drain; request-level failures are JSON
+// error responses, never process exits.
 //
 // Options:
 //   --catalog FILE   load a catalog description (see below)
@@ -61,11 +83,36 @@
 #include "search/explain.h"
 #include "search/optimizer.h"
 #include "search/trace_io.h"
+#include "serve/server.h"
 #include "support/metrics.h"
 
 namespace {
 
 using namespace volcano;
+
+// Exit codes, documented in the header comment above.
+enum ExitCode {
+  kExitOk = 0,
+  kExitUsage = 2,
+  kExitParse = 3,
+  kExitBudget = 4,
+  kExitInternal = 5,
+};
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+      return kExitOk;
+    case Status::Code::kInvalidArgument:
+    case Status::Code::kNotFound:
+    case Status::Code::kAlreadyExists:
+      return kExitParse;
+    case Status::Code::kResourceExhausted:
+      return kExitBudget;
+    default:
+      return kExitInternal;
+  }
+}
 
 Status LoadCatalog(const std::string& path, rel::Catalog* catalog) {
   std::ifstream in(path);
@@ -135,9 +182,66 @@ void BuiltinCatalog(rel::Catalog* catalog) {
                     .ok());
 }
 
+int RunServe(int argc, char** argv) {
+  std::string catalog_path;
+  bool stats_json = false;
+  serve::ServerOptions options;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--catalog" && i + 1 < argc) {
+      catalog_path = argv[++i];
+    } else if (arg == "--serve-workers" && i + 1 < argc) {
+      options.workers = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--max-inflight" && i + 1 < argc) {
+      options.max_inflight = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--cache-capacity" && i + 1 < argc) {
+      options.cache_capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      options.budget.timeout_ms = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--max-mexprs" && i + 1 < argc) {
+      options.budget.max_mexprs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-calls" && i + 1 < argc) {
+      options.budget.max_find_best_plan_calls =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--stats-in-response") {
+      options.stats_in_response = true;
+    } else if (arg == "--stats-json") {
+      stats_json = true;
+    } else {
+      std::fprintf(stderr, "vopt serve: unknown option %s\n", arg.c_str());
+      return kExitUsage;
+    }
+  }
+  if (options.workers < 1) {
+    std::fprintf(stderr, "vopt serve: --serve-workers must be >= 1\n");
+    return kExitUsage;
+  }
+
+  rel::Catalog catalog;
+  if (!catalog_path.empty()) {
+    Status s = LoadCatalog(catalog_path, &catalog);
+    if (!s.ok()) {
+      std::fprintf(stderr, "vopt serve: %s\n", s.ToString().c_str());
+      return ExitCodeFor(s);
+    }
+  } else {
+    BuiltinCatalog(&catalog);
+  }
+
+  serve::Server server(&catalog, options);
+  server.Serve(std::cin, std::cout);
+  if (stats_json) {
+    std::printf("%s\n", server.stats().ToJson().c_str());
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "serve") {
+    return RunServe(argc, argv);
+  }
   std::string catalog_path;
   std::string sql;
   bool dot = false, memo = false, stats = false, execute = false;
@@ -221,7 +325,7 @@ int main(int argc, char** argv) {
     volcano::Status s = LoadCatalog(catalog_path, &catalog);
     if (!s.ok()) {
       std::fprintf(stderr, "vopt: %s\n", s.ToString().c_str());
-      return 1;
+      return ExitCodeFor(s);
     }
   } else {
     BuiltinCatalog(&catalog);
@@ -232,7 +336,7 @@ int main(int argc, char** argv) {
       volcano::rel::ParseSql(sql, model, catalog.symbols());
   if (!parsed.ok()) {
     std::fprintf(stderr, "vopt: %s\n", parsed.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(parsed.status());
   }
   std::printf("algebra: %s\n", model.ExprToString(*parsed->expr).c_str());
   std::printf("required: %s\n", parsed->required->ToString().c_str());
@@ -253,7 +357,7 @@ int main(int argc, char** argv) {
       if (!*trace_file) {
         std::fprintf(stderr, "vopt: cannot open trace file %s\n",
                      trace_path.c_str());
-        return 1;
+        return kExitInternal;
       }
       trace_sink = std::make_unique<volcano::JsonTraceSink>(*trace_file);
     }
@@ -270,7 +374,7 @@ int main(int argc, char** argv) {
   if (!fallback) outcome = optimizer.outcome();
   if (!plan.ok()) {
     std::fprintf(stderr, "vopt: %s\n", plan.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(plan.status());
   }
   if (outcome.approximate) {
     std::printf("note: approximate plan (%s)\n", outcome.ToString().c_str());
