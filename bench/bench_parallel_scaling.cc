@@ -1,0 +1,104 @@
+// Intra-query search scaling: wall-clock time to optimize the Figure-4
+// 7-join workloads (8 input relations, one selection per relation, all bushy
+// shapes reachable) at workers = 1 / 2 / 4 / 8, in both parallel modes.
+//
+// Deterministic mode must return byte-identical plans at every width (the
+// committed plan digest enforces that); what this benchmark measures is how
+// much wall clock the sharded memo + work-stealing scheduler actually buys.
+// Output is machine-parsable line-per-config, consumed by
+// `tools/bench_report --parallel-scaling`, which computes speedups and the
+// CI guard (>= 2x at 4 workers on >= 4 cores).
+//
+// Usage: bench_parallel_scaling [queries] [relations]
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+#include "search/search_config.h"
+#include "support/timer.h"
+
+namespace volcano {
+namespace {
+
+std::vector<rel::Workload> MakeGrid(int queries, int relations) {
+  std::vector<rel::Workload> grid;
+  grid.reserve(static_cast<size_t>(queries));
+  for (int q = 0; q < queries; ++q) {
+    rel::WorkloadOptions wopts;
+    wopts.num_relations = relations;
+    wopts.sorted_base_prob = 0.5;
+    wopts.order_by_prob = 0.25;
+    grid.push_back(rel::GenerateWorkload(
+        wopts, 1000u * static_cast<uint64_t>(relations) +
+                   static_cast<uint64_t>(q)));
+  }
+  return grid;
+}
+
+double RunConfig(const std::vector<rel::Workload>& grid, int workers,
+                 SearchOptions::ParallelMode mode) {
+  SearchConfig config = SearchConfig::Builder()
+                            .workers(workers)
+                            .parallel_mode(mode)
+                            .Build()
+                            .value();
+  double wall_ms = 0.0;
+  for (const rel::Workload& w : grid) {
+    Timer t;
+    Optimizer opt(*w.model, config);
+    StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+    wall_ms += t.ElapsedMillis();
+    if (!plan.ok()) {
+      std::fprintf(stderr, "optimize failed: %s\n",
+                   plan.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return wall_ms;
+}
+
+}  // namespace
+}  // namespace volcano
+
+int main(int argc, char** argv) {
+  int queries = 20;
+  int relations = 8;  // 7 binary joins, the top Figure-4 complexity level
+  if (argc > 1) queries = std::atoi(argv[1]);
+  if (argc > 2) relations = std::atoi(argv[2]);
+
+  std::printf("hardware_concurrency: %u\n",
+              std::thread::hardware_concurrency());
+  std::printf("queries: %d\n", queries);
+  std::printf("relations: %d\n", relations);
+
+  std::vector<volcano::rel::Workload> grid =
+      volcano::MakeGrid(queries, relations);
+
+  // One untimed warm-up pass so first-touch allocation noise lands outside
+  // the measured configs.
+  (void)volcano::RunConfig(grid, 1,
+                           volcano::SearchOptions::ParallelMode::kDeterministic);
+
+  // Single-worker deterministic search is the baseline for BOTH modes:
+  // kFast refuses workers <= 1 by construction (there is no fast/serial),
+  // and its pitch is beating that same serial wall clock.
+  double base_ms = 0.0;
+  for (int workers : {1, 2, 4, 8}) {
+    double wall_ms = volcano::RunConfig(
+        grid, workers, volcano::SearchOptions::ParallelMode::kDeterministic);
+    if (workers == 1) base_ms = wall_ms;
+    std::printf("mode=deterministic workers=%d wall_ms=%.3f speedup=%.3f\n",
+                workers, wall_ms, wall_ms > 0.0 ? base_ms / wall_ms : 0.0);
+  }
+  for (int workers : {2, 4, 8}) {
+    double wall_ms = volcano::RunConfig(
+        grid, workers, volcano::SearchOptions::ParallelMode::kFast);
+    std::printf("mode=fast workers=%d wall_ms=%.3f speedup=%.3f\n", workers,
+                wall_ms, wall_ms > 0.0 ? base_ms / wall_ms : 0.0);
+  }
+  return 0;
+}

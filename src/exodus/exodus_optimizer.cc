@@ -11,6 +11,7 @@
 #include "relational/rel_cost.h"
 #include "relational/rel_props.h"
 #include "support/hash.h"
+#include "support/json_writer.h"
 
 namespace volcano::exodus {
 
@@ -33,14 +34,17 @@ std::string ExodusStats::ToString() const {
 }
 
 std::string ExodusStats::ToJson() const {
-  std::ostringstream os;
-  os << "{\"mesh_nodes\": " << mesh_nodes << ", \"exprs\": " << exprs
-     << ", \"classes\": " << classes
-     << ", \"transformations\": " << transformations
-     << ", \"reanalyses\": " << reanalyses
-     << ", \"cost_estimates\": " << cost_estimates
-     << ", \"aborted\": " << (aborted ? "true" : "false") << "}";
-  return os.str();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("mesh_nodes").Value(mesh_nodes);
+  w.Key("exprs").Value(exprs);
+  w.Key("classes").Value(classes);
+  w.Key("transformations").Value(transformations);
+  w.Key("reanalyses").Value(reanalyses);
+  w.Key("cost_estimates").Value(cost_estimates);
+  w.Key("aborted").Value(aborted);
+  w.EndObject();
+  return w.Take();
 }
 
 class ExodusOptimizer::Impl {

@@ -1,6 +1,7 @@
 #include "search/memo.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 namespace volcano {
@@ -39,11 +40,26 @@ Memo::~Memo() {
 
 GroupId Memo::Find(GroupId g) const {
   VOLCANO_DCHECK(g < parent_.size());
-  while (parent_[g] != g) {
-    parent_[g] = parent_[parent_[g]];  // path halving
-    g = parent_[g];
+  // Path-halving reads through atomic_ref: parallel workers call Find while
+  // holding the structure lock shared, so several threads may halve the same
+  // chain at once. Every halving write rewrites a slot to an ancestor that is
+  // equally valid (the forest's meaning is unchanged), so relaxed ordering
+  // suffices; writes that change the forest — merges — happen only under the
+  // exclusive structure lock, which also excludes parent_ reallocation.
+  // Compiles to the same loads/stores as the plain version in serial builds.
+  for (;;) {
+    std::atomic_ref<GroupId> slot(parent_[g]);
+    GroupId p = slot.load(std::memory_order_relaxed);
+    if (p == g) return g;
+    GroupId gp = std::atomic_ref<GroupId>(parent_[p])
+                     .load(std::memory_order_relaxed);
+    if (gp != p) {
+      slot.store(gp, std::memory_order_relaxed);  // path halving
+      g = gp;
+    } else {
+      g = p;
+    }
   }
-  return g;
 }
 
 GroupId Memo::NewGroup(OperatorId op, const OpArg* arg,
@@ -58,7 +74,7 @@ GroupId Memo::NewGroup(OperatorId op, const OpArg* arg,
   grp->logical_ = std::move(lp);
   groups_.push_back(grp);
   parent_.push_back(id);
-  ++num_live_groups_;
+  num_live_groups_.fetch_add(1, std::memory_order_relaxed);
   VOLCANO_TRACE(trace_, {.kind = TraceEventKind::kGroupCreated, .group = id});
   return id;
 }
@@ -100,7 +116,7 @@ std::pair<MExpr*, bool> Memo::InsertMExpr(OperatorId op, OpArgPtr arg,
   m->provenance_ = provenance_;
   exprs_.push_back(m);
   groups_[g]->exprs_.push_back(m);
-  ++num_live_exprs_;
+  num_live_exprs_.fetch_add(1, std::memory_order_relaxed);
   VOLCANO_TRACE(trace_, {.kind = TraceEventKind::kMExprCreated,
                          .group = g,
                          .other = m->id_,
@@ -174,9 +190,9 @@ void Memo::RunMergeWorklist() {
     GroupId b = Find(rb);
     if (a == b) continue;
     if (b < a) std::swap(a, b);  // keep the smaller id as representative
-    parent_[b] = a;
-    ++num_merges_;
-    --num_live_groups_;
+    std::atomic_ref<GroupId>(parent_[b]).store(a, std::memory_order_relaxed);
+    num_merges_.fetch_add(1, std::memory_order_relaxed);
+    num_live_groups_.fetch_sub(1, std::memory_order_relaxed);
     VOLCANO_TRACE(trace_, {.kind = TraceEventKind::kGroupsMerged,
                            .group = a,
                            .other = b});
@@ -244,7 +260,7 @@ void Memo::RunMergeWorklist() {
         // duplicate; its class and the existing one are equivalent.
         MExpr* canonical = *found;
         m->dead_ = true;
-        --num_live_exprs_;
+        num_live_exprs_.fetch_sub(1, std::memory_order_relaxed);
         GroupId mg = Find(m->group_);
         GroupId cg = Find(canonical->group_);
         // Carry over fired-rule knowledge so work is not repeated.
@@ -268,7 +284,18 @@ void Memo::RunMergeWorklist() {
 }
 
 void Memo::StoreWinner(GroupId g, Goal goal, Winner w) {
-  Group& grp = group(g);
+  GroupId rep = Find(g);
+  if (concurrent_.load(std::memory_order_relaxed)) {
+    // Stripe index is the representative id, which is stable while workers
+    // hold the structure lock shared (merges require it exclusive).
+    std::lock_guard<std::mutex> lock(winner_mu_[rep % kWinnerStripes]);
+    StoreWinnerInto(*groups_[rep], goal, std::move(w));
+    return;
+  }
+  StoreWinnerInto(*groups_[rep], goal, std::move(w));
+}
+
+void Memo::StoreWinnerInto(Group& grp, Goal goal, Winner w) {
   Winner* cur = grp.winners_.Find(goal);
   if (cur == nullptr) {
     grp.winners_.TryEmplace(goal, std::move(w));
@@ -280,6 +307,21 @@ void Memo::StoreWinner(GroupId g, Goal goal, Winner w) {
   } else if (!w.failed() && cm.Less(w.cost, cur->cost)) {
     *cur = std::move(w);
   }
+}
+
+bool Memo::ProbeWinner(GroupId g, Goal goal, Winner* out) const {
+  GroupId rep = Find(g);
+  if (concurrent_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(winner_mu_[rep % kWinnerStripes]);
+    const Winner* w = groups_[rep]->FindWinner(goal);
+    if (w == nullptr) return false;
+    *out = *w;  // copied out: the table may rehash once the lock drops
+    return true;
+  }
+  const Winner* w = groups_[rep]->FindWinner(goal);
+  if (w == nullptr) return false;
+  *out = *w;
+  return true;
 }
 
 void Memo::Reset() {
@@ -299,9 +341,11 @@ void Memo::Reset() {
   arena_.Reset();
   merging_ = false;
   provenance_ = nullptr;
-  num_live_groups_ = 0;
-  num_live_exprs_ = 0;
-  num_merges_ = 0;
+  SetConcurrent(false);  // fan-out always clears this after joining; belt and
+                         // braces for reuse after an abandoned search
+  num_live_groups_.store(0, std::memory_order_relaxed);
+  num_live_exprs_.store(0, std::memory_order_relaxed);
+  num_merges_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<GroupId> Memo::LiveGroups() const {

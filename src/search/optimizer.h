@@ -14,10 +14,10 @@
 #define VOLCANO_SEARCH_OPTIMIZER_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "algebra/data_model.h"
@@ -34,6 +34,7 @@
 
 namespace volcano {
 
+class SearchConfig;
 class TaskEngine;
 
 /// One optimizer instance optimizes queries against one data model. The memo
@@ -42,7 +43,22 @@ class TaskEngine;
 /// callers typically construct one Optimizer per query (see Optimize()).
 class Optimizer {
  public:
-  explicit Optimizer(const DataModel& model, SearchOptions options = {});
+  /// Default configuration (the paper's measured setup).
+  explicit Optimizer(const DataModel& model);
+
+  /// Validated configuration — the preferred constructor. Build one with
+  /// SearchConfig::Builder (search/search_config.h); a SearchConfig cannot
+  /// hold a knob combination the engine does not implement.
+  Optimizer(const DataModel& model, const SearchConfig& config);
+
+  /// Legacy: a raw, unvalidated knob struct. Invalid combinations are
+  /// clamped at runtime with the historical behavior (e.g. workers > 1 with
+  /// suspend_on_trip silently stays serial) instead of being rejected.
+  [[deprecated(
+      "construct a validated SearchConfig (search/search_config.h) and use "
+      "Optimizer(model, config); this overload will be removed")]]
+  Optimizer(const DataModel& model, SearchOptions options);
+
   ~Optimizer();
 
   /// Optimizes a logical query for the required physical properties (null
@@ -135,6 +151,11 @@ class Optimizer {
   // and the private Result/Move types directly.
   friend class TaskEngine;
 
+  // Common constructor body; the public constructors delegate here (which
+  // also keeps the deprecated overload from warning inside our own code).
+  struct CtorTag {};
+  Optimizer(const DataModel& model, SearchOptions options, CtorTag);
+
   struct Result {
     PlanPtr plan;  // null on failure
     Cost cost;
@@ -207,14 +228,65 @@ class Optimizer {
 
   /// Cooperative budget checkpoint: returns false once any budget (deadline,
   /// memo cap, call cap, cancellation, injected fault) has tripped. The
-  /// first trip is latched in trip_ until the next top-level call re-arms.
+  /// first trip is latched in trip_ until the next top-level call re-arms;
+  /// with parallel workers the latch is a compare-and-swap from kNone, so
+  /// exactly one trip wins and every worker observes it.
   bool CheckBudget();
 
   /// Stamps the deadline and clears the trip latch at the start of a
   /// top-level optimization.
   void ArmBudget();
 
-  bool aborted() const { return trip_ != BudgetTrip::kNone; }
+  bool aborted() const {
+    return trip_.load(std::memory_order_relaxed) != BudgetTrip::kNone;
+  }
+
+  // ---- Parallel-worker stats routing ----------------------------------
+  //
+  // Parallel workers must not bump stats_/metrics_ directly (word-sized
+  // counter races). Instead each worker thread installs a WorkerContext in
+  // thread-local storage for the duration of its fan-out stint; every
+  // counter mutation on a worker-reachable path goes through stats_sink() /
+  // metrics_sink(), which resolve to the thread's WorkerContext when one is
+  // installed and to the optimizer's own tables otherwise (the serial path
+  // pays one thread-local load). After the fan-out joins, the main thread
+  // folds each context back with MergeWorkerContext.
+
+  /// Private scratch tables for one worker thread's stint.
+  struct WorkerContext {
+    SearchStats stats;
+    SearchMetrics metrics;
+  };
+
+  /// Installs/uninstalls a WorkerContext in thread-local storage (RAII).
+  class ScopedWorkerContext {
+   public:
+    explicit ScopedWorkerContext(WorkerContext* ctx);
+    ~ScopedWorkerContext();
+    ScopedWorkerContext(const ScopedWorkerContext&) = delete;
+    ScopedWorkerContext& operator=(const ScopedWorkerContext&) = delete;
+
+   private:
+    WorkerContext* prev_;
+  };
+
+  /// Sizes a WorkerContext's per-rule metric tables to mirror metrics_
+  /// (CreditWinner matches rules by name pointer, so the names must be
+  /// present even in worker-private tables).
+  void InitWorkerContext(WorkerContext* ctx) const;
+
+  /// Folds a joined worker's counters into the optimizer's tables: counters
+  /// sum, high-water marks take the max. Main thread only, after join.
+  void MergeWorkerContext(const WorkerContext& ctx);
+
+  /// The stats table the current thread should mutate.
+  SearchStats& stats_sink();
+  /// The metrics table the current thread should mutate.
+  SearchMetrics& metrics_sink();
+
+  /// The current thread's installed WorkerContext (null on the main thread
+  /// and outside fan-out stints).
+  static thread_local WorkerContext* tls_worker_ctx_;
 
   /// Builds ResourceExhausted with the structured detail payload (tripped
   /// budget, effort counters, partial stats).
@@ -280,7 +352,9 @@ class Optimizer {
   SearchStats stats_;
   SearchMetrics metrics_;
   OptimizeOutcome outcome_;
-  BudgetTrip trip_ = BudgetTrip::kNone;
+  // Budget-trip latch. Atomic because parallel workers hit budget
+  // checkpoints concurrently; the first CAS from kNone wins.
+  std::atomic<BudgetTrip> trip_{BudgetTrip::kNone};
   bool greedy_mode_ = false;
   // Phase-timer nesting depths: only the outermost activation of each phase
   // accumulates (the search is mutually recursive), and exploration nested
@@ -304,11 +378,6 @@ class Optimizer {
   Cost resume_limit_;
   // Native-stack high-water probing (see ProbeNativeStack).
   char* stack_base_ = nullptr;
-  // Serializes all shared-state access (memo, stats, trace) between parallel
-  // workers: each worker holds it for one whole move evaluation, so memo
-  // invariants (in-progress marks, fired masks, union-find) behave exactly
-  // as in the single-threaded engine. See DESIGN.md §9.
-  std::mutex engine_mu_;
   // Interposed in front of any user trace sink (see StampingTraceSink).
   StampingTraceSink trace_stamper_;
 };

@@ -1,0 +1,55 @@
+#include "search/search_config.h"
+
+namespace volcano {
+
+namespace {
+
+Status Invalid(const char* knob, const char* why) {
+  return Status::InvalidArgument(why).WithDetail("knob", knob);
+}
+
+}  // namespace
+
+Status ValidateSearchOptions(const SearchOptions& options) {
+  if (options.workers < 0) {
+    return Invalid("workers", "workers must be >= 0");
+  }
+  if (options.workers > 1 &&
+      options.engine == SearchOptions::Engine::kRecursive) {
+    return Invalid("workers",
+                   "workers > 1 requires the task engine; the recursive "
+                   "engine cannot fan out");
+  }
+  if (options.workers > 1 && options.suspend_on_trip) {
+    return Invalid("suspend_on_trip",
+                   "suspend_on_trip is incompatible with workers > 1: a "
+                   "multi-worker task stack has no single resume point");
+  }
+  if (options.parallel_mode == SearchOptions::ParallelMode::kFast &&
+      options.workers <= 1) {
+    return Invalid("parallel_mode",
+                   "ParallelMode::kFast requires workers > 1; serial search "
+                   "is already deterministic");
+  }
+  if (options.move_limit < 0) {
+    return Invalid("move_limit", "move_limit must be >= 0 (0 = unlimited)");
+  }
+  if (options.memoize_failures && !options.memoize_winners) {
+    return Invalid("memoize_failures",
+                   "memoize_failures requires memoize_winners: failure "
+                   "records live in the winner table");
+  }
+  return Status::OK();
+}
+
+StatusOr<SearchConfig> SearchConfig::Builder::Build() const {
+  return SearchConfig::FromOptions(options_);
+}
+
+StatusOr<SearchConfig> SearchConfig::FromOptions(const SearchOptions& options) {
+  Status s = ValidateSearchOptions(options);
+  if (!s.ok()) return s;
+  return SearchConfig(options);
+}
+
+}  // namespace volcano

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "support/json_writer.h"
+
 namespace volcano {
 
 std::string SearchStats::ToString() const {
@@ -28,6 +30,10 @@ std::string SearchStats::ToString() const {
      << ", task stack high-water: " << task_stack_high_water
      << ", suspensions: " << suspensions
      << ", native stack high-water: " << native_stack_high_water << " bytes";
+  if (effective_workers > 0) {
+    os << "\nparallel workers: " << effective_workers
+       << ", moves stolen: " << moves_stolen;
+  }
   if (!worker_busy_seconds.empty()) {
     os << "\nworker busy seconds:";
     for (size_t i = 0; i < worker_busy_seconds.size(); ++i) {
@@ -40,39 +46,39 @@ std::string SearchStats::ToString() const {
 }
 
 std::string SearchStats::ToJson() const {
-  std::ostringstream os;
-  os << "{\"find_best_plan_calls\": " << find_best_plan_calls
-     << ", \"memo_winner_hits\": " << memo_winner_hits
-     << ", \"memo_failure_hits\": " << memo_failure_hits
-     << ", \"in_progress_hits\": " << in_progress_hits
-     << ", \"groups_created\": " << groups_created
-     << ", \"mexprs_created\": " << mexprs_created
-     << ", \"mexprs_deduped\": " << mexprs_deduped
-     << ", \"group_merges\": " << group_merges
-     << ", \"transformations_matched\": " << transformations_matched
-     << ", \"transformations_applied\": " << transformations_applied
-     << ", \"algorithm_moves\": " << algorithm_moves
-     << ", \"enforcer_moves\": " << enforcer_moves
-     << ", \"cost_estimates\": " << cost_estimates
-     << ", \"moves_pruned\": " << moves_pruned
-     << ", \"moves_skipped\": " << moves_skipped
-     << ", \"goals_completed\": " << goals_completed
-     << ", \"goals_started\": " << goals_started
-     << ", \"goals_finished\": " << goals_finished
-     << ", \"budget_checkpoints\": " << budget_checkpoints
-     << ", \"invalid_costs\": " << invalid_costs
-     << ", \"tasks_executed\": " << tasks_executed
-     << ", \"task_stack_high_water\": " << task_stack_high_water
-     << ", \"suspensions\": " << suspensions
-     << ", \"native_stack_high_water\": " << native_stack_high_water
-     << ", \"worker_busy_seconds\": [";
-  for (size_t i = 0; i < worker_busy_seconds.size(); ++i) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6f", worker_busy_seconds[i]);
-    os << (i == 0 ? "" : ", ") << buf;
-  }
-  os << "]}";
-  return os.str();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("find_best_plan_calls").Value(find_best_plan_calls);
+  w.Key("memo_winner_hits").Value(memo_winner_hits);
+  w.Key("memo_failure_hits").Value(memo_failure_hits);
+  w.Key("in_progress_hits").Value(in_progress_hits);
+  w.Key("groups_created").Value(groups_created);
+  w.Key("mexprs_created").Value(mexprs_created);
+  w.Key("mexprs_deduped").Value(mexprs_deduped);
+  w.Key("group_merges").Value(group_merges);
+  w.Key("transformations_matched").Value(transformations_matched);
+  w.Key("transformations_applied").Value(transformations_applied);
+  w.Key("algorithm_moves").Value(algorithm_moves);
+  w.Key("enforcer_moves").Value(enforcer_moves);
+  w.Key("cost_estimates").Value(cost_estimates);
+  w.Key("moves_pruned").Value(moves_pruned);
+  w.Key("moves_skipped").Value(moves_skipped);
+  w.Key("goals_completed").Value(goals_completed);
+  w.Key("goals_started").Value(goals_started);
+  w.Key("goals_finished").Value(goals_finished);
+  w.Key("budget_checkpoints").Value(budget_checkpoints);
+  w.Key("invalid_costs").Value(invalid_costs);
+  w.Key("tasks_executed").Value(tasks_executed);
+  w.Key("task_stack_high_water").Value(task_stack_high_water);
+  w.Key("suspensions").Value(suspensions);
+  w.Key("native_stack_high_water").Value(native_stack_high_water);
+  w.Key("effective_workers").Value(effective_workers);
+  w.Key("moves_stolen").Value(moves_stolen);
+  w.Key("worker_busy_seconds").BeginArray();
+  for (double s : worker_busy_seconds) w.Fixed(s, 6);
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
 }
 
 std::string OptimizeOutcome::ToString() const {
@@ -88,15 +94,15 @@ std::string OptimizeOutcome::ToString() const {
 }
 
 std::string OptimizeOutcome::ToJson() const {
-  std::ostringstream os;
-  char frac[32];
-  std::snprintf(frac, sizeof(frac), "%.6f", search_completed);
-  os << "{\"source\": \"" << PlanSourceName(source) << "\", \"budget_trip\": \""
-     << BudgetTripName(trip) << "\", \"approximate\": "
-     << (approximate ? "true" : "false") << ", \"suspended\": "
-     << (suspended ? "true" : "false") << ", \"search_completed\": " << frac
-     << "}";
-  return os.str();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("source").Value(PlanSourceName(source));
+  w.Key("budget_trip").Value(BudgetTripName(trip));
+  w.Key("approximate").Value(approximate);
+  w.Key("suspended").Value(suspended);
+  w.Key("search_completed").Fixed(search_completed, 6);
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace volcano

@@ -4,8 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
+#include <limits>
+#include <shared_mutex>
 #include <thread>
 #include <utility>
 
@@ -229,8 +229,86 @@ TaskEngine::~TaskEngine() = default;
 
 bool TaskEngine::Parking() const {
   // Workers never park: suspension freezes exactly one stack — the main
-  // engine's — and suspend_on_trip is documented unsupported with workers>1.
+  // engine's — and suspend_on_trip + workers > 1 is rejected outright by
+  // SearchConfig validation (a frozen multi-worker stack has no single
+  // resume point).
   return !worker_mode_ && opt_.options_.suspend_on_trip && !abandoning_;
+}
+
+// ---------------------------------------------------------------------------
+// Worker-mode concurrency support
+// ---------------------------------------------------------------------------
+
+void TaskEngine::WorkerLock(LockMode want) {
+  if (lock_mode_ == want) return;
+  std::shared_mutex& mu = opt_.memo_.structure_mutex();
+  // Release-then-acquire: an in-place shared->exclusive upgrade deadlocks
+  // when two workers attempt it simultaneously. Any structure read cached
+  // across the gap is re-resolved after re-acquisition (Find is repeated,
+  // kExpAcquire re-checks exploration state).
+  switch (lock_mode_) {
+    case LockMode::kShared:
+      mu.unlock_shared();
+      break;
+    case LockMode::kExclusive:
+      mu.unlock();
+      break;
+    case LockMode::kNone:
+      break;
+  }
+  switch (want) {
+    case LockMode::kShared:
+      mu.lock_shared();
+      break;
+    case LockMode::kExclusive:
+      mu.lock();
+      break;
+    case LockMode::kNone:
+      break;
+  }
+  lock_mode_ = want;
+}
+
+bool TaskEngine::GoalInProgress(GroupId group, const Goal& goal) {
+  if (worker_mode_) {
+    // `group` is already Find-resolved; stored marks may predate a merge, so
+    // resolve each before comparing.
+    for (const auto& [mg, mgoal] : local_marks_) {
+      if (mgoal == goal && opt_.memo_.Find(mg) == group) return true;
+    }
+  }
+  return opt_.memo_.IsInProgress(group, goal);
+}
+
+void TaskEngine::MarkGoal(GroupId group, const Goal& goal) {
+  if (worker_mode_) {
+    local_marks_.emplace_back(group, goal);
+    return;
+  }
+  opt_.memo_.MarkInProgress(group, goal);
+}
+
+void TaskEngine::UnmarkGoal(GroupId group, const Goal& goal) {
+  if (worker_mode_) {
+    for (size_t i = local_marks_.size(); i > 0; --i) {
+      auto& [mg, mgoal] = local_marks_[i - 1];
+      if (mgoal == goal && opt_.memo_.Find(mg) == group) {
+        local_marks_.erase(local_marks_.begin() +
+                           static_cast<ptrdiff_t>(i - 1));
+        return;
+      }
+    }
+    return;
+  }
+  opt_.memo_.UnmarkInProgress(group, goal);
+}
+
+const Winner* TaskEngine::ProbeWinner(GroupId group, const Goal& goal,
+                                      Winner* storage) {
+  if (worker_mode_) {
+    return opt_.memo_.ProbeWinner(group, goal, storage) ? storage : nullptr;
+  }
+  return opt_.memo_.FindWinner(group, goal);
 }
 
 Optimizer::Result TaskEngine::Run(GroupId group, const PhysPropsPtr& required,
@@ -238,13 +316,17 @@ Optimizer::Result TaskEngine::Run(GroupId group, const PhysPropsPtr& required,
   VOLCANO_CHECK(stack_.Empty());
   suspended_ = false;
   root_result_ = Optimizer::Result{nullptr, limit};
+  if (worker_mode_) WorkerLock(LockMode::kShared);
   if (EnterGoal(group, required, limit, excluded, &root_result_, nullptr)) {
     // Parallel mode fans the root goal's moves across the worker pool. Only
     // the kExploreFirst pursue loop fans out (the interleaved strategy and
     // the glue ablation pursue serially), and suspension is incompatible
     // with fan-out, so the flag stays off when suspend_on_trip is set.
+    // Fault injection also suppresses fan-out: an injector's trigger
+    // countdowns are consumed in worker-schedule order, which would break
+    // the bit-identical-replay contract (tests/fault_test.cc).
     if (!worker_mode_ && opt_.options_.workers > 1 &&
-        !opt_.options_.suspend_on_trip) {
+        !opt_.options_.suspend_on_trip && opt_.options_.fault == nullptr) {
       static_cast<GoalFrame*>(stack_.Top())->fan_out = true;
     }
     return Loop();
@@ -298,22 +380,22 @@ void TaskEngine::Abandon() {
 
 Optimizer::Result TaskEngine::Loop() {
   // Both predicates are loop-invariant (Abandon never runs inside Loop), so
-  // hoist them off the per-task dispatch path. Workers short-circuit before
-  // touching the trip latch (they read it only under Optimizer::engine_mu_,
-  // inside their steps).
+  // hoist them off the per-task dispatch path.
   const bool may_park = Parking();
-  // Task count accumulates in a register and lands in stats_ at every exit
-  // (nothing reads it mid-run; budgets count goals and cost estimates).
+  // Task count accumulates in a register and lands in the stats sink at
+  // every exit (nothing reads it mid-run; budgets count goals and cost
+  // estimates).
   uint64_t tasks = 0;
   while (!stack_.Empty()) {
     if (may_park && opt_.aborted()) {
       // A budget trip with suspension enabled freezes the stack in place;
       // Optimizer::Resume re-arms the budget and calls Continue().
       suspended_ = true;
-      ++opt_.stats_.suspensions;
-      opt_.stats_.tasks_executed += tasks;
-      if (stack_.high_water() > opt_.stats_.task_stack_high_water) {
-        opt_.stats_.task_stack_high_water = stack_.high_water();
+      SearchStats& st = opt_.stats_sink();
+      ++st.suspensions;
+      st.tasks_executed += tasks;
+      if (stack_.high_water() > st.task_stack_high_water) {
+        st.task_stack_high_water = stack_.high_water();
       }
       return Optimizer::Result{};
     }
@@ -324,6 +406,15 @@ Optimizer::Result TaskEngine::Loop() {
     // thread's, so only the main engine measures.
     if (!worker_mode_ && (tasks & 63) == 0) opt_.ProbeNativeStack();
     Frame* f = stack_.Top();
+    // Workers derive their memo-lock mode from the task about to run:
+    // explore steps grow the structure (exclusive), everything else reads
+    // it (shared). Holding the mode across steps of the same kind keeps an
+    // exploration fixpoint atomic — no other worker observes a
+    // half-explored class.
+    if (worker_mode_) {
+      WorkerLock(f->kind == Frame::Kind::kExplore ? LockMode::kExclusive
+                                                  : LockMode::kShared);
+    }
     switch (f->kind) {
       case Frame::Kind::kGoal:
         StepGoal(static_cast<GoalFrame*>(f));
@@ -336,9 +427,10 @@ Optimizer::Result TaskEngine::Loop() {
         break;
     }
   }
-  opt_.stats_.tasks_executed += tasks;
-  if (stack_.high_water() > opt_.stats_.task_stack_high_water) {
-    opt_.stats_.task_stack_high_water = stack_.high_water();
+  SearchStats& st = opt_.stats_sink();
+  st.tasks_executed += tasks;
+  if (stack_.high_water() > st.task_stack_high_water) {
+    st.task_stack_high_water = stack_.high_water();
   }
   return std::move(root_result_);
 }
@@ -350,7 +442,8 @@ Optimizer::Result TaskEngine::Loop() {
 bool TaskEngine::EnterGoal(GroupId group, const PhysPropsPtr& required,
                            Cost limit, const PhysPropsPtr& excluded,
                            Optimizer::Result* out, Frame* parent) {
-  ++opt_.stats_.find_best_plan_calls;
+  SearchStats& st = opt_.stats_sink();
+  ++st.find_best_plan_calls;
   const CostModel& cm = opt_.model_.cost_model();
   if (!opt_.CheckBudget()) {
     if (Parking()) {
@@ -377,22 +470,23 @@ bool TaskEngine::EnterGoal(GroupId group, const PhysPropsPtr& required,
 
   // --- the look-up table part of Figure 2 ---------------------------------
   if (opt_.options_.memoize_winners) {
-    if (const Winner* w = opt_.memo_.FindWinner(group, goal)) {
+    Winner probe_storage;
+    if (const Winner* w = ProbeWinner(group, goal, &probe_storage)) {
       if (!w->failed()) {
         if (cm.LessEq(w->cost, limit)) {
-          ++opt_.stats_.memo_winner_hits;
-          ++opt_.stats_.goals_completed;
+          ++st.memo_winner_hits;
+          ++st.goals_completed;
           *out = Optimizer::Result{w->plan, w->cost};
           return false;
         }
-        ++opt_.stats_.memo_failure_hits;
-        ++opt_.stats_.goals_completed;
+        ++st.memo_failure_hits;
+        ++st.goals_completed;
         *out = Optimizer::Result{nullptr, limit};
         return false;
       }
       if (opt_.options_.memoize_failures && cm.LessEq(limit, w->cost)) {
-        ++opt_.stats_.memo_failure_hits;
-        ++opt_.stats_.goals_completed;
+        ++st.memo_failure_hits;
+        ++st.goals_completed;
         *out = Optimizer::Result{nullptr, limit};
         return false;
       }
@@ -401,14 +495,14 @@ bool TaskEngine::EnterGoal(GroupId group, const PhysPropsPtr& required,
 
   // Rule inverses re-derive this very goal; "if a newly formed expression
   // already exists ... and is marked as 'in progress,' it is ignored".
-  if (opt_.memo_.IsInProgress(group, goal)) {
-    ++opt_.stats_.in_progress_hits;
-    ++opt_.stats_.goals_completed;
+  if (GoalInProgress(group, goal)) {
+    ++st.in_progress_hits;
+    ++st.goals_completed;
     *out = Optimizer::Result{nullptr, limit};
     return false;
   }
-  opt_.memo_.MarkInProgress(group, goal);
-  ++opt_.stats_.goals_started;
+  MarkGoal(group, goal);
+  ++st.goals_started;
 
   GoalFrame* f = goal_pool_.Acquire();
   f->kind = Frame::Kind::kGoal;
@@ -429,12 +523,13 @@ bool TaskEngine::EnterGoal(GroupId group, const PhysPropsPtr& required,
 
 void TaskEngine::FinishGoal(GoalFrame* f) {
   GroupId group = opt_.memo_.Find(f->group);
-  opt_.memo_.UnmarkInProgress(group, f->goal);
+  UnmarkGoal(group, f->goal);
   f->marked = false;
 
   // --- maintain the look-up table of explored facts ------------------------
   // Nothing is recorded once the budget has tripped: a truncated search
-  // proves neither optimality nor infeasibility.
+  // proves neither optimality nor infeasibility. (StoreWinner itself takes
+  // the goal's stripe lock in concurrent mode.)
   if (opt_.options_.memoize_winners && !opt_.aborted()) {
     if (f->best.plan != nullptr) {
       opt_.memo_.StoreWinner(group, f->goal,
@@ -444,8 +539,9 @@ void TaskEngine::FinishGoal(GoalFrame* f) {
     }
   }
   if (!opt_.aborted()) {
-    ++opt_.stats_.goals_completed;
-    ++opt_.stats_.goals_finished;
+    SearchStats& st = opt_.stats_sink();
+    ++st.goals_completed;
+    ++st.goals_finished;
     if (f->best.plan != nullptr) opt_.CreditWinner(*f->best.plan);
   }
   *f->out = std::move(f->best);
@@ -466,12 +562,20 @@ bool TaskEngine::EnterExplore(GroupId group, Frame* parent) {
     Group& grp = opt_.memo_.group(group);
     if (grp.explored() || grp.exploring()) return false;
   }
-  opt_.memo_.SetExploring(group, true);
   ExploreFrame* f = explore_pool_.Acquire();
   f->kind = Frame::Kind::kExplore;
-  f->state = kExpRoundStart;
   f->parent = parent;
   f->group = group;
+  if (worker_mode_) {
+    // This call site runs under the shared structure lock; the exploring
+    // mark is a structure write. Defer the claim to the frame's first step,
+    // which Loop runs under the exclusive lock — kExpAcquire re-checks the
+    // exploration state there and pops if another worker got in first.
+    f->state = kExpAcquire;
+  } else {
+    opt_.memo_.SetExploring(group, true);
+    f->state = kExpRoundStart;
+  }
   stack_.Push(f);
   return true;
 }
@@ -544,18 +648,20 @@ void TaskEngine::StepGoal(GoalFrame* f) {
         goal_pool_.Release(f);
         return;
       }
+      SearchStats& st = opt_.stats_sink();
       GroupId group = opt_.memo_.Find(f->group);
       Goal goal = opt_.memo_.CanonicalGoal(f->required, f->excluded);
       if (opt_.options_.memoize_winners) {
-        if (const Winner* w = opt_.memo_.FindWinner(group, goal)) {
+        Winner probe_storage;
+        if (const Winner* w = ProbeWinner(group, goal, &probe_storage)) {
           if (!w->failed()) {
             if (cm.LessEq(w->cost, f->limit)) {
-              ++opt_.stats_.memo_winner_hits;
-              ++opt_.stats_.goals_completed;
+              ++st.memo_winner_hits;
+              ++st.goals_completed;
               *f->out = Optimizer::Result{w->plan, w->cost};
             } else {
-              ++opt_.stats_.memo_failure_hits;
-              ++opt_.stats_.goals_completed;
+              ++st.memo_failure_hits;
+              ++st.goals_completed;
               *f->out = Optimizer::Result{nullptr, f->limit};
             }
             stack_.Pop();
@@ -565,8 +671,8 @@ void TaskEngine::StepGoal(GoalFrame* f) {
           }
           if (opt_.options_.memoize_failures &&
               cm.LessEq(f->limit, w->cost)) {
-            ++opt_.stats_.memo_failure_hits;
-            ++opt_.stats_.goals_completed;
+            ++st.memo_failure_hits;
+            ++st.goals_completed;
             *f->out = Optimizer::Result{nullptr, f->limit};
             stack_.Pop();
             f->Reuse();
@@ -575,17 +681,17 @@ void TaskEngine::StepGoal(GoalFrame* f) {
           }
         }
       }
-      if (opt_.memo_.IsInProgress(group, goal)) {
-        ++opt_.stats_.in_progress_hits;
-        ++opt_.stats_.goals_completed;
+      if (GoalInProgress(group, goal)) {
+        ++st.in_progress_hits;
+        ++st.goals_completed;
         *f->out = Optimizer::Result{nullptr, f->limit};
         stack_.Pop();
         f->Reuse();
         goal_pool_.Release(f);
         return;
       }
-      opt_.memo_.MarkInProgress(group, goal);
-      ++opt_.stats_.goals_started;
+      MarkGoal(group, goal);
+      ++st.goals_started;
       f->group = group;
       f->goal = goal;
       f->marked = true;
@@ -722,7 +828,7 @@ void TaskEngine::StepGoal(GoalFrame* f) {
       if (opt_.options_.move_limit > 0 &&
           f->moves.size() >
               static_cast<size_t>(opt_.options_.move_limit)) {
-        opt_.stats_.moves_skipped +=
+        opt_.stats_sink().moves_skipped +=
             f->moves.size() - opt_.options_.move_limit;
         f->moves.resize(opt_.options_.move_limit);
       }
@@ -773,8 +879,8 @@ void TaskEngine::StepGoal(GoalFrame* f) {
         std::optional<EnforcerApplication> app =
             enf->Enforce(f->required, *logical);
         if (!app.has_value()) continue;
-        ++opt_.stats_.enforcer_moves;
-        ++opt_.stats_.cost_estimates;
+        ++opt_.stats_sink().enforcer_moves;
+        ++opt_.stats_sink().cost_estimates;
         Cost local = enf->LocalCost(*logical, *app->delivered);
         if (!opt_.AdmitLocalCost(&local)) continue;
         Cost total = cm.Add(f->glue_base.cost, local);
@@ -881,18 +987,20 @@ void TaskEngine::StepGoal(GoalFrame* f) {
       const TransformationRule& rule = *f->trans_rule;
       uint32_t applied = 0;
       opt_.memo_.SetProvenance(rule.name().c_str());
+      SearchStats& st = opt_.stats_sink();
+      SearchMetrics& metrics = opt_.metrics_sink();
       for (const Binding& b : f->bindings) {
-        ++opt_.stats_.transformations_matched;
+        ++st.transformations_matched;
         if (!rule.Condition(b, opt_.memo_)) continue;
         if (opt_.options_.fault != nullptr &&
             opt_.options_.fault->FailRuleApplication()) {
           continue;  // injected: the rule fails to fire
         }
-        ++opt_.metrics_.transformations[rule.id()].fired;
+        ++metrics.transformations[rule.id()].fired;
         RexPtr rex = rule.Apply(b, opt_.memo_);
         if (rex == nullptr) continue;
-        ++opt_.stats_.transformations_applied;
-        ++opt_.metrics_.transformations[rule.id()].succeeded;
+        ++st.transformations_applied;
+        ++metrics.transformations[rule.id()].succeeded;
         ++applied;
         opt_.memo_.InsertRex(*rex, opt_.memo_.Find(tm.expr->group()));
       }
@@ -942,10 +1050,11 @@ void TaskEngine::StepMove(MoveFrame* f) {
   const Optimizer::Move& mv = *f->mv;
   switch (f->state) {
     case kMoveStart: {
+      SearchStats& st = opt_.stats_sink();
       if (mv.rule != nullptr) {
-        ++opt_.stats_.algorithm_moves;
-        ++opt_.stats_.cost_estimates;
-        ++opt_.metrics_.implementations[mv.rule->id()].fired;
+        ++st.algorithm_moves;
+        ++st.cost_estimates;
+        ++opt_.metrics_sink().implementations[mv.rule->id()].fired;
         VOLCANO_TRACE(opt_.options_.trace,
                       {.kind = TraceEventKind::kAlgorithmPursued,
                        .group = f->group,
@@ -967,9 +1076,9 @@ void TaskEngine::StepMove(MoveFrame* f) {
         f->state = kMoveInput;
         return;
       }
-      ++opt_.stats_.enforcer_moves;
-      ++opt_.stats_.cost_estimates;
-      ++opt_.metrics_.enforcers[mv.enforcer_id].fired;
+      ++st.enforcer_moves;
+      ++st.cost_estimates;
+      ++opt_.metrics_sink().enforcers[mv.enforcer_id].fired;
       VOLCANO_TRACE(opt_.options_.trace,
                     {.kind = TraceEventKind::kEnforcerPursued,
                      .group = f->group,
@@ -987,7 +1096,7 @@ void TaskEngine::StepMove(MoveFrame* f) {
       }
       if (opt_.options_.branch_and_bound &&
           !cm.LessEq(local, f->goal->best_cost)) {
-        ++opt_.stats_.moves_pruned;
+        ++st.moves_pruned;
         VOLCANO_TRACE(opt_.options_.trace,
                       {.kind = TraceEventKind::kMovePruned,
                        .group = f->group,
@@ -1036,13 +1145,13 @@ void TaskEngine::StepMove(MoveFrame* f) {
             mv.rule->name().c_str(), /*from_enforcer=*/false);
         f->goal->best.cost = f->total;
         f->goal->best_cost = f->total;
-        ++opt_.metrics_.implementations[mv.rule->id()].succeeded;
+        ++opt_.metrics_sink().implementations[mv.rule->id()].succeeded;
         FinishMove(f);
         return;
       }
       if (opt_.options_.branch_and_bound &&
           !cm.LessEq(f->total, f->goal->best_cost)) {
-        ++opt_.stats_.moves_pruned;
+        ++opt_.stats_sink().moves_pruned;
         VOLCANO_TRACE(opt_.options_.trace,
                       {.kind = TraceEventKind::kMovePruned,
                        .group = f->group,
@@ -1103,7 +1212,7 @@ void TaskEngine::StepMove(MoveFrame* f) {
           mv.enforcer->name().c_str(), /*from_enforcer=*/true);
       f->goal->best.cost = total;
       f->goal->best_cost = total;
-      ++opt_.metrics_.enforcers[mv.enforcer_id].succeeded;
+      ++opt_.metrics_sink().enforcers[mv.enforcer_id].succeeded;
       FinishMove(f);
       return;
     }
@@ -1116,12 +1225,22 @@ void TaskEngine::StepMove(MoveFrame* f) {
 
 bool TaskEngine::EvaluateMoveParallel(const Optimizer::Move& mv, GroupId group,
                                       const LogicalPropsPtr& logical,
-                                      PlanPtr* plan, Cost* total) {
+                                      PlanPtr* plan, Cost* total,
+                                      const std::atomic<double>* incumbent) {
+  // Hold the structure lock shared for the whole move (Loop upgrades to
+  // exclusive around exploration steps); drop it on every exit path so
+  // peers waiting for exclusive get in between moves.
+  struct LockRelease {
+    TaskEngine* e;
+    ~LockRelease() { e->WorkerLock(LockMode::kNone); }
+  } release{this};
+  WorkerLock(LockMode::kShared);
   const CostModel& cm = opt_.model_.cost_model();
+  SearchStats& st = opt_.stats_sink();
   if (mv.rule != nullptr) {
-    ++opt_.stats_.algorithm_moves;
-    ++opt_.stats_.cost_estimates;
-    ++opt_.metrics_.implementations[mv.rule->id()].fired;
+    ++st.algorithm_moves;
+    ++st.cost_estimates;
+    ++opt_.metrics_sink().implementations[mv.rule->id()].fired;
     VOLCANO_TRACE(opt_.options_.trace,
                   {.kind = TraceEventKind::kAlgorithmPursued,
                    .group = group,
@@ -1138,6 +1257,16 @@ bool TaskEngine::EvaluateMoveParallel(const Optimizer::Move& mv, GroupId group,
     // completes here with a total the reduce step rejects — same outcome,
     // and the memoized winners stay valid for every later query.
     for (size_t i = 0; i < mv.binding.num_leaves(); ++i) {
+      if (incumbent != nullptr &&
+          cm.Total(t) >= incumbent->load(std::memory_order_relaxed)) {
+        // Fast mode: the running total already matches or exceeds a
+        // completed move's total, so this move cannot strictly win. The
+        // optimum is still found (the optimal move's partials stay below
+        // every incumbent), but which tied/losing moves finish is now
+        // schedule-dependent — hence no bit-identical digest.
+        ++st.moves_pruned;
+        return false;
+      }
       Optimizer::Result r =
           Run(mv.binding.leaf(i), mv.alt.input_props[i], cm.Infinity());
       if (r.plan == nullptr) return false;
@@ -1151,9 +1280,9 @@ bool TaskEngine::EvaluateMoveParallel(const Optimizer::Move& mv, GroupId group,
     *total = t;
     return true;
   }
-  ++opt_.stats_.enforcer_moves;
-  ++opt_.stats_.cost_estimates;
-  ++opt_.metrics_.enforcers[mv.enforcer_id].fired;
+  ++st.enforcer_moves;
+  ++st.cost_estimates;
+  ++opt_.metrics_sink().enforcers[mv.enforcer_id].fired;
   VOLCANO_TRACE(opt_.options_.trace,
                 {.kind = TraceEventKind::kEnforcerPursued,
                  .group = group,
@@ -1163,6 +1292,11 @@ bool TaskEngine::EvaluateMoveParallel(const Optimizer::Move& mv, GroupId group,
   Cost local = mv.enforcer->LocalCost(*logical, *mv.app.delivered);
   if (!opt_.AdmitLocalCost(&local)) return false;
   if (std::isinf(cm.Total(local))) return false;
+  if (incumbent != nullptr &&
+      cm.Total(local) >= incumbent->load(std::memory_order_relaxed)) {
+    ++st.moves_pruned;
+    return false;
+  }
   Optimizer::Result r =
       Run(group, mv.app.input_required, cm.Infinity(), mv.app.excluded);
   if (r.plan == nullptr) return false;
@@ -1182,61 +1316,93 @@ void TaskEngine::FanOutMoves(GoalFrame* f) {
     bool ok = false;
   };
   const CostModel& cm = opt_.model_.cost_model();
-  std::vector<Slot> slots(f->moves.size());
-  const int workers =
-      std::min<int>(opt_.options_.workers, static_cast<int>(f->moves.size()));
-  std::vector<double> busy(static_cast<size_t>(workers), 0.0);
-  std::atomic<size_t> cursor{0};
-  std::mutex turn_mu;
-  std::condition_variable turn_cv;
-  size_t turn = 0;
+  const size_t num_moves = f->moves.size();
+  std::vector<Slot> slots(num_moves);
+  const size_t workers =
+      std::min<size_t>(static_cast<size_t>(opt_.options_.workers), num_moves);
+  const bool fast =
+      opt_.options_.parallel_mode == SearchOptions::ParallelMode::kFast &&
+      opt_.options_.branch_and_bound;
+  // Fast mode's cross-move bound: the cheapest *completed* total so far.
+  // In-flight moves whose running partial reaches it abandon themselves.
+  std::atomic<double> incumbent{std::numeric_limits<double>::infinity()};
+
+  // One steal queue of move indices per worker, seeded round-robin in
+  // decreasing index order so each owner's PopHot (hot end = back) yields
+  // its lowest — most promising — index first, mirroring the serial pursue
+  // order. Idle workers steal the cold half of a peer's queue, i.e. that
+  // peer's highest-index (least promising) moves.
+  std::vector<StealQueue<size_t>> queues(workers);
+  for (size_t i = num_moves; i > 0; --i) {
+    queues[(i - 1) % workers].PushHot(i - 1);
+  }
+
+  std::vector<Optimizer::WorkerContext> contexts(workers);
+  for (Optimizer::WorkerContext& ctx : contexts) {
+    opt_.InitWorkerContext(&ctx);
+  }
+  std::vector<double> busy(workers, 0.0);
+  std::vector<uint64_t> stolen(workers, 0);
+
+  opt_.memo_.SetConcurrent(true);
   std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([this, f, w, &slots, &busy, &cursor, &turn_mu,
-                       &turn_cv, &turn] {
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([this, f, w, workers, fast, &cm, &slots, &queues,
+                       &contexts, &busy, &stolen, &incumbent] {
       trace_internal::tls_worker_id = static_cast<uint32_t>(w + 1);
+      Optimizer::ScopedWorkerContext scoped(&contexts[w]);
       TaskEngine engine(opt_, /*worker_mode=*/true);
+      std::vector<size_t> loot;
       for (;;) {
-        size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= f->moves.size()) break;
-        // Turnstile: moves evaluate in strict index order, so every shared
-        // side effect — memo growth, fault-injector site visits, trace
-        // emission — happens in exactly the sequence a serial pursue loop
-        // would produce. Runs are bit-reproducible regardless of thread
-        // scheduling.
-        {
-          std::unique_lock<std::mutex> tl(turn_mu);
-          turn_cv.wait(tl, [&] { return turn == i; });
+        size_t i;
+        if (!queues[w].PopHot(&i)) {
+          // Own queue drained: steal the cold half of the first non-empty
+          // peer queue. The job set is fixed before the pool starts (no
+          // worker creates new jobs), so a full empty sweep means no work
+          // can ever appear again — terminate.
+          loot.clear();
+          for (size_t off = 1; off < workers && loot.empty(); ++off) {
+            queues[(w + off) % workers].StealHalf(&loot);
+          }
+          if (loot.empty()) break;
+          stolen[w] += loot.size();
+          // Re-push in reverse so PopHot replays the stolen indices in
+          // their original ascending (promise) order.
+          for (size_t k = loot.size(); k > 0; --k) {
+            queues[w].PushHot(loot[k - 1]);
+          }
+          continue;
         }
         auto t0 = std::chrono::steady_clock::now();
-        {
-          // One whole move per lock hold: the memo's transient invariants
-          // (in-progress marks, fired masks, union-find path compression)
-          // see exactly one engine at a time, so every subgoal winner
-          // matches the single-threaded search. This is the first sharding
-          // step described in DESIGN.md §9 — correctness and plumbing
-          // first, finer-grained locking later.
-          std::lock_guard<std::mutex> lock(opt_.engine_mu_);
-          slots[i].ok =
-              engine.EvaluateMoveParallel(f->moves[i], f->group, f->logical,
-                                          &slots[i].plan, &slots[i].total);
+        slots[i].ok = engine.EvaluateMoveParallel(
+            f->moves[i], f->group, f->logical, &slots[i].plan,
+            &slots[i].total, fast ? &incumbent : nullptr);
+        busy[w] += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        if (fast && slots[i].ok) {
+          // CAS-min: publish this completed total if it tightens the bound.
+          double t = cm.Total(slots[i].total);
+          double cur = incumbent.load(std::memory_order_relaxed);
+          while (t < cur &&
+                 !incumbent.compare_exchange_weak(cur, t,
+                                                  std::memory_order_relaxed)) {
+          }
         }
-        busy[static_cast<size_t>(w)] +=
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count();
-        {
-          std::lock_guard<std::mutex> tl(turn_mu);
-          ++turn;
-        }
-        turn_cv.notify_all();
       }
       trace_internal::tls_worker_id = 0;
     });
   }
   for (std::thread& t : pool) t.join();
+  opt_.memo_.SetConcurrent(false);
 
+  for (const Optimizer::WorkerContext& ctx : contexts) {
+    opt_.MergeWorkerContext(ctx);
+  }
+  opt_.stats_.effective_workers = std::max(
+      opt_.stats_.effective_workers, static_cast<uint32_t>(workers));
+  for (uint64_t s : stolen) opt_.stats_.moves_stolen += s;
   if (opt_.stats_.worker_busy_seconds.size() < busy.size()) {
     opt_.stats_.worker_busy_seconds.resize(busy.size(), 0.0);
   }
@@ -1282,6 +1448,25 @@ void TaskEngine::FanOutMoves(GoalFrame* f) {
 
 void TaskEngine::StepExplore(ExploreFrame* f) {
   switch (f->state) {
+    case kExpAcquire: {
+      // Worker mode: EnterExplore ran under the shared lock and could not
+      // write the exploring mark. Now that Loop() holds the lock exclusive
+      // for this explore step, re-check and claim: a peer may have finished
+      // (or still be running) the same exploration since the frame was
+      // pushed.
+      f->group = opt_.memo_.Find(f->group);
+      const Group& grp = opt_.memo_.group(f->group);
+      if (grp.explored() || grp.exploring()) {
+        stack_.Pop();
+        f->Reuse();
+        explore_pool_.Release(f);
+        return;
+      }
+      opt_.memo_.SetExploring(f->group, true);
+      f->state = kExpRoundStart;
+      return;
+    }
+
     case kExpRoundStart: {
       f->changed = false;
       f->expr_idx = 0;
@@ -1339,19 +1524,21 @@ void TaskEngine::StepExplore(ExploreFrame* f) {
       if (!RunMatcher(f->matcher, f)) return;
       const TransformationRule& rule = *f->rule;
       uint32_t applied = 0;
+      SearchStats& st = opt_.stats_sink();
+      SearchMetrics& metrics = opt_.metrics_sink();
       opt_.memo_.SetProvenance(rule.name().c_str());
       for (const Binding& b : f->bindings) {
-        ++opt_.stats_.transformations_matched;
+        ++st.transformations_matched;
         if (!rule.Condition(b, opt_.memo_)) continue;
         if (opt_.options_.fault != nullptr &&
             opt_.options_.fault->FailRuleApplication()) {
           continue;  // injected: the rule fails to fire
         }
-        ++opt_.metrics_.transformations[rule.id()].fired;
+        ++metrics.transformations[rule.id()].fired;
         RexPtr rex = rule.Apply(b, opt_.memo_);
         if (rex == nullptr) continue;
-        ++opt_.stats_.transformations_applied;
-        ++opt_.metrics_.transformations[rule.id()].succeeded;
+        ++st.transformations_applied;
+        ++metrics.transformations[rule.id()].succeeded;
         ++applied;
         opt_.memo_.InsertRex(*rex, opt_.memo_.Find(f->expr->group()));
         f->changed = true;

@@ -15,7 +15,8 @@
 //      freezes the frames in place and Optimizer::Resume() continues from
 //      the exact preemption point.
 //   3. Parallelism: with SearchOptions::workers > 1, the independent moves
-//      of each goal fan out across a worker pool (see DESIGN.md §9).
+//      of the root goal fan out across a worker pool with work stealing
+//      (see DESIGN.md §11).
 //
 // In default single-threaded mode the engine replicates the recursive
 // control flow site for site — budget checkpoints, move collection and
@@ -27,6 +28,7 @@
 #ifndef VOLCANO_SEARCH_TASK_ENGINE_H_
 #define VOLCANO_SEARCH_TASK_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <utility>
@@ -43,7 +45,9 @@ class TaskEngine {
   /// `worker_mode` engines are the short-lived per-thread engines of a
   /// parallel fan-out (see FanOutMoves): they never park on a budget trip,
   /// never probe the native stack (they run on a foreign thread's stack),
-  /// and execute entirely under Optimizer::engine_mu_.
+  /// route their stats through a thread-local WorkerContext, and follow the
+  /// memo's reader/writer lock protocol (shared while costing, exclusive
+  /// while inserting; see Memo's concurrency notes and DESIGN.md §11).
   explicit TaskEngine(Optimizer& opt, bool worker_mode = false);
   ~TaskEngine();
 
@@ -234,6 +238,7 @@ class TaskEngine {
     kExpRuleNext,    // next transformation rule for the expression
     kExpMatch,       // matcher running; then apply bindings
     kExpRoundEnd,    // round done: repeat if anything changed
+    kExpAcquire,     // worker mode: re-check + claim under the exclusive lock
   };
 
   // --- engine core ---------------------------------------------------------
@@ -272,9 +277,11 @@ class TaskEngine {
   // --- parallel fan-out (SearchOptions::workers > 1) -----------------------
 
   /// Pursues all collected moves of `f` on a worker pool instead of the task
-  /// stack: workers claim moves from a shared cursor, evaluate each one
-  /// start-to-finish with a private worker engine while holding
-  /// Optimizer::engine_mu_, and the main thread reduces the results in move
+  /// stack: the move indices are dealt round-robin into per-worker steal
+  /// queues (support/task_stack.h), each worker evaluates its moves
+  /// start-to-finish with a private worker engine under the memo's
+  /// reader/writer lock protocol, idle workers steal the cold half of a
+  /// peer's queue, and the main thread reduces the joined results in move
   /// (promise) order with the exact serial install semantics. Fills
   /// f->best / f->best_cost; the caller finishes the goal.
   void FanOutMoves(GoalFrame* f);
@@ -283,10 +290,44 @@ class TaskEngine {
   /// via Run with an infinite cost limit — subgoal winners are
   /// limit-independent, so the reduce step reproduces serial pruning).
   /// Returns true and fills *plan / *total when the move yielded a complete
-  /// plan; the install decision belongs to the reduce step.
+  /// plan; the install decision belongs to the reduce step. `incumbent` is
+  /// non-null only in ParallelMode::kFast: the shared best-total bound that
+  /// lets a worker abandon a move mid-evaluation (cost-equivalent results,
+  /// no longer bit-identical to the serial move reduction).
   bool EvaluateMoveParallel(const Optimizer::Move& mv, GroupId group,
                             const LogicalPropsPtr& logical, PlanPtr* plan,
-                            Cost* total);
+                            Cost* total,
+                            const std::atomic<double>* incumbent);
+
+  // --- worker-mode concurrency support -------------------------------------
+
+  /// The memo structure-lock state a worker engine currently holds. Workers
+  /// hold the lock SHARED while costing (reads plus internally synchronized
+  /// winner/interner writes) and EXCLUSIVE while exploring (structure
+  /// growth: InsertRex, merges, fired masks). The mode is derived from the
+  /// top frame's kind each Loop iteration and only transitions on change;
+  /// transitions release before re-acquiring (no in-place upgrade, no
+  /// deadlock). Serial engines never touch the lock.
+  enum class LockMode : uint8_t { kNone, kShared, kExclusive };
+
+  /// Transitions the worker's structure-lock state to `want`.
+  void WorkerLock(LockMode want);
+
+  /// In-progress goal marks for this worker's own in-flight goals, layered
+  /// over the memo's marks (which are frozen while the fan-out runs — the
+  /// only memo-level mark is the root goal's). Writing the shared table
+  /// from workers would race; each worker only ever needs to see its own
+  /// cycles plus the frozen root mark. Linear scan: the list length is the
+  /// worker's goal-frame depth.
+  bool GoalInProgress(GroupId group, const Goal& goal);
+  void MarkGoal(GroupId group, const Goal& goal);
+  void UnmarkGoal(GroupId group, const Goal& goal);
+
+  /// Winner-table probe: in worker mode copies the record out under the
+  /// stripe lock (a FindWinner pointer may dangle across a concurrent
+  /// StoreWinner rehash); serially it is the plain pointer probe.
+  /// Returns null when absent; `storage` backs the copy.
+  const Winner* ProbeWinner(GroupId group, const Goal& goal, Winner* storage);
 
   Optimizer& opt_;
   Arena arena_;
@@ -298,6 +339,8 @@ class TaskEngine {
   bool suspended_ = false;
   bool abandoning_ = false;
   bool worker_mode_ = false;
+  LockMode lock_mode_ = LockMode::kNone;
+  std::vector<std::pair<GroupId, Goal>> local_marks_;
 };
 
 }  // namespace volcano

@@ -12,8 +12,9 @@
 #define VOLCANO_SERVE_SERVE_STATS_H_
 
 #include <cstdint>
-#include <sstream>
 #include <string>
+
+#include "support/json_writer.h"
 
 namespace volcano::serve {
 
@@ -42,18 +43,23 @@ struct ServeStats {
   uint64_t model_rebuilds = 0;   ///< sessions re-deriving their RelModel
 
   std::string ToJson() const {
-    std::ostringstream os;
-    os << "{\"requests\": " << requests << ", \"ok\": " << ok
-       << ", \"errors\": " << errors << ", \"shed\": " << shed
-       << ", \"cached\": " << cached << ", \"degraded\": " << degraded
-       << ", \"cache_hits\": " << cache_hits
-       << ", \"cache_misses\": " << cache_misses
-       << ", \"cache_insertions\": " << cache_insertions
-       << ", \"cache_invalidations\": " << cache_invalidations
-       << ", \"cache_evictions\": " << cache_evictions
-       << ", \"catalog_bumps\": " << catalog_bumps
-       << ", \"model_rebuilds\": " << model_rebuilds << "}";
-    return os.str();
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("requests").Value(requests);
+    w.Key("ok").Value(ok);
+    w.Key("errors").Value(errors);
+    w.Key("shed").Value(shed);
+    w.Key("cached").Value(cached);
+    w.Key("degraded").Value(degraded);
+    w.Key("cache_hits").Value(cache_hits);
+    w.Key("cache_misses").Value(cache_misses);
+    w.Key("cache_insertions").Value(cache_insertions);
+    w.Key("cache_invalidations").Value(cache_invalidations);
+    w.Key("cache_evictions").Value(cache_evictions);
+    w.Key("catalog_bumps").Value(catalog_bumps);
+    w.Key("model_rebuilds").Value(model_rebuilds);
+    w.EndObject();
+    return w.Take();
   }
 };
 

@@ -4,11 +4,12 @@
 #include <istream>
 #include <optional>
 #include <ostream>
-#include <sstream>
 #include <utility>
 
 #include "relational/sql.h"
+#include "search/search_config.h"
 #include "serve/session.h"
+#include "support/json_writer.h"
 
 namespace volcano::serve {
 
@@ -27,81 +28,68 @@ const char* CodeName(Status::Code code) {
   return "UNKNOWN";
 }
 
-void AppendJsonEscaped(std::string_view s, std::string* out) {
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\r': *out += "\\r"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-}
-
-std::string JsonString(std::string_view s) {
-  std::string out = "\"";
-  AppendJsonEscaped(s, &out);
-  out += "\"";
-  return out;
-}
-
 /// The shared shape of cold and cached plan responses: identical field
 /// renderings, differing only in the "cached" flag (and the optional stats
 /// tail on cold responses) — the byte-identity contract of the plan cache.
+/// `stats_json` / `outcome_json` are pre-rendered nested documents (empty =
+/// omitted), spliced verbatim.
 std::string PlanResponse(uint64_t id, bool cached, bool degraded,
                          const char* source, uint64_t catalog_version,
                          const std::string& algebra,
                          const std::string& required, const std::string& plan,
-                         const std::string& cost, const std::string& extra) {
-  std::ostringstream os;
-  os << "{\"id\": " << id << ", \"ok\": true, \"cached\": "
-     << (cached ? "true" : "false") << ", \"degraded\": "
-     << (degraded ? "true" : "false") << ", \"source\": \"" << source
-     << "\", \"catalog_version\": " << catalog_version
-     << ", \"algebra\": " << JsonString(algebra)
-     << ", \"required\": " << JsonString(required)
-     << ", \"plan\": " << JsonString(plan)
-     << ", \"cost\": " << JsonString(cost) << extra << "}";
-  return os.str();
+                         const std::string& cost,
+                         const std::string& stats_json = {},
+                         const std::string& outcome_json = {}) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").Value(id);
+  w.Key("ok").Value(true);
+  w.Key("cached").Value(cached);
+  w.Key("degraded").Value(degraded);
+  w.Key("source").Value(source);
+  w.Key("catalog_version").Value(catalog_version);
+  w.Key("algebra").Value(algebra);
+  w.Key("required").Value(required);
+  w.Key("plan").Value(plan);
+  w.Key("cost").Value(cost);
+  if (!stats_json.empty()) w.Key("stats").Raw(stats_json);
+  if (!outcome_json.empty()) w.Key("outcome").Raw(outcome_json);
+  w.EndObject();
+  return w.Take();
 }
 
 std::string ErrorResponse(uint64_t id, const Status& status,
                           bool shed = false) {
-  std::ostringstream os;
-  os << "{\"id\": " << id << ", \"ok\": false, ";
-  if (shed) os << "\"shed\": true, ";
-  os << "\"error\": {\"code\": \""
-     << (shed ? "OVERLOADED" : CodeName(status.code())) << "\", \"message\": "
-     << JsonString(status.message());
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").Value(id);
+  w.Key("ok").Value(false);
+  if (shed) w.Key("shed").Value(true);
+  w.Key("error").BeginObject();
+  w.Key("code").Value(shed ? "OVERLOADED" : CodeName(status.code()));
+  w.Key("message").Value(status.message());
   if (!status.details().empty()) {
-    os << ", \"details\": {";
-    bool first = true;
+    w.Key("details").BeginObject();
     for (const auto& [k, v] : status.details()) {
-      if (!first) os << ", ";
-      first = false;
-      os << JsonString(k) << ": " << JsonString(v);
+      w.Key(k).Value(v);
     }
-    os << "}";
+    w.EndObject();
   }
-  os << "}}";
-  return os.str();
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
 }
 
 std::string AdminResponse(uint64_t id, const char* what,
                           uint64_t catalog_version) {
-  std::ostringstream os;
-  os << "{\"id\": " << id << ", \"ok\": true, \"admin\": \"" << what
-     << "\", \"catalog_version\": " << catalog_version << "}";
-  return os.str();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").Value(id);
+  w.Key("ok").Value(true);
+  w.Key("admin").Value(what);
+  w.Key("catalog_version").Value(catalog_version);
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace
@@ -115,6 +103,14 @@ Server::Server(rel::Catalog* catalog, ServerOptions options)
   // The serving loop owns the degradation ladder; the engine must hand back
   // its best (anytime/greedy) answer rather than erroring outright.
   options_.search.degradation = SearchOptions::Degradation::kAnytime;
+  VOLCANO_CHECK(options_.search_workers >= 0);
+  if (options_.search_workers > 0) {
+    options_.search.workers = options_.search_workers;
+  }
+  // Sessions hold a SearchConfig, so the composed knobs must validate here —
+  // at startup, where a misconfiguration is a deployment error — rather than
+  // per request.
+  VOLCANO_CHECK(ValidateSearchOptions(options_.search).ok());
   // Pre-intern the one symbol the SQL parser creates, so concurrent request
   // parsing never writes to the shared symbol table (sessions only Lookup).
   catalog_->symbols().Intern("count(*)");
@@ -252,9 +248,10 @@ void Server::WorkerLoop(int worker_index) {
   // reader lock so a concurrent version bump cannot interleave.
   std::optional<Session> session;
   {
-    SearchOptions base = options_.search;
+    // Validated in the constructor, so FromOptions cannot fail here.
+    SearchConfig config = SearchConfig::FromOptions(options_.search).value();
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
-    session.emplace(*catalog_, base, options_.model);
+    session.emplace(*catalog_, std::move(config), options_.model);
   }
   while (true) {
     Request req;
@@ -346,10 +343,13 @@ std::string Server::ProcessAdmin(uint64_t id, const std::string& line) {
     std::string serve_json = stats().ToJson();
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.ok;
-    std::ostringstream os;
-    os << "{\"id\": " << id << ", \"ok\": true, \"serve\": " << serve_json
-       << "}";
-    return os.str();
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("id").Value(id);
+    w.Key("ok").Value(true);
+    w.Key("serve").Raw(serve_json);
+    w.EndObject();
+    return w.Take();
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -397,7 +397,7 @@ std::string Server::ProcessSql(Session& session, uint64_t id,
     }
     return PlanResponse(id, /*cached=*/true, /*degraded=*/false, "exhaustive",
                         version, hit->algebra, hit->required, hit->plan,
-                        hit->cost, /*extra=*/"");
+                        hit->cost);
   }
 
   Session::Result r =
@@ -418,14 +418,15 @@ std::string Server::ProcessSql(Session& session, uint64_t id,
     ++stats_.ok;
     if (r.degraded) ++stats_.degraded;
   }
-  std::string extra;
+  std::string stats_json;
+  std::string outcome_json;
   if (options_.stats_in_response) {
-    extra = ", \"stats\": " + r.stats.ToJson() +
-            ", \"outcome\": " + r.outcome.ToJson();
+    stats_json = r.stats.ToJson();
+    outcome_json = r.outcome.ToJson();
   }
   return PlanResponse(id, /*cached=*/false, r.degraded,
                       PlanSourceName(r.source), version, r.algebra,
-                      r.required, r.plan, r.cost, extra);
+                      r.required, r.plan, r.cost, stats_json, outcome_json);
 }
 
 }  // namespace volcano::serve

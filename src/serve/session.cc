@@ -7,10 +7,10 @@
 
 namespace volcano::serve {
 
-Session::Session(rel::Catalog& catalog, SearchOptions base,
+Session::Session(rel::Catalog& catalog, SearchConfig config,
                  rel::RelModelOptions model_options)
     : catalog_(catalog),
-      base_(std::move(base)),
+      config_(std::move(config)),
       model_options_(std::move(model_options)) {
   Rebuild();
 }
@@ -20,7 +20,7 @@ void Session::Rebuild() {
   // it first.
   optimizer_.reset();
   model_ = std::make_unique<rel::RelModel>(catalog_, model_options_);
-  optimizer_ = std::make_unique<Optimizer>(*model_, base_);
+  optimizer_ = std::make_unique<Optimizer>(*model_, config_);
   model_version_ = catalog_.version();
 }
 

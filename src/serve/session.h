@@ -27,6 +27,7 @@
 #include "relational/rel_model.h"
 #include "relational/sql.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "search/search_options.h"
 #include "support/budget.h"
 #include "support/status.h"
@@ -50,12 +51,14 @@ class Session {
     SearchStats stats;      ///< per-request search effort
   };
 
-  /// `base` carries the search configuration; its budget field is overridden
-  /// per request. The catalog must outlive the session. The catalog reference
-  /// is non-const only because the SQL parser interns into its symbol table;
-  /// the server pre-interns those symbols so concurrent sessions never write
-  /// to it (see Server's constructor).
-  Session(rel::Catalog& catalog, SearchOptions base,
+  /// `config` carries the validated search configuration (holding a
+  /// SearchConfig is proof the knob combination is one the engine supports);
+  /// its budget field is overridden per request. The catalog must outlive
+  /// the session. The catalog reference is non-const only because the SQL
+  /// parser interns into its symbol table; the server pre-interns those
+  /// symbols so concurrent sessions never write to it (see Server's
+  /// constructor).
+  Session(rel::Catalog& catalog, SearchConfig config,
           rel::RelModelOptions model_options = {});
 
   /// Rebuilds the model + optimizer if the catalog version moved since the
@@ -97,7 +100,7 @@ class Session {
   void Rebuild();
 
   rel::Catalog& catalog_;
-  SearchOptions base_;
+  SearchConfig config_;
   rel::RelModelOptions model_options_;
   std::unique_ptr<rel::RelModel> model_;
   std::unique_ptr<Optimizer> optimizer_;

@@ -1,0 +1,170 @@
+// One JSON emitter for every stats/response surface.
+//
+// The repo grew four hand-rolled JSON assemblers (SearchStats, OptimizeOutcome,
+// ExodusStats, the serve response renderers), each with its own escaping and
+// separator bookkeeping — and each a chance for `vopt --stats-json` and `vopt
+// serve` to drift apart. JsonWriter replaces them: a small append-only writer
+// over one std::string with explicit Begin/End nesting, automatic comma
+// placement, and centralized string escaping.
+//
+// Output style is pinned to the repo's existing wire format — `", "` between
+// members and `": "` after keys (`{"ok": true, "id": 7}`) — so the serve
+// protocol's byte-identity contract (cached responses replay cold responses
+// exactly) and the committed BENCH_*.json files survive the migration.
+//
+// The writer does not validate that calls form a legal document (that is the
+// caller's structure, checked by the round-trip tests); it only guarantees
+// separators and escaping. It never throws and performs no I/O.
+
+#ifndef VOLCANO_SUPPORT_JSON_WRITER_H_
+#define VOLCANO_SUPPORT_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace volcano {
+
+class JsonWriter {
+ public:
+  JsonWriter() { nesting_.reserve(8); }
+
+  // --- structure -----------------------------------------------------------
+
+  JsonWriter& BeginObject() {
+    Separate();
+    out_.push_back('{');
+    nesting_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    nesting_.pop_back();
+    out_.push_back('}');
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Separate();
+    out_.push_back('[');
+    nesting_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    nesting_.pop_back();
+    out_.push_back(']');
+    return *this;
+  }
+
+  /// Object member key: emits the separator, the quoted (escaped) key, and
+  /// `": "`. The next value call attaches without a separator.
+  JsonWriter& Key(std::string_view key) {
+    Separate();
+    AppendQuoted(key);
+    out_.append(": ");
+    pending_value_ = true;
+    return *this;
+  }
+
+  // --- values --------------------------------------------------------------
+
+  JsonWriter& Value(uint64_t v) { Separate(); out_.append(std::to_string(v)); return *this; }
+  JsonWriter& Value(int64_t v) { Separate(); out_.append(std::to_string(v)); return *this; }
+  JsonWriter& Value(uint32_t v) { return Value(static_cast<uint64_t>(v)); }
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v) {
+    Separate();
+    out_.append(v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& Value(std::string_view s) {
+    Separate();
+    AppendQuoted(s);
+    return *this;
+  }
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonWriter& Null() { Separate(); out_.append("null"); return *this; }
+
+  /// Fixed-precision double (`%.*f`) — the repo's numeric wire format for
+  /// fractions, seconds, and costs. JSON has no NaN/Infinity; they render as
+  /// null so downstream parsers (python json in bench_report) keep working.
+  JsonWriter& Fixed(double v, int precision) {
+    Separate();
+    if (!std::isfinite(v)) {
+      out_.append("null");
+      return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    out_.append(buf);
+    return *this;
+  }
+
+  /// Splices pre-rendered JSON (e.g. a nested document produced by another
+  /// ToJson) as a value, with separator handling but no re-escaping.
+  JsonWriter& Raw(std::string_view json) {
+    Separate();
+    out_.append(json);
+    return *this;
+  }
+
+  // --- result --------------------------------------------------------------
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+  /// JSON string escaping shared by every emitter (also usable standalone).
+  /// Uses the two-character short escapes for the common whitespace controls
+  /// (plan renderings are full of newlines and tabs) and \u00xx for the rest.
+  static void Escape(std::string_view s, std::string* out) {
+    for (char c : s) {
+      switch (c) {
+        case '"': out->append("\\\""); break;
+        case '\\': out->append("\\\\"); break;
+        case '\n': out->append("\\n"); break;
+        case '\r': out->append("\\r"); break;
+        case '\t': out->append("\\t"); break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out->append(buf);
+          } else {
+            out->push_back(c);
+          }
+      }
+    }
+  }
+
+ private:
+  /// Emits `", "` before the second and later members of the innermost
+  /// object/array. A value directly after Key() attaches bare.
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (nesting_.empty()) return;
+    if (nesting_.back()) {
+      out_.append(", ");
+    } else {
+      nesting_.back() = true;
+    }
+  }
+
+  void AppendQuoted(std::string_view s) {
+    out_.push_back('"');
+    Escape(s, &out_);
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  std::vector<bool> nesting_;  // per level: "first member already written"
+  bool pending_value_ = false;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SUPPORT_JSON_WRITER_H_

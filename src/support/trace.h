@@ -27,6 +27,7 @@
 #define VOLCANO_SUPPORT_TRACE_H_
 
 #include <cstdint>
+#include <mutex>
 
 namespace volcano {
 
@@ -109,14 +110,20 @@ inline thread_local uint32_t tls_worker_id = 0;
 /// Stamps every event with a per-optimizer monotonic sequence number and the
 /// emitting worker's id (TraceEvent::seq / ::worker), then forwards to the
 /// wrapped sink. The optimizer interposes one of these in front of any
-/// user-installed sink; parallel workers emit while holding the engine's
-/// task mutex, so the stamped sequence is a total order even across workers
-/// and merged streams can be re-sorted by it.
+/// user-installed sink. Parallel workers emit truly concurrently (there is no
+/// engine-wide mutex anymore), so stamping and forwarding happen under one
+/// internal mutex: the stamped sequence stays a contiguous total order across
+/// workers, the inner sink sees events serialized in that order, and plain
+/// sinks like TraceLog need no locking of their own. This serializes tracing
+/// only — a traced parallel run measures the search, not the tracer, as long
+/// as the sink is cheap; untraced runs never reach this code (the emission
+/// macro's null check short-circuits first).
 class StampingTraceSink : public TraceSink {
  public:
   void set_inner(TraceSink* inner) { inner_ = inner; }
 
   void OnEvent(const TraceEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
     TraceEvent e = event;
     e.seq = ++seq_;
     e.worker = trace_internal::tls_worker_id;
@@ -124,6 +131,7 @@ class StampingTraceSink : public TraceSink {
   }
 
  private:
+  std::mutex mu_;
   TraceSink* inner_ = nullptr;
   uint64_t seq_ = 0;
 };

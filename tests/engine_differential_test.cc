@@ -117,6 +117,33 @@ TEST(EngineDifferential, ParallelMatchesSingleThreadedOnDigestGrid) {
   EXPECT_TRUE(any_fan_out);
 }
 
+// Fast mode trades plan-shape reproducibility for a shared branch-and-bound
+// incumbent; what it must NOT trade is optimality. Across the digest grid the
+// fast-mode winner re-costs exactly equal to the deterministic winner (plan
+// lines may legitimately differ when distinct shapes tie on cost).
+TEST(EngineDifferential, FastModeCostMatchesDeterministicOnDigestGrid) {
+  for (int order_by = 0; order_by <= 1; ++order_by) {
+    for (int n = 2; n <= 10; ++n) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        rel::Workload w = MakeChain(n, seed, order_by != 0);
+        SearchOptions det;
+        det.workers = 4;
+        SearchOptions fast = det;
+        fast.parallel_mode = SearchOptions::ParallelMode::kFast;
+
+        RunOutput d = RunOne(w, det);
+        RunOutput f = RunOne(w, fast);
+        SCOPED_TRACE("n=" + std::to_string(n) + " seed=" +
+                     std::to_string(seed) + " order_by=" +
+                     std::to_string(order_by));
+        ASSERT_EQ(d.ok, f.ok) << d.status << " vs " << f.status;
+        if (!d.ok) continue;
+        EXPECT_DOUBLE_EQ(d.cost, f.cost);
+      }
+    }
+  }
+}
+
 // The interleaved (Figure 2 verbatim) strategy pursues serially even with
 // workers configured; plans still match the recursive engine.
 TEST(EngineDifferential, InterleavedStrategyMatchesAcrossEngines) {

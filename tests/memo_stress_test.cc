@@ -1,0 +1,172 @@
+// Shard-contention stress for the memo's parallel-mode locking (DESIGN.md
+// §11): many threads hammering the striped winner tables of a handful of
+// classes (every store/probe collides on the same goals) while a structure
+// writer inserts duplicate-signature expressions and triggers class merges
+// under the exclusive structure lock. Run under TSan in CI — the functional
+// assertions below (the surviving winner is the cheapest ever stored, winner
+// records never tear) matter, but the real product is the absence of data
+// races.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "relational/catalog.h"
+#include "relational/rel_model.h"
+#include "search/memo.h"
+
+namespace volcano {
+namespace {
+
+using rel::Catalog;
+using rel::RelModel;
+
+struct Fixture {
+  Fixture() {
+    VOLCANO_CHECK(catalog.AddRelation("A", 1000, 100, 2).ok());
+    VOLCANO_CHECK(catalog.AddRelation("B", 2000, 100, 2).ok());
+    model = std::make_unique<RelModel>(catalog);
+  }
+  Catalog catalog;
+  std::unique_ptr<RelModel> model;
+};
+
+// Deterministic per-thread cost sequence (no shared RNG).
+double CostFor(int thread, int iter) {
+  uint64_t x = static_cast<uint64_t>(thread) * 2654435761u +
+               static_cast<uint64_t>(iter) * 40503u + 1;
+  x ^= x >> 13;
+  x *= 0x2545f4914f6cdd1dull;
+  x ^= x >> 31;
+  return 1.0 + static_cast<double>(x % 100000);
+}
+
+TEST(MemoStress, ConcurrentWinnerInstallsKeepCheapest) {
+  Fixture f;
+  Memo memo(*f.model);
+  // A few classes so stores collide both within one stripe and across
+  // stripes; every thread targets every class with the same canonical goal.
+  std::vector<GroupId> groups;
+  groups.push_back(memo.InsertQuery(*f.model->Get("A")));
+  groups.push_back(memo.InsertQuery(*f.model->Get("B")));
+  const Goal goal =
+      memo.CanonicalGoal(memo.InternProps(f.model->AnyProps()), nullptr);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  memo.SetConcurrent(true);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        GroupId g = groups[static_cast<size_t>(i) % groups.size()];
+        // The worker protocol: winner traffic runs under the shared
+        // structure lock; the stripe mutexes serialize the table itself.
+        std::shared_lock<std::shared_mutex> lock(memo.structure_mutex());
+        g = memo.Find(g);
+        memo.StoreWinner(g, goal, Winner{nullptr, Cost::Scalar(CostFor(t, i))});
+        Winner probe;
+        if (memo.ProbeWinner(g, goal, &probe)) {
+          // A concurrent probe must never see a torn record.
+          EXPECT_TRUE(probe.failed());
+          EXPECT_GE(probe.cost[0], 1.0);
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  memo.SetConcurrent(false);
+
+  // Failure records keep the *highest* limit (memo_test.cc
+  // FailureRecordsKeepHighestLimit); concurrency must not change which
+  // record survives.
+  for (GroupId g : groups) {
+    double best = 0.0;
+    for (int t = 0; t < kThreads; ++t) {
+      for (int i = 0; i < kIters; ++i) {
+        if (groups[static_cast<size_t>(i) % groups.size()] != g) continue;
+        best = std::max(best, CostFor(t, i));
+      }
+    }
+    const Winner* w = memo.FindWinner(memo.Find(g), goal);
+    ASSERT_NE(w, nullptr);
+    EXPECT_DOUBLE_EQ(w->cost[0], best);
+  }
+}
+
+TEST(MemoStress, ReadersSurviveStructureGrowthAndMerges) {
+  Fixture f;
+  Memo memo(*f.model);
+  // The MergePropagatesToParents shape: two leaf classes that will be
+  // declared equivalent mid-run, with identical join parents above them so
+  // the merge cascades while readers resolve Find chains.
+  Symbol a0 = f.catalog.symbols().Lookup("A.a0");
+  Symbol b0 = f.catalog.symbols().Lookup("B.a0");
+  ExprPtr sel_a = f.model->Select(f.model->Get("A"), a0,
+                                  rel::CmpOp::kLess, 10, 0.1);
+  GroupId g1 = memo.InsertQuery(*sel_a);
+  GroupId ga = memo.InsertQuery(*f.model->Get("A"));
+  GroupId gb = memo.InsertQuery(*f.model->Get("B"));
+  OpArgPtr arg = rel::JoinArg::Make(f.catalog.symbols(), a0, b0);
+  auto [p1, c1] = memo.InsertMExpr(f.model->ops().join, arg, {g1, gb},
+                                   kInvalidGroup);
+  auto [p2, c2] = memo.InsertMExpr(f.model->ops().join, arg, {ga, gb},
+                                   kInvalidGroup);
+  ASSERT_TRUE(c1);
+  ASSERT_TRUE(c2);
+  GroupId root = p1->group();
+  const Goal goal =
+      memo.CanonicalGoal(memo.InternProps(f.model->AnyProps()), nullptr);
+
+  // Both sides run a FIXED number of iterations — no stop flag. A flag-based
+  // shutdown deadlocks on reader-preferring rwlocks (spinning readers starve
+  // the writer's unique_lock forever) and, when the writer wins the race
+  // instead, readers can exit before a single iteration, voiding the test.
+  constexpr int kReaders = 6;
+  constexpr int kReaderIters = 2000;
+  constexpr int kWriterIters = 3000;
+  memo.SetConcurrent(true);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < kReaderIters; ++i) {
+        std::shared_lock<std::shared_mutex> lock(memo.structure_mutex());
+        // Find's path compression is the one benign write readers perform;
+        // after the mid-run merge it walks a real parent chain.
+        GroupId g = memo.Find((i % 2) == 0 ? root : ga);
+        memo.StoreWinner(g, goal, Winner{nullptr, Cost::Scalar(CostFor(t, i))});
+        Winner probe;
+        memo.ProbeWinner(g, goal, &probe);
+        (void)memo.group(g).exprs().size();
+      }
+    });
+  }
+  // Structure writer: duplicate-signature re-inserts (sig_table_ probes that
+  // the duplicate detector folds) under the exclusive lock, like a worker's
+  // exploration step — plus one cascading class merge at the midpoint.
+  size_t merges_before = memo.num_merges();
+  for (int i = 0; i < kWriterIters; ++i) {
+    std::unique_lock<std::shared_mutex> lock(memo.structure_mutex());
+    GroupId g = memo.InsertQuery(*f.model->Get((i % 2) == 0 ? "A" : "B"));
+    ASSERT_NE(memo.Find(g), kInvalidGroup);
+    if (i == kWriterIters / 2) {
+      memo.InsertRex(*RexNode::Leaf(ga), g1);  // g1 == ga; parents cascade
+    }
+  }
+  for (std::thread& th : readers) th.join();
+  memo.SetConcurrent(false);
+
+  // The merge must have happened and cascaded to the join parents, and
+  // duplicate detection must have folded every re-insert.
+  EXPECT_GT(memo.num_merges(), merges_before);
+  EXPECT_EQ(memo.Find(p1->group()), memo.Find(p2->group()));
+  const Winner* w = memo.FindWinner(memo.Find(root), goal);
+  ASSERT_NE(w, nullptr);
+  EXPECT_TRUE(w->failed());
+}
+
+}  // namespace
+}  // namespace volcano

@@ -18,6 +18,8 @@
 // (see src/serve/server.h for the protocol). Serve options:
 //   --catalog FILE       as below
 //   --serve-workers N    worker threads (default 1)
+//   --search-workers N   intra-query search workers per session (default:
+//                        single-threaded search)
 //   --max-inflight N     admission cap; excess requests answered OVERLOADED
 //   --cache-capacity N   plan-cache entries (0 disables)
 //   --timeout-ms/--max-mexprs/--max-calls   per-request budget
@@ -53,6 +55,9 @@
 //   --workers N      task engine only: fan the root goal's moves across N
 //                    worker threads; the chosen plan is identical to the
 //                    single-threaded search (trace events carry worker ids)
+//   --parallel-mode M  with --workers N > 1: 'deterministic' (default;
+//                    bit-identical plans) or 'fast' (cross-move incumbent
+//                    pruning; same plan cost, shape may vary run to run)
 //
 // A budget trip can also suspend instead of degrading: with
 // SearchOptions::suspend_on_trip (library API), the task stack freezes in
@@ -82,6 +87,7 @@
 #include "search/dot.h"
 #include "search/explain.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "search/trace_io.h"
 #include "serve/server.h"
 #include "support/metrics.h"
@@ -192,6 +198,9 @@ int RunServe(int argc, char** argv) {
       catalog_path = argv[++i];
     } else if (arg == "--serve-workers" && i + 1 < argc) {
       options.workers = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--search-workers" && i + 1 < argc) {
+      options.search_workers =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg == "--max-inflight" && i + 1 < argc) {
       options.max_inflight = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--cache-capacity" && i + 1 < argc) {
@@ -215,6 +224,23 @@ int RunServe(int argc, char** argv) {
   if (options.workers < 1) {
     std::fprintf(stderr, "vopt serve: --serve-workers must be >= 1\n");
     return kExitUsage;
+  }
+  {
+    // Pre-validate the composed search knobs: the server constructor
+    // re-checks and aborts, but a flag mistake should be a usage error.
+    if (options.search_workers < 0) {
+      std::fprintf(stderr,
+                   "vopt serve: --search-workers must be >= 0, got %d\n",
+                   options.search_workers);
+      return kExitUsage;
+    }
+    volcano::SearchOptions composed = options.search;
+    if (options.search_workers > 0) composed.workers = options.search_workers;
+    volcano::Status s = volcano::ValidateSearchOptions(composed);
+    if (!s.ok()) {
+      std::fprintf(stderr, "vopt serve: %s\n", s.ToString().c_str());
+      return kExitUsage;
+    }
   }
 
   rel::Catalog catalog;
@@ -299,6 +325,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--workers" && i + 1 < argc) {
       search_options.workers =
           static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--parallel-mode" && i + 1 < argc) {
+      std::string mode = argv[++i];
+      if (mode == "deterministic") {
+        search_options.parallel_mode =
+            volcano::SearchOptions::ParallelMode::kDeterministic;
+      } else if (mode == "fast") {
+        search_options.parallel_mode =
+            volcano::SearchOptions::ParallelMode::kFast;
+      } else {
+        std::fprintf(stderr, "vopt: unknown parallel mode '%s'\n",
+                     mode.c_str());
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "vopt: unknown option %s\n", arg.c_str());
       return 2;
@@ -312,7 +351,8 @@ int main(int argc, char** argv) {
                  "[--stats-json] [--explain] [--trace FILE] "
                  "[--execute SEED] [--timeout-ms N] [--max-mexprs N] "
                  "[--max-calls N] [--strict] [--fallback] "
-                 "[--engine task|recursive] [--workers N] \"SQL\"\n");
+                 "[--engine task|recursive] [--workers N] "
+                 "[--parallel-mode deterministic|fast] \"SQL\"\n");
     return 2;
   }
   if (strict && fallback) {
@@ -364,7 +404,13 @@ int main(int argc, char** argv) {
     search_options.trace = trace_sink.get();
   }
 
-  volcano::Optimizer optimizer(model, search_options);
+  volcano::StatusOr<volcano::SearchConfig> config =
+      volcano::SearchConfig::FromOptions(search_options);
+  if (!config.ok()) {
+    std::fprintf(stderr, "vopt: %s\n", config.status().ToString().c_str());
+    return 2;
+  }
+  volcano::Optimizer optimizer(model, *config);
   volcano::OptimizeOutcome outcome;
   volcano::StatusOr<volcano::PlanPtr> plan =
       fallback ? volcano::exodus::OptimizeWithFallback(
