@@ -14,6 +14,7 @@
 #include "relational/query_gen.h"
 #include "relational/rel_plan_cost.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "support/timer.h"
 
 int main(int argc, char** argv) {
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
         SearchOptions opts;
         opts.move_limit = kLimits[c];
         Timer t;
-        Optimizer opt(*w.model, opts);
+        Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
         StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
         ms[c] += t.ElapsedMillis();
         if (!plan.ok()) {

@@ -14,6 +14,7 @@
 #include "relational/query_gen.h"
 #include "relational/rel_plan_cost.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "support/timer.h"
 
 int main(int argc, char** argv) {
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
       SearchOptions glue_opts;
       glue_opts.glue_properties = true;
       Timer t2;
-      Optimizer glued(*w.model, glue_opts);
+      Optimizer glued(*w.model, SearchConfig::FromOptions(glue_opts).value());
       StatusOr<PlanPtr> pg = glued.Optimize(*w.query, w.required);
       glue_ms += t2.ElapsedMillis();
 

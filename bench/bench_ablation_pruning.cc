@@ -14,6 +14,7 @@
 
 #include "relational/query_gen.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "support/timer.h"
 
 namespace volcano {
@@ -39,7 +40,8 @@ void RunLevel(int relations, int queries, const Config* configs,
         wopts, 2000u * relations + static_cast<uint64_t>(q));
     for (int c = 0; c < num_configs; ++c) {
       Timer t;
-      Optimizer opt(*w.model, configs[c].options);
+      Optimizer opt(*w.model,
+                    SearchConfig::FromOptions(configs[c].options).value());
       StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
       ms[c] += t.ElapsedMillis();
       if (!plan.ok()) {

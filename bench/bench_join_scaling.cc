@@ -1,0 +1,170 @@
+// Join-order scaling: greedy incumbent seeding and budgeted big-join search
+// (DESIGN.md §12) over the chain/star/clique workload families at 10 to 100
+// relations with skewed cardinalities.
+//
+// Two measurements, both emitted line-per-config for
+// `tools/bench_report --join-scaling`:
+//
+//   join_seeding  — seeded vs unseeded wall clock at sizes where unseeded
+//                   exhaustive search is still feasible (the classic Volcano
+//                   regime, 10-12 relations). cost_ratio is seeded plan cost
+//                   over unseeded optimal cost: 1.000 means seeding changed
+//                   nothing but the clock.
+//   join_budget   — plan quality vs budget at 25/50/100 relations, where
+//                   exhaustive search is hopeless and the search runs under
+//                   join_budget_ms with the greedy seed as the guaranteed
+//                   floor. quality = greedy seed cost / returned plan cost
+//                   (>= 1.000 exactly when the budgeted search improved on
+//                   the seed).
+//
+// Usage: bench_join_scaling [queries_per_cell]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "relational/join_graph.h"
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+#include "search/search_config.h"
+#include "support/timer.h"
+
+namespace volcano {
+namespace {
+
+using rel::WorkloadOptions;
+
+const char* FamilyName(WorkloadOptions::JoinGraph family) {
+  switch (family) {
+    case WorkloadOptions::JoinGraph::kChain: return "chain";
+    case WorkloadOptions::JoinGraph::kStar: return "star";
+    case WorkloadOptions::JoinGraph::kClique: return "clique";
+    case WorkloadOptions::JoinGraph::kRandomTree: return "random";
+  }
+  return "unknown";
+}
+
+rel::Workload MakeQuery(WorkloadOptions::JoinGraph family, int n,
+                        uint64_t seed) {
+  return rel::GenerateWorkload(rel::JoinScalingOptions(family, n),
+                               9000u * static_cast<uint64_t>(n) + seed);
+}
+
+struct RunResult {
+  double ms = 0.0;
+  double cost = 0.0;
+  PlanSource source = PlanSource::kExhaustive;
+};
+
+RunResult RunOne(const rel::Workload& w, const SearchOptions& so) {
+  Optimizer opt(*w.model, SearchConfig::FromOptions(so).value());
+  Timer t;
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  RunResult r;
+  r.ms = t.ElapsedMillis();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "optimize failed: %s\n",
+                 plan.status().ToString().c_str());
+    std::exit(1);
+  }
+  r.cost = w.model->cost_model().Total((*plan)->cost());
+  r.source = opt.outcome().source;
+  return r;
+}
+
+/// Cost of the greedy seed plan alone (the budgeted search's floor).
+double SeedCost(const rel::Workload& w) {
+  ExprPtr reordered = rel::GreedyReorderQuery(*w.query, *w.model);
+  if (reordered == nullptr) return 0.0;
+  SearchOptions so;
+  so.physical_only = true;
+  Optimizer opt(*w.model, SearchConfig::FromOptions(so).value());
+  StatusOr<PlanPtr> plan = opt.Optimize(*reordered, w.required);
+  if (!plan.ok()) return 0.0;
+  return w.model->cost_model().Total((*plan)->cost());
+}
+
+void SeedingSpeedup(int queries, WorkloadOptions::JoinGraph family, int n) {
+  SearchOptions unseeded;
+  SearchOptions seeded;
+  seeded.join_seed = true;
+  // The scaling deployment: above 10 relations the search escalates to the
+  // budgeted big-join mode (cardinality-ordered moves, greedy floor).
+  seeded.join_seed_threshold = 10;
+  seeded.join_budget_ms = 250.0;
+
+  double un_ms = 0.0, se_ms = 0.0, un_cost = 0.0, se_cost = 0.0;
+  for (int q = 0; q < queries; ++q) {
+    rel::Workload w = MakeQuery(family, n, static_cast<uint64_t>(q));
+    RunResult u = RunOne(w, unseeded);
+    RunResult s = RunOne(w, seeded);
+    un_ms += u.ms;
+    se_ms += s.ms;
+    un_cost += u.cost;
+    se_cost += s.cost;
+  }
+  std::printf(
+      "join_seeding topology=%s n=%d unseeded_ms=%.3f seeded_ms=%.3f "
+      "speedup=%.3f cost_ratio=%.4f\n",
+      FamilyName(family), n, un_ms / queries, se_ms / queries,
+      se_ms > 0.0 ? un_ms / se_ms : 0.0,
+      un_cost > 0.0 ? se_cost / un_cost : 0.0);
+}
+
+void BudgetCurve(int queries, WorkloadOptions::JoinGraph family, int n,
+                 double budget_ms) {
+  SearchOptions so;
+  so.join_seed = true;
+  so.join_seed_threshold = 10;
+  so.join_budget_ms = budget_ms;
+
+  double ms = 0.0, quality = 0.0;
+  int improved = 0;
+  for (int q = 0; q < queries; ++q) {
+    rel::Workload w = MakeQuery(family, n, static_cast<uint64_t>(q));
+    const double seed_cost = SeedCost(w);
+    RunResult r = RunOne(w, so);
+    ms += r.ms;
+    quality += seed_cost > 0.0 && r.cost > 0.0 ? seed_cost / r.cost : 1.0;
+    if (r.cost < seed_cost * (1 - 1e-9)) ++improved;
+  }
+  std::printf(
+      "join_budget topology=%s n=%d budget_ms=%.0f ms=%.3f quality=%.6g "
+      "improved=%d/%d\n",
+      FamilyName(family), n, budget_ms, ms / queries, quality / queries,
+      improved, queries);
+}
+
+}  // namespace
+}  // namespace volcano
+
+int main(int argc, char** argv) {
+  using volcano::rel::WorkloadOptions;
+  int queries = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  std::printf("queries_per_cell: %d\n", queries);
+
+  // Warm-up (allocator first-touch) outside the measured cells.
+  {
+    volcano::rel::Workload w =
+        volcano::MakeQuery(WorkloadOptions::JoinGraph::kChain, 10, 99);
+    volcano::SearchOptions so;
+    (void)volcano::RunOne(w, so);
+  }
+
+  for (int n : {10, 12}) {
+    volcano::SeedingSpeedup(queries, WorkloadOptions::JoinGraph::kChain, n);
+    volcano::SeedingSpeedup(queries, WorkloadOptions::JoinGraph::kClique, n);
+  }
+
+  for (WorkloadOptions::JoinGraph family :
+       {WorkloadOptions::JoinGraph::kChain, WorkloadOptions::JoinGraph::kStar,
+        WorkloadOptions::JoinGraph::kClique}) {
+    for (int n : {25, 50, 100}) {
+      for (double budget_ms : {50.0, 250.0, 1000.0}) {
+        volcano::BudgetCurve(queries, family, n, budget_ms);
+      }
+    }
+  }
+  return 0;
+}

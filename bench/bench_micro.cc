@@ -12,6 +12,7 @@
 
 #include "relational/query_gen.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "support/intern.h"
 
 namespace volcano {
@@ -119,7 +120,7 @@ void BM_OptimizeEngine(benchmark::State& state) {
   options.engine = state.range(0) == 0 ? SearchOptions::Engine::kRecursive
                                        : SearchOptions::Engine::kTask;
   for (auto _ : state) {
-    Optimizer opt(*w.model, options);
+    Optimizer opt(*w.model, SearchConfig::FromOptions(options).value());
     benchmark::DoNotOptimize(opt.Optimize(*w.query, w.required).ok());
   }
 }
@@ -137,7 +138,7 @@ void BM_OptimizeParallel(benchmark::State& state) {
   SearchOptions options;
   options.workers = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    Optimizer opt(*w.model, options);
+    Optimizer opt(*w.model, SearchConfig::FromOptions(options).value());
     benchmark::DoNotOptimize(opt.Optimize(*w.query, w.required).ok());
   }
 }
@@ -168,7 +169,7 @@ void BM_OptimizeTraced(benchmark::State& state) {
   if (state.range(0) != 0) options.trace = &sink;
   uint64_t events = 0;
   for (auto _ : state) {
-    Optimizer opt(*w.model, options);
+    Optimizer opt(*w.model, SearchConfig::FromOptions(options).value());
     benchmark::DoNotOptimize(opt.Optimize(*w.query, w.required).ok());
   }
   events = sink.count();

@@ -12,6 +12,7 @@
 
 #include "relational/query_gen.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "support/timer.h"
 
 int main(int argc, char** argv) {
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
         opts.strategy = v == 0 ? SearchOptions::Strategy::kExploreFirst
                                : SearchOptions::Strategy::kInterleaved;
         Timer t;
-        Optimizer opt(*w.model, opts);
+        Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
         StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
         ms[v] += t.ElapsedMillis();
         if (!plan.ok()) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "algebra/cost.h"
+#include "algebra/expr.h"
 #include "algebra/op_arg.h"
 #include "algebra/operator_def.h"
 #include "algebra/properties.h"
@@ -53,6 +54,26 @@ class DataModel {
   /// The vacuous physical property vector: "no requirement". Every delivered
   /// property vector must Cover it.
   virtual PhysPropsPtr AnyProps() const = 0;
+
+  /// Optional heuristic rewrite of `query` into an equivalent expression the
+  /// model believes is cheap — e.g. a greedy join order over the query
+  /// graph. The engine plans it physical-only before the full search and
+  /// uses its cost to seed branch-and-bound (SearchOptions::join_seed). The
+  /// rewrite must be *equivalent* (reachable via the model's transformation
+  /// rules), so its cost upper-bounds the optimum. Null (the default) means
+  /// no heuristic is available and the search runs unseeded.
+  virtual ExprPtr HeuristicJoinOrder(const Expr& query) const {
+    (void)query;
+    return nullptr;
+  }
+
+  /// Enumeration-complexity measure of `query` for seeding/escalation
+  /// decisions — for relational models, the number of join leaves. Models
+  /// without a notion of joins return 0 (never seeded).
+  virtual int JoinComplexity(const Expr& query) const {
+    (void)query;
+    return 0;
+  }
 };
 
 }  // namespace volcano

@@ -28,6 +28,10 @@ class LogicalProps {
  public:
   virtual ~LogicalProps() = default;
   virtual std::string ToString() const = 0;
+  /// Estimated result cardinality, for cardinality-guided move ordering on
+  /// big joins (SearchOptions::join_seed escalation). Models without a
+  /// cardinality notion keep the default; 0 yields the unguided order.
+  virtual double EstimatedCardinality() const { return 0.0; }
 };
 
 using LogicalPropsPtr = std::shared_ptr<const LogicalProps>;

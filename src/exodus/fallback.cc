@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "search/search_config.h"
+
 namespace volcano::exodus {
 
 StatusOr<PlanPtr> OptimizeWithFallback(const rel::RelModel& model,
@@ -10,7 +12,9 @@ StatusOr<PlanPtr> OptimizeWithFallback(const rel::RelModel& model,
                                        const SearchOptions& options,
                                        OptimizeOutcome* outcome,
                                        const ExodusOptions& exodus_options) {
-  Optimizer optimizer(model, options);
+  StatusOr<SearchConfig> config = SearchConfig::FromOptions(options);
+  if (!config.ok()) return config.status();
+  Optimizer optimizer(model, config.value());
   StatusOr<PlanPtr> plan = optimizer.Optimize(query, required);
   if (outcome != nullptr) *outcome = optimizer.outcome();
   if (plan.ok() ||

@@ -1,0 +1,389 @@
+#include "relational/join_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "relational/rel_args.h"
+#include "relational/rel_props.h"
+
+namespace volcano::rel {
+
+namespace {
+
+/// Minimal union-find over node indices (graphs are small: one entry per
+/// join leaf).
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Merges the sets of a and b; returns the surviving root.
+  int Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return a;
+    parent_[b] = a;
+    return a;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// Derives logical properties for a standalone expression tree (the memo
+/// does this per group during search; extraction runs before any memo
+/// exists, so it re-derives bottom-up here).
+LogicalPropsPtr DeriveExprProps(const Expr& e, const RelModel& model) {
+  std::vector<LogicalPropsPtr> inputs;
+  inputs.reserve(e.num_inputs());
+  for (size_t i = 0; i < e.num_inputs(); ++i) {
+    inputs.push_back(DeriveExprProps(*e.input(i), model));
+  }
+  return model.DeriveLogicalProps(e.op(), e.arg().get(), inputs);
+}
+
+/// Walks through unary operators to the topmost expression that is either a
+/// JOIN or a non-join leaf; `chain` (optional) receives the skipped unary
+/// ancestors outermost-first.
+const Expr* DescendToJoin(const Expr& query, const RelModel& model,
+                          std::vector<const Expr*>* chain) {
+  const Expr* e = &query;
+  while (e->op() != model.ops().join && e->num_inputs() == 1) {
+    if (chain != nullptr) chain->push_back(e);
+    e = e->input(0).get();
+  }
+  return e;
+}
+
+/// Collects the non-JOIN leaves of the join subtree rooted at `e` (post
+/// order, left first) into `graph`, resolving each JOIN's predicate to leaf
+/// endpoints. Returns the indices of the leaves under `e`.
+std::vector<int> CollectJoinTree(const ExprPtr& e, const RelModel& model,
+                                 JoinGraph* graph,
+                                 std::vector<JoinGraphNode>* nodes,
+                                 std::vector<JoinGraphEdge>* edges,
+                                 bool* valid) {
+  if (e->op() != model.ops().join) {
+    JoinGraphNode node;
+    node.expr = e;
+    node.logical = DeriveExprProps(*e, model);
+    node.cardinality = AsRel(*node.logical).cardinality();
+    nodes->push_back(std::move(node));
+    return {static_cast<int>(nodes->size()) - 1};
+  }
+  std::vector<int> left = CollectJoinTree(e->input(0), model, graph, nodes,
+                                          edges, valid);
+  std::vector<int> right = CollectJoinTree(e->input(1), model, graph, nodes,
+                                           edges, valid);
+  const auto& arg = static_cast<const JoinArg&>(*e->arg());
+  // Resolve each predicate attribute to exactly one leaf on its side. Zero
+  // matches means the predicate references the wrong side (the effective
+  // graph is missing this edge); two or more means an ambiguous self-join
+  // alias — either way the graph is not trustworthy for reordering.
+  auto resolve = [&](const std::vector<int>& side, Symbol attr) {
+    int found = -1;
+    for (int idx : side) {
+      if (AsRel(*(*nodes)[idx].logical).HasAttr(attr)) {
+        if (found >= 0) return -2;  // ambiguous
+        found = idx;
+      }
+    }
+    return found;
+  };
+  JoinGraphEdge edge;
+  edge.left_attr = arg.left_attr();
+  edge.right_attr = arg.right_attr();
+  const int l = resolve(left, arg.left_attr());
+  const int r = resolve(right, arg.right_attr());
+  if (l >= 0 && r >= 0) {
+    edge.left = l;
+    edge.right = r;
+  } else {
+    *valid = false;
+  }
+  edges->push_back(edge);
+  left.insert(left.end(), right.begin(), right.end());
+  return left;
+}
+
+int CountLeavesOf(const Expr& e, const RelModel& model) {
+  if (e.op() != model.ops().join) return 1;
+  return CountLeavesOf(*e.input(0), model) + CountLeavesOf(*e.input(1), model);
+}
+
+}  // namespace
+
+const char* JoinTopologyName(JoinTopology t) {
+  switch (t) {
+    case JoinTopology::kChain: return "chain";
+    case JoinTopology::kStar: return "star";
+    case JoinTopology::kClique: return "clique";
+    case JoinTopology::kGeneral: return "general";
+    case JoinTopology::kDisconnected: return "disconnected";
+  }
+  return "unknown";
+}
+
+bool JoinGraph::connected() const {
+  const int n = static_cast<int>(nodes_.size());
+  if (n <= 1) return true;
+  UnionFind uf(n);
+  for (const JoinGraphEdge& e : edges_) {
+    if (e.left >= 0 && e.right >= 0) uf.Union(e.left, e.right);
+  }
+  const int root = uf.Find(0);
+  for (int i = 1; i < n; ++i) {
+    if (uf.Find(i) != root) return false;
+  }
+  return true;
+}
+
+JoinTopology JoinGraph::topology() const {
+  const int n = static_cast<int>(nodes_.size());
+  if (n <= 1) return JoinTopology::kChain;
+  if (!connected()) return JoinTopology::kDisconnected;
+  if (n == 2) return JoinTopology::kChain;
+
+  // Distinct explicit adjacencies and degrees.
+  auto key = [n](int a, int b) {
+    if (a > b) std::swap(a, b);
+    return a * n + b;
+  };
+  std::vector<int> pairs;
+  std::vector<int> degree(n, 0);
+  for (const JoinGraphEdge& e : edges_) {
+    if (e.left < 0 || e.right < 0) continue;
+    const int k = key(e.left, e.right);
+    if (std::find(pairs.begin(), pairs.end(), k) != pairs.end()) continue;
+    pairs.push_back(k);
+    ++degree[e.left];
+    ++degree[e.right];
+  }
+  // Full adjacency (explicit + implied) first: a chain written on one shared
+  // attribute is transitively a clique, and the clique reading is the one
+  // that matters for enumeration complexity.
+  size_t full_pairs = pairs.size();
+  for (const JoinGraphEdge& e : implied_edges_) {
+    const int k = key(e.left, e.right);
+    if (std::find(pairs.begin(), pairs.end(), k) == pairs.end()) {
+      pairs.push_back(k);
+      ++full_pairs;
+    }
+  }
+  if (full_pairs == static_cast<size_t>(n) * (n - 1) / 2) {
+    return JoinTopology::kClique;
+  }
+  int deg1 = 0, deg2 = 0, hub = -1;
+  for (int i = 0; i < n; ++i) {
+    if (degree[i] == 1) ++deg1;
+    if (degree[i] == 2) ++deg2;
+    if (degree[i] == n - 1) hub = i;
+  }
+  if (deg1 == 2 && deg2 == n - 2) return JoinTopology::kChain;
+  if (hub >= 0) return JoinTopology::kStar;
+  return JoinTopology::kGeneral;
+}
+
+JoinGraph ExtractJoinGraph(const Expr& query, const RelModel& model) {
+  JoinGraph graph;
+  const Expr* top = DescendToJoin(query, model, nullptr);
+  if (top->op() != model.ops().join) return graph;  // no join: empty graph
+  // The walk needs shared ownership of the leaf subtrees; re-descend over
+  // the children (the topmost join's inputs are ExprPtrs).
+  ExprPtr root;
+  {
+    const Expr* e = &query;
+    while (e->op() != model.ops().join) {
+      root = e->input(0);
+      e = root.get();
+    }
+    if (root == nullptr) {
+      // The query itself is the join; wrap it in a non-owning alias-free
+      // copy so CollectJoinTree can hand out ExprPtr leaves. The join node
+      // itself is never kept, only its children, so a shallow remake of the
+      // root is enough.
+      root = Expr::Make(query.op(), query.arg(),
+                        {query.input(0), query.input(1)});
+    }
+  }
+  CollectJoinTree(root, model, &graph, &graph.nodes_, &graph.edges_,
+                  &graph.valid_);
+
+  // Attribute-equivalence classes: union the (leaf, attr) endpoints of every
+  // resolved predicate, then emit an implied edge for every same-class leaf
+  // pair that has no explicit predicate.
+  std::map<std::pair<int, uint32_t>, int> endpoint_index;
+  auto endpoint = [&](int node, Symbol attr) {
+    auto it = endpoint_index.emplace(
+        std::make_pair(node, attr.id()),
+        static_cast<int>(endpoint_index.size()));
+    return it.first->second;
+  };
+  std::vector<std::pair<int, Symbol>> endpoints;  // index-aligned
+  auto record = [&](int node, Symbol attr) {
+    const int idx = endpoint(node, attr);
+    if (idx == static_cast<int>(endpoints.size())) {
+      endpoints.emplace_back(node, attr);
+    }
+    return idx;
+  };
+  std::vector<std::pair<int, int>> unions;
+  for (const JoinGraphEdge& e : graph.edges_) {
+    if (e.left < 0 || e.right < 0) continue;
+    unions.emplace_back(record(e.left, e.left_attr),
+                        record(e.right, e.right_attr));
+  }
+  UnionFind classes(static_cast<int>(endpoints.size()));
+  for (const auto& [a, b] : unions) classes.Union(a, b);
+
+  const int n = static_cast<int>(graph.nodes_.size());
+  auto explicit_pair = [&](int a, int b) {
+    for (const JoinGraphEdge& e : graph.edges_) {
+      if ((e.left == a && e.right == b) || (e.left == b && e.right == a)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Group endpoints by class root, then pair up distinct leaves per class.
+  std::map<int, std::vector<int>> by_class;
+  for (int i = 0; i < static_cast<int>(endpoints.size()); ++i) {
+    by_class[classes.Find(i)].push_back(i);
+  }
+  std::vector<int> implied_seen;
+  for (const auto& [cls, members] : by_class) {
+    (void)cls;
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        const int na = endpoints[members[a]].first;
+        const int nb = endpoints[members[b]].first;
+        if (na == nb || explicit_pair(na, nb)) continue;
+        const int k = std::min(na, nb) * n + std::max(na, nb);
+        if (std::find(implied_seen.begin(), implied_seen.end(), k) !=
+            implied_seen.end()) {
+          continue;
+        }
+        implied_seen.push_back(k);
+        JoinGraphEdge e;
+        e.left = na;
+        e.right = nb;
+        e.left_attr = endpoints[members[a]].second;
+        e.right_attr = endpoints[members[b]].second;
+        graph.implied_edges_.push_back(e);
+      }
+    }
+  }
+  return graph;
+}
+
+int CountJoinLeaves(const Expr& query, const RelModel& model) {
+  const Expr* top = DescendToJoin(query, model, nullptr);
+  return CountLeavesOf(*top, model);
+}
+
+ExprPtr GreedyJoinOrder(const JoinGraph& graph, const RelModel& model,
+                        bool left_deep) {
+  const int n = static_cast<int>(graph.nodes().size());
+  if (!graph.valid() || n < 2 || !graph.connected()) return nullptr;
+
+  struct Component {
+    ExprPtr expr;
+    double card = 0.0;
+  };
+  std::vector<Component> comps(n);
+  for (int i = 0; i < n; ++i) {
+    comps[i] = {graph.nodes()[i].expr, graph.nodes()[i].cardinality};
+  }
+  UnionFind uf(n);
+  const auto& edges = graph.edges();
+  std::vector<char> used(edges.size(), 0);
+
+  // Mirrors RelModel's join cardinality formula (l.card * r.card /
+  // max(distinct of either join attribute)), with the leaf-level distinct
+  // counts clamped by the current component cardinality — a component
+  // cannot have more distinct join keys than rows.
+  auto estimate = [&](const JoinGraphEdge& e) {
+    const double cl = comps[uf.Find(e.left)].card;
+    const double cr = comps[uf.Find(e.right)].card;
+    const double dl = std::max(
+        1.0, std::min(AsRel(*graph.nodes()[e.left].logical)
+                          .DistinctOf(e.left_attr),
+                      cl));
+    const double dr = std::max(
+        1.0, std::min(AsRel(*graph.nodes()[e.right].logical)
+                          .DistinctOf(e.right_attr),
+                      cr));
+    return cl * cr / std::max(dl, dr);
+  };
+
+  int acc_root = -1;  // left-deep accumulator component
+  for (int step = 0; step + 1 < n; ++step) {
+    int best = -1;
+    double best_est = 0.0;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (used[i]) continue;
+      const JoinGraphEdge& e = edges[i];
+      if (uf.Find(e.left) == uf.Find(e.right)) {
+        // A predicate between already-merged components would be dropped
+        // from the rebuilt tree. A connected n-leaf binary join tree has
+        // exactly n-1 predicates forming a tree, so this only happens on
+        // malformed inputs; refuse rather than emit a weaker query.
+        return nullptr;
+      }
+      if (left_deep && acc_root >= 0 && uf.Find(e.left) != acc_root &&
+          uf.Find(e.right) != acc_root) {
+        continue;
+      }
+      const double est = estimate(e);
+      if (best < 0 || est < best_est) {
+        best = static_cast<int>(i);
+        best_est = est;
+      }
+    }
+    if (best < 0) return nullptr;  // disconnected residue
+    const JoinGraphEdge& e = edges[best];
+    int lroot = uf.Find(e.left);
+    int rroot = uf.Find(e.right);
+    ExprPtr joined;
+    const bool acc_on_right = left_deep && acc_root >= 0 && rroot == acc_root;
+    if (acc_on_right) {
+      // Keep the accumulator as the (composite) outer input; the predicate
+      // flips with it ("left_attr belongs to the first input's schema").
+      joined = model.Join(comps[rroot].expr, comps[lroot].expr, e.right_attr,
+                          e.left_attr);
+    } else {
+      joined = model.Join(comps[lroot].expr, comps[rroot].expr, e.left_attr,
+                          e.right_attr);
+    }
+    const int root = uf.Union(lroot, rroot);
+    comps[root] = {std::move(joined), best_est};
+    acc_root = root;
+    used[best] = 1;
+  }
+  return comps[uf.Find(0)].expr;
+}
+
+ExprPtr GreedyReorderQuery(const Expr& query, const RelModel& model) {
+  std::vector<const Expr*> chain;
+  const Expr* top = DescendToJoin(query, model, &chain);
+  if (top->op() != model.ops().join) return nullptr;
+  JoinGraph graph = ExtractJoinGraph(*top, model);
+  if (graph.nodes().size() < 3) return nullptr;  // nothing to reorder
+  ExprPtr reordered =
+      GreedyJoinOrder(graph, model, model.options().left_deep_only);
+  if (reordered == nullptr) return nullptr;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    reordered = Expr::Make((*it)->op(), (*it)->arg(), {std::move(reordered)});
+  }
+  return reordered;
+}
+
+}  // namespace volcano::rel

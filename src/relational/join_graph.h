@@ -1,0 +1,129 @@
+// Query-graph extraction and greedy join ordering for big joins.
+//
+// The paper's exhaustive transformation closure is exponential in the number
+// of join inputs — fine at the 5-8 relations of Figure 4, hopeless at the
+// 50-100+ of production queries. This pass looks at a query *before* the
+// search starts: it lifts the equi-join predicates into an explicit query
+// graph over the join leaves, classifies the topology (chain / star /
+// clique / general / disconnected), and runs greedy operator ordering
+// (smallest-intermediate-result-first over the predicate edges) to produce
+// a complete join tree whose cost seeds the search's branch-and-bound bound
+// from move one (DESIGN.md section 12).
+//
+// The greedy tree only ever joins components connected by an original
+// predicate, so it carries every predicate of the input query and is
+// reachable from it by join commutativity/associativity alone — its cost is
+// a true upper bound on the optimum, which is what makes seeding
+// digest-preserving wherever the exhaustive search still completes.
+
+#ifndef VOLCANO_RELATIONAL_JOIN_GRAPH_H_
+#define VOLCANO_RELATIONAL_JOIN_GRAPH_H_
+
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/properties.h"
+#include "relational/rel_model.h"
+#include "support/intern.h"
+
+namespace volcano::rel {
+
+/// Join-graph shape, from most to least structured. Classification uses the
+/// explicit predicate edges plus the edges implied by attribute equivalence
+/// (a = b and b = c imply a = c, so a chain written on one shared attribute
+/// is really a clique — DuckDB's equivalence sets make the same call).
+enum class JoinTopology {
+  kChain,         ///< predicate edges form a simple path
+  kStar,          ///< one hub joined to every other leaf
+  kClique,        ///< every pair connected (explicitly or by transitivity)
+  kGeneral,       ///< connected, none of the above
+  kDisconnected,  ///< some leaf pair has no predicate path (cross product)
+};
+
+const char* JoinTopologyName(JoinTopology t);
+
+/// One leaf of the join tree: a maximal non-JOIN subtree (GET, possibly
+/// under SELECTs — or any opaque subexpression) with its derived logical
+/// properties, so cardinality and distinct counts are available without
+/// touching the memo.
+struct JoinGraphNode {
+  ExprPtr expr;
+  LogicalPropsPtr logical;
+  double cardinality = 0.0;  ///< post-selection estimate
+};
+
+/// One equi-join predicate `nodes[left].left_attr = nodes[right].right_attr`.
+/// Node indices are -1 when an attribute could not be resolved to exactly
+/// one leaf (the graph is then marked invalid and seeding is skipped).
+struct JoinGraphEdge {
+  int left = -1;
+  int right = -1;
+  Symbol left_attr;
+  Symbol right_attr;
+};
+
+/// The extracted query graph of one join subtree.
+class JoinGraph {
+ public:
+  const std::vector<JoinGraphNode>& nodes() const { return nodes_; }
+  /// Explicit predicate edges, in join-tree order (bottom-up, left first).
+  const std::vector<JoinGraphEdge>& edges() const { return edges_; }
+  /// Extra adjacencies implied by attribute-equivalence transitivity;
+  /// disjoint from edges().
+  const std::vector<JoinGraphEdge>& implied_edges() const {
+    return implied_edges_;
+  }
+
+  /// False when a predicate attribute did not resolve to exactly one leaf
+  /// on its side of the join (ambiguous self-join aliases, or a predicate
+  /// whose attribute lives on the wrong side). Invalid graphs are never
+  /// reordered.
+  bool valid() const { return valid_; }
+
+  /// Connectivity over the explicit (resolved) edges. A disconnected graph
+  /// needs a cross product, which the binary equi-join algebra cannot
+  /// express — GreedyJoinOrder refuses it and the search runs unseeded.
+  bool connected() const;
+
+  JoinTopology topology() const;
+
+ private:
+  friend JoinGraph ExtractJoinGraph(const Expr& query, const RelModel& model);
+
+  std::vector<JoinGraphNode> nodes_;
+  std::vector<JoinGraphEdge> edges_;
+  std::vector<JoinGraphEdge> implied_edges_;
+  bool valid_ = true;
+};
+
+/// Extracts the query graph of `query`: walks through any unary operators
+/// (SELECT/PROJECT/AGGREGATE) to the topmost JOIN subtree, collects its
+/// non-JOIN leaves with derived logical properties, and resolves every
+/// JoinArg to (leaf, attr) endpoints. A query with no JOIN yields an empty
+/// graph (no nodes).
+JoinGraph ExtractJoinGraph(const Expr& query, const RelModel& model);
+
+/// Number of join leaves the topmost join subtree of `query` has (1 when
+/// the query has no join) — the seeding/escalation complexity measure.
+int CountJoinLeaves(const Expr& query, const RelModel& model);
+
+/// Greedy operator ordering: repeatedly joins the two predicate-connected
+/// components with the smallest estimated join cardinality (ties broken by
+/// edge order, so the result is deterministic) until one tree remains.
+/// `left_deep` restricts the shape to left-deep trees (composite outers
+/// only), matching RelModelOptions::left_deep_only search spaces. Returns
+/// null when the graph is invalid, disconnected, or has fewer than two
+/// nodes.
+ExprPtr GreedyJoinOrder(const JoinGraph& graph, const RelModel& model,
+                        bool left_deep);
+
+/// End-to-end heuristic rewrite: extracts the graph under the unary chain,
+/// reorders the join subtree greedily, and rebuilds the unary operators on
+/// top. Null when the query has fewer than three join leaves (nothing to
+/// reorder) or extraction/ordering fails; the caller then optimizes the
+/// original query unseeded.
+ExprPtr GreedyReorderQuery(const Expr& query, const RelModel& model);
+
+}  // namespace volcano::rel
+
+#endif  // VOLCANO_RELATIONAL_JOIN_GRAPH_H_

@@ -1,6 +1,7 @@
 #include "relational/query_gen.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 namespace volcano::rel {
@@ -30,6 +31,15 @@ Workload GenerateWorkload(const WorkloadOptions& options, uint64_t seed,
   for (int i = 0; i < options.num_relations; ++i) {
     double card = rng.UniformDouble(options.min_cardinality,
                                     options.max_cardinality);
+    if (options.cardinality_skew > 0.0 &&
+        options.max_cardinality > options.min_cardinality) {
+      // Pure transform of the uniform draw: same rng sequence, skewed mass.
+      double frac = (card - options.min_cardinality) /
+                    (options.max_cardinality - options.min_cardinality);
+      card = options.min_cardinality +
+             (options.max_cardinality - options.min_cardinality) *
+                 std::pow(frac, 1.0 + options.cardinality_skew);
+    }
     std::vector<double> distincts;
     for (int a = 0; a < options.attrs_per_relation; ++a) {
       // Attribute 0 is key-like; the rest have coarser domains.
@@ -63,6 +73,19 @@ Workload GenerateWorkload(const WorkloadOptions& options, uint64_t seed,
       case WorkloadOptions::JoinGraph::kRandomTree:
         e.partner = static_cast<int>(rng.Uniform(i));
         break;
+      case WorkloadOptions::JoinGraph::kClique:
+        e.partner = i - 1;
+        break;
+    }
+    if (options.join_graph == WorkloadOptions::JoinGraph::kClique) {
+      // Every edge joins on attribute 0 of both sides: the equivalence
+      // class spanning all relations implies a join between every pair.
+      e.partner_attr = attrs[e.partner][0];
+      e.newcomer_attr = attrs[i][0];
+      used_attr[e.partner].push_back(e.partner_attr);
+      used_attr[i].push_back(e.newcomer_attr);
+      edges.push_back(e);
+      continue;
     }
     if (!used_attr[e.partner].empty() &&
         rng.NextDouble() < options.hub_attr_prob) {
@@ -125,6 +148,23 @@ Workload GenerateWorkload(const WorkloadOptions& options, uint64_t seed,
     w.required = model.AnyProps();
   }
   return w;
+}
+
+WorkloadOptions JoinScalingOptions(WorkloadOptions::JoinGraph topology,
+                                   int num_relations) {
+  WorkloadOptions opts;
+  opts.num_relations = num_relations;
+  opts.join_graph = topology;
+  // Wide, skewed cardinality range: most relations are small, a few are
+  // huge, so greedy join ordering has real decisions to make.
+  opts.min_cardinality = 100.0;
+  opts.max_cardinality = 1e6;
+  opts.cardinality_skew = 2.0;
+  // No hub-attribute reuse: a chain must stay a chain (reuse would merge
+  // attribute equivalence classes and imply extra edges).
+  opts.hub_attr_prob = 0.0;
+  opts.order_by_prob = 0.0;
+  return opts;
 }
 
 }  // namespace volcano::rel

@@ -29,12 +29,20 @@ struct WorkloadOptions {
     kRandomTree,  ///< each new relation joins a random earlier one
     kChain,       ///< R0 - R1 - R2 - ...
     kStar,        ///< every relation joins R0
+    kClique,      ///< chain backbone, all edges on attribute 0: attribute
+                  ///< equivalence implies a join between every pair
   };
 
   int num_relations = 4;
   JoinGraph join_graph = JoinGraph::kRandomTree;
   double min_cardinality = 1200.0;
   double max_cardinality = 7200.0;
+
+  /// Skews the cardinality distribution toward min_cardinality: 0 keeps the
+  /// paper's uniform draw; larger values concentrate mass near the minimum
+  /// while a few relations stay huge. Applied as a pure transform of the
+  /// uniform draw, so enabling it does not perturb any other random choice.
+  double cardinality_skew = 0.0;
   double tuple_bytes = 100.0;
   int attrs_per_relation = 3;
 
@@ -70,6 +78,13 @@ struct Workload {
 /// Generates one workload deterministically from `seed`.
 Workload GenerateWorkload(const WorkloadOptions& options, uint64_t seed,
                           const RelModelOptions& model_options = {});
+
+/// Options for the join-scaling workload family (DESIGN.md section 12):
+/// `num_relations` relations with skewed cardinalities spanning 100 to 1e6
+/// tuples, joined in the requested topology. Used at 10/25/50/100 relations
+/// by bench_join_scaling and the join-graph tests.
+WorkloadOptions JoinScalingOptions(WorkloadOptions::JoinGraph topology,
+                                   int num_relations);
 
 }  // namespace volcano::rel
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "relational/join_graph.h"
 #include "relational/rel_rules.h"
 
 namespace volcano::rel {
@@ -303,6 +304,14 @@ ExprPtr RelModel::Aggregate(ExprPtr input, Symbol group_attr,
   return Expr::Make(ops_.aggregate,
                     AggArg::Make(symbols(), group_attr, count_attr),
                     {std::move(input)});
+}
+
+ExprPtr RelModel::HeuristicJoinOrder(const Expr& query) const {
+  return GreedyReorderQuery(query, *this);
+}
+
+int RelModel::JoinComplexity(const Expr& query) const {
+  return CountJoinLeaves(query, *this);
 }
 
 std::string RelModel::ExprToString(const Expr& expr) const {

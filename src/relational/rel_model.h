@@ -104,6 +104,12 @@ class RelModel : public DataModel {
       OperatorId op, const OpArg* arg,
       const std::vector<LogicalPropsPtr>& inputs) const override;
   PhysPropsPtr AnyProps() const override { return any_; }
+  /// Greedy join reordering over the extracted query graph (join_graph.h);
+  /// null when the query has fewer than three join leaves or its graph is
+  /// invalid/disconnected.
+  ExprPtr HeuristicJoinOrder(const Expr& query) const override;
+  /// Number of join leaves of the topmost join subtree.
+  int JoinComplexity(const Expr& query) const override;
 
   // --- model accessors -----------------------------------------------------
   const RelOps& ops() const { return ops_; }

@@ -223,6 +223,8 @@ class RelLogicalProps : public LogicalProps {
     return 1.0;
   }
 
+  double EstimatedCardinality() const override { return cardinality_; }
+
   std::string ToString() const override;
 
  private:

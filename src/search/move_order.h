@@ -31,6 +31,27 @@ void SortMovesByPromise(std::vector<MoveT>& moves) {
   }
 }
 
+/// Stable sort by promise (descending), then by order_key (ascending) among
+/// equal-promise moves. The big-join escalation path uses the key to pursue
+/// smaller-input join moves first, so branch-and-bound meets its tight
+/// bounds early; the default search never calls this (ordering stays
+/// byte-identical to the paper configuration).
+template <typename MoveT>
+void SortMovesByPromiseAndKey(std::vector<MoveT>& moves) {
+  for (size_t i = 1; i < moves.size(); ++i) {
+    MoveT tmp = std::move(moves[i]);
+    size_t j = i;
+    while (j > 0 &&
+           (moves[j - 1].promise < tmp.promise ||
+            (moves[j - 1].promise == tmp.promise &&
+             moves[j - 1].order_key > tmp.order_key))) {
+      moves[j] = std::move(moves[j - 1]);
+      --j;
+    }
+    moves[j] = std::move(tmp);
+  }
+}
+
 }  // namespace search_internal
 }  // namespace volcano
 

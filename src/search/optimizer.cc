@@ -12,6 +12,29 @@
 
 namespace volcano {
 
+namespace {
+
+// Guided move selection above the join-seed escalation threshold: pursue
+// only this many implementation/enforcer moves per goal (in graph-aware
+// promise/cardinality order). Two keeps both join algorithms in play per
+// goal; one mis-picks whenever promise order and true cost disagree.
+constexpr int kBigJoinMoveLimit = 2;
+
+// Default exploration cap above the threshold: the transformation closure
+// grows super-linearly in relations (quadratically even for chains), so an
+// uncapped 100-way join burns its whole deadline deriving expressions it
+// never gets to cost. Capping keeps enumeration linear in query size; the
+// greedy seed bound floors plan quality regardless of where the cap lands.
+// The allowance scales with the deadline — kBigJoinExploreFactor rule
+// firings per join leaf per kBigJoinBudgetReferenceMs of budget, floored at
+// kBigJoinExploreFloor per leaf — so granting a big join more wall-clock
+// budget buys it a wider searched neighborhood, not just idle headroom.
+constexpr double kBigJoinExploreFactor = 24.0;
+constexpr double kBigJoinBudgetReferenceMs = 250.0;
+constexpr double kBigJoinExploreFloor = 4.0;
+
+}  // namespace
+
 // Worker threads route their counter mutations here for the duration of a
 // fan-out stint; null on the main thread and outside fan-outs.
 thread_local Optimizer::WorkerContext* Optimizer::tls_worker_ctx_ = nullptr;
@@ -93,9 +116,6 @@ Optimizer::Optimizer(const DataModel& model)
 Optimizer::Optimizer(const DataModel& model, const SearchConfig& config)
     : Optimizer(model, config.options(), CtorTag{}) {}
 
-Optimizer::Optimizer(const DataModel& model, SearchOptions options)
-    : Optimizer(model, std::move(options), CtorTag{}) {}
-
 Optimizer::Optimizer(const DataModel& model, SearchOptions options, CtorTag)
     : model_(model), options_(options), memo_(model) {
   mexpr_cap_ = std::min(options_.max_mexprs, options_.budget.max_mexprs);
@@ -132,6 +152,7 @@ Optimizer::~Optimizer() = default;
 namespace {
 
 using search_internal::SortMovesByPromise;
+using search_internal::SortMovesByPromiseAndKey;
 
 /// Accumulates wall-clock into `acc` for the outermost activation of a phase
 /// (depth-guarded; the search is mutually recursive). Does nothing — and
@@ -258,6 +279,16 @@ void Optimizer::ResetForReuse() {
   outcome_ = OptimizeOutcome{};
   trip_.store(BudgetTrip::kNone, std::memory_order_relaxed);
   greedy_mode_ = false;
+  // The seed plan references logical properties and groups of the memo era
+  // being discarded; a reused optimizer must re-seed per query.
+  seed_ = Result{};
+  has_seed_ = false;
+  seed_active_ = false;
+  seed_group_ = kInvalidGroup;
+  seed_required_ = nullptr;
+  big_join_mode_ = false;
+  join_complexity_ = 0;
+  transforms_fired_.store(0, std::memory_order_relaxed);
   resume_group_ = kInvalidGroup;
   resume_required_ = nullptr;
   stack_base_ = nullptr;
@@ -269,10 +300,56 @@ StatusOr<PlanPtr> Optimizer::Optimize(const Expr& query,
 }
 
 StatusOr<PlanPtr> Optimizer::Optimize(const Expr& query,
-                                      const PhysPropsPtr& required,
+                                      const PhysPropsPtr& required_in,
                                       Cost limit) {
   GroupId root = memo_.InsertQuery(query);
-  return OptimizeGroup(root, required, limit);
+  if (!options_.join_seed || options_.physical_only) {
+    return OptimizeGroup(root, required_in, limit);
+  }
+  // Bind the "no requirement" fallback here so the seed is keyed to the
+  // exact pointer OptimizeGroup will search for (seed validity is pointer
+  // identity on the goal's property vector).
+  PhysPropsPtr fallback;
+  if (required_in == nullptr) fallback = model_.AnyProps();
+  const PhysPropsPtr& required = required_in != nullptr ? required_in
+                                                        : fallback;
+  PrepareJoinSeed(query, root, required);
+  if (big_join_mode_) {
+    // Escalation: an above-threshold join runs under a hard deadline (the
+    // caller's own deadline wins over the escalation default) with guided
+    // move selection — moves are ordered by estimated input cardinality and
+    // only the most promising few pursued per goal — and the greedy seed as
+    // the guaranteed floor should the deadline trip. This trades the
+    // exhaustive optimality proof for bounded time; the seeded bound keeps
+    // the guided search honest (it can only return plans at least as good
+    // as the greedy order).
+    const double saved_timeout = options_.budget.timeout_ms;
+    const int saved_move_limit = options_.move_limit;
+    const size_t saved_explore_limit = options_.explore_limit;
+    if (!options_.budget.has_deadline()) {
+      options_.budget.timeout_ms = options_.join_budget_ms;
+    }
+    if (options_.move_limit == 0) options_.move_limit = kBigJoinMoveLimit;
+    if (options_.explore_limit == 0) {
+      const double scale = options_.budget.timeout_ms > 0
+                               ? options_.budget.timeout_ms /
+                                     kBigJoinBudgetReferenceMs
+                               : 1.0;
+      const double per_leaf =
+          std::max(kBigJoinExploreFloor, kBigJoinExploreFactor * scale);
+      options_.explore_limit =
+          static_cast<size_t>(per_leaf * join_complexity_);
+    }
+    StatusOr<PlanPtr> result = OptimizeGroup(root, required, limit);
+    options_.budget.timeout_ms = saved_timeout;
+    options_.move_limit = saved_move_limit;
+    options_.explore_limit = saved_explore_limit;
+    big_join_mode_ = false;
+    return result;
+  }
+  StatusOr<PlanPtr> result = OptimizeGroup(root, required, limit);
+  big_join_mode_ = false;
+  return result;
 }
 
 StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
@@ -289,6 +366,7 @@ StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
   const PhysPropsPtr& required = required_in != nullptr ? required_in
                                                         : fallback;
   ArmBudget();
+  transforms_fired_.store(0, std::memory_order_relaxed);
   // A suspended run the caller chose not to resume must not leak its frozen
   // frames (or the in-progress marks they hold) into this fresh search.
   if (engine_ != nullptr && engine_->suspended()) engine_->Abandon();
@@ -296,17 +374,49 @@ StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
   stack_base_ = &base;
   PhaseScope total_scope(options_.collect_phase_timing, &total_depth_,
                          &metrics_.phases.total_seconds);
+  const CostModel& cm = model_.cost_model();
+  // Greedy join seed (PrepareJoinSeed): the seed plan is a proven upper
+  // bound on this goal's optimum — its join order is reachable through the
+  // model's own transformation rules — so the search starts from a
+  // tightened limit and branch-and-bound prunes against the greedy cost
+  // from the very first move. Wherever the search still completes, the
+  // winner under the tightened limit is the same optimum as under the
+  // caller's limit (any plan the tight limit excludes costs more than the
+  // seed, which the seed itself already beats).
+  seed_active_ = has_seed_ &&
+                 memo_.Find(seed_group_) == memo_.Find(group) &&
+                 seed_required_.get() == required.get();
+  const bool tightened = seed_active_ && cm.Less(seed_.cost, limit);
+  const Cost search_limit = tightened ? seed_.cost : limit;
   Result r;
   if (options_.engine == SearchOptions::Engine::kRecursive) {
-    r = FindBestPlan(group, required, limit, nullptr);
+    r = FindBestPlan(group, required, search_limit, nullptr);
+    if (r.plan == nullptr && tightened && !aborted() && !big_join_mode_) {
+      // The optimum sits on the tightened boundary (the greedy seed was
+      // already optimal, modulo cost-accumulation rounding): prove it out
+      // under the caller's limit so the returned plan always comes from the
+      // search itself and seeding stays digest-preserving. Winners memoized
+      // by the first pass are true subgoal optima and are reused; only
+      // boundary failures are re-searched.
+      r = FindBestPlan(group, required, limit, nullptr);
+    }
   } else {
     if (engine_ == nullptr) engine_ = std::make_unique<TaskEngine>(*this);
-    r = engine_->Run(group, required, limit);
+    r = engine_->Run(group, required, search_limit);
     if (engine_->suspended()) {
       resume_group_ = group;
       resume_required_ = required;
-      resume_limit_ = limit;
+      resume_limit_ = search_limit;
       return SuspendedStatus();
+    }
+    if (r.plan == nullptr && tightened && !aborted() && !big_join_mode_) {
+      r = engine_->Run(group, required, limit);
+      if (engine_->suspended()) {
+        resume_group_ = group;
+        resume_required_ = required;
+        resume_limit_ = limit;
+        return SuspendedStatus();
+      }
     }
   }
   return FinalizeTopLevel(std::move(r), group, required, limit);
@@ -383,6 +493,18 @@ StatusOr<PlanPtr> Optimizer::FinalizeTopLevel(Result r, GroupId group,
       outcome_.approximate = true;
       return std::move(r.plan);
     }
+    // Ladder step 1.5 — the greedy join seed planned before the search
+    // started (SearchOptions::join_seed): a complete plan within the limit,
+    // guaranteed for above-threshold joins whose escalation deadline
+    // tripped before the search installed any incumbent.
+    if (seed_active_ && seed_.plan != nullptr &&
+        cm.LessEq(seed_.cost, limit)) {
+      VOLCANO_CHECK(seed_.plan->props().get() == required.get() ||
+                    seed_.plan->props()->Covers(*required));
+      outcome_.source = PlanSource::kGreedySeed;
+      outcome_.approximate = true;
+      return seed_.plan;
+    }
     // Ladder step 2 — bounded greedy heuristic over the frozen memo.
     if (options_.heuristic_fallback) {
       greedy_mode_ = true;
@@ -399,6 +521,19 @@ StatusOr<PlanPtr> Optimizer::FinalizeTopLevel(Result r, GroupId group,
     return ExhaustedStatus();
   }
   if (r.plan == nullptr) {
+    // A seeded search that completes empty proved no plan beats the seed
+    // under the tightened limit — the seed itself is then the optimum
+    // within the caller's limit (modulo limit-boundary ties).
+    if (seed_active_ && seed_.plan != nullptr &&
+        cm.LessEq(seed_.cost, limit)) {
+      VOLCANO_CHECK(seed_.plan->props().get() == required.get() ||
+                    seed_.plan->props()->Covers(*required));
+      outcome_.source = PlanSource::kGreedySeed;
+      // A guided (big-join) search skips moves, so completing empty under
+      // the tightened limit does not prove the seed optimal.
+      outcome_.approximate = big_join_mode_;
+      return seed_.plan;
+    }
     return Status::NotFound(
         "no plan satisfies required properties " + required->ToString() +
         " within cost limit " + model_.cost_model().ToString(limit));
@@ -412,11 +547,56 @@ StatusOr<PlanPtr> Optimizer::FinalizeTopLevel(Result r, GroupId group,
   return std::move(r.plan);
 }
 
+void Optimizer::PrepareJoinSeed(const Expr& query, GroupId root,
+                                const PhysPropsPtr& required) {
+  has_seed_ = false;
+  seed_active_ = false;
+  big_join_mode_ = false;
+  seed_ = Result{};
+  const int complexity = model_.JoinComplexity(query);
+  join_complexity_ = complexity;
+  if (complexity < 3) return;  // nothing a join order could improve
+  big_join_mode_ = complexity > options_.join_seed_threshold;
+  ExprPtr reordered = model_.HeuristicJoinOrder(query);
+  if (reordered == nullptr) return;  // e.g. disconnected graph: no seed
+  // Cost the greedy order physical-only in a private optimizer over the
+  // same model: with transformations suppressed, planning time is
+  // polynomial in the tree size, while the property-directed search still
+  // picks the best algorithms and enforcers for the fixed shape. The plan's
+  // nodes only borrow rule names from the model's RuleSet (which outlives
+  // both optimizers), so the plan safely outlives the private memo.
+  SearchOptions seed_options;
+  seed_options.physical_only = true;
+  Optimizer seeder(model_, seed_options, CtorTag{});
+  StatusOr<PlanPtr> planned = seeder.Optimize(*reordered, required);
+  if (!planned.ok() || planned.value() == nullptr) return;
+  seed_.plan = planned.value();
+  seed_.cost = seed_.plan->cost();
+  has_seed_ = true;
+  seed_group_ = memo_.Find(root);
+  seed_required_ = required;
+  ++stats_.seed_plans;
+}
+
+void Optimizer::AssignMoveOrderKeys(std::vector<Move>* moves) {
+  for (Move& mv : *moves) {
+    double key = 0.0;
+    if (mv.rule != nullptr) {
+      for (size_t i = 0; i < mv.binding.num_leaves(); ++i) {
+        const LogicalPropsPtr& lp = memo_.LogicalOf(mv.binding.leaf(i));
+        if (lp != nullptr) key += lp->EstimatedCardinality();
+      }
+    }
+    mv.order_key = key;
+  }
+}
+
 void Optimizer::ExploreGroup(GroupId group) {
   // The greedy fallback plans over the memo as-is; deriving new expressions
   // would make its running time proportional to the transformation closure
-  // it is trying to avoid.
-  if (greedy_mode_) return;
+  // it is trying to avoid. physical_only (the join-seed costing mode) makes
+  // the same trade for the whole search.
+  if (greedy_mode_ || options_.physical_only || ExploreCapReached()) return;
   ProbeNativeStack();
   group = memo_.Find(group);
   {
@@ -441,7 +621,7 @@ void Optimizer::ExploreGroup(GroupId group) {
   while (changed) {
     changed = false;
     for (size_t i = 0;; ++i) {
-      if (!CheckBudget()) break;
+      if (!CheckBudget() || ExploreCapReached()) break;
       group = memo_.Find(group);
       Group& grp = memo_.group(group);
       if (i >= grp.exprs().size()) break;
@@ -466,6 +646,7 @@ void Optimizer::ExploreGroup(GroupId group) {
           RexPtr rex = rule.Apply(b, memo_);
           if (rex == nullptr) continue;
           ++stats_.transformations_applied;
+          transforms_fired_.fetch_add(1, std::memory_order_relaxed);
           ++metrics_.transformations[rid].succeeded;
           ++applied;
           memo_.InsertRex(*rex, memo_.Find(m->group()));
@@ -487,10 +668,10 @@ void Optimizer::ExploreGroup(GroupId group) {
 
   group = memo_.Find(group);
   memo_.SetExploring(group, false);
-  // An exploration cut short by the budget must not masquerade as complete:
-  // a later re-armed call on this optimizer would silently skip the rest of
-  // the closure.
-  if (!aborted()) memo_.SetExplored(group, true);
+  // An exploration cut short by the budget or the transformation cap must
+  // not masquerade as complete: a later re-armed (or uncapped) call on this
+  // optimizer would silently skip the rest of the closure.
+  if (!aborted() && !ExploreCapReached()) memo_.SetExplored(group, true);
 }
 
 void Optimizer::CollectBindings(const Pattern& pattern, const MExpr& m,
@@ -693,7 +874,15 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
     CollectEnforcerMoves(required, excluded, *logical, &moves);
 
     // --- order the set of moves by promise ---------------------------------
-    SortMovesByPromise(moves);
+    if (big_join_mode_) {
+      // Big-join escalation: among equal-promise moves, pursue the ones
+      // with the smallest input cardinalities first so the tight seeded
+      // bound prunes the expensive orders instead of costing them.
+      AssignMoveOrderKeys(&moves);
+      SortMovesByPromiseAndKey(moves);
+    } else {
+      SortMovesByPromise(moves);
+    }
     if (options_.move_limit > 0 &&
         moves.size() > static_cast<size_t>(options_.move_limit)) {
       stats_.moves_skipped += moves.size() - options_.move_limit;
@@ -935,7 +1124,7 @@ void Optimizer::RunInterleaved(GroupId* group, const PhysPropsPtr& required,
     // Pursue: transformations first within a round (their results enlarge
     // the next round's move set), then implementation moves by promise.
     for (const TransformationMove& tm : tmoves) {
-      if (!CheckBudget()) return;
+      if (!CheckBudget() || ExploreCapReached()) return;
       if (tm.expr->dead() || tm.expr->HasFired(tm.rule->id())) continue;
       tm.expr->MarkFired(tm.rule->id());
       std::vector<Binding> bindings;
@@ -953,6 +1142,7 @@ void Optimizer::RunInterleaved(GroupId* group, const PhysPropsPtr& required,
         RexPtr rex = tm.rule->Apply(b, memo_);
         if (rex == nullptr) continue;
         ++stats_.transformations_applied;
+        transforms_fired_.fetch_add(1, std::memory_order_relaxed);
         ++metrics_.transformations[tm.rule->id()].succeeded;
         ++applied;
         memo_.InsertRex(*rex, memo_.Find(tm.expr->group()));

@@ -51,14 +51,6 @@ class Optimizer {
   /// hold a knob combination the engine does not implement.
   Optimizer(const DataModel& model, const SearchConfig& config);
 
-  /// Legacy: a raw, unvalidated knob struct. Invalid combinations are
-  /// clamped at runtime with the historical behavior (e.g. workers > 1 with
-  /// suspend_on_trip silently stays serial) instead of being rejected.
-  [[deprecated(
-      "construct a validated SearchConfig (search/search_config.h) and use "
-      "Optimizer(model, config); this overload will be removed")]]
-  Optimizer(const DataModel& model, SearchOptions options);
-
   ~Optimizer();
 
   /// Optimizes a logical query for the required physical properties (null
@@ -151,8 +143,7 @@ class Optimizer {
   // and the private Result/Move types directly.
   friend class TaskEngine;
 
-  // Common constructor body; the public constructors delegate here (which
-  // also keeps the deprecated overload from warning inside our own code).
+  // Common constructor body; the public constructors delegate here.
   struct CtorTag {};
   Optimizer(const DataModel& model, SearchOptions options, CtorTag);
 
@@ -176,6 +167,11 @@ class Optimizer {
     uint32_t enforcer_id = 0;
 
     double promise = 1.0;
+    /// Secondary sort key among equal-promise moves (ascending), assigned
+    /// only in the big-join escalation path: the summed estimated
+    /// cardinality of the move's input classes, so joins over small inputs
+    /// are pursued first. 0 (the default) preserves collection order.
+    double order_key = 0.0;
   };
 
   /// Sweeps the class's expressions and collects all algorithm moves for the
@@ -239,6 +235,17 @@ class Optimizer {
 
   bool aborted() const {
     return trip_.load(std::memory_order_relaxed) != BudgetTrip::kNone;
+  }
+
+  /// True once the explore_limit transformation cap for the current
+  /// top-level call is exhausted: exploration stops firing rules (derived
+  /// expressions are still costed), and a group whose closure was cut short
+  /// is not marked explored. Shared atomic so parallel workers observe the
+  /// cap without racing the sharded stats counters.
+  bool ExploreCapReached() const {
+    return options_.explore_limit > 0 &&
+           transforms_fired_.load(std::memory_order_relaxed) >=
+               options_.explore_limit;
   }
 
   // ---- Parallel-worker stats routing ----------------------------------
@@ -337,6 +344,21 @@ class Optimizer {
   Result GreedyPlan(GroupId group, const PhysPropsPtr& required,
                     const PhysPropsPtr& excluded, int depth);
 
+  /// Greedy join-order seeding (SearchOptions::join_seed, DESIGN.md §12).
+  /// Asks the model for a heuristic join order and plans it physical-only
+  /// in a private optimizer over the same model; on success stores the plan
+  /// and its cost in seed_ (keyed to `root` + `required`) so OptimizeGroup
+  /// can tighten the root search limit and FinalizeTopLevel can use the
+  /// plan as the degradation floor. Also decides big-join escalation
+  /// (big_join_mode_) from DataModel::JoinComplexity.
+  void PrepareJoinSeed(const Expr& query, GroupId root,
+                       const PhysPropsPtr& required);
+
+  /// Assigns Move::order_key (summed input-class estimated cardinalities)
+  /// for the big-join cardinality-guided move ordering. Only called when
+  /// big_join_mode_ is set.
+  void AssignMoveOrderKeys(std::vector<Move>* moves);
+
   const DataModel& model_;
   SearchOptions options_;
   Memo memo_;
@@ -356,6 +378,25 @@ class Optimizer {
   // checkpoints concurrently; the first CAS from kNone wins.
   std::atomic<BudgetTrip> trip_{BudgetTrip::kNone};
   bool greedy_mode_ = false;
+  // Join-order seeding state for the current top-level call (set by
+  // Optimize(Expr) via PrepareJoinSeed, consumed by OptimizeGroup and
+  // FinalizeTopLevel). seed_ is valid only for the (group, required) pair
+  // it was planned for; seed_active_ is the per-call gate.
+  Result seed_{};
+  bool has_seed_ = false;
+  bool seed_active_ = false;
+  GroupId seed_group_ = kInvalidGroup;
+  PhysPropsPtr seed_required_;
+  // Big-join escalation (JoinComplexity above join_seed_threshold):
+  // cardinality-guided move ordering is engaged for the whole call.
+  bool big_join_mode_ = false;
+  // Join-leaf count of the current query (set by PrepareJoinSeed); sizes
+  // the escalation's default exploration cap.
+  int join_complexity_ = 0;
+  // Transformation applications this top-level call, against
+  // options_.explore_limit. Atomic: parallel workers fire rules
+  // concurrently.
+  std::atomic<uint64_t> transforms_fired_{0};
   // Phase-timer nesting depths: only the outermost activation of each phase
   // accumulates (the search is mutually recursive), and exploration nested
   // under a pursued move counts as pursue time, not explore time.

@@ -39,6 +39,21 @@ Status ValidateSearchOptions(const SearchOptions& options) {
                    "memoize_failures requires memoize_winners: failure "
                    "records live in the winner table");
   }
+  if (options.join_seed_threshold < 2) {
+    return Invalid("join_seed_threshold",
+                   "join_seed_threshold must be >= 2 (a query with fewer "
+                   "than three join leaves is never seeded)");
+  }
+  if (!(options.join_budget_ms > 0.0)) {
+    return Invalid("join_budget_ms",
+                   "join_budget_ms must be > 0 (the escalation deadline for "
+                   "above-threshold joins)");
+  }
+  if (options.physical_only && options.join_seed) {
+    return Invalid("physical_only",
+                   "physical_only disables the transformations a join seed "
+                   "exists to avoid; enable at most one");
+  }
   return Status::OK();
 }
 

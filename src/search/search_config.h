@@ -81,6 +81,10 @@ class SearchConfig {
       options_.memoize_winners = v;
       return *this;
     }
+    Builder& explore_limit(size_t v) {
+      options_.explore_limit = v;
+      return *this;
+    }
     Builder& move_limit(int v) {
       options_.move_limit = v;
       return *this;
@@ -103,6 +107,22 @@ class SearchConfig {
     }
     Builder& heuristic_fallback(bool v) {
       options_.heuristic_fallback = v;
+      return *this;
+    }
+    Builder& join_seed(bool v) {
+      options_.join_seed = v;
+      return *this;
+    }
+    Builder& join_seed_threshold(int v) {
+      options_.join_seed_threshold = v;
+      return *this;
+    }
+    Builder& join_budget_ms(double v) {
+      options_.join_budget_ms = v;
+      return *this;
+    }
+    Builder& physical_only(bool v) {
+      options_.physical_only = v;
       return *this;
     }
     Builder& fault(FaultInjector* v) {

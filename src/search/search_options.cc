@@ -25,7 +25,8 @@ std::string SearchStats::ToString() const {
      << "goals completed: " << goals_completed
      << ", goals started/finished: " << goals_started << "/" << goals_finished
      << ", budget checkpoints: " << budget_checkpoints
-     << ", invalid costs rejected: " << invalid_costs << "\n"
+     << ", invalid costs rejected: " << invalid_costs
+     << ", seed plans: " << seed_plans << "\n"
      << "tasks executed: " << tasks_executed
      << ", task stack high-water: " << task_stack_high_water
      << ", suspensions: " << suspensions
@@ -68,6 +69,7 @@ std::string SearchStats::ToJson() const {
   w.Key("goals_finished").Value(goals_finished);
   w.Key("budget_checkpoints").Value(budget_checkpoints);
   w.Key("invalid_costs").Value(invalid_costs);
+  w.Key("seed_plans").Value(seed_plans);
   w.Key("tasks_executed").Value(tasks_executed);
   w.Key("task_stack_high_water").Value(task_stack_high_water);
   w.Key("suspensions").Value(suspensions);

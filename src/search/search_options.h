@@ -110,6 +110,15 @@ struct SearchOptions {
   /// Applies to the kExploreFirst strategy.
   int move_limit = 0;
 
+  /// 0 = derive full transformation closures (exhaustive). k > 0 = stop
+  /// firing transformation rules after k applications in one top-level
+  /// call; expressions already derived are still costed, and groups whose
+  /// exploration was cut short are not marked explored. The big-join
+  /// escalation installs a complexity-proportional cap so enumeration time
+  /// stays bounded at 100+ relations; the greedy seed floors plan quality
+  /// (any plan the tightened search returns beats the seed).
+  size_t explore_limit = 0;
+
   /// Starburst-style ablation: optimize ignoring required physical
   /// properties, then patch the plan with "glue" enforcers afterwards. The
   /// paper argues Volcano's property-directed search dominates this
@@ -142,6 +151,33 @@ struct SearchOptions {
   /// Enables ladder step 2 (the greedy heuristic rerun).
   bool heuristic_fallback = true;
 
+  /// Greedy join-order incumbent seeding (DESIGN.md §12). Before the full
+  /// search starts, the model's HeuristicJoinOrder rewrite (when it yields
+  /// one) is planned physical-only in a private memo; its cost tightens the
+  /// root goal's branch-and-bound limit from the first move, and the plan
+  /// itself becomes a guaranteed floor of the degradation ladder. Because
+  /// the seed plan is reachable through the model's own transformation
+  /// rules, its cost upper-bounds the optimum and final plans are identical
+  /// to unseeded search whenever the exhaustive search completes.
+  bool join_seed = false;
+
+  /// Escalation threshold: queries whose DataModel::JoinComplexity exceeds
+  /// this run under a hard deadline (join_budget_ms, unless the caller's
+  /// budget already has one) with cardinality-guided move ordering; the
+  /// greedy seed guarantees a plan when the deadline trips. At or below the
+  /// threshold seeded search stays exhaustive (and digest-identical).
+  int join_seed_threshold = 12;
+
+  /// Hard per-call deadline (milliseconds) applied above the threshold when
+  /// the caller's budget carries no deadline of its own.
+  double join_budget_ms = 1000.0;
+
+  /// Internal: suppress transformation exploration so the search only
+  /// assigns physical algorithms/enforcers to the query's given shape. The
+  /// seed planner uses this to cost the greedy join order in time
+  /// polynomial in the tree size; also usable as an ablation.
+  bool physical_only = false;
+
   /// Fault-injection harness for robustness tests; not owned, null in
   /// production. See support/fault.h.
   FaultInjector* fault = nullptr;
@@ -160,6 +196,7 @@ struct SearchOptions {
 enum class PlanSource {
   kExhaustive,        ///< normal search ran to completion (paper default)
   kAnytimeIncumbent,  ///< budget tripped; best complete plan found so far
+  kGreedySeed,        ///< budget tripped; the pre-search greedy join seed
   kHeuristic,         ///< budget tripped with no incumbent; greedy descent
   kExodusFallback,    ///< last resort: the EXODUS baseline optimizer
 };
@@ -168,6 +205,7 @@ inline const char* PlanSourceName(PlanSource s) {
   switch (s) {
     case PlanSource::kExhaustive: return "exhaustive";
     case PlanSource::kAnytimeIncumbent: return "anytime-incumbent";
+    case PlanSource::kGreedySeed: return "greedy-seed";
     case PlanSource::kHeuristic: return "heuristic";
     case PlanSource::kExodusFallback: return "exodus-fallback";
   }
@@ -217,6 +255,7 @@ struct SearchStats {
   uint64_t goals_finished = 0;      ///< of those, ran to full completion
   uint64_t budget_checkpoints = 0;  ///< cooperative budget polls
   uint64_t invalid_costs = 0;       ///< NaN cost estimates rejected
+  uint64_t seed_plans = 0;          ///< greedy join seeds planned (join_seed)
 
   // Task-engine counters (zero under SearchOptions::Engine::kRecursive).
   uint64_t tasks_executed = 0;          ///< task state-machine steps run

@@ -556,7 +556,10 @@ void TaskEngine::FinishGoal(GoalFrame* f) {
 
 bool TaskEngine::EnterExplore(GroupId group, Frame* parent) {
   // The greedy fallback never runs on the task stack (GreedyPlan stays
-  // recursive and bounded), so no greedy_mode_ gate is needed here.
+  // recursive and bounded), so no greedy_mode_ gate is needed here — but
+  // the physical-only mode (join-seed costing) suppresses exploration on
+  // every engine.
+  if (opt_.options_.physical_only || opt_.ExploreCapReached()) return false;
   group = opt_.memo_.Find(group);
   {
     Group& grp = opt_.memo_.group(group);
@@ -583,8 +586,11 @@ bool TaskEngine::EnterExplore(GroupId group, Frame* parent) {
 void TaskEngine::FinishExplore(ExploreFrame* f) {
   GroupId group = opt_.memo_.Find(f->group);
   opt_.memo_.SetExploring(group, false);
-  // An exploration cut short by the budget must not masquerade as complete.
-  if (!opt_.aborted()) opt_.memo_.SetExplored(group, true);
+  // An exploration cut short by the budget or the transformation cap must
+  // not masquerade as complete.
+  if (!opt_.aborted() && !opt_.ExploreCapReached()) {
+    opt_.memo_.SetExplored(group, true);
+  }
   stack_.Pop();
   f->Reuse();
   explore_pool_.Release(f);
@@ -824,7 +830,14 @@ void TaskEngine::StepGoal(GoalFrame* f) {
       opt_.CollectEnforcerMoves(f->required, f->excluded, *f->logical,
                                 &f->moves);
       // --- order the set of moves by promise -------------------------------
-      search_internal::SortMovesByPromise(f->moves);
+      if (opt_.big_join_mode_) {
+        // Big-join escalation: equal-promise moves pursue the smallest
+        // input cardinalities first (see Optimizer::AssignMoveOrderKeys).
+        opt_.AssignMoveOrderKeys(&f->moves);
+        search_internal::SortMovesByPromiseAndKey(f->moves);
+      } else {
+        search_internal::SortMovesByPromise(f->moves);
+      }
       if (opt_.options_.move_limit > 0 &&
           f->moves.size() >
               static_cast<size_t>(opt_.options_.move_limit)) {
@@ -1000,6 +1013,7 @@ void TaskEngine::StepGoal(GoalFrame* f) {
         RexPtr rex = rule.Apply(b, opt_.memo_);
         if (rex == nullptr) continue;
         ++st.transformations_applied;
+        opt_.transforms_fired_.fetch_add(1, std::memory_order_relaxed);
         ++metrics.transformations[rule.id()].succeeded;
         ++applied;
         opt_.memo_.InsertRex(*rex, opt_.memo_.Find(tm.expr->group()));
@@ -1325,7 +1339,14 @@ void TaskEngine::FanOutMoves(GoalFrame* f) {
       opt_.options_.branch_and_bound;
   // Fast mode's cross-move bound: the cheapest *completed* total so far.
   // In-flight moves whose running partial reaches it abandon themselves.
-  std::atomic<double> incumbent{std::numeric_limits<double>::infinity()};
+  // A seeded root goal starts the bound at the greedy seed's cost instead
+  // of +inf, so workers prune against it from their first step; should
+  // every move abandon at exactly the seed cost, the seed plan itself is
+  // the degradation floor (Optimizer::FinalizeTopLevel).
+  const CostModel& fan_cm = opt_.model_.cost_model();
+  std::atomic<double> incumbent{
+      opt_.seed_active_ ? fan_cm.Total(f->best_cost)
+                        : std::numeric_limits<double>::infinity()};
 
   // One steal queue of move indices per worker, seeded round-robin in
   // decreasing index order so each owner's PopHot (hot end = back) yields
@@ -1480,6 +1501,10 @@ void TaskEngine::StepExplore(ExploreFrame* f) {
         FinishExplore(f);
         return;
       }
+      if (opt_.ExploreCapReached()) {
+        FinishExplore(f);
+        return;
+      }
       f->group = opt_.memo_.Find(f->group);
       Group& grp = opt_.memo_.group(f->group);
       if (f->expr_idx >= grp.exprs().size()) {
@@ -1538,6 +1563,7 @@ void TaskEngine::StepExplore(ExploreFrame* f) {
         RexPtr rex = rule.Apply(b, opt_.memo_);
         if (rex == nullptr) continue;
         ++st.transformations_applied;
+        opt_.transforms_fired_.fetch_add(1, std::memory_order_relaxed);
         ++metrics.transformations[rule.id()].succeeded;
         ++applied;
         opt_.memo_.InsertRex(*rex, opt_.memo_.Find(f->expr->group()));
@@ -1565,7 +1591,7 @@ void TaskEngine::StepExplore(ExploreFrame* f) {
         FinishExplore(f);
         return;
       }
-      if (f->changed) {
+      if (f->changed && !opt_.ExploreCapReached()) {
         f->state = kExpRoundStart;
         return;
       }

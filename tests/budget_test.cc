@@ -19,6 +19,7 @@
 #include "relational/query_gen.h"
 #include "relational/rel_plan_cost.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "support/budget.h"
 
 namespace volcano {
@@ -75,7 +76,7 @@ TEST(Budget, DefaultPathIsExhaustiveAndUnchanged) {
   generous.budget.timeout_ms = 1e7;
   generous.budget.max_find_best_plan_calls = 1u << 30;
   generous.budget.cancel = std::make_shared<CancellationToken>();
-  Optimizer budgeted(*w.model, generous);
+  Optimizer budgeted(*w.model, SearchConfig::FromOptions(generous).value());
   StatusOr<PlanPtr> p2 = budgeted.Optimize(*w.query, w.required);
   ASSERT_TRUE(p2.ok());
   EXPECT_EQ(budgeted.outcome().source, PlanSource::kExhaustive);
@@ -91,7 +92,7 @@ TEST(Budget, StrictMemoCapReportsStructuredError) {
   SearchOptions opts;
   opts.max_mexprs = 40;  // the legacy knob, folded into the budget
   opts.degradation = SearchOptions::Degradation::kStrict;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   ASSERT_FALSE(plan.ok());
   EXPECT_EQ(plan.status().code(), Status::Code::kResourceExhausted);
@@ -110,7 +111,7 @@ TEST(Budget, MemoCapDegradesToValidPlan) {
     rel::Workload w = SmallWorkload(6, seed);
     SearchOptions opts;
     opts.budget.max_mexprs = 40;
-    Optimizer opt(*w.model, opts);
+    Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
     StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
     ASSERT_TRUE(plan.ok()) << plan.status().ToString() << " seed " << seed;
     EXPECT_EQ(opt.outcome().trip, BudgetTrip::kMemoLimit);
@@ -130,7 +131,7 @@ TEST(Budget, SearchCompletedIsAGoalFraction) {
     rel::Workload w = SmallWorkload(6, seed);
     SearchOptions opts;
     opts.budget.max_find_best_plan_calls = 5 + seed;  // trips mid-search
-    Optimizer opt(*w.model, opts);
+    Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
     (void)opt.Optimize(*w.query, w.required);
 
     const SearchStats& stats = opt.stats();
@@ -157,7 +158,7 @@ TEST(Budget, OneMillisecondDeadlineOnTenRelationJoin) {
   rel::Workload w = SmallWorkload(10, 42, /*order_by_prob=*/1.0);
   SearchOptions opts;
   opts.budget.timeout_ms = 1.0;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_TRUE(opt.outcome().approximate);
@@ -187,7 +188,7 @@ TEST(Budget, CallCapSweepNeverCrashesAndEventuallyFindsIncumbents) {
   for (uint64_t cap : caps) {
     SearchOptions opts;
     opts.budget.max_find_best_plan_calls = cap;
-    Optimizer opt(*w.model, opts);
+    Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
     StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
     if (!plan.ok()) {
       EXPECT_EQ(plan.status().code(), Status::Code::kResourceExhausted)
@@ -214,7 +215,7 @@ TEST(Budget, InterleavedStrategyDegradesToo) {
     SearchOptions opts;
     opts.strategy = SearchOptions::Strategy::kInterleaved;
     opts.budget.max_find_best_plan_calls = cap;
-    Optimizer opt(*w.model, opts);
+    Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
     StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
     if (plan.ok()) {
       ExpectPlanIsSound(w, *plan, 55);
@@ -231,7 +232,7 @@ TEST(Budget, PreCancelledTokenDegradesImmediately) {
 
   SearchOptions opts;
   opts.budget.cancel = token;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(opt.outcome().trip, BudgetTrip::kCancelled);
@@ -240,7 +241,7 @@ TEST(Budget, PreCancelledTokenDegradesImmediately) {
 
   SearchOptions strict = opts;
   strict.degradation = SearchOptions::Degradation::kStrict;
-  Optimizer s(*w.model, strict);
+  Optimizer s(*w.model, SearchConfig::FromOptions(strict).value());
   StatusOr<PlanPtr> rejected = s.Optimize(*w.query, w.required);
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), Status::Code::kResourceExhausted);
@@ -265,7 +266,7 @@ TEST(Budget, UserCostLimitStillCatchesUnreasonableQueries) {
   // user limit rather than return an over-limit plan.
   SearchOptions opts;
   opts.budget.max_find_best_plan_calls = 2;
-  Optimizer capped(*w.model, opts);
+  Optimizer capped(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> degraded =
       capped.Optimize(*w.query, w.required, Cost::Vector({1e-12, 0.0}));
   ASSERT_FALSE(degraded.ok());
@@ -296,7 +297,7 @@ TEST(Budget, ExodusFallbackIsTheLastResort) {
   EXPECT_TRUE(exec::SameMultiset(exec::ReorderToSchema(got, gs, ws), want));
 
   // Without --fallback semantics the same starvation is a structured error.
-  Optimizer bare(*w.model, opts);
+  Optimizer bare(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> err = bare.Optimize(*w.query, w.required);
   ASSERT_FALSE(err.ok());
   EXPECT_EQ(err.status().code(), Status::Code::kResourceExhausted);

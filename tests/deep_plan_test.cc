@@ -8,6 +8,7 @@
 
 #include "relational/query_gen.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 
 namespace volcano {
 namespace {
@@ -31,7 +32,7 @@ SearchStats OptimizeDeepChain(int n, SearchOptions::Engine engine) {
   rel::Workload w = MakeDeepChain(n);
   SearchOptions opts;
   opts.engine = engine;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   EXPECT_TRUE(plan.ok()) << "n=" << n << ": " << plan.status().ToString();
   if (plan.ok()) {
@@ -79,8 +80,8 @@ TEST(DeepPlan, DeepChainMatchesAcrossEngines) {
   SearchOptions recursive;
   recursive.engine = SearchOptions::Engine::kRecursive;
 
-  Optimizer topt(*w.model, task);
-  Optimizer ropt(*w.model, recursive);
+  Optimizer topt(*w.model, SearchConfig::FromOptions(task).value());
+  Optimizer ropt(*w.model, SearchConfig::FromOptions(recursive).value());
   StatusOr<PlanPtr> tp = topt.Optimize(*w.query, w.required);
   StatusOr<PlanPtr> rp = ropt.Optimize(*w.query, w.required);
   ASSERT_TRUE(tp.ok());

@@ -13,6 +13,7 @@
 
 #include "relational/query_gen.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "search/trace_io.h"
 
 namespace volcano {
@@ -27,7 +28,7 @@ struct RunOutput {
 };
 
 RunOutput RunOne(const rel::Workload& w, const SearchOptions& opts) {
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   RunOutput out;
   out.stats = opt.stats();
@@ -195,7 +196,7 @@ TEST(EngineDifferential, TraceSequenceIsMonotonicAndContiguous) {
   TraceLog log;
   SearchOptions opts;
   opts.trace = &log;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   ASSERT_TRUE(opt.Optimize(*w.query, w.required).ok());
   ASSERT_FALSE(log.entries().empty());
   uint64_t expect_seq = 1;
@@ -212,7 +213,7 @@ TEST(EngineDifferential, ParallelTraceCarriesWorkerIds) {
   SearchOptions opts;
   opts.trace = &log;
   opts.workers = 4;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   ASSERT_TRUE(opt.Optimize(*w.query, w.required).ok());
   ASSERT_FALSE(log.entries().empty());
   uint64_t expect_seq = 1;

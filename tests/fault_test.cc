@@ -22,6 +22,7 @@
 #include "relational/query_gen.h"
 #include "relational/rel_plan_cost.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "support/fault.h"
 #include "support/rng.h"
 
@@ -94,7 +95,7 @@ RunResult RunScenario(const Scenario& sc, bool check_execution) {
   FaultInjector injector(sc.fault);
   SearchOptions opts = sc.search;
   opts.fault = &injector;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
 
   // search_completed is a fraction of distinct goals finished over started;
@@ -210,7 +211,7 @@ TEST(Fault, EveryCostNaNFailsCleanly) {
   FaultInjector injector(cfg);
   SearchOptions opts;
   opts.fault = &injector;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   ASSERT_FALSE(plan.ok());
   EXPECT_EQ(plan.status().code(), Status::Code::kNotFound);
@@ -229,7 +230,7 @@ TEST(Fault, EveryRuleDeadFailsCleanly) {
   FaultInjector injector(cfg);
   SearchOptions opts;
   opts.fault = &injector;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   ASSERT_FALSE(plan.ok());
   EXPECT_EQ(plan.status().code(), Status::Code::kNotFound);
@@ -250,7 +251,7 @@ TEST(Fault, BudgetDeadOnArrivalStillPlans) {
   FaultInjector injector(cfg);
   SearchOptions opts;
   opts.fault = &injector;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(opt.outcome().trip, BudgetTrip::kInjected);
@@ -284,7 +285,7 @@ TEST(Fault, OptimizerRecoversAfterInjectedTrip) {
   FaultInjector injector(cfg);
   SearchOptions opts;
   opts.fault = &injector;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> degraded = opt.Optimize(*w.query, w.required);
   ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
   EXPECT_TRUE(opt.outcome().approximate);

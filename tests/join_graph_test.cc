@@ -1,0 +1,258 @@
+// Query-graph extraction and greedy join ordering (DESIGN.md §12).
+//
+// The topology classifier must read the shape implied by the equi-join
+// predicates — including the edges implied by attribute-equivalence
+// transitivity — and greedy ordering must refuse graphs it cannot reorder
+// faithfully (invalid or disconnected) rather than drop predicates.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "relational/join_graph.h"
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+
+namespace volcano::rel {
+namespace {
+
+/// Hand-built catalog: relations with three attributes each (attribute 0
+/// key-like, the others coarser), so tests can wire predicates to specific
+/// attributes and topologies.
+struct Fixture {
+  Catalog catalog;
+  std::unique_ptr<RelModel> model;
+  std::vector<Symbol> rels;
+  std::vector<std::vector<Symbol>> attrs;
+
+  void Add(const std::string& name, double card) {
+    StatusOr<Symbol> rel =
+        catalog.AddRelation(name, card, 100.0, 3, {card, card / 10.0, 50.0});
+    ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+    rels.push_back(rel.value());
+    attrs.emplace_back();
+    for (const auto& a : catalog.FindRelation(rel.value())->attributes) {
+      attrs.back().push_back(a.name);
+    }
+  }
+
+  void Finish() { model = std::make_unique<RelModel>(catalog); }
+
+  ExprPtr Get(int i) const { return model->Get(rels[i]); }
+};
+
+int CountJoins(const RelModel& model, const Expr& e) {
+  int n = e.op() == model.ops().join ? 1 : 0;
+  for (const auto& in : e.inputs()) n += CountJoins(model, *in);
+  return n;
+}
+
+TEST(JoinGraph, TwoWayJoinIsChain) {
+  Fixture f;
+  f.Add("A", 1000);
+  f.Add("B", 2000);
+  f.Finish();
+  ExprPtr q = f.model->Join(f.Get(0), f.Get(1), f.attrs[0][0], f.attrs[1][0]);
+  JoinGraph g = ExtractJoinGraph(*q, *f.model);
+  ASSERT_TRUE(g.valid());
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.nodes().size(), 2u);
+  EXPECT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.topology(), JoinTopology::kChain);
+  EXPECT_EQ(CountJoinLeaves(*q, *f.model), 2);
+}
+
+TEST(JoinGraph, PathOnDistinctAttributesIsChain) {
+  // A -a1- B -b1/b2- C -c2- D: every edge uses fresh attributes, so no
+  // equivalence class spans more than one edge and no edges are implied.
+  Fixture f;
+  for (const char* name : {"A", "B", "C", "D"}) f.Add(name, 1000);
+  f.Finish();
+  ExprPtr q = f.model->Join(f.Get(0), f.Get(1), f.attrs[0][1], f.attrs[1][1]);
+  q = f.model->Join(std::move(q), f.Get(2), f.attrs[1][2], f.attrs[2][1]);
+  q = f.model->Join(std::move(q), f.Get(3), f.attrs[2][2], f.attrs[3][1]);
+  JoinGraph g = ExtractJoinGraph(*q, *f.model);
+  ASSERT_TRUE(g.valid());
+  EXPECT_TRUE(g.implied_edges().empty());
+  EXPECT_EQ(g.topology(), JoinTopology::kChain);
+}
+
+TEST(JoinGraph, HubOnDistinctAttributesIsStar) {
+  Fixture f;
+  for (const char* name : {"Hub", "A", "B", "C"}) f.Add(name, 1000);
+  f.Finish();
+  ExprPtr q = f.model->Join(f.Get(0), f.Get(1), f.attrs[0][0], f.attrs[1][0]);
+  q = f.model->Join(std::move(q), f.Get(2), f.attrs[0][1], f.attrs[2][0]);
+  q = f.model->Join(std::move(q), f.Get(3), f.attrs[0][2], f.attrs[3][0]);
+  JoinGraph g = ExtractJoinGraph(*q, *f.model);
+  ASSERT_TRUE(g.valid());
+  EXPECT_EQ(g.topology(), JoinTopology::kStar);
+}
+
+TEST(JoinGraph, SharedAttributeChainIsClique) {
+  // A chain written entirely on attribute 0 of every relation: transitivity
+  // implies a join between every pair, so the enumeration-relevant shape is
+  // a clique even though only 3 predicates are written.
+  Fixture f;
+  for (const char* name : {"A", "B", "C", "D"}) f.Add(name, 1000);
+  f.Finish();
+  ExprPtr q = f.model->Join(f.Get(0), f.Get(1), f.attrs[0][0], f.attrs[1][0]);
+  q = f.model->Join(std::move(q), f.Get(2), f.attrs[1][0], f.attrs[2][0]);
+  q = f.model->Join(std::move(q), f.Get(3), f.attrs[2][0], f.attrs[3][0]);
+  JoinGraph g = ExtractJoinGraph(*q, *f.model);
+  ASSERT_TRUE(g.valid());
+  // Pairs (A,C), (A,D), (B,D) are implied; with the 3 explicit edges the
+  // adjacency is complete.
+  EXPECT_EQ(g.implied_edges().size(), 3u);
+  EXPECT_EQ(g.topology(), JoinTopology::kClique);
+}
+
+TEST(JoinGraph, BroomIsGeneral) {
+  // A - B - C with both D and E hanging off C: neither a path (C has degree
+  // 3) nor a star (no node touches all 4 others).
+  Fixture f;
+  for (const char* name : {"A", "B", "C", "D", "E"}) f.Add(name, 1000);
+  f.Finish();
+  ExprPtr q = f.model->Join(f.Get(0), f.Get(1), f.attrs[0][0], f.attrs[1][0]);
+  q = f.model->Join(std::move(q), f.Get(2), f.attrs[1][1], f.attrs[2][0]);
+  q = f.model->Join(std::move(q), f.Get(3), f.attrs[2][1], f.attrs[3][0]);
+  q = f.model->Join(std::move(q), f.Get(4), f.attrs[2][2], f.attrs[4][0]);
+  JoinGraph g = ExtractJoinGraph(*q, *f.model);
+  ASSERT_TRUE(g.valid());
+  EXPECT_EQ(g.topology(), JoinTopology::kGeneral);
+}
+
+TEST(JoinGraph, AmbiguousSelfJoinIsInvalidAndNotReordered) {
+  // (A ⋈ A) ⋈ B: the second predicate's left attribute exists in both A
+  // leaves, so it cannot be pinned to one endpoint. The graph is invalid —
+  // effectively missing that edge, leaving B disconnected — and greedy
+  // ordering must refuse it (the search then runs unseeded).
+  Fixture f;
+  f.Add("A", 1000);
+  f.Add("B", 2000);
+  f.Finish();
+  ExprPtr self =
+      f.model->Join(f.Get(0), f.Get(0), f.attrs[0][0], f.attrs[0][0]);
+  ExprPtr q = f.model->Join(std::move(self), f.Get(1), f.attrs[0][1],
+                            f.attrs[1][0]);
+  JoinGraph g = ExtractJoinGraph(*q, *f.model);
+  EXPECT_FALSE(g.valid());
+  EXPECT_FALSE(g.connected());
+  EXPECT_EQ(g.topology(), JoinTopology::kDisconnected);
+  EXPECT_EQ(GreedyJoinOrder(g, *f.model, /*left_deep=*/false), nullptr);
+  EXPECT_EQ(GreedyReorderQuery(*q, *f.model), nullptr);
+}
+
+TEST(JoinGraph, LeafSelectionsFoldIntoNodeCardinality) {
+  // Leaves are maximal non-join subtrees: a SELECT over a GET is one node
+  // whose cardinality reflects the selection.
+  Fixture f;
+  f.Add("A", 1000);
+  f.Add("B", 1000);
+  f.Finish();
+  ExprPtr filtered = f.model->Select(f.Get(0), f.attrs[0][2], CmpOp::kLess,
+                                     10, 0.2);
+  ExprPtr q = f.model->Join(std::move(filtered), f.Get(1), f.attrs[0][0],
+                            f.attrs[1][0]);
+  JoinGraph g = ExtractJoinGraph(*q, *f.model);
+  ASSERT_TRUE(g.valid());
+  ASSERT_EQ(g.nodes().size(), 2u);
+  EXPECT_NEAR(g.nodes()[0].cardinality, 200.0, 1e-6);
+  EXPECT_NEAR(g.nodes()[1].cardinality, 1000.0, 1e-6);
+}
+
+TEST(JoinGraph, GeneratedScalingFamiliesClassify) {
+  using JG = WorkloadOptions::JoinGraph;
+  struct Case {
+    JG family;
+    JoinTopology want;
+  };
+  const Case cases[] = {{JG::kChain, JoinTopology::kChain},
+                        {JG::kStar, JoinTopology::kStar},
+                        {JG::kClique, JoinTopology::kClique}};
+  for (const Case& c : cases) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      Workload w = GenerateWorkload(JoinScalingOptions(c.family, 10), seed);
+      JoinGraph g = ExtractJoinGraph(*w.query, *w.model);
+      ASSERT_TRUE(g.valid());
+      EXPECT_TRUE(g.connected());
+      EXPECT_EQ(g.nodes().size(), 10u);
+      EXPECT_EQ(g.topology(), c.want)
+          << JoinTopologyName(g.topology()) << " seed " << seed;
+    }
+  }
+}
+
+TEST(JoinGraph, GreedyTreeCarriesAllPredicates) {
+  for (uint64_t seed : {1u, 5u, 9u}) {
+    WorkloadOptions opts;
+    opts.num_relations = 7;
+    Workload w = GenerateWorkload(opts, seed);
+    ExprPtr reordered = GreedyReorderQuery(*w.query, *w.model);
+    ASSERT_NE(reordered, nullptr);
+    EXPECT_EQ(CountJoins(*w.model, *reordered), 6);
+    EXPECT_EQ(CountJoinLeaves(*reordered, *w.model), 7);
+    // Re-extraction of the reordered tree must still be a sound graph.
+    JoinGraph g = ExtractJoinGraph(*reordered, *w.model);
+    EXPECT_TRUE(g.valid());
+    EXPECT_TRUE(g.connected());
+  }
+}
+
+TEST(JoinGraph, GreedyReorderPreservesOptimalCost) {
+  // The reordered tree is reachable from the original via join
+  // commutativity/associativity, so exhaustive search over either must find
+  // the same optimum.
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    WorkloadOptions opts;
+    opts.num_relations = 6;
+    Workload w = GenerateWorkload(opts, seed);
+    ExprPtr reordered = GreedyReorderQuery(*w.query, *w.model);
+    ASSERT_NE(reordered, nullptr);
+
+    Optimizer original(*w.model);
+    StatusOr<PlanPtr> po = original.Optimize(*w.query, w.required);
+    ASSERT_TRUE(po.ok()) << po.status().ToString();
+
+    Optimizer greedy(*w.model);
+    StatusOr<PlanPtr> pg = greedy.Optimize(*reordered, w.required);
+    ASSERT_TRUE(pg.ok()) << pg.status().ToString();
+
+    const CostModel& cm = w.model->cost_model();
+    EXPECT_NEAR(cm.Total((*po)->cost()), cm.Total((*pg)->cost()),
+                1e-9 * cm.Total((*po)->cost()))
+        << "seed " << seed;
+  }
+}
+
+TEST(JoinGraph, LeftDeepOrderingHasNoCompositeInner) {
+  Workload w = GenerateWorkload(
+      JoinScalingOptions(WorkloadOptions::JoinGraph::kChain, 8), 4);
+  JoinGraph g = ExtractJoinGraph(*w.query, *w.model);
+  ASSERT_TRUE(g.valid());
+  ExprPtr tree = GreedyJoinOrder(g, *w.model, /*left_deep=*/true);
+  ASSERT_NE(tree, nullptr);
+  std::function<void(const Expr&)> walk = [&](const Expr& e) {
+    if (e.op() == w.model->ops().join) {
+      EXPECT_NE(e.input(1)->op(), w.model->ops().join)
+          << "right input must not be a join";
+    }
+    for (const auto& in : e.inputs()) walk(*in);
+  };
+  walk(*tree);
+  EXPECT_EQ(CountJoins(*w.model, *tree), 7);
+}
+
+TEST(JoinGraph, QueryWithoutJoinYieldsEmptyGraph) {
+  Fixture f;
+  f.Add("A", 1000);
+  f.Finish();
+  ExprPtr q = f.Get(0);
+  JoinGraph g = ExtractJoinGraph(*q, *f.model);
+  EXPECT_TRUE(g.nodes().empty());
+  EXPECT_EQ(CountJoinLeaves(*q, *f.model), 1);
+  EXPECT_EQ(GreedyReorderQuery(*q, *f.model), nullptr);
+}
+
+}  // namespace
+}  // namespace volcano::rel

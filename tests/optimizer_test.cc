@@ -11,6 +11,7 @@
 #include "relational/query_gen.h"
 #include "relational/rel_plan_cost.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 
 namespace volcano {
 namespace {
@@ -99,21 +100,21 @@ TEST(Optimality, InvariantAcrossSearchOptions) {
     const CostModel& cm = w.model->cost_model();
 
     SearchOptions base;
-    Optimizer ref(*w.model, base);
+    Optimizer ref(*w.model, SearchConfig::FromOptions(base).value());
     StatusOr<PlanPtr> ref_plan = ref.Optimize(*w.query, w.required);
     ASSERT_TRUE(ref_plan.ok());
     double ref_cost = cm.Total((*ref_plan)->cost());
 
     SearchOptions no_bnb;
     no_bnb.branch_and_bound = false;
-    Optimizer a(*w.model, no_bnb);
+    Optimizer a(*w.model, SearchConfig::FromOptions(no_bnb).value());
     StatusOr<PlanPtr> pa = a.Optimize(*w.query, w.required);
     ASSERT_TRUE(pa.ok());
     EXPECT_NEAR(cm.Total((*pa)->cost()), ref_cost, 1e-9 * ref_cost);
 
     SearchOptions no_fail_memo;
     no_fail_memo.memoize_failures = false;
-    Optimizer b(*w.model, no_fail_memo);
+    Optimizer b(*w.model, SearchConfig::FromOptions(no_fail_memo).value());
     StatusOr<PlanPtr> pb = b.Optimize(*w.query, w.required);
     ASSERT_TRUE(pb.ok());
     EXPECT_NEAR(cm.Total((*pb)->cost()), ref_cost, 1e-9 * ref_cost);
@@ -300,14 +301,14 @@ TEST(Budget, MemoCapAborts) {
   SearchOptions opts;
   opts.max_mexprs = 10;
   opts.degradation = SearchOptions::Degradation::kStrict;
-  Optimizer opt(*c.model, opts);
+  Optimizer opt(*c.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*c.expr, nullptr);
   ASSERT_FALSE(plan.ok());
   EXPECT_EQ(plan.status().code(), Status::Code::kResourceExhausted);
 
   SearchOptions anytime;
   anytime.max_mexprs = 10;
-  Optimizer degraded(*c.model, anytime);
+  Optimizer degraded(*c.model, SearchConfig::FromOptions(anytime).value());
   StatusOr<PlanPtr> approx = degraded.Optimize(*c.expr, nullptr);
   ASSERT_TRUE(approx.ok()) << approx.status().ToString();
   EXPECT_TRUE(degraded.outcome().approximate);
@@ -328,7 +329,7 @@ TEST(Heuristics, MoveLimitNeverImprovesCost) {
 
     SearchOptions limited;
     limited.move_limit = 2;
-    Optimizer lim(*w.model, limited);
+    Optimizer lim(*w.model, SearchConfig::FromOptions(limited).value());
     StatusOr<PlanPtr> pl = lim.Optimize(*w.query, w.required);
     if (pl.ok()) {
       EXPECT_GE(cm.Total((*pl)->cost()),
@@ -353,7 +354,7 @@ TEST(Heuristics, GluePropertiesNeverImprovesCost) {
 
     SearchOptions glue;
     glue.glue_properties = true;
-    Optimizer glued(*w.model, glue);
+    Optimizer glued(*w.model, SearchConfig::FromOptions(glue).value());
     StatusOr<PlanPtr> pg = glued.Optimize(*w.query, w.required);
     ASSERT_TRUE(pg.ok());
     EXPECT_GE(cm.Total((*pg)->cost()),

@@ -11,6 +11,7 @@
 
 #include "relational/sql.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "search/plan.h"
 
 namespace volcano {
@@ -91,7 +92,7 @@ TEST(ResetChurn, DegradedCyclesDoNotPerturbFullOnes) {
 
   SearchOptions options;
   options.degradation = SearchOptions::Degradation::kAnytime;
-  Optimizer optimizer(model, options);
+  Optimizer optimizer(model, SearchConfig::FromOptions(options).value());
 
   optimizer.ResetForReuse();
   StatusOr<PlanPtr> baseline = optimizer.Optimize(*q->expr, q->required);

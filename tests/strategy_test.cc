@@ -10,14 +10,16 @@
 #include "relational/query_gen.h"
 #include "relational/rel_plan_cost.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 
 namespace volcano {
 namespace {
 
-SearchOptions Interleaved() {
-  SearchOptions opts;
-  opts.strategy = SearchOptions::Strategy::kInterleaved;
-  return opts;
+SearchConfig Interleaved() {
+  return SearchConfig::Builder()
+      .strategy(SearchOptions::Strategy::kInterleaved)
+      .Build()
+      .value();
 }
 
 TEST(Strategy, IdenticalCostsOnRandomWorkloads) {

@@ -9,6 +9,7 @@
 #include "relational/query_gen.h"
 #include "relational/rel_plan_cost.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 
 namespace volcano {
 namespace {
@@ -85,7 +86,7 @@ TEST_P(Sweep, SearchOptionsNeverChangePlanCost) {
         opts.branch_and_bound = false;
         opts.memoize_failures = false;
       }
-      Optimizer alt(*w.model, opts);
+      Optimizer alt(*w.model, SearchConfig::FromOptions(opts).value());
       StatusOr<PlanPtr> alt_plan = alt.Optimize(*w.query, w.required);
       ASSERT_TRUE(alt_plan.ok());
       EXPECT_NEAR(cm.Total((*alt_plan)->cost()), ref_cost, 1e-9 * ref_cost)

@@ -11,6 +11,7 @@
 
 #include "relational/query_gen.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "support/fault.h"
 
 namespace volcano {
@@ -61,7 +62,7 @@ TEST(SuspendResume, ResumedRunMatchesUninterruptedAcrossScenarios) {
     SearchOptions opts;
     opts.suspend_on_trip = true;
     opts.fault = &injector;
-    Optimizer opt(*w.model, opts);
+    Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
 
     StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
     bool suspended = false;
@@ -105,7 +106,7 @@ TEST(SuspendResume, SurvivesRepeatedPreemption) {
   SearchOptions opts;
   opts.suspend_on_trip = true;
   opts.fault = &injector;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
 
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   int resumes = 0;
@@ -128,7 +129,7 @@ TEST(SuspendResume, CallBudgetCompletesInSlices) {
   SearchOptions opts;
   opts.suspend_on_trip = true;
   opts.budget.max_find_best_plan_calls = 20;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   int resumes = 0;
   while (!plan.ok() && opt.CanResume()) {
@@ -150,7 +151,7 @@ TEST(SuspendResume, ResumeWithRaisedBudgetClearsMemoTrip) {
   SearchOptions opts;
   opts.suspend_on_trip = true;
   opts.budget.max_mexprs = 8;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   ASSERT_FALSE(plan.ok());
   ASSERT_TRUE(opt.CanResume());
@@ -188,7 +189,7 @@ TEST(SuspendResume, FreshOptimizeAbandonsSuspendedRun) {
   SearchOptions opts;
   opts.suspend_on_trip = true;
   opts.fault = &injector;
-  Optimizer opt(*w.model, opts);
+  Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
   ASSERT_FALSE(plan.ok());
   ASSERT_TRUE(opt.CanResume());

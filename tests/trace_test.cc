@@ -20,6 +20,7 @@
 #include "relational/sql.h"
 #include "search/memo.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "search/trace_io.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -70,7 +71,7 @@ TEST(Trace, LogCapturesSearchLifecycle) {
   options.trace = &log;
 
   rel::ParsedQuery q = f.Parse(kQuery);
-  Optimizer opt(*f.model, options);
+  Optimizer opt(*f.model, SearchConfig::FromOptions(options).value());
   StatusOr<PlanPtr> plan = opt.Optimize(*q.expr, q.required);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
 
@@ -114,7 +115,7 @@ TEST(Trace, MetricsCountRuleWorkAndWinners) {
   options.collect_phase_timing = true;
 
   rel::ParsedQuery q = f.Parse(kQuery);
-  Optimizer opt(*f.model, options);
+  Optimizer opt(*f.model, SearchConfig::FromOptions(options).value());
   ASSERT_TRUE(opt.Optimize(*q.expr, q.required).ok());
 
   const SearchMetrics& m = opt.metrics();
@@ -148,7 +149,7 @@ TEST(Trace, GoldenJsonLines) {
   options.trace = &sink;
 
   rel::ParsedQuery q = f.Parse(kQuery);
-  Optimizer opt(*f.model, options);
+  Optimizer opt(*f.model, SearchConfig::FromOptions(options).value());
   ASSERT_TRUE(opt.Optimize(*q.expr, q.required).ok());
   std::string got = out.str();
   ASSERT_GT(sink.seq(), 0u);

@@ -10,10 +10,14 @@
 //
 // Usage:
 //   plan_digest [--verbose] [--engine=task|recursive] [--workers=N]
+//               [--join-seed]
 //
 // --engine and --workers select the search engine; every combination must
 // print the same digest (tests/engine_differential_test.cc holds the
-// committed value).
+// committed value). --join-seed turns on greedy incumbent seeding
+// (DESIGN.md §12), which is digest-preserving below the escalation
+// threshold — the whole grid, so the flag must not change the digest
+// either; tools/bench_report --join-scaling enforces this.
 //
 // Output (stdout):
 //   <lines, only with --verbose>
@@ -27,6 +31,7 @@
 
 #include "relational/query_gen.h"
 #include "search/optimizer.h"
+#include "search/search_config.h"
 #include "support/hash.h"
 
 int main(int argc, char** argv) {
@@ -43,6 +48,9 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       base.workers = std::atoi(argv[i] + 10);
+    }
+    if (std::strcmp(argv[i], "--join-seed") == 0) {
+      base.join_seed = true;
     }
   }
 
@@ -67,7 +75,7 @@ int main(int argc, char** argv) {
         wopts.order_by_prob = order_by ? 1.0 : 0.0;
         rel::Workload w = rel::GenerateWorkload(wopts, seed);
 
-        Optimizer opt(*w.model, base);
+        Optimizer opt(*w.model, SearchConfig::FromOptions(base).value());
         StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
         std::string line = "n=" + std::to_string(n) +
                            " seed=" + std::to_string(seed) +

@@ -58,6 +58,14 @@
 //   --parallel-mode M  with --workers N > 1: 'deterministic' (default;
 //                    bit-identical plans) or 'fast' (cross-move incumbent
 //                    pruning; same plan cost, shape may vary run to run)
+//   --join-seed=on|off  greedy join-order incumbent seeding (DESIGN.md §12):
+//                    a heuristic join order is planned first and its cost
+//                    tightens branch-and-bound from the first move; plans
+//                    are unchanged wherever the exhaustive search completes
+//   --join-threshold=N  joins of more than N relations escalate to the
+//                    budgeted big-join mode (deadline + cardinality-guided
+//                    move selection + capped exploration, seed as the
+//                    guaranteed floor); default 12
 //
 // A budget trip can also suspend instead of degrading: with
 // SearchOptions::suspend_on_trip (library API), the task stack freezes in
@@ -325,6 +333,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--workers" && i + 1 < argc) {
       search_options.workers =
           static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--join-seed=on") {
+      search_options.join_seed = true;
+    } else if (arg == "--join-seed=off") {
+      search_options.join_seed = false;
+    } else if (arg.rfind("--join-threshold=", 0) == 0) {
+      search_options.join_seed_threshold = static_cast<int>(
+          std::strtol(arg.c_str() + std::strlen("--join-threshold="),
+                      nullptr, 10));
     } else if (arg == "--parallel-mode" && i + 1 < argc) {
       std::string mode = argv[++i];
       if (mode == "deterministic") {
@@ -352,7 +368,8 @@ int main(int argc, char** argv) {
                  "[--execute SEED] [--timeout-ms N] [--max-mexprs N] "
                  "[--max-calls N] [--strict] [--fallback] "
                  "[--engine task|recursive] [--workers N] "
-                 "[--parallel-mode deterministic|fast] \"SQL\"\n");
+                 "[--parallel-mode deterministic|fast] "
+                 "[--join-seed=on|off] [--join-threshold=N] \"SQL\"\n");
     return 2;
   }
   if (strict && fallback) {
