@@ -1,0 +1,210 @@
+// Best-first memory-bounded search: cost vs memory-cap sweep over the
+// 54-workload plan-digest grid (chain joins of 2-10 relations x 3 seeds,
+// with and without ORDER BY).
+//
+// Rows, one per cap, for `tools/bench_report --frontier`:
+//
+//   frontier_sweep kind=memo cap_bytes=<N|0> wall_ms=<f> total_cost=<f>
+//       cost_ratio=<f> worst_ratio=<f> peak_arena=<N> approx=<k>/<q>
+//       within_cap=<0|1>
+//   frontier_sweep kind=frontier limit=<N|0> wall_ms=<f> total_cost=<f>
+//       cost_ratio=<f> worst_ratio=<f> peak_frontier=<N> approx=<k>/<q>
+//       within_cap=<0|1>
+//
+// cost_ratio is the sweep row's summed plan cost over the exhaustive task
+// engine's summed cost (1.000 = no quality lost); worst_ratio is the worst
+// single query. within_cap asserts every query's Memo::arena_bytes() stayed
+// under the row's byte cap (trivially 1 for the frontier-limit rows, whose
+// cap is entry count, not bytes). approx counts queries whose outcome was
+// flagged approximate — with no cap set it must be 0/54.
+//
+// Usage: bench_frontier
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "relational/query_gen.h"
+#include "search/optimizer.h"
+#include "search/search_config.h"
+#include "support/timer.h"
+
+namespace volcano {
+namespace {
+
+std::vector<rel::Workload> MakeGrid() {
+  std::vector<rel::Workload> grid;
+  for (int order_by = 0; order_by <= 1; ++order_by) {
+    for (int n = 2; n <= 10; ++n) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        rel::WorkloadOptions wopts;
+        wopts.num_relations = n;
+        wopts.join_graph = rel::WorkloadOptions::JoinGraph::kChain;
+        wopts.hub_attr_prob = 0.25;
+        wopts.sorted_base_prob = 0.5;
+        wopts.order_by_prob = order_by ? 1.0 : 0.0;
+        grid.push_back(rel::GenerateWorkload(wopts, seed));
+      }
+    }
+  }
+  return grid;
+}
+
+struct SweepRow {
+  double wall_ms = 0.0;
+  double total_cost = 0.0;
+  double worst_ratio = 0.0;
+  size_t peak_arena = 0;
+  size_t peak_frontier = 0;
+  int approx = 0;
+  bool within_cap = true;
+  int failed = 0;
+};
+
+SweepRow RunSweep(const std::vector<rel::Workload>& grid,
+                  const std::vector<double>& base_costs,
+                  const SearchOptions& so) {
+  SweepRow row;
+  Timer timer;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const rel::Workload& w = grid[i];
+    Optimizer opt(*w.model, SearchConfig::FromOptions(so).value());
+    StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+    if (!plan.ok()) {
+      ++row.failed;
+      continue;
+    }
+    double cost = w.model->cost_model().Total((*plan)->cost());
+    row.total_cost += cost;
+    if (base_costs[i] > 0.0) {
+      row.worst_ratio = std::max(row.worst_ratio, cost / base_costs[i]);
+    }
+    if (opt.outcome().approximate) ++row.approx;
+    row.peak_arena = std::max(row.peak_arena, opt.memo().arena_bytes());
+    if (so.memo_byte_limit != 0 &&
+        opt.memo().arena_bytes() > so.memo_byte_limit) {
+      row.within_cap = false;
+    }
+  }
+  row.wall_ms = timer.ElapsedMillis();
+  return row;
+}
+
+int Run() {
+  std::vector<rel::Workload> grid = MakeGrid();
+  std::printf("queries: %d\n", static_cast<int>(grid.size()));
+
+  // Exhaustive task-engine baseline costs.
+  std::vector<double> base_costs;
+  double base_total = 0.0;
+  {
+    SearchOptions task;
+    task.engine = SearchOptions::Engine::kTask;
+    for (const rel::Workload& w : grid) {
+      Optimizer opt(*w.model, SearchConfig::FromOptions(task).value());
+      StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "baseline query failed: %s\n",
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      base_costs.push_back(w.model->cost_model().Total((*plan)->cost()));
+      base_total += base_costs.back();
+    }
+  }
+
+  const size_t memo_caps[] = {0, 1u << 20, 512u << 10, 256u << 10,
+                              128u << 10};
+  for (size_t cap : memo_caps) {
+    SearchOptions so;
+    so.engine = SearchOptions::Engine::kBestFirst;
+    so.memo_byte_limit = cap;
+    SweepRow row = RunSweep(grid, base_costs, so);
+    if (row.failed != 0) {
+      std::fprintf(stderr, "memo cap %zu: %d queries failed\n", cap,
+                   row.failed);
+      return 1;
+    }
+    std::printf(
+        "frontier_sweep kind=memo cap_bytes=%zu wall_ms=%.1f "
+        "total_cost=%.1f cost_ratio=%.4f worst_ratio=%.4f peak_arena=%zu "
+        "approx=%d/%d within_cap=%d\n",
+        cap, row.wall_ms, row.total_cost, row.total_cost / base_total,
+        row.worst_ratio, row.peak_arena, row.approx,
+        static_cast<int>(grid.size()), row.within_cap ? 1 : 0);
+  }
+
+  // Scale rows: chains past the digest grid, where the memo genuinely
+  // outgrows the caps and the cost-vs-memory tradeoff is non-trivial (the
+  // grid's arenas fit inside 128 KiB, so grid caps are all-or-nothing).
+  for (int n : {12, 14, 16}) {
+    rel::WorkloadOptions wopts;
+    wopts.num_relations = n;
+    wopts.join_graph = rel::WorkloadOptions::JoinGraph::kChain;
+    wopts.hub_attr_prob = 0.25;
+    wopts.sorted_base_prob = 0.5;
+    wopts.order_by_prob = 1.0;
+    rel::Workload w = rel::GenerateWorkload(wopts, 1);
+    double base_cost = 0.0;
+    {
+      SearchOptions task;
+      task.engine = SearchOptions::Engine::kTask;
+      Optimizer opt(*w.model, SearchConfig::FromOptions(task).value());
+      StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "scale baseline n=%d failed: %s\n", n,
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      base_cost = w.model->cost_model().Total((*plan)->cost());
+    }
+    for (size_t cap : {size_t{0}, size_t{1u << 20}, size_t{512u << 10},
+                       size_t{256u << 10}}) {
+      SearchOptions so;
+      so.engine = SearchOptions::Engine::kBestFirst;
+      so.memo_byte_limit = cap;
+      Timer timer;
+      Optimizer opt(*w.model, SearchConfig::FromOptions(so).value());
+      StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "scale n=%d cap=%zu failed: %s\n", n, cap,
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      double cost = w.model->cost_model().Total((*plan)->cost());
+      std::printf(
+          "frontier_scale n=%d cap_bytes=%zu wall_ms=%.1f cost_ratio=%.4f "
+          "arena=%zu approx=%d within_cap=%d\n",
+          n, cap, timer.ElapsedMillis(), cost / base_cost,
+          opt.memo().arena_bytes(), opt.outcome().approximate ? 1 : 0,
+          cap == 0 || opt.memo().arena_bytes() <= cap ? 1 : 0);
+    }
+  }
+
+  const size_t frontier_limits[] = {256, 64, 16};
+  for (size_t limit : frontier_limits) {
+    SearchOptions so;
+    so.engine = SearchOptions::Engine::kBestFirst;
+    so.frontier_limit = limit;
+    SweepRow row = RunSweep(grid, base_costs, so);
+    if (row.failed != 0) {
+      std::fprintf(stderr, "frontier limit %zu: %d queries failed\n", limit,
+                   row.failed);
+      return 1;
+    }
+    std::printf(
+        "frontier_sweep kind=frontier limit=%zu wall_ms=%.1f "
+        "total_cost=%.1f cost_ratio=%.4f worst_ratio=%.4f peak_arena=%zu "
+        "approx=%d/%d within_cap=1\n",
+        limit, row.wall_ms, row.total_cost, row.total_cost / base_total,
+        row.worst_ratio, row.peak_arena, row.approx,
+        static_cast<int>(grid.size()));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace volcano
+
+int main() { return volcano::Run(); }

@@ -52,6 +52,23 @@ void SortMovesByPromiseAndKey(std::vector<MoveT>& moves) {
   }
 }
 
+/// Stable descending sort by order_key alone. The best-first engine's
+/// adaptive ordering folds promise, observed win rate, and a cardinality
+/// discount into one score stored in order_key (see
+/// Optimizer::AssignAdaptiveOrderKeys); equal scores keep collection order.
+template <typename MoveT>
+void SortMovesByScore(std::vector<MoveT>& moves) {
+  for (size_t i = 1; i < moves.size(); ++i) {
+    MoveT tmp = std::move(moves[i]);
+    size_t j = i;
+    while (j > 0 && moves[j - 1].order_key < tmp.order_key) {
+      moves[j] = std::move(moves[j - 1]);
+      --j;
+    }
+    moves[j] = std::move(tmp);
+  }
+}
+
 }  // namespace search_internal
 }  // namespace volcano
 

@@ -269,8 +269,10 @@ bool Optimizer::AdmitLocalCost(Cost* cost) {
 
 void Optimizer::ResetForReuse() {
   // A frozen task stack holds in-progress marks and frame state pointing
-  // into the memo; unwind it before the memo's storage is rewound.
+  // into the memo; unwind it before the memo's storage is rewound. An
+  // abandoned big-join suspension also hands back its escalation overrides.
   if (engine_ != nullptr && engine_->suspended()) engine_->Abandon();
+  RestoreEscalation();
   memo_.Reset();
   // Memo::Reset clears the property interner, so the cached canonical "any"
   // vector must be re-interned — it would otherwise dangle.
@@ -323,9 +325,20 @@ StatusOr<PlanPtr> Optimizer::Optimize(const Expr& query,
     // exhaustive optimality proof for bounded time; the seeded bound keeps
     // the guided search honest (it can only return plans at least as good
     // as the greedy order).
-    const double saved_timeout = options_.budget.timeout_ms;
-    const int saved_move_limit = options_.move_limit;
-    const size_t saved_explore_limit = options_.explore_limit;
+    //
+    // A stale suspension (the caller started a new Optimize instead of
+    // resuming) may still hold a previous call's escalation frame; abandon
+    // and restore it before saving, so the frame captured below holds the
+    // caller's real knobs — and so OptimizeGroup's stale-suspension sweep
+    // cannot restore the frame this call is about to install.
+    if (engine_ != nullptr && engine_->suspended()) {
+      engine_->Abandon();
+      RestoreEscalation();
+    }
+    escalation_.active = true;
+    escalation_.saved_timeout_ms = options_.budget.timeout_ms;
+    escalation_.saved_move_limit = options_.move_limit;
+    escalation_.saved_explore_limit = options_.explore_limit;
     if (!options_.budget.has_deadline()) {
       options_.budget.timeout_ms = options_.join_budget_ms;
     }
@@ -341,10 +354,13 @@ StatusOr<PlanPtr> Optimizer::Optimize(const Expr& query,
           static_cast<size_t>(per_leaf * join_complexity_);
     }
     StatusOr<PlanPtr> result = OptimizeGroup(root, required, limit);
-    options_.budget.timeout_ms = saved_timeout;
-    options_.move_limit = saved_move_limit;
-    options_.explore_limit = saved_explore_limit;
-    big_join_mode_ = false;
+    // A suspension keeps the escalation installed: Resume() continues this
+    // same escalated call, and the overrides (deadline, move limit,
+    // exploration cap) must still govern the continuation. They are
+    // restored when the call truly ends — in Resume() after completion, or
+    // on Abandon/ResetForReuse.
+    if (CanResume()) return result;
+    RestoreEscalation();
     return result;
   }
   StatusOr<PlanPtr> result = OptimizeGroup(root, required, limit);
@@ -368,8 +384,13 @@ StatusOr<PlanPtr> Optimizer::OptimizeGroup(GroupId group,
   ArmBudget();
   transforms_fired_.store(0, std::memory_order_relaxed);
   // A suspended run the caller chose not to resume must not leak its frozen
-  // frames (or the in-progress marks they hold) into this fresh search.
-  if (engine_ != nullptr && engine_->suspended()) engine_->Abandon();
+  // frames (or the in-progress marks they hold) into this fresh search —
+  // nor its escalation overrides (Optimize()'s own big-join path abandons
+  // stale suspensions itself, before installing this call's frame).
+  if (engine_ != nullptr && engine_->suspended()) {
+    engine_->Abandon();
+    RestoreEscalation();
+  }
   char base;
   stack_base_ = &base;
   PhaseScope total_scope(options_.collect_phase_timing, &total_depth_,
@@ -458,8 +479,13 @@ StatusOr<PlanPtr> Optimizer::Resume() {
                          &metrics_.phases.total_seconds);
   Result r = engine_->Continue();
   if (engine_->suspended()) return SuspendedStatus();
-  return FinalizeTopLevel(std::move(r), resume_group_, resume_required_,
-                          resume_limit_);
+  StatusOr<PlanPtr> result = FinalizeTopLevel(
+      std::move(r), resume_group_, resume_required_, resume_limit_);
+  // A resumed big-join call ends here: hand the caller's knobs back, after
+  // FinalizeTopLevel has consumed big_join_mode_ (exactly as the
+  // uninterrupted Optimize() flow orders restore after finalize).
+  RestoreEscalation();
+  return result;
 }
 
 StatusOr<PlanPtr> Optimizer::Resume(const OptimizationBudget& budget) {
@@ -468,7 +494,26 @@ StatusOr<PlanPtr> Optimizer::Resume(const OptimizationBudget& budget) {
   }
   options_.budget = budget;
   mexpr_cap_ = std::min(options_.max_mexprs, budget.max_mexprs);
+  if (escalation_.active) {
+    // The replacement budget is what RestoreEscalation must hand back when
+    // the escalated call completes, and the escalation deadline still
+    // applies to the continuation when the new budget brings none of its
+    // own.
+    escalation_.saved_timeout_ms = budget.timeout_ms;
+    if (!budget.has_deadline()) {
+      options_.budget.timeout_ms = options_.join_budget_ms;
+    }
+  }
   return Resume();
+}
+
+void Optimizer::RestoreEscalation() {
+  if (!escalation_.active) return;
+  options_.budget.timeout_ms = escalation_.saved_timeout_ms;
+  options_.move_limit = escalation_.saved_move_limit;
+  options_.explore_limit = escalation_.saved_explore_limit;
+  escalation_ = Escalation{};
+  big_join_mode_ = false;
 }
 
 StatusOr<PlanPtr> Optimizer::FinalizeTopLevel(Result r, GroupId group,
@@ -520,6 +565,15 @@ StatusOr<PlanPtr> Optimizer::FinalizeTopLevel(Result r, GroupId group,
     }
     return ExhaustedStatus();
   }
+  // A search that completed under a tripped exploration cap enumerated a
+  // cut-down transformation closure, and a best-first search that evicted
+  // frontier entries or hit its memo byte cap skipped parts of the plan
+  // space: either way the plan is usable but must not be treated — or
+  // cached by the serving layer — as proven optimal.
+  if (ExploreCapReached()) outcome_.approximate = true;
+  if (engine_ != nullptr && engine_->best_first_degraded()) {
+    outcome_.approximate = true;
+  }
   if (r.plan == nullptr) {
     // A seeded search that completes empty proved no plan beats the seed
     // under the tightened limit — the seed itself is then the optimum
@@ -530,8 +584,9 @@ StatusOr<PlanPtr> Optimizer::FinalizeTopLevel(Result r, GroupId group,
                     seed_.plan->props()->Covers(*required));
       outcome_.source = PlanSource::kGreedySeed;
       // A guided (big-join) search skips moves, so completing empty under
-      // the tightened limit does not prove the seed optimal.
-      outcome_.approximate = big_join_mode_;
+      // the tightened limit does not prove the seed optimal. OR-preserving:
+      // the explore-cap / best-first-degradation flags above must survive.
+      if (big_join_mode_) outcome_.approximate = true;
       return seed_.plan;
     }
     return Status::NotFound(
@@ -588,6 +643,36 @@ void Optimizer::AssignMoveOrderKeys(std::vector<Move>* moves) {
       }
     }
     mv.order_key = key;
+  }
+}
+
+double Optimizer::MoveWinRate(const Move& mv) const {
+  const std::vector<RuleCounters>& table =
+      mv.rule != nullptr ? metrics_.implementations : metrics_.enforcers;
+  const size_t id = mv.rule != nullptr ? mv.rule->id() : mv.enforcer_id;
+  if (id >= table.size()) return 0.5;
+  const RuleCounters& rc = table[id];
+  // Laplace smoothing: a rule never fired starts at 0.5 rather than 0, so
+  // adaptive ordering explores unobserved rules instead of starving them.
+  return (static_cast<double>(rc.winners) + 1.0) /
+         (static_cast<double>(rc.fired) + 2.0);
+}
+
+void Optimizer::AssignAdaptiveOrderKeys(std::vector<Move>* moves) {
+  for (Move& mv : *moves) {
+    double card = 0.0;
+    if (mv.rule != nullptr) {
+      for (size_t i = 0; i < mv.binding.num_leaves(); ++i) {
+        const LogicalPropsPtr& lp = memo_.LogicalOf(mv.binding.leaf(i));
+        if (lp != nullptr) card += lp->EstimatedCardinality();
+      }
+    }
+    // Promise × observed win rate × a cardinality discount: moves whose
+    // rules historically produce winners rank up, moves over huge inputs
+    // rank down (log-compressed so cardinality guides rather than
+    // dominates). The discount is 1 at cardinality 0 and decays slowly.
+    mv.order_key =
+        mv.promise * MoveWinRate(mv) * (1.0 / (1.0 + std::log1p(card)));
   }
 }
 

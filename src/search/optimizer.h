@@ -359,6 +359,18 @@ class Optimizer {
   /// big_join_mode_ is set.
   void AssignMoveOrderKeys(std::vector<Move>* moves);
 
+  /// Observed win rate of the rule/enforcer behind a move, from the
+  /// cumulative SearchMetrics: (winners + 1) / (fired + 2) — a Laplace
+  /// smoothed estimate so unobserved rules start at 0.5 instead of 0.
+  double MoveWinRate(const Move& mv) const;
+
+  /// Assigns Move::order_key = promise × MoveWinRate × a cardinality
+  /// discount (1 / (1 + log1p(summed input cardinality))) — the best-first
+  /// engine's adaptive move ordering above the join threshold, replacing
+  /// the static cardinality key of AssignMoveOrderKeys. Sorted descending
+  /// by search_internal::SortMovesByScore.
+  void AssignAdaptiveOrderKeys(std::vector<Move>* moves);
+
   const DataModel& model_;
   SearchOptions options_;
   Memo memo_;
@@ -390,6 +402,22 @@ class Optimizer {
   // Big-join escalation (JoinComplexity above join_seed_threshold):
   // cardinality-guided move ordering is engaged for the whole call.
   bool big_join_mode_ = false;
+  // Escalation override frame: Optimize() installs a deadline, move limit,
+  // and exploration cap over the caller's options for a big-join call. The
+  // overrides must survive a suspend_on_trip suspension — Resume() continues
+  // the same escalated call — so they are restored only when the call truly
+  // ends (completion, Abandon, or ResetForReuse), not when OptimizeGroup
+  // returns suspended. See RestoreEscalation().
+  struct Escalation {
+    bool active = false;
+    double saved_timeout_ms = 0.0;
+    int saved_move_limit = 0;
+    size_t saved_explore_limit = 0;
+  };
+  Escalation escalation_;
+  /// Restores the caller's pre-escalation knobs and leaves big-join mode.
+  /// No-op unless an escalation frame is active.
+  void RestoreEscalation();
   // Join-leaf count of the current query (set by PrepareJoinSeed); sizes
   // the escalation's default exploration cap.
   int join_complexity_ = 0;

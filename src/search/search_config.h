@@ -36,7 +36,13 @@ namespace volcano {
 ///  * ParallelMode::kFast requires workers > 1 (there is no fast/serial);
 ///  * move_limit must be >= 0;
 ///  * memoize_failures requires memoize_winners (failure records live in the
-///    winner table).
+///    winner table);
+///  * frontier_limit / memo_byte_limit require Engine::kBestFirst (no other
+///    engine reads them), frontier_limit must leave room for real fan-out
+///    (>= 8 when set), and memo_byte_limit must be >= 128 KiB (the arena's
+///    first block plus expansion slack);
+///  * Engine::kBestFirst is single-threaded (workers <= 1), runs the
+///    kExploreFirst strategy only, and does not implement glue_properties.
 Status ValidateSearchOptions(const SearchOptions& options);
 
 /// An immutable, validated search configuration. Only obtainable through
@@ -55,6 +61,14 @@ class SearchConfig {
     }
     Builder& engine(SearchOptions::Engine v) {
       options_.engine = v;
+      return *this;
+    }
+    Builder& frontier_limit(size_t v) {
+      options_.frontier_limit = v;
+      return *this;
+    }
+    Builder& memo_byte_limit(size_t v) {
+      options_.memo_byte_limit = v;
       return *this;
     }
     Builder& workers(int v) {

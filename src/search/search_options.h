@@ -54,8 +54,32 @@ struct SearchOptions {
     /// implementation). Kept as a compatibility path for differential
     /// testing; cannot suspend or parallelize.
     kRecursive,
+    /// Memory-bounded global best-first search (DESIGN.md §13): goals wait
+    /// in one frontier ordered by adaptive promise (rule promise × observed
+    /// win rate × a cardinality discount) and are expanded best-first; every
+    /// subgoal is searched at an infinite cost limit so its memoized winner
+    /// is schedule-independent, and each goal's moves are reduced in
+    /// canonical order, which makes the uncapped search plan-for-plan
+    /// identical to kTask. frontier_limit / memo_byte_limit bound the live
+    /// frontier and the memo arena; capped runs stay anytime (greedy
+    /// completion under the memo gate, eviction of the least promising
+    /// goals) and are flagged approximate. Single-threaded; supports
+    /// suspend_on_trip.
+    kBestFirst,
   };
   Engine engine = Engine::kTask;
+
+  /// Maximum live entries in the kBestFirst frontier; admitting a goal
+  /// beyond the cap evicts the least promising entry (which then fails and
+  /// marks the result approximate). 0 = unbounded. Ignored by other engines.
+  size_t frontier_limit = 0;
+
+  /// Hard cap on Memo::arena_bytes() under kBestFirst. Once the arena
+  /// approaches the cap, goals stop expanding (they complete through the
+  /// greedy descent instead, never memoized) and exploration stops deriving
+  /// new expressions, so the memo cannot grow past the cap; the result is
+  /// flagged approximate. 0 = unbounded. Ignored by other engines.
+  size_t memo_byte_limit = 0;
 
   /// Parallel search width (task engine only). 0 or 1 runs single-threaded
   /// with strict Figure-2 move ordering; N > 1 evaluates the independent

@@ -30,12 +30,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "search/optimizer.h"
 #include "support/arena.h"
+#include "support/bounded_heap.h"
 #include "support/task_stack.h"
 
 namespace volcano {
@@ -72,6 +75,12 @@ class TaskEngine {
   /// in-progress marks and exploring flags the frozen frames hold, releases
   /// the frames, and leaves the memo consistent for a fresh Optimize call.
   void Abandon();
+
+  /// True when the last best-first run (Engine::kBestFirst) degraded under
+  /// one of its memory caps — a frontier eviction or the memo byte gate —
+  /// and its result therefore is not a proven optimum. Always false for the
+  /// other engines; folded into OptimizeOutcome::approximate.
+  bool best_first_degraded() const { return bf_degraded_; }
 
  private:
   // --- the iterative pattern matcher --------------------------------------
@@ -136,6 +145,10 @@ class TaskEngine {
     Cost limit;
     Optimizer::Result* out = nullptr;
     bool fan_out = false;  ///< pursue moves on the worker pool (root goal)
+    /// Best-first expansion: run only the explore + collect + order phases,
+    /// then hand the moves to the frontier record (BfHarvest) instead of
+    /// pursuing them on the task stack.
+    bool collect_only = false;
 
     // Search state.
     Goal goal{};
@@ -329,6 +342,108 @@ class TaskEngine {
   /// Returns null when absent; `storage` backs the copy.
   const Winner* ProbeWinner(GroupId group, const Goal& goal, Winner* storage);
 
+  // --- best-first engine (SearchOptions::Engine::kBestFirst) ---------------
+  //
+  // A global frontier of goal records ordered by adaptive promise replaces
+  // the depth-first task stack as the scheduler (DESIGN.md §13). Each record
+  // is one FindBestPlan goal; expansion reuses the existing explore + collect
+  // state machine (a collect_only GoalFrame run through Loop()), registration
+  // turns the collected moves into child demands at infinite cost limits
+  // (limit-independent memoized optima — the same argument that makes the
+  // parallel fan-out deterministic), and a canonical-order reduce reproduces
+  // the serial engine's winners move for move. Two memory caps degrade the
+  // search instead of growing it: frontier eviction fails the least promising
+  // goal, and the memo byte gate completes remaining goals through the greedy
+  // descent. Either cap sets bf_degraded_.
+
+  /// One best-first goal record: a FindBestPlan demand keyed by
+  /// (group, canonical goal), deduplicated in bf_index_.
+  struct BfGoalRec {
+    enum class State : uint8_t {
+      kReady,      // interned; waiting in the frontier for expansion
+      kExpanding,  // collect_only GoalFrame on the stack deriving its moves
+      kWaiting,    // moves registered; waiting on child records
+      kDone,       // settled (won, failed, or evicted)
+    };
+
+    uint32_t seq = 0;  ///< creation order; FIFO tie-break + stall scan order
+    GroupId group = kInvalidGroup;  ///< Find-resolved at interning
+    PhysPropsPtr required;
+    PhysPropsPtr excluded;
+    Goal goal{};
+    Cost limit;         ///< root: the search limit; children: cm.Infinity()
+    double priority = 0.0;
+    BfGoalRec* creator = nullptr;  ///< demand chain for cycle detection
+    State state = State::kReady;
+    bool in_frontier = false;
+    bool done_ok = false;  ///< kDone: true when plan/cost hold a winner
+    PlanPtr plan;
+    Cost cost;
+    LogicalPropsPtr logical;
+    std::vector<Optimizer::Move> moves;
+
+    /// Per-move child demands (the move's reduce slot).
+    struct MoveIn {
+      std::vector<BfGoalRec*> children;
+      bool failed = false;  ///< cycle hit or a child settled without a plan
+    };
+    std::vector<MoveIn> inputs;
+    size_t pending = 0;  ///< unresolved waiter edges (duplicates counted)
+    std::vector<BfGoalRec*> waiters;  ///< records to notify on settle
+  };
+
+  /// Dedup key: one record per (group, canonical goal). Goal compares by
+  /// interned-property pointer identity, same as the memo's tables.
+  struct BfKey {
+    GroupId group;
+    Goal goal;
+    bool operator==(const BfKey& o) const {
+      return group == o.group && goal == o.goal;
+    }
+  };
+  struct BfKeyHash {
+    size_t operator()(const BfKey& k) const {
+      return HashCombine(GoalHash{}(k.goal), static_cast<uint64_t>(k.group));
+    }
+  };
+
+  /// Entry point (from Run) and scheduling loop.
+  Optimizer::Result RunBestFirst(GroupId group, const PhysPropsPtr& required,
+                                 Cost limit, const PhysPropsPtr& excluded);
+  Optimizer::Result BfLoop();
+
+  /// Deduplicating demand: probes the winner table exactly like EnterGoal,
+  /// returns the existing or new record (possibly born kDone).
+  BfGoalRec* BfIntern(GroupId group, const PhysPropsPtr& required, Cost limit,
+                      const PhysPropsPtr& excluded, BfGoalRec* creator,
+                      double priority);
+  void BfPushFrontier(BfGoalRec* rec);
+
+  /// Expansion: explore the group and collect + order its moves via a
+  /// collect_only GoalFrame, or complete greedily when the memo gate is shut.
+  void BfExpand(BfGoalRec* rec);
+  void BfHarvest(GoalFrame* f);  ///< collect_only frame done; take its moves
+  void BfRegisterChildren(BfGoalRec* rec);
+  double BfMoveScore(const BfGoalRec* rec, const Optimizer::Move& mv) const;
+
+  /// Canonical-order reduce over the record's moves (serial install
+  /// semantics), then StoreWinner + settle.
+  void BfReduce(BfGoalRec* rec);
+  void BfSettle(BfGoalRec* rec, Optimizer::Result r, bool ok);
+
+  /// Deterministic backstop: fails the oldest waiting record's unresolved
+  /// moves when neither frontier nor ripe list can make progress.
+  void BfBreakStall();
+
+  /// Anytime incumbent: a partial reduce over the root's settled moves,
+  /// emitted when the budget trips without suspension.
+  Optimizer::Result BfIncumbent() const;
+  void BfClear();
+
+  /// True when memo arena growth must stop (memo_byte_limit, with slack for
+  /// in-flight allocations).
+  bool BfMemoGate() const;
+
   Optimizer& opt_;
   Arena arena_;
   FramePool<GoalFrame> goal_pool_;
@@ -341,6 +456,18 @@ class TaskEngine {
   bool worker_mode_ = false;
   LockMode lock_mode_ = LockMode::kNone;
   std::vector<std::pair<GroupId, Goal>> local_marks_;
+
+  // Best-first state (live only while bf_active_).
+  std::vector<std::unique_ptr<BfGoalRec>> bf_recs_;
+  std::unordered_map<BfKey, BfGoalRec*, BfKeyHash> bf_index_;
+  BoundedFrontier<BfGoalRec*> bf_frontier_;
+  std::vector<BfGoalRec*> bf_ripe_;  ///< records whose pending hit zero
+  size_t bf_ripe_cursor_ = 0;
+  BfGoalRec* bf_root_ = nullptr;
+  BfGoalRec* bf_expanding_ = nullptr;  ///< record the stacked frame feeds
+  Optimizer::Result bf_scratch_result_;  ///< collect_only frames' out target
+  bool bf_active_ = false;
+  bool bf_degraded_ = false;
 };
 
 }  // namespace volcano

@@ -1,0 +1,96 @@
+// A bounded best-first frontier (priority queue with evict-worst).
+//
+// The best-first search engine (search/task_engine.cc, DESIGN.md §13) keeps
+// its ready-to-expand goals in one global frontier ordered by promise. The
+// frontier must be *bounded* — memory-bounded search is the point — so when
+// it is full, admitting a new entry evicts the worst one (which may be the
+// incoming entry itself). An ordered set gives pop-best, evict-worst, and
+// erase-by-key in O(log n) each; frontier sizes are thousands, not millions,
+// so the node overhead is irrelevant next to the memo.
+//
+// Ordering is (priority descending, sequence ascending): ties between
+// equal-promise entries resolve to the oldest, so scheduling is deterministic
+// and independent of allocation addresses.
+
+#ifndef VOLCANO_SUPPORT_BOUNDED_HEAP_H_
+#define VOLCANO_SUPPORT_BOUNDED_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+
+namespace volcano {
+
+template <typename T>
+class BoundedFrontier {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit BoundedFrontier(size_t capacity = 0) : capacity_(capacity) {}
+
+  void set_capacity(size_t c) { capacity_ = c; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+  /// Peak entry count ever held (telemetry).
+  size_t high_water() const { return high_water_; }
+
+  /// Inserts (priority, seq, item). When the frontier is at capacity the
+  /// worst entry is evicted to make room — possibly the incoming entry
+  /// itself, if it is worse than everything held. Returns true and fills
+  /// *evicted when an eviction happened. (priority, seq) must be unique per
+  /// live entry; the caller erases before re-prioritizing.
+  bool Push(double priority, uint64_t seq, T item, T* evicted) {
+    set_.insert(Entry{priority, seq, std::move(item)});
+    if (set_.size() > high_water_) high_water_ = set_.size();
+    if (capacity_ != 0 && set_.size() > capacity_) {
+      auto worst = std::prev(set_.end());
+      *evicted = worst->item;
+      set_.erase(worst);
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes and returns the best entry; false when empty.
+  bool PopBest(T* out) {
+    if (set_.empty()) return false;
+    *out = set_.begin()->item;
+    set_.erase(set_.begin());
+    return true;
+  }
+
+  /// Erases the entry previously pushed with exactly (priority, seq).
+  /// Returns whether an entry was erased.
+  bool Erase(double priority, uint64_t seq) {
+    auto it = set_.find(Entry{priority, seq, T{}});
+    if (it == set_.end()) return false;
+    set_.erase(it);
+    return true;
+  }
+
+  void Clear() { set_.clear(); }
+
+ private:
+  struct Entry {
+    double priority;
+    uint64_t seq;
+    T item;
+  };
+  /// Best first: higher priority wins, older (smaller seq) breaks ties.
+  /// Item is not part of the key — (priority, seq) identifies an entry.
+  struct Better {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq < b.seq;
+    }
+  };
+
+  std::set<Entry, Better> set_;
+  size_t capacity_;
+  size_t high_water_ = 0;
+};
+
+}  // namespace volcano
+
+#endif  // VOLCANO_SUPPORT_BOUNDED_HEAP_H_

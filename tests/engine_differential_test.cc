@@ -118,6 +118,37 @@ TEST(EngineDifferential, ParallelMatchesSingleThreadedOnDigestGrid) {
   EXPECT_TRUE(any_fan_out);
 }
 
+// The best-first engine schedules goals from a global frontier instead of a
+// depth-first stack, but with no caps set it demands every subgoal at an
+// infinite limit and reduces each goal's moves in canonical order — so its
+// plans (and costs) are identical to the task engine's across the digest
+// grid. Effort counters legitimately differ (the schedule is global, and
+// branch-and-bound cannot prune an already-demanded subgoal), so only plan
+// and cost are compared — the same contract the parallel fan-out meets.
+TEST(EngineDifferential, BestFirstMatchesTaskOnDigestGrid) {
+  for (int order_by = 0; order_by <= 1; ++order_by) {
+    for (int n = 2; n <= 10; ++n) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        rel::Workload w = MakeChain(n, seed, order_by != 0);
+        SearchOptions task;
+        task.engine = SearchOptions::Engine::kTask;
+        SearchOptions bf;
+        bf.engine = SearchOptions::Engine::kBestFirst;
+
+        RunOutput t = RunOne(w, task);
+        RunOutput b = RunOne(w, bf);
+        SCOPED_TRACE("n=" + std::to_string(n) + " seed=" +
+                     std::to_string(seed) + " order_by=" +
+                     std::to_string(order_by));
+        ASSERT_EQ(t.ok, b.ok) << t.status << " vs " << b.status;
+        if (!t.ok) continue;
+        EXPECT_EQ(t.plan_line, b.plan_line);
+        EXPECT_DOUBLE_EQ(t.cost, b.cost);
+      }
+    }
+  }
+}
+
 // Fast mode trades plan-shape reproducibility for a shared branch-and-bound
 // incumbent; what it must NOT trade is optimality. Across the digest grid the
 // fast-mode winner re-costs exactly equal to the deterministic winner (plan

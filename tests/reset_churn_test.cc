@@ -119,5 +119,82 @@ TEST(ResetChurn, DegradedCyclesDoNotPerturbFullOnes) {
   }
 }
 
+// Successive Optimize() calls on one Optimizer WITHOUT ResetForReuse must
+// each start a fresh per-call search. The load-bearing detail is the
+// per-call reset of the fired-transformation counter (the explore cap's
+// denominator): under an explore_limit sized just above the first query's
+// firing count, a counter leaked from call one would trip the cap within the
+// second query's first few transformations and mark an exhaustive result
+// approximate. The second query must reach a part of the plan space the
+// first never explored, or the shared memo answers it without firing
+// anything and the test has no teeth.
+TEST(ResetChurn, SuccessiveOptimizeCallsStartFreshWithoutReset) {
+  rel::Catalog catalog;
+  VOLCANO_CHECK(
+      catalog.AddRelation("emp", 2000, 100, 3, {2000, 50, 10}).ok());
+  VOLCANO_CHECK(catalog.AddRelation("dept", 50, 100, 2, {50, 5}).ok());
+  VOLCANO_CHECK(catalog.AddRelation("loc", 10, 100, 2, {10, 10}).ok());
+  rel::RelModel model(catalog);
+  // q1's closure is strictly larger than q2's, and q2's join (emp.a1 = loc
+  // key) appears nowhere in q1's closure, so call two must explore fresh.
+  StatusOr<rel::ParsedQuery> q1 = rel::ParseSql(
+      "SELECT * FROM emp, dept, loc "
+      "WHERE emp.a2 = dept.a0 AND dept.a1 = loc.a0 ORDER BY emp.a1",
+      model, catalog.symbols());
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  StatusOr<rel::ParsedQuery> q2 = rel::ParseSql(
+      "SELECT * FROM emp, loc WHERE emp.a1 = loc.a0",
+      model, catalog.symbols());
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+
+  // Probe each query's uncapped firing count and reference plan.
+  uint64_t fired1 = 0;
+  uint64_t fired2 = 0;
+  std::string expected1;
+  std::string expected2;
+  {
+    Optimizer probe(model);
+    StatusOr<PlanPtr> plan = probe.Optimize(*q1->expr, q1->required);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    fired1 = probe.stats().transformations_applied;
+    expected1 = PlanToLine(**plan, model.registry());
+  }
+  {
+    Optimizer probe(model);
+    StatusOr<PlanPtr> plan = probe.Optimize(*q2->expr, q2->required);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    fired2 = probe.stats().transformations_applied;
+    expected2 = PlanToLine(**plan, model.registry());
+  }
+  ASSERT_GT(fired2, 0u);
+  ASSERT_LT(fired2, fired1);  // the cap below cannot trip a fresh call two
+
+  // Cap one application above call one's count. With the per-call reset,
+  // neither call comes near the cap; with a leaked counter, call two would
+  // trip it after a single transformation.
+  SearchOptions options;
+  options.explore_limit = fired1 + 1;
+  Optimizer optimizer(model, SearchConfig::FromOptions(options).value());
+
+  StatusOr<PlanPtr> plan1 = optimizer.Optimize(*q1->expr, q1->required);
+  ASSERT_TRUE(plan1.ok()) << plan1.status().ToString();
+  EXPECT_EQ(optimizer.outcome().source, PlanSource::kExhaustive);
+  EXPECT_FALSE(optimizer.outcome().approximate);
+  EXPECT_EQ(PlanToLine(**plan1, model.registry()), expected1);
+  EXPECT_EQ(optimizer.stats().transformations_applied, fired1);
+
+  StatusOr<PlanPtr> plan2 = optimizer.Optimize(*q2->expr, q2->required);
+  ASSERT_TRUE(plan2.ok()) << plan2.status().ToString();
+  EXPECT_EQ(optimizer.outcome().source, PlanSource::kExhaustive);
+  EXPECT_FALSE(optimizer.outcome().approximate);
+  EXPECT_EQ(PlanToLine(**plan2, model.registry()), expected2);
+  // Call two really explored (the cumulative counter moved)...
+  EXPECT_GT(optimizer.stats().transformations_applied, fired1);
+  // ...and the whole sequence stayed under what a leaked counter would
+  // have turned into a trip.
+  EXPECT_GT(optimizer.stats().transformations_applied,
+            options.explore_limit);
+}
+
 }  // namespace
 }  // namespace volcano

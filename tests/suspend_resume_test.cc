@@ -202,5 +202,72 @@ TEST(SuspendResume, FreshOptimizeAbandonsSuspendedRun) {
   EXPECT_EQ(PlanToLine(**plan, w.model->registry()), base.line);
 }
 
+// Big-join escalation + suspension: an above-threshold join installs
+// override knobs (deadline, move limit, exploration cap) for the duration of
+// the escalated call. A suspension mid-escalation must keep those overrides
+// installed — Resume() continues the same escalated call — and hand the
+// caller's own knobs back only when the call truly completes. (Regression:
+// the overrides were once restored on the suspension return path, so the
+// resumed search ran unbounded and diverged from the uninterrupted plan.)
+TEST(SuspendResume, EscalationOverridesSurviveSuspension) {
+  rel::WorkloadOptions wopts;
+  wopts.num_relations = 25;  // far above join_seed_threshold (12)
+  wopts.join_graph = rel::WorkloadOptions::JoinGraph::kChain;
+  wopts.sorted_base_prob = 0.5;
+  wopts.min_cardinality = 50;
+  wopts.max_cardinality = 200;
+  rel::Workload w = rel::GenerateWorkload(wopts, 21);
+
+  SearchOptions opts;
+  opts.join_seed = true;
+  // A wide deterministic deadline: the escalation installs it, but the
+  // explore-limit override bounds the search long before 60s of wall clock.
+  opts.join_budget_ms = 60000.0;
+
+  // Uninterrupted escalated reference.
+  std::string base_line;
+  {
+    Optimizer opt(*w.model, SearchConfig::FromOptions(opts).value());
+    StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    base_line = PlanToLine(**plan, w.model->registry());
+    // Overrides are restored once the call completes.
+    EXPECT_EQ(opt.options().move_limit, 0);
+    EXPECT_EQ(opt.options().explore_limit, 0u);
+    EXPECT_FALSE(opt.options().budget.has_deadline());
+  }
+
+  // Same search, preempted mid-escalation at a deterministic checkpoint.
+  FaultInjector::Config fc;
+  fc.seed = 21;
+  fc.expire_budget_at = 40;
+  FaultInjector injector(fc);
+  SearchOptions suspending = opts;
+  suspending.suspend_on_trip = true;
+  suspending.fault = &injector;
+  Optimizer opt(*w.model, SearchConfig::FromOptions(suspending).value());
+  StatusOr<PlanPtr> plan = opt.Optimize(*w.query, w.required);
+  ASSERT_FALSE(plan.ok());
+  ASSERT_TRUE(opt.CanResume());
+  // While suspended the escalation overrides must still be installed: the
+  // continuation runs under the same bounded knobs as the first slice.
+  EXPECT_GT(opt.options().move_limit, 0);
+  EXPECT_GT(opt.options().explore_limit, 0u);
+  EXPECT_TRUE(opt.options().budget.has_deadline());
+
+  int resumes = 0;
+  while (!plan.ok() && opt.CanResume()) {
+    plan = opt.Resume();
+    ASSERT_LT(++resumes, 1000);
+  }
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GE(opt.stats().suspensions, 1u);
+  EXPECT_EQ(PlanToLine(**plan, w.model->registry()), base_line);
+  // The call has completed: the caller's knobs are back.
+  EXPECT_EQ(opt.options().move_limit, 0);
+  EXPECT_EQ(opt.options().explore_limit, 0u);
+  EXPECT_FALSE(opt.options().budget.has_deadline());
+}
+
 }  // namespace
 }  // namespace volcano

@@ -9,8 +9,8 @@
 // this to prove that memo-layout work changed no optimization outcome.
 //
 // Usage:
-//   plan_digest [--verbose] [--engine=task|recursive] [--workers=N]
-//               [--join-seed]
+//   plan_digest [--verbose] [--engine=task|recursive|best-first]
+//               [--workers=N] [--join-seed]
 //
 // --engine and --workers select the search engine; every combination must
 // print the same digest (tests/engine_differential_test.cc holds the
@@ -45,6 +45,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--engine=task") == 0) {
       base.engine = SearchOptions::Engine::kTask;
+    }
+    if (std::strcmp(argv[i], "--engine=best-first") == 0) {
+      base.engine = SearchOptions::Engine::kBestFirst;
     }
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       base.workers = std::atoi(argv[i] + 10);

@@ -50,8 +50,16 @@
 //   --fallback       use the EXODUS baseline as a last resort when even the
 //                    degradation ladder yields no plan
 //   --engine E       search engine: 'task' (default; explicit task stack,
-//                    suspendable, stack-safe) or 'recursive' (Figure 2 run
-//                    literally); both choose identical plans
+//                    suspendable, stack-safe), 'recursive' (Figure 2 run
+//                    literally), or 'best-first' (global frontier ordered by
+//                    adaptive promise; DESIGN.md §13); all three choose
+//                    identical plans when best-first runs uncapped
+//   --frontier-limit=N   best-first only: cap the frontier at N goals; the
+//                    least promising goal is evicted (plan becomes
+//                    approximate)
+//   --memo-byte-limit=N  best-first only: hard cap on memo arena bytes;
+//                    goals beyond the cap complete through the greedy
+//                    descent (plan becomes approximate)
 //   --workers N      task engine only: fan the root goal's moves across N
 //                    worker threads; the chosen plan is identical to the
 //                    single-threaded search (trace events carry worker ids)
@@ -326,6 +334,8 @@ int main(int argc, char** argv) {
         search_options.engine = volcano::SearchOptions::Engine::kTask;
       } else if (engine == "recursive") {
         search_options.engine = volcano::SearchOptions::Engine::kRecursive;
+      } else if (engine == "best-first") {
+        search_options.engine = volcano::SearchOptions::Engine::kBestFirst;
       } else {
         std::fprintf(stderr, "vopt: unknown engine '%s'\n", engine.c_str());
         return 2;
@@ -333,6 +343,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--workers" && i + 1 < argc) {
       search_options.workers =
           static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--frontier-limit=", 0) == 0) {
+      search_options.frontier_limit = static_cast<size_t>(
+          std::strtoull(arg.c_str() + std::strlen("--frontier-limit="),
+                        nullptr, 10));
+    } else if (arg.rfind("--memo-byte-limit=", 0) == 0) {
+      search_options.memo_byte_limit = static_cast<size_t>(
+          std::strtoull(arg.c_str() + std::strlen("--memo-byte-limit="),
+                        nullptr, 10));
     } else if (arg == "--join-seed=on") {
       search_options.join_seed = true;
     } else if (arg == "--join-seed=off") {
@@ -367,7 +385,8 @@ int main(int argc, char** argv) {
                  "[--stats-json] [--explain] [--trace FILE] "
                  "[--execute SEED] [--timeout-ms N] [--max-mexprs N] "
                  "[--max-calls N] [--strict] [--fallback] "
-                 "[--engine task|recursive] [--workers N] "
+                 "[--engine task|recursive|best-first] [--workers N] "
+                 "[--frontier-limit=N] [--memo-byte-limit=N] "
                  "[--parallel-mode deterministic|fast] "
                  "[--join-seed=on|off] [--join-threshold=N] \"SQL\"\n");
     return 2;
