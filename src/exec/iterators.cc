@@ -47,7 +47,9 @@ void FilterIterator::Open() {
 
 bool FilterIterator::Next(Row* row) {
   while (input_->Next(row)) {
-    if (pred_.Eval((*row)[col_])) return true;
+    // Predicates on NULL are unknown, never true.
+    int64_t v = (*row)[col_];
+    if (v != kNull && pred_.Eval(v)) return true;
   }
   return false;
 }
@@ -127,6 +129,10 @@ bool MergeJoinIterator::Next(Row* row) {
   while (true) {
     if (!lvalid_) return false;
     int64_t key = lrow_[lcol_];
+    if (key == kNull) {  // NULL keys never join
+      lvalid_ = left_->Next(&lrow_);
+      continue;
+    }
     if (!rgroup_valid_ || rgroup_key_ != key) {
       // Both inputs are sorted ascending, so a new left key is always at or
       // beyond the buffered group; fetch the group for this key.
@@ -170,6 +176,7 @@ void HashJoinIterator::Open() {
   Row row;
   while (left_->Next(&row)) {
     int64_t key = row[lcol_];
+    if (key == kNull) continue;  // NULL keys never join
     hash_.emplace(key, std::move(row));
     row.clear();
   }
@@ -200,6 +207,177 @@ bool HashJoinIterator::Next(Row* row) {
 void HashJoinIterator::Close() {
   right_->Close();
   hash_.clear();
+}
+
+// --- HashLeftOuterJoinIterator -----------------------------------------------
+
+HashLeftOuterJoinIterator::HashLeftOuterJoinIterator(IteratorPtr left,
+                                                     IteratorPtr right,
+                                                     Symbol left_attr,
+                                                     Symbol right_attr)
+    : left_(std::move(left)), right_(std::move(right)) {
+  lcol_ = left_->schema().IndexOf(left_attr);
+  rcol_ = right_->schema().IndexOf(right_attr);
+  VOLCANO_CHECK(lcol_ >= 0 && rcol_ >= 0);
+  schema_ = Schema::Concat(left_->schema(), right_->schema());
+}
+
+void HashLeftOuterJoinIterator::Open() {
+  // Build on the inner (right) side: probing with the outer stream is what
+  // lets each outer row be padded exactly once when it finds no match.
+  right_->Open();
+  Row row;
+  while (right_->Next(&row)) {
+    int64_t key = row[rcol_];
+    if (key == kNull) continue;  // NULL keys never join
+    hash_.emplace(key, std::move(row));
+    row.clear();
+  }
+  right_->Close();
+  left_->Open();
+  in_probe_ = false;
+  emitted_match_ = false;
+}
+
+bool HashLeftOuterJoinIterator::Next(Row* row) {
+  while (true) {
+    if (in_probe_) {
+      if (match_range_.first != match_range_.second) {
+        *row = lrow_;
+        const Row& r = match_range_.first->second;
+        row->insert(row->end(), r.begin(), r.end());
+        ++match_range_.first;
+        emitted_match_ = true;
+        return true;
+      }
+      in_probe_ = false;
+      if (!emitted_match_) {
+        *row = lrow_;
+        row->insert(row->end(), right_->schema().size(), kNull);
+        return true;
+      }
+    }
+    if (!left_->Next(&lrow_)) return false;
+    int64_t key = lrow_[lcol_];
+    match_range_ = key == kNull ? std::make_pair(hash_.end(), hash_.end())
+                                : hash_.equal_range(key);
+    in_probe_ = true;
+    emitted_match_ = false;
+  }
+}
+
+void HashLeftOuterJoinIterator::Close() {
+  left_->Close();
+  hash_.clear();
+}
+
+// --- HashSemiJoinIterator ----------------------------------------------------
+
+HashSemiJoinIterator::HashSemiJoinIterator(IteratorPtr left, IteratorPtr right,
+                                           Symbol left_attr, Symbol right_attr)
+    : left_(std::move(left)), right_(std::move(right)) {
+  lcol_ = left_->schema().IndexOf(left_attr);
+  rcol_ = right_->schema().IndexOf(right_attr);
+  VOLCANO_CHECK(lcol_ >= 0 && rcol_ >= 0);
+}
+
+void HashSemiJoinIterator::Open() {
+  // Only key existence matters: a set, not a multimap, so inner duplicates
+  // cannot multiply outer rows.
+  right_->Open();
+  Row row;
+  while (right_->Next(&row)) {
+    if (row[rcol_] != kNull) keys_.insert(row[rcol_]);
+  }
+  right_->Close();
+  left_->Open();
+}
+
+bool HashSemiJoinIterator::Next(Row* row) {
+  while (left_->Next(row)) {
+    int64_t key = (*row)[lcol_];
+    if (key != kNull && keys_.count(key) != 0) return true;
+  }
+  return false;
+}
+
+void HashSemiJoinIterator::Close() {
+  left_->Close();
+  keys_.clear();
+}
+
+// --- HashAntiJoinIterator ----------------------------------------------------
+
+HashAntiJoinIterator::HashAntiJoinIterator(IteratorPtr left, IteratorPtr right,
+                                           Symbol left_attr, Symbol right_attr)
+    : left_(std::move(left)), right_(std::move(right)) {
+  lcol_ = left_->schema().IndexOf(left_attr);
+  rcol_ = right_->schema().IndexOf(right_attr);
+  VOLCANO_CHECK(lcol_ >= 0 && rcol_ >= 0);
+}
+
+void HashAntiJoinIterator::Open() {
+  right_->Open();
+  Row row;
+  while (right_->Next(&row)) {
+    if (row[rcol_] != kNull) keys_.insert(row[rcol_]);
+  }
+  right_->Close();
+  left_->Open();
+}
+
+bool HashAntiJoinIterator::Next(Row* row) {
+  while (left_->Next(row)) {
+    int64_t key = (*row)[lcol_];
+    // A kNull key matches nothing, so the antijoin keeps the row.
+    if (key == kNull || keys_.count(key) == 0) return true;
+  }
+  return false;
+}
+
+void HashAntiJoinIterator::Close() {
+  left_->Close();
+  keys_.clear();
+}
+
+// --- NestedSubqIterator ------------------------------------------------------
+
+NestedSubqIterator::NestedSubqIterator(IteratorPtr left, IteratorPtr right,
+                                       const rel::SubqueryArg& arg)
+    : left_(std::move(left)), right_(std::move(right)), arg_(arg) {
+  lcol_ = left_->schema().IndexOf(arg_.outer_attr());
+  rcol_ = right_->schema().IndexOf(arg_.inner_attr());
+  VOLCANO_CHECK(lcol_ >= 0 && rcol_ >= 0);
+}
+
+void NestedSubqIterator::Open() {
+  inner_ = Drain(*right_);
+  left_->Open();
+}
+
+bool NestedSubqIterator::Next(Row* row) {
+  while (left_->Next(row)) {
+    int64_t key = (*row)[lcol_];
+    // Deliberately quadratic: the full inner scan per outer row is what a
+    // correlated subquery costs before unnesting.
+    bool match = false;
+    if (key != kNull) {
+      for (const Row& r : inner_) {
+        if (r[rcol_] == key) {
+          match = true;
+          break;
+        }
+      }
+    }
+    if (match != arg_.negated()) return true;
+  }
+  return false;
+}
+
+void NestedSubqIterator::Close() {
+  left_->Close();
+  inner_.clear();
+  inner_.shrink_to_fit();
 }
 
 // --- MultiHashJoinIterator -----------------------------------------------------

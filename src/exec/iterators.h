@@ -1,11 +1,12 @@
 // Physical operator iterators: scan, filter, sort, merge join, hybrid hash
-// join, project, merge/hash intersect.
+// join, outer/semi/anti joins, project, merge/hash intersect.
 
 #ifndef VOLCANO_EXEC_ITERATORS_H_
 #define VOLCANO_EXEC_ITERATORS_H_
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -118,6 +119,95 @@ class HashJoinIterator final : public Iterator {
             std::unordered_multimap<int64_t, Row>::iterator>
       match_range_;
   bool in_match_ = false;
+};
+
+/// Hash left outer join: builds on the right (inner) input, probes with the
+/// left (outer) input so every outer row is seen exactly once; unmatched
+/// outer rows are emitted padded with kNull. kNull keys never match.
+class HashLeftOuterJoinIterator final : public Iterator {
+ public:
+  HashLeftOuterJoinIterator(IteratorPtr left, IteratorPtr right,
+                            Symbol left_attr, Symbol right_attr);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  using Multimap = std::unordered_multimap<int64_t, Row>;
+
+  IteratorPtr left_;
+  IteratorPtr right_;
+  int lcol_ = -1;
+  int rcol_ = -1;
+  Schema schema_;
+  Multimap hash_;
+  Row lrow_;
+  std::pair<Multimap::iterator, Multimap::iterator> match_range_;
+  bool in_probe_ = false;
+  bool emitted_match_ = false;
+};
+
+/// Hash semijoin: emits each outer (left) row at most once if the inner
+/// input contains a matching key. Order and duplicates of the outer stream
+/// are preserved; kNull keys never match.
+class HashSemiJoinIterator final : public Iterator {
+ public:
+  HashSemiJoinIterator(IteratorPtr left, IteratorPtr right, Symbol left_attr,
+                       Symbol right_attr);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return left_->schema(); }
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  int lcol_ = -1;
+  int rcol_ = -1;
+  std::unordered_set<int64_t> keys_;
+};
+
+/// Hash antijoin: the complement of the semijoin — emits exactly the outer
+/// rows the semijoin drops (so semijoin ∪ antijoin = outer input). A kNull
+/// outer key matches nothing and is therefore emitted.
+class HashAntiJoinIterator final : public Iterator {
+ public:
+  HashAntiJoinIterator(IteratorPtr left, IteratorPtr right, Symbol left_attr,
+                       Symbol right_attr);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return left_->schema(); }
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  int lcol_ = -1;
+  int rcol_ = -1;
+  std::unordered_set<int64_t> keys_;
+};
+
+/// Naive correlated subquery execution (NESTED_SUBQ): materializes the
+/// inner input once, then re-scans it per outer row — quadratic, the
+/// baseline the unnesting transformations beat. Emits the outer row when
+/// the existence test (negated for NOT IN / NOT EXISTS) passes.
+class NestedSubqIterator final : public Iterator {
+ public:
+  NestedSubqIterator(IteratorPtr left, IteratorPtr right,
+                     const rel::SubqueryArg& arg);
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return left_->schema(); }
+
+ private:
+  IteratorPtr left_;
+  IteratorPtr right_;
+  rel::SubqueryArg arg_;
+  int lcol_ = -1;
+  int rcol_ = -1;
+  std::vector<Row> inner_;
 };
 
 /// Ternary multi-way hash join (MULTI_HASH_JOIN): builds hash tables on the

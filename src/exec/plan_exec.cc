@@ -103,6 +103,42 @@ IteratorPtr BuildIterator(const PlanNode& plan, const rel::RelModel& model,
         BuildIterator(*plan.input(0), model, db),
         BuildIterator(*plan.input(1), model, db));
   }
+  if (op == ops.hash_left_outer_join) {
+    const auto& arg = static_cast<const rel::JoinArg&>(*plan.arg());
+    return std::make_unique<HashLeftOuterJoinIterator>(
+        BuildIterator(*plan.input(0), model, db),
+        BuildIterator(*plan.input(1), model, db), arg.left_attr(),
+        arg.right_attr());
+  }
+  if (op == ops.hash_semijoin) {
+    const auto& arg = static_cast<const rel::JoinArg&>(*plan.arg());
+    return std::make_unique<HashSemiJoinIterator>(
+        BuildIterator(*plan.input(0), model, db),
+        BuildIterator(*plan.input(1), model, db), arg.left_attr(),
+        arg.right_attr());
+  }
+  if (op == ops.hash_antijoin) {
+    const auto& arg = static_cast<const rel::JoinArg&>(*plan.arg());
+    return std::make_unique<HashAntiJoinIterator>(
+        BuildIterator(*plan.input(0), model, db),
+        BuildIterator(*plan.input(1), model, db), arg.left_attr(),
+        arg.right_attr());
+  }
+  if (op == ops.hash_distinct) {
+    return std::make_unique<HashDedupIterator>(
+        BuildIterator(*plan.input(0), model, db));
+  }
+  if (op == ops.sort_distinct) {
+    const auto& arg = static_cast<const rel::SortArg&>(*plan.arg());
+    return std::make_unique<SortDedupIterator>(
+        BuildIterator(*plan.input(0), model, db), arg.order().attrs);
+  }
+  if (op == ops.nested_subq) {
+    const auto& arg = static_cast<const rel::SubqueryArg&>(*plan.arg());
+    return std::make_unique<NestedSubqIterator>(
+        BuildIterator(*plan.input(0), model, db),
+        BuildIterator(*plan.input(1), model, db), arg);
+  }
   VOLCANO_CHECK(false && "unknown physical operator");
   return nullptr;
 }
@@ -143,7 +179,10 @@ Evaluated Eval(const Expr& expr, const rel::RelModel& model,
     VOLCANO_CHECK(col >= 0);
     Evaluated out{in.schema, {}};
     for (auto& row : in.rows) {
-      if (arg.Eval(row[col])) out.rows.push_back(std::move(row));
+      // Predicates on NULL are unknown, never true.
+      if (row[col] != kNull && arg.Eval(row[col])) {
+        out.rows.push_back(std::move(row));
+      }
     }
     return out;
   }
@@ -156,6 +195,7 @@ Evaluated Eval(const Expr& expr, const rel::RelModel& model,
     VOLCANO_CHECK(lc >= 0 && rc >= 0);
     Evaluated out{Schema::Concat(l.schema, r.schema), {}};
     for (const Row& a : l.rows) {
+      if (a[lc] == kNull) continue;  // NULL keys never join
       for (const Row& b : r.rows) {
         if (a[lc] == b[rc]) {
           Row row = a;
@@ -163,6 +203,88 @@ Evaluated Eval(const Expr& expr, const rel::RelModel& model,
           out.rows.push_back(std::move(row));
         }
       }
+    }
+    return out;
+  }
+  if (op == ops.left_outer_join) {
+    const auto& arg = static_cast<const rel::JoinArg&>(*expr.arg());
+    Evaluated l = Eval(*expr.input(0), model, db);
+    Evaluated r = Eval(*expr.input(1), model, db);
+    int lc = l.schema.IndexOf(arg.left_attr());
+    int rc = r.schema.IndexOf(arg.right_attr());
+    VOLCANO_CHECK(lc >= 0 && rc >= 0);
+    Evaluated out{Schema::Concat(l.schema, r.schema), {}};
+    for (const Row& a : l.rows) {
+      bool matched = false;
+      if (a[lc] != kNull) {
+        for (const Row& b : r.rows) {
+          if (a[lc] == b[rc]) {
+            Row row = a;
+            row.insert(row.end(), b.begin(), b.end());
+            out.rows.push_back(std::move(row));
+            matched = true;
+          }
+        }
+      }
+      if (!matched) {
+        Row row = a;
+        row.insert(row.end(), r.schema.size(), kNull);
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+  if (op == ops.semijoin || op == ops.antijoin) {
+    const auto& arg = static_cast<const rel::JoinArg&>(*expr.arg());
+    Evaluated l = Eval(*expr.input(0), model, db);
+    Evaluated r = Eval(*expr.input(1), model, db);
+    int lc = l.schema.IndexOf(arg.left_attr());
+    int rc = r.schema.IndexOf(arg.right_attr());
+    VOLCANO_CHECK(lc >= 0 && rc >= 0);
+    bool want_match = op == ops.semijoin;
+    Evaluated out{l.schema, {}};
+    for (auto& a : l.rows) {
+      bool matched = false;
+      if (a[lc] != kNull) {
+        for (const Row& b : r.rows) {
+          if (a[lc] == b[rc]) {
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (matched == want_match) out.rows.push_back(std::move(a));
+    }
+    return out;
+  }
+  if (op == ops.distinct) {
+    Evaluated in = Eval(*expr.input(0), model, db);
+    std::set<Row> seen;
+    Evaluated out{in.schema, {}};
+    for (auto& row : in.rows) {
+      if (seen.insert(row).second) out.rows.push_back(std::move(row));
+    }
+    return out;
+  }
+  if (op == ops.subquery) {
+    const auto& arg = static_cast<const rel::SubqueryArg&>(*expr.arg());
+    Evaluated l = Eval(*expr.input(0), model, db);
+    Evaluated r = Eval(*expr.input(1), model, db);
+    int lc = l.schema.IndexOf(arg.outer_attr());
+    int rc = r.schema.IndexOf(arg.inner_attr());
+    VOLCANO_CHECK(lc >= 0 && rc >= 0);
+    Evaluated out{l.schema, {}};
+    for (auto& a : l.rows) {
+      bool matched = false;
+      if (a[lc] != kNull) {
+        for (const Row& b : r.rows) {
+          if (a[lc] == b[rc]) {
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (matched != arg.negated()) out.rows.push_back(std::move(a));
     }
     return out;
   }

@@ -9,6 +9,7 @@
 #define VOLCANO_EXEC_TABLE_H_
 
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -20,6 +21,13 @@ namespace volcano::exec {
 
 /// One tuple: attribute values in schema order.
 using Row = std::vector<int64_t>;
+
+/// SQL NULL sentinel. Stored base tables never contain it; it enters a
+/// stream only as left-outer-join padding. Comparisons treat it as
+/// unknown: it never equals anything (itself included), and predicates on
+/// it are false — which is exactly the null-rejection the outer-join
+/// simplification rule relies on.
+inline constexpr int64_t kNull = std::numeric_limits<int64_t>::min();
 
 /// Ordered attribute list naming a row's columns.
 class Schema {

@@ -59,6 +59,58 @@ class RelSupport final : public genrel::Support {
                                      const Memo& m) const override {
     return Transformation("select_through_aggregate").Apply(b, m);
   }
+  bool UnnestInToSemijoinCondition(const Binding& b,
+                                   const Memo& m) const override {
+    return Transformation("unnest_in_to_semijoin").Condition(b, m);
+  }
+  RexPtr UnnestInToSemijoinApply(const Binding& b,
+                                 const Memo& m) const override {
+    return Transformation("unnest_in_to_semijoin").Apply(b, m);
+  }
+  bool UnnestExistsToSemijoinCondition(const Binding& b,
+                                       const Memo& m) const override {
+    return Transformation("unnest_exists_to_semijoin").Condition(b, m);
+  }
+  RexPtr UnnestExistsToSemijoinApply(const Binding& b,
+                                     const Memo& m) const override {
+    return Transformation("unnest_exists_to_semijoin").Apply(b, m);
+  }
+  bool UnnestToAntijoinCondition(const Binding& b,
+                                 const Memo& m) const override {
+    return Transformation("unnest_to_antijoin").Condition(b, m);
+  }
+  RexPtr UnnestToAntijoinApply(const Binding& b,
+                               const Memo& m) const override {
+    return Transformation("unnest_to_antijoin").Apply(b, m);
+  }
+  bool OuterJoinToJoinCondition(const Binding& b,
+                                const Memo& m) const override {
+    return Transformation("outer_join_to_join").Condition(b, m);
+  }
+  RexPtr OuterJoinToJoinApply(const Binding& b,
+                              const Memo& m) const override {
+    return Transformation("outer_join_to_join").Apply(b, m);
+  }
+  bool SemijoinReorderCondition(const Binding& b,
+                                const Memo& m) const override {
+    return Transformation("semijoin_reorder").Condition(b, m);
+  }
+  RexPtr SemijoinReorderApply(const Binding& b,
+                              const Memo& m) const override {
+    return Transformation("semijoin_reorder").Apply(b, m);
+  }
+  RexPtr DistinctCollapseApply(const Binding& b,
+                               const Memo& m) const override {
+    return Transformation("distinct_collapse").Apply(b, m);
+  }
+  RexPtr SemijoinAbsorbDistinctApply(const Binding& b,
+                                     const Memo& m) const override {
+    return Transformation("semijoin_absorb_distinct").Apply(b, m);
+  }
+  RexPtr AntijoinAbsorbDistinctApply(const Binding& b,
+                                     const Memo& m) const override {
+    return Transformation("antijoin_absorb_distinct").Apply(b, m);
+  }
 
   // ----- implementation support ---------------------------------------------
 #define VOLCANO_DELEGATE_IMPL(Fn, rule_name)                                 \
@@ -82,7 +134,18 @@ class RelSupport final : public genrel::Support {
   VOLCANO_DELEGATE_IMPL(Concat, "union_to_concat")
   VOLCANO_DELEGATE_IMPL(HashAgg, "agg_to_hash_agg")
   VOLCANO_DELEGATE_IMPL(SortAgg, "agg_to_sort_agg")
+  VOLCANO_DELEGATE_IMPL(HashLeftOuterJoin, "left_outer_join_to_hash")
+  VOLCANO_DELEGATE_IMPL(HashSemijoin, "semijoin_to_hash")
+  VOLCANO_DELEGATE_IMPL(HashAntijoin, "antijoin_to_hash")
+  VOLCANO_DELEGATE_IMPL(HashDistinct, "distinct_to_hash_distinct")
+  VOLCANO_DELEGATE_IMPL(SortDistinct, "distinct_to_sort_distinct")
+  VOLCANO_DELEGATE_IMPL(NestedSubq, "subquery_to_nested")
 #undef VOLCANO_DELEGATE_IMPL
+
+  OpArgPtr SortDistinctPlanArg(const Binding& b,
+                               const Memo& m) const override {
+    return Implementation("distinct_to_sort_distinct").PlanArg(b, m);
+  }
 
   // ----- enforcer support ----------------------------------------------------
   std::optional<EnforcerApplication> SortEnforce(
@@ -159,6 +222,11 @@ GenRelModel::GenRelModel(const Catalog& catalog) : inner_(catalog) {
   VOLCANO_CHECK(ops_.kINTERSECT == inner_.ops().intersect);
   VOLCANO_CHECK(ops_.kUNION == inner_.ops().union_all);
   VOLCANO_CHECK(ops_.kAGGREGATE == inner_.ops().aggregate);
+  VOLCANO_CHECK(ops_.kLEFT_OUTER_JOIN == inner_.ops().left_outer_join);
+  VOLCANO_CHECK(ops_.kSEMIJOIN == inner_.ops().semijoin);
+  VOLCANO_CHECK(ops_.kANTIJOIN == inner_.ops().antijoin);
+  VOLCANO_CHECK(ops_.kDISTINCT == inner_.ops().distinct);
+  VOLCANO_CHECK(ops_.kSUBQUERY == inner_.ops().subquery);
   VOLCANO_CHECK(ops_.kFILE_SCAN == inner_.ops().file_scan);
   VOLCANO_CHECK(ops_.kFILTER == inner_.ops().filter);
   VOLCANO_CHECK(ops_.kMERGE_JOIN == inner_.ops().merge_join);
@@ -170,6 +238,13 @@ GenRelModel::GenRelModel(const Catalog& catalog) : inner_(catalog) {
   VOLCANO_CHECK(ops_.kCONCAT == inner_.ops().concat);
   VOLCANO_CHECK(ops_.kHASH_AGGREGATE == inner_.ops().hash_aggregate);
   VOLCANO_CHECK(ops_.kSORT_AGGREGATE == inner_.ops().sort_aggregate);
+  VOLCANO_CHECK(ops_.kHASH_LEFT_OUTER_JOIN ==
+                inner_.ops().hash_left_outer_join);
+  VOLCANO_CHECK(ops_.kHASH_SEMIJOIN == inner_.ops().hash_semijoin);
+  VOLCANO_CHECK(ops_.kHASH_ANTIJOIN == inner_.ops().hash_antijoin);
+  VOLCANO_CHECK(ops_.kHASH_DISTINCT == inner_.ops().hash_distinct);
+  VOLCANO_CHECK(ops_.kSORT_DISTINCT == inner_.ops().sort_distinct);
+  VOLCANO_CHECK(ops_.kNESTED_SUBQ == inner_.ops().nested_subq);
   VOLCANO_CHECK(ops_.kSORT == inner_.ops().sort);
   VOLCANO_CHECK(ops_.kSORT_DEDUP == inner_.ops().sort_dedup);
   VOLCANO_CHECK(ops_.kHASH_DEDUP == inner_.ops().hash_dedup);

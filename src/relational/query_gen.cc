@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <string_view>
 
 namespace volcano::rel {
 
@@ -147,6 +148,127 @@ Workload GenerateWorkload(const WorkloadOptions& options, uint64_t seed,
   } else {
     w.required = model.AnyProps();
   }
+  return w;
+}
+
+TpchWorkload MakeTpchWorkload(const RelModelOptions& model_options) {
+  TpchWorkload w;
+  w.catalog = std::make_unique<Catalog>();
+
+  // Micro-scale TPC-H topology. Attribute a0 of every relation is its
+  // key-like column; FK columns carry the parent's cardinality as their
+  // distinct count so GenerateDatabase draws them from the parent key
+  // domain (see the header comment). Attribute roles, in TPC-H terms:
+  //
+  //   region    a0 regionkey  a1 name-class
+  //   nation    a0 nationkey  a1 ->region.a0   a2 name-class
+  //   supplier  a0 suppkey    a1 ->nation.a0   a2 acctbal bucket
+  //   part      a0 partkey    a1 brand         a2 size
+  //   partsupp  a0 ->part.a0  a1 ->supplier.a0 a2 availqty  a3 supplycost
+  //   customer  a0 custkey    a1 ->nation.a0   a2 mktsegment a3 acctbal
+  //   orders    a0 orderkey   a1 ->customer.a0 a2 date bucket a3 priority
+  //   lineitem  a0 ->orders.a0 a1 ->part.a0 a2 ->supplier.a0
+  //             a3 quantity   a4 shipdate bucket
+  auto add = [&](std::string_view name, double card, double bytes,
+                 const std::vector<double>& distincts) {
+    StatusOr<Symbol> rel = w.catalog->AddRelation(
+        name, card, bytes, static_cast<int>(distincts.size()), distincts);
+    VOLCANO_CHECK(rel.ok());
+  };
+  add("region", 5, 32, {5, 5});
+  add("nation", 25, 32, {25, 5, 25});
+  add("supplier", 200, 64, {200, 25, 50});
+  add("part", 400, 64, {400, 10, 50});
+  add("partsupp", 1600, 32, {400, 200, 100, 100});
+  add("customer", 600, 64, {600, 25, 5, 100});
+  add("orders", 3000, 64, {3000, 600, 60, 5});
+  add("lineitem", 12000, 100, {3000, 400, 200, 50, 60});
+
+  // Clustered storage, as in TPC-H: orders by orderkey, lineitem by its
+  // orderkey FK — the merge-join opportunity on the biggest join.
+  auto sort_on = [&](std::string_view rel, std::string_view attr) {
+    Status s = w.catalog->SetSortedOn(w.catalog->symbols().Lookup(rel),
+                                      {w.catalog->symbols().Lookup(attr)});
+    VOLCANO_CHECK(s.ok());
+  };
+  sort_on("orders", "orders.a0");
+  sort_on("lineitem", "lineitem.a0");
+
+  w.model = std::make_unique<RelModel>(*w.catalog, model_options);
+
+  // The query family. Names follow the TPC-H query each is shaped after;
+  // the SQL stays inside the front-end's subset (sql.h).
+  w.queries = {
+      // Q1: scan + aggregate over the big table.
+      {"q01",
+       "SELECT lineitem.a3, COUNT(*) FROM lineitem WHERE lineitem.a4 < 40 "
+       "GROUP BY lineitem.a3 ORDER BY lineitem.a3"},
+      // Q2: IN over a filtered partsupp projection (semijoin after
+      // unnesting).
+      {"q02",
+       "SELECT supplier.a0, supplier.a2 FROM supplier WHERE supplier.a2 < 25 "
+       "AND supplier.a0 IN (SELECT partsupp.a1 FROM partsupp WHERE "
+       "partsupp.a3 < 20)"},
+      // Q3: three-way FK join chain with selections on both ends.
+      {"q03",
+       "SELECT orders.a0, orders.a2 FROM customer, orders, lineitem WHERE "
+       "customer.a0 = orders.a1 AND orders.a0 = lineitem.a0 AND "
+       "customer.a2 < 2 AND lineitem.a4 < 30"},
+      // Q4: EXISTS (correlated) under GROUP BY — the order-priority check.
+      {"q04",
+       "SELECT orders.a3, COUNT(*) FROM orders WHERE EXISTS (SELECT * FROM "
+       "lineitem WHERE lineitem.a0 = orders.a0 AND lineitem.a4 < 10) "
+       "GROUP BY orders.a3"},
+      // Q5: region-nation-supplier chain.
+      {"q05",
+       "SELECT nation.a2 FROM region, nation, supplier WHERE "
+       "region.a0 = nation.a1 AND nation.a0 = supplier.a1 AND region.a1 < 3"},
+      // Q6: pure multi-selection scan (the forecasting query).
+      {"q06",
+       "SELECT * FROM lineitem WHERE lineitem.a3 < 25 AND lineitem.a4 < 15"},
+      // Q7-shaped: DISTINCT over a join (dedup enforcer choice).
+      {"q07",
+       "SELECT DISTINCT customer.a1 FROM customer, orders WHERE "
+       "customer.a0 = orders.a1 AND orders.a3 < 2"},
+      // Q8-shaped: LEFT JOIN whose WHERE null-rejects the inner side — the
+      // outer-join simplification rule's target shape.
+      {"q08",
+       "SELECT customer.a0, orders.a2 FROM customer LEFT JOIN orders ON "
+       "customer.a0 = orders.a1 WHERE orders.a3 < 3"},
+      // Q9-shaped: LEFT JOIN that must stay outer (filter on the outer
+      // side only).
+      {"q09",
+       "SELECT customer.a0, orders.a0 FROM customer LEFT JOIN orders ON "
+       "customer.a0 = orders.a1 WHERE customer.a3 < 50"},
+      // Q10-shaped: NOT IN (antijoin after unnesting).
+      {"q10",
+       "SELECT customer.a0 FROM customer WHERE customer.a0 NOT IN "
+       "(SELECT orders.a1 FROM orders WHERE orders.a3 < 2)"},
+      // Q11: GROUP BY with a HAVING COUNT(*) floor.
+      {"q11",
+       "SELECT partsupp.a0, COUNT(*) FROM partsupp WHERE partsupp.a2 < 80 "
+       "GROUP BY partsupp.a0 HAVING COUNT(*) > 2"},
+      // Q12-shaped: join + GROUP BY + HAVING.
+      {"q12",
+       "SELECT orders.a3, COUNT(*) FROM orders, lineitem WHERE "
+       "orders.a0 = lineitem.a0 AND lineitem.a4 < 20 GROUP BY orders.a3 "
+       "HAVING COUNT(*) > 5"},
+      // Q13: the classic customer-orders LEFT JOIN, no WHERE at all —
+      // unmatched customers survive as NULL padding.
+      {"q13",
+       "SELECT customer.a0, orders.a0 FROM customer LEFT JOIN orders ON "
+       "customer.a0 = orders.a1"},
+      // Q14-shaped (Q16's NOT EXISTS flavor): parts no lineitem touched.
+      {"q14",
+       "SELECT part.a0 FROM part WHERE NOT EXISTS (SELECT * FROM lineitem "
+       "WHERE lineitem.a1 = part.a0 AND lineitem.a3 < 5)"},
+      // Q15-shaped: IN over a DISTINCT subquery body (the absorption rule
+      // proves the DISTINCT redundant under the semijoin).
+      {"q15",
+       "SELECT supplier.a0 FROM supplier WHERE supplier.a0 IN (SELECT "
+       "DISTINCT lineitem.a2 FROM lineitem WHERE lineitem.a4 < 25) "
+       "ORDER BY supplier.a0"},
+  };
   return w;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "algebra/expr.h"
@@ -78,6 +79,36 @@ struct Workload {
 /// Generates one workload deterministically from `seed`.
 Workload GenerateWorkload(const WorkloadOptions& options, uint64_t seed,
                           const RelModelOptions& model_options = {});
+
+/// One query of the TPC-H-shaped family: SQL text plus a stable name
+/// (q01..q15). The text is the interface — every consumer goes through
+/// ParseSql, so the family exercises the whole stack from the lexer down.
+struct TpchQuery {
+  std::string name;
+  std::string sql;
+};
+
+/// The TPC-H-shaped decision-support workload (DESIGN.md section 14): eight
+/// relations with the TPC-H foreign-key topology at micro scale, and a
+/// family of ~15 queries shaped after the TPC-H suite — outer joins,
+/// [NOT] IN / [NOT] EXISTS subqueries, DISTINCT, GROUP BY / HAVING.
+///
+/// Foreign-key consistency with exec::GenerateDatabase is by construction:
+/// the generator draws every attribute uniformly from [0, distinct), so a
+/// child FK whose distinct count equals the parent's cardinality ranges over
+/// exactly the parent key domain and equi-joins, semijoins, and outer joins
+/// all find matches (and miss some — LEFT JOIN padding and antijoins stay
+/// non-trivial).
+struct TpchWorkload {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<RelModel> model;
+  std::vector<TpchQuery> queries;
+};
+
+/// Builds the catalog, model, and query family. Fully deterministic — no
+/// seed: the schema is fixed and the data comes from exec::GenerateDatabase
+/// with whatever seed the caller picks.
+TpchWorkload MakeTpchWorkload(const RelModelOptions& model_options = {});
 
 /// Options for the join-scaling workload family (DESIGN.md section 12):
 /// `num_relations` relations with skewed cardinalities spanning 100 to 1e6

@@ -146,6 +146,67 @@ class JoinArg final : public TypedOpArg<JoinArg> {
   Symbol right_;
 };
 
+/// Surface form of a nested subquery predicate: `attr IN (SELECT ...)` or
+/// `EXISTS (SELECT ... WHERE inner = outer)`. Both reduce to the same
+/// semijoin/antijoin semantics; the kind is kept so the unnesting rules can
+/// be stated (and counted) per surface construct, as in the SQL standard.
+enum class SubqueryKind : uint8_t { kIn, kExists };
+
+/// SUBQUERY[outer_attr ~ inner_attr] — the logical operator the SQL front
+/// end emits for `[NOT] IN (SELECT inner_attr FROM ...)` and `[NOT] EXISTS
+/// (SELECT * FROM ... WHERE inner_attr = outer_attr)` predicates. Input 0 is
+/// the outer query block, input 1 the subquery block; the schema is the
+/// outer schema (a subquery predicate filters, never widens). The unnesting
+/// transformations rewrite it to SEMIJOIN (positive) or ANTIJOIN (negated);
+/// NESTED_SUBQ is its naive correlated physical algorithm.
+class SubqueryArg final : public TypedOpArg<SubqueryArg> {
+ public:
+  SubqueryArg(const SymbolTable& symbols, Symbol outer_attr,
+              Symbol inner_attr, SubqueryKind kind, bool negated)
+      : symbols_(&symbols),
+        outer_(outer_attr),
+        inner_(inner_attr),
+        kind_(kind),
+        negated_(negated) {}
+
+  static OpArgPtr Make(const SymbolTable& symbols, Symbol outer_attr,
+                       Symbol inner_attr, SubqueryKind kind, bool negated) {
+    return std::make_shared<SubqueryArg>(symbols, outer_attr, inner_attr,
+                                         kind, negated);
+  }
+
+  Symbol outer_attr() const { return outer_; }
+  Symbol inner_attr() const { return inner_; }
+  SubqueryKind kind() const { return kind_; }
+  bool negated() const { return negated_; }
+
+  uint64_t Hash() const override {
+    uint64_t h = Mix64(0xA7 ^ outer_.id());
+    h = HashCombine(h, inner_.id());
+    h = HashCombine(h, (static_cast<uint64_t>(kind_) << 1) |
+                           static_cast<uint64_t>(negated_));
+    return h;
+  }
+  bool EqualsImpl(const SubqueryArg& o) const {
+    return outer_ == o.outer_ && inner_ == o.inner_ && kind_ == o.kind_ &&
+           negated_ == o.negated_;
+  }
+  std::string ToString() const override {
+    std::string s = symbols_->Name(outer_);
+    s += negated_ ? " not " : " ";
+    s += kind_ == SubqueryKind::kIn ? "in " : "exists ";
+    s += symbols_->Name(inner_);
+    return s;
+  }
+
+ private:
+  const SymbolTable* symbols_;
+  Symbol outer_;
+  Symbol inner_;
+  SubqueryKind kind_;
+  bool negated_;
+};
+
 /// AGGREGATE[group_attr -> count_attr] / HASH_AGGREGATE / SORT_AGGREGATE:
 /// GROUP BY group_attr with a COUNT(*) column named count_attr.
 class AggArg final : public TypedOpArg<AggArg> {

@@ -185,6 +185,72 @@ class RelCostModel : public CostModel {
     return Make(0.0, out.cardinality() * params_.cpu_per_tuple);
   }
 
+  /// HASH_LEFT_OUTER_JOIN: build on the inner (right) input, probe with the
+  /// outer; unmatched probes are NULL-padded, so every outer tuple is
+  /// touched once more than in the inner hash join.
+  Cost HashLeftOuterJoin(const RelLogicalProps& outer,
+                         const RelLogicalProps& inner,
+                         const RelLogicalProps& out) const {
+    double cpu = inner.cardinality() *
+                     (params_.cpu_per_tuple + params_.cpu_per_hash) +
+                 outer.cardinality() *
+                     (2.0 * params_.cpu_per_tuple + params_.cpu_per_probe) +
+                 out.cardinality() * params_.cpu_per_tuple;
+    return Make(0.0, cpu);
+  }
+
+  /// HASH_SEMIJOIN / HASH_ANTIJOIN: build a key set on the inner input,
+  /// probe with the outer; at most one output per outer tuple, so the
+  /// result term is bounded by the outer cardinality.
+  Cost HashSemijoin(const RelLogicalProps& outer,
+                    const RelLogicalProps& inner,
+                    const RelLogicalProps& out) const {
+    double cpu = inner.cardinality() *
+                     (params_.cpu_per_tuple + params_.cpu_per_hash) +
+                 outer.cardinality() *
+                     (params_.cpu_per_tuple + params_.cpu_per_probe) +
+                 out.cardinality() * params_.cpu_per_tuple;
+    return Make(0.0, cpu);
+  }
+
+  Cost HashAntijoin(const RelLogicalProps& outer,
+                    const RelLogicalProps& inner,
+                    const RelLogicalProps& out) const {
+    return HashSemijoin(outer, inner, out);
+  }
+
+  /// HASH_DISTINCT: hash every input tuple, emit one per distinct value.
+  Cost HashDistinct(const RelLogicalProps& input,
+                    const RelLogicalProps& out) const {
+    double cpu = input.cardinality() *
+                     (params_.cpu_per_tuple + params_.cpu_per_hash) +
+                 out.cardinality() * params_.cpu_per_tuple;
+    return Make(0.0, cpu);
+  }
+
+  /// SORT_DISTINCT: full sort of the input plus one de-duplication pass;
+  /// delivers the sorted order as a side effect.
+  Cost SortDistinct(const RelLogicalProps& input,
+                    const RelLogicalProps& out) const {
+    Cost sort = Sort(input);
+    sort.at(1) += out.cardinality() * params_.cpu_per_tuple;
+    return sort;
+  }
+
+  /// NESTED_SUBQ: the naive correlated execution of an un-unnested subquery
+  /// predicate — the inner input is rescanned for every outer tuple. The
+  /// quadratic term is what the unnesting transformations exist to avoid;
+  /// keeping it honest makes the optimizer prefer the semijoin plans.
+  Cost NestedSubquery(const RelLogicalProps& outer,
+                      const RelLogicalProps& inner,
+                      const RelLogicalProps& out) const {
+    double cpu = outer.cardinality() * inner.cardinality() *
+                     params_.cpu_per_compare +
+                 outer.cardinality() * params_.cpu_per_tuple +
+                 out.cardinality() * params_.cpu_per_tuple;
+    return Make(0.0, cpu);
+  }
+
   /// Pipelined projection without duplicate removal.
   Cost Project(const RelLogicalProps& input) const {
     return Make(0.0, input.cardinality() * params_.cpu_per_tuple);

@@ -30,6 +30,11 @@ void RelModel::RegisterOperators() {
   ops_.intersect = registry_.RegisterLogical("INTERSECT", 2);
   ops_.union_all = registry_.RegisterLogical("UNION", 2);
   ops_.aggregate = registry_.RegisterLogical("AGGREGATE", 1);
+  ops_.left_outer_join = registry_.RegisterLogical("LEFT_OUTER_JOIN", 2);
+  ops_.semijoin = registry_.RegisterLogical("SEMIJOIN", 2);
+  ops_.antijoin = registry_.RegisterLogical("ANTIJOIN", 2);
+  ops_.distinct = registry_.RegisterLogical("DISTINCT", 1);
+  ops_.subquery = registry_.RegisterLogical("SUBQUERY", 2);
 
   ops_.file_scan = registry_.RegisterAlgorithm("FILE_SCAN", 0);
   ops_.filter = registry_.RegisterAlgorithm("FILTER", 1);
@@ -42,6 +47,13 @@ void RelModel::RegisterOperators() {
   ops_.concat = registry_.RegisterAlgorithm("CONCAT", 2);
   ops_.hash_aggregate = registry_.RegisterAlgorithm("HASH_AGGREGATE", 1);
   ops_.sort_aggregate = registry_.RegisterAlgorithm("SORT_AGGREGATE", 1);
+  ops_.hash_left_outer_join =
+      registry_.RegisterAlgorithm("HASH_LEFT_OUTER_JOIN", 2);
+  ops_.hash_semijoin = registry_.RegisterAlgorithm("HASH_SEMIJOIN", 2);
+  ops_.hash_antijoin = registry_.RegisterAlgorithm("HASH_ANTIJOIN", 2);
+  ops_.hash_distinct = registry_.RegisterAlgorithm("HASH_DISTINCT", 1);
+  ops_.sort_distinct = registry_.RegisterAlgorithm("SORT_DISTINCT", 1);
+  ops_.nested_subq = registry_.RegisterAlgorithm("NESTED_SUBQ", 2);
 
   if (options_.enable_parallelism) {
     ops_.parallel_hash_join =
@@ -83,6 +95,25 @@ void RelModel::RegisterRules() {
     rules_.AddTransformation(
         std::make_unique<SelectThroughAggregateRule>(*this));
   }
+  if (options_.enable_unnest_subqueries) {
+    rules_.AddTransformation(std::make_unique<UnnestInToSemijoinRule>(*this));
+    rules_.AddTransformation(
+        std::make_unique<UnnestExistsToSemijoinRule>(*this));
+    rules_.AddTransformation(std::make_unique<UnnestToAntijoinRule>(*this));
+  }
+  if (options_.enable_outer_join_simplify) {
+    rules_.AddTransformation(std::make_unique<OuterJoinToJoinRule>(*this));
+  }
+  if (options_.enable_semijoin_reorder) {
+    rules_.AddTransformation(std::make_unique<SemijoinReorderRule>(*this));
+  }
+  if (options_.enable_distinct_simplify) {
+    rules_.AddTransformation(std::make_unique<DistinctCollapseRule>(*this));
+    rules_.AddTransformation(
+        std::make_unique<SemijoinAbsorbDistinctRule>(*this));
+    rules_.AddTransformation(
+        std::make_unique<AntijoinAbsorbDistinctRule>(*this));
+  }
 
   rules_.AddImplementation(std::make_unique<GetToFileScanRule>(*this));
   rules_.AddImplementation(std::make_unique<SelectToFilterRule>(*this));
@@ -100,6 +131,13 @@ void RelModel::RegisterRules() {
   rules_.AddImplementation(std::make_unique<UnionToConcatRule>(*this));
   rules_.AddImplementation(std::make_unique<AggToHashAggRule>(*this));
   rules_.AddImplementation(std::make_unique<AggToSortAggRule>(*this));
+  rules_.AddImplementation(
+      std::make_unique<LeftOuterJoinToHashRule>(*this));
+  rules_.AddImplementation(std::make_unique<SemijoinToHashRule>(*this));
+  rules_.AddImplementation(std::make_unique<AntijoinToHashRule>(*this));
+  rules_.AddImplementation(std::make_unique<DistinctToHashDistinctRule>(*this));
+  rules_.AddImplementation(std::make_unique<DistinctToSortDistinctRule>(*this));
+  rules_.AddImplementation(std::make_unique<SubqueryToNestedRule>(*this));
 
   if (options_.enable_parallelism) {
     rules_.AddImplementation(
@@ -222,6 +260,75 @@ LogicalPropsPtr RelModel::DeriveLogicalProps(
                                              groups, 16.0);
   }
 
+  if (op == ops_.left_outer_join) {
+    const auto& join = static_cast<const JoinArg&>(*arg);
+    const RelLogicalProps& l = AsRel(*inputs[0]);
+    const RelLogicalProps& r = AsRel(*inputs[1]);
+    double dl = std::max(1.0, l.DistinctOf(join.left_attr()));
+    double dr = std::max(1.0, r.DistinctOf(join.right_attr()));
+    double inner_card = l.cardinality() * r.cardinality() / std::max(dl, dr);
+    // Every left tuple survives: unmatched ones are NULL-padded.
+    double card = std::max(inner_card, l.cardinality());
+    std::vector<ColumnInfo> schema = l.schema();
+    schema.insert(schema.end(), r.schema().begin(), r.schema().end());
+    for (auto& c : schema) {
+      c.distinct_values = std::max(1.0, std::min(c.distinct_values, card));
+    }
+    return std::make_shared<RelLogicalProps>(symbols, std::move(schema), card,
+                                             l.tuple_bytes() +
+                                                 r.tuple_bytes());
+  }
+
+  if (op == ops_.semijoin || op == ops_.antijoin) {
+    const auto& join = static_cast<const JoinArg&>(*arg);
+    const RelLogicalProps& l = AsRel(*inputs[0]);
+    const RelLogicalProps& r = AsRel(*inputs[1]);
+    double dl = std::max(1.0, l.DistinctOf(join.left_attr()));
+    double dr = std::max(1.0, r.DistinctOf(join.right_attr()));
+    // Fraction of left values with a partner: assuming both attributes draw
+    // from the larger of the two domains, dr of those values appear on the
+    // right, so min(1, dr / max(dl, dr)) of the left tuples survive the
+    // semijoin; the antijoin keeps the complement.
+    double match = std::min(1.0, dr / std::max(dl, dr));
+    double frac = op == ops_.semijoin ? match : 1.0 - match;
+    double card = std::max(1.0, l.cardinality() * frac);
+    std::vector<ColumnInfo> schema = l.schema();  // filters, never widens
+    for (auto& c : schema) {
+      c.distinct_values = std::max(1.0, std::min(c.distinct_values, card));
+    }
+    return std::make_shared<RelLogicalProps>(symbols, std::move(schema), card,
+                                             l.tuple_bytes());
+  }
+
+  if (op == ops_.distinct) {
+    const RelLogicalProps& in = AsRel(*inputs[0]);
+    // The number of distinct rows is at most the product of the per-column
+    // distinct counts (and at most the input cardinality).
+    double limit = 1.0;
+    for (const auto& c : in.schema()) {
+      limit = std::min(limit * std::max(1.0, c.distinct_values),
+                       in.cardinality());
+    }
+    double card = std::max(1.0, std::min(in.cardinality(), limit));
+    std::vector<ColumnInfo> schema = in.schema();
+    for (auto& c : schema) {
+      c.distinct_values = std::max(1.0, std::min(c.distinct_values, card));
+    }
+    return std::make_shared<RelLogicalProps>(symbols, std::move(schema), card,
+                                             in.tuple_bytes());
+  }
+
+  if (op == ops_.subquery) {
+    // Derive exactly as the semijoin/antijoin the unnesting rules rewrite
+    // to, so the memo class keeps one consistent estimate across the nested
+    // and unnested forms.
+    const auto& sub = static_cast<const SubqueryArg&>(*arg);
+    OpArgPtr as_join =
+        JoinArg::Make(symbols, sub.outer_attr(), sub.inner_attr());
+    return DeriveLogicalProps(sub.negated() ? ops_.antijoin : ops_.semijoin,
+                              as_join.get(), inputs);
+  }
+
   VOLCANO_CHECK(false && "unknown logical operator");
   return nullptr;
 }
@@ -304,6 +411,40 @@ ExprPtr RelModel::Aggregate(ExprPtr input, Symbol group_attr,
   return Expr::Make(ops_.aggregate,
                     AggArg::Make(symbols(), group_attr, count_attr),
                     {std::move(input)});
+}
+
+ExprPtr RelModel::LeftOuterJoin(ExprPtr left, ExprPtr right,
+                                Symbol left_attr, Symbol right_attr) const {
+  return Expr::Make(ops_.left_outer_join,
+                    JoinArg::Make(symbols(), left_attr, right_attr),
+                    {std::move(left), std::move(right)});
+}
+
+ExprPtr RelModel::Semijoin(ExprPtr left, ExprPtr right, Symbol left_attr,
+                           Symbol right_attr) const {
+  return Expr::Make(ops_.semijoin,
+                    JoinArg::Make(symbols(), left_attr, right_attr),
+                    {std::move(left), std::move(right)});
+}
+
+ExprPtr RelModel::Antijoin(ExprPtr left, ExprPtr right, Symbol left_attr,
+                           Symbol right_attr) const {
+  return Expr::Make(ops_.antijoin,
+                    JoinArg::Make(symbols(), left_attr, right_attr),
+                    {std::move(left), std::move(right)});
+}
+
+ExprPtr RelModel::Distinct(ExprPtr input) const {
+  return Expr::Make(ops_.distinct, nullptr, {std::move(input)});
+}
+
+ExprPtr RelModel::Subquery(ExprPtr outer, ExprPtr inner, Symbol outer_attr,
+                           Symbol inner_attr, SubqueryKind kind,
+                           bool negated) const {
+  return Expr::Make(ops_.subquery,
+                    SubqueryArg::Make(symbols(), outer_attr, inner_attr,
+                                      kind, negated),
+                    {std::move(outer), std::move(inner)});
 }
 
 ExprPtr RelModel::HeuristicJoinOrder(const Expr& query) const {

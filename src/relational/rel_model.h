@@ -38,6 +38,12 @@ struct RelOps {
   OperatorId intersect = kInvalidOperator;
   OperatorId union_all = kInvalidOperator;
   OperatorId aggregate = kInvalidOperator;  ///< GROUP BY + COUNT(*)
+  // Decision-support extension (outer joins + subquery unnesting).
+  OperatorId left_outer_join = kInvalidOperator;  ///< NULL-padding join
+  OperatorId semijoin = kInvalidOperator;   ///< left rows with a match
+  OperatorId antijoin = kInvalidOperator;   ///< left rows without a match
+  OperatorId distinct = kInvalidOperator;   ///< duplicate elimination
+  OperatorId subquery = kInvalidOperator;   ///< nested [NOT] IN / EXISTS
   // Physical algebra.
   OperatorId file_scan = kInvalidOperator;
   OperatorId filter = kInvalidOperator;
@@ -50,6 +56,12 @@ struct RelOps {
   OperatorId concat = kInvalidOperator;           ///< bag union
   OperatorId hash_aggregate = kInvalidOperator;
   OperatorId sort_aggregate = kInvalidOperator;   ///< needs sorted input
+  OperatorId hash_left_outer_join = kInvalidOperator;  ///< builds the inner
+  OperatorId hash_semijoin = kInvalidOperator;
+  OperatorId hash_antijoin = kInvalidOperator;
+  OperatorId hash_distinct = kInvalidOperator;
+  OperatorId sort_distinct = kInvalidOperator;  ///< sorts, then dedups
+  OperatorId nested_subq = kInvalidOperator;    ///< naive correlated loop
   OperatorId parallel_hash_join = kInvalidOperator;  ///< parallel extension
   // Enforcers.
   OperatorId sort = kInvalidOperator;
@@ -73,6 +85,19 @@ struct RelModelOptions {
   /// SELECT[p](AGGREGATE(x)) -> AGGREGATE(SELECT[p](x)) when p restricts the
   /// grouping attribute.
   bool enable_select_through_aggregate = true;
+  /// Subquery unnesting: SUBQUERY -> SEMIJOIN (IN/EXISTS) or ANTIJOIN
+  /// (NOT IN/NOT EXISTS). Disabling leaves only the naive NESTED_SUBQ
+  /// execution — the ablation baseline for the unnesting speedup guard.
+  bool enable_unnest_subqueries = true;
+  /// SELECT[p](LEFT_OUTER_JOIN(a,b)) -> SELECT[p](JOIN(a,b)) when p is a
+  /// null-rejecting predicate on the inner side (outer-join reduction).
+  bool enable_outer_join_simplify = true;
+  /// SEMIJOIN(SEMIJOIN(a,b),c) -> SEMIJOIN(SEMIJOIN(a,c),b): consecutive
+  /// semijoin filters on the same outer input commute.
+  bool enable_semijoin_reorder = true;
+  /// DISTINCT(DISTINCT(x)) -> DISTINCT(x) and SEMIJOIN/ANTIJOIN absorbing a
+  /// DISTINCT on their inner input (match existence ignores duplicates).
+  bool enable_distinct_simplify = true;
   /// Maps JOIN(JOIN(a,b),c) to the ternary MULTI_HASH_JOIN algorithm — the
   /// paper's section 6 example of adding "a new, non-trivial algorithm such
   /// as a multi-way join" with a single implementation rule.
@@ -132,6 +157,23 @@ class RelModel : public DataModel {
   /// caller provides, e.g. via catalog.symbols().Intern("cnt")).
   ExprPtr Aggregate(ExprPtr input, Symbol group_attr,
                     Symbol count_attr) const;
+  /// LEFT OUTER JOIN: every left tuple survives; unmatched ones are padded
+  /// with NULLs on the right schema.
+  ExprPtr LeftOuterJoin(ExprPtr left, ExprPtr right, Symbol left_attr,
+                        Symbol right_attr) const;
+  /// Left tuples with at least one / no match in the right input.
+  ExprPtr Semijoin(ExprPtr left, ExprPtr right, Symbol left_attr,
+                   Symbol right_attr) const;
+  ExprPtr Antijoin(ExprPtr left, ExprPtr right, Symbol left_attr,
+                   Symbol right_attr) const;
+  /// Duplicate elimination as a logical operator (subquery bodies; top-level
+  /// SELECT DISTINCT stays a physical-property requirement).
+  ExprPtr Distinct(ExprPtr input) const;
+  /// Nested subquery predicate as parsed: outer_attr [NOT] IN / EXISTS the
+  /// subquery block. The unnesting rules rewrite it; NESTED_SUBQ runs it
+  /// naively.
+  ExprPtr Subquery(ExprPtr outer, ExprPtr inner, Symbol outer_attr,
+                   Symbol inner_attr, SubqueryKind kind, bool negated) const;
 
   /// Physical property vectors.
   PhysPropsPtr Sorted(std::vector<Symbol> attrs) const {

@@ -61,6 +61,22 @@ Cost RecostPlan(const PlanNode& plan, const RelModel& model) {
   } else if (op == ops.hash_intersect) {
     local = cm.HashIntersect(AsRel(*plan.input(0)->logical()),
                              AsRel(*plan.input(1)->logical()), out);
+  } else if (op == ops.hash_left_outer_join) {
+    local = cm.HashLeftOuterJoin(AsRel(*plan.input(0)->logical()),
+                                 AsRel(*plan.input(1)->logical()), out);
+  } else if (op == ops.hash_semijoin) {
+    local = cm.HashSemijoin(AsRel(*plan.input(0)->logical()),
+                            AsRel(*plan.input(1)->logical()), out);
+  } else if (op == ops.hash_antijoin) {
+    local = cm.HashAntijoin(AsRel(*plan.input(0)->logical()),
+                            AsRel(*plan.input(1)->logical()), out);
+  } else if (op == ops.hash_distinct) {
+    local = cm.HashDistinct(AsRel(*plan.input(0)->logical()), out);
+  } else if (op == ops.sort_distinct) {
+    local = cm.SortDistinct(AsRel(*plan.input(0)->logical()), out);
+  } else if (op == ops.nested_subq) {
+    local = cm.NestedSubquery(AsRel(*plan.input(0)->logical()),
+                              AsRel(*plan.input(1)->logical()), out);
   } else {
     VOLCANO_CHECK(false && "unknown physical operator in plan");
   }
@@ -102,6 +118,14 @@ SortOrder DeliveredOrder(const PlanNode& plan, const RelModel& model) {
     const auto& arg = static_cast<const AggArg&>(*plan.arg());
     return SortOrder{{arg.group_attr()}};
   }
+  if (op == ops.sort_distinct) {
+    return static_cast<const SortArg&>(*plan.arg()).order();
+  }
+  if (op == ops.hash_semijoin || op == ops.hash_antijoin ||
+      op == ops.nested_subq) {
+    // Subset-of-outer operators: the outer (left) stream's order survives.
+    return DeliveredOrder(*plan.input(0), model);
+  }
   // Hash-based operators and EXCHANGE deliver no order.
   return SortOrder{};
 }
@@ -112,10 +136,15 @@ bool DeliveredUnique(const PlanNode& plan, const RelModel& model) {
   OperatorId op = plan.op();
   if (op == ops.sort_dedup || op == ops.hash_dedup ||
       op == ops.merge_intersect || op == ops.hash_intersect ||
-      op == ops.hash_aggregate || op == ops.sort_aggregate) {
+      op == ops.hash_aggregate || op == ops.sort_aggregate ||
+      op == ops.hash_distinct || op == ops.sort_distinct) {
     return true;
   }
-  if (op == ops.filter || op == ops.sort || op == ops.exchange) {
+  if (op == ops.filter || op == ops.sort || op == ops.exchange ||
+      op == ops.hash_semijoin || op == ops.hash_antijoin ||
+      op == ops.nested_subq) {
+    // Filters (including the subset-of-outer join forms) preserve the
+    // outer input's uniqueness.
     return DeliveredUnique(*plan.input(0), model);
   }
   return false;  // scans, joins, projections, unions: conservative

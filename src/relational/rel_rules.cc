@@ -211,6 +211,188 @@ RexPtr SelectThroughAggregateRule::Apply(const Binding& b,
                        {std::move(pushed)});
 }
 
+// --- UnnestInToSemijoinRule --------------------------------------------------
+
+UnnestInToSemijoinRule::UnnestInToSemijoinRule(const RelModel& model)
+    : TransformationRule("unnest_in_to_semijoin",
+                         Pattern::Op(model.ops().subquery,
+                                     {Pattern::Any(), Pattern::Any()})),
+      model_(model) {}
+
+bool UnnestInToSemijoinRule::Condition(const Binding& b,
+                                       const Memo& memo) const {
+  (void)memo;
+  const auto& sub = static_cast<const SubqueryArg&>(*b.root().arg());
+  return sub.kind() == SubqueryKind::kIn && !sub.negated();
+}
+
+RexPtr UnnestInToSemijoinRule::Apply(const Binding& b,
+                                     const Memo& memo) const {
+  (void)memo;
+  const auto& sub = static_cast<const SubqueryArg&>(*b.root().arg());
+  OpArgPtr join = JoinArg::Make(model_.symbols(), sub.outer_attr(),
+                                sub.inner_attr());
+  return RexNode::Node(model_.ops().semijoin, std::move(join),
+                       {RexNode::Leaf(b.leaf(0)), RexNode::Leaf(b.leaf(1))});
+}
+
+// --- UnnestExistsToSemijoinRule ----------------------------------------------
+
+UnnestExistsToSemijoinRule::UnnestExistsToSemijoinRule(const RelModel& model)
+    : TransformationRule("unnest_exists_to_semijoin",
+                         Pattern::Op(model.ops().subquery,
+                                     {Pattern::Any(), Pattern::Any()})),
+      model_(model) {}
+
+bool UnnestExistsToSemijoinRule::Condition(const Binding& b,
+                                           const Memo& memo) const {
+  (void)memo;
+  const auto& sub = static_cast<const SubqueryArg&>(*b.root().arg());
+  return sub.kind() == SubqueryKind::kExists && !sub.negated();
+}
+
+RexPtr UnnestExistsToSemijoinRule::Apply(const Binding& b,
+                                         const Memo& memo) const {
+  (void)memo;
+  const auto& sub = static_cast<const SubqueryArg&>(*b.root().arg());
+  OpArgPtr join = JoinArg::Make(model_.symbols(), sub.outer_attr(),
+                                sub.inner_attr());
+  return RexNode::Node(model_.ops().semijoin, std::move(join),
+                       {RexNode::Leaf(b.leaf(0)), RexNode::Leaf(b.leaf(1))});
+}
+
+// --- UnnestToAntijoinRule ----------------------------------------------------
+
+UnnestToAntijoinRule::UnnestToAntijoinRule(const RelModel& model)
+    : TransformationRule("unnest_to_antijoin",
+                         Pattern::Op(model.ops().subquery,
+                                     {Pattern::Any(), Pattern::Any()})),
+      model_(model) {}
+
+bool UnnestToAntijoinRule::Condition(const Binding& b,
+                                     const Memo& memo) const {
+  (void)memo;
+  const auto& sub = static_cast<const SubqueryArg&>(*b.root().arg());
+  return sub.negated();
+}
+
+RexPtr UnnestToAntijoinRule::Apply(const Binding& b, const Memo& memo) const {
+  (void)memo;
+  const auto& sub = static_cast<const SubqueryArg&>(*b.root().arg());
+  OpArgPtr join = JoinArg::Make(model_.symbols(), sub.outer_attr(),
+                                sub.inner_attr());
+  return RexNode::Node(model_.ops().antijoin, std::move(join),
+                       {RexNode::Leaf(b.leaf(0)), RexNode::Leaf(b.leaf(1))});
+}
+
+// --- OuterJoinToJoinRule -----------------------------------------------------
+
+OuterJoinToJoinRule::OuterJoinToJoinRule(const RelModel& model)
+    : TransformationRule(
+          "outer_join_to_join",
+          Pattern::Op(model.ops().select,
+                      {Pattern::Op(model.ops().left_outer_join,
+                                   {Pattern::Any(), Pattern::Any()})})),
+      model_(model) {}
+
+bool OuterJoinToJoinRule::Condition(const Binding& b,
+                                    const Memo& memo) const {
+  // The predicate must reference the NULL-padded (inner) side; every
+  // comparison of this model rejects NULL, so such a selection removes all
+  // padded tuples and the outer join degenerates to an inner join.
+  const SelectArg& sel = SelectArgOf(b.node(0));
+  return LeafProps(memo, b, 1).HasAttr(sel.attr());
+}
+
+RexPtr OuterJoinToJoinRule::Apply(const Binding& b, const Memo& memo) const {
+  (void)memo;
+  RexPtr join =
+      RexNode::Node(model_.ops().join, b.node(1).arg(),
+                    {RexNode::Leaf(b.leaf(0)), RexNode::Leaf(b.leaf(1))});
+  return RexNode::Node(model_.ops().select, b.node(0).arg(),
+                       {std::move(join)});
+}
+
+// --- SemijoinReorderRule -----------------------------------------------------
+
+SemijoinReorderRule::SemijoinReorderRule(const RelModel& model)
+    : TransformationRule(
+          "semijoin_reorder",
+          Pattern::Op(model.ops().semijoin,
+                      {Pattern::Op(model.ops().semijoin,
+                                   {Pattern::Any(), Pattern::Any()}),
+                       Pattern::Any()})),
+      model_(model) {}
+
+bool SemijoinReorderRule::Condition(const Binding& b,
+                                    const Memo& memo) const {
+  // Both predicates must test attributes of the innermost outer input ?a —
+  // guaranteed by construction (a semijoin's schema is its left schema) but
+  // checked so the rule stays sound under future rewrites.
+  const JoinArg& top = JoinArgOf(b.node(0));
+  const JoinArg& inner = JoinArgOf(b.node(1));
+  const RelLogicalProps& a = LeafProps(memo, b, 0);
+  return a.HasAttr(top.left_attr()) && a.HasAttr(inner.left_attr());
+}
+
+RexPtr SemijoinReorderRule::Apply(const Binding& b, const Memo& memo) const {
+  (void)memo;
+  RexPtr swapped =
+      RexNode::Node(model_.ops().semijoin, b.node(0).arg(),
+                    {RexNode::Leaf(b.leaf(0)), RexNode::Leaf(b.leaf(2))});
+  return RexNode::Node(model_.ops().semijoin, b.node(1).arg(),
+                       {std::move(swapped), RexNode::Leaf(b.leaf(1))});
+}
+
+// --- DistinctCollapseRule ----------------------------------------------------
+
+DistinctCollapseRule::DistinctCollapseRule(const RelModel& model)
+    : TransformationRule(
+          "distinct_collapse",
+          Pattern::Op(model.ops().distinct,
+                      {Pattern::Op(model.ops().distinct, {Pattern::Any()})})),
+      model_(model) {}
+
+RexPtr DistinctCollapseRule::Apply(const Binding& b, const Memo& memo) const {
+  (void)memo;
+  return RexNode::Node(model_.ops().distinct, nullptr,
+                       {RexNode::Leaf(b.leaf(0))});
+}
+
+// --- SemijoinAbsorbDistinctRule ----------------------------------------------
+
+SemijoinAbsorbDistinctRule::SemijoinAbsorbDistinctRule(const RelModel& model)
+    : TransformationRule(
+          "semijoin_absorb_distinct",
+          Pattern::Op(model.ops().semijoin,
+                      {Pattern::Any(),
+                       Pattern::Op(model.ops().distinct, {Pattern::Any()})})),
+      model_(model) {}
+
+RexPtr SemijoinAbsorbDistinctRule::Apply(const Binding& b,
+                                         const Memo& memo) const {
+  (void)memo;
+  return RexNode::Node(model_.ops().semijoin, b.node(0).arg(),
+                       {RexNode::Leaf(b.leaf(0)), RexNode::Leaf(b.leaf(1))});
+}
+
+// --- AntijoinAbsorbDistinctRule ----------------------------------------------
+
+AntijoinAbsorbDistinctRule::AntijoinAbsorbDistinctRule(const RelModel& model)
+    : TransformationRule(
+          "antijoin_absorb_distinct",
+          Pattern::Op(model.ops().antijoin,
+                      {Pattern::Any(),
+                       Pattern::Op(model.ops().distinct, {Pattern::Any()})})),
+      model_(model) {}
+
+RexPtr AntijoinAbsorbDistinctRule::Apply(const Binding& b,
+                                         const Memo& memo) const {
+  (void)memo;
+  return RexNode::Node(model_.ops().antijoin, b.node(0).arg(),
+                       {RexNode::Leaf(b.leaf(0)), RexNode::Leaf(b.leaf(1))});
+}
+
 // --- GetToFileScanRule -------------------------------------------------------
 
 GetToFileScanRule::GetToFileScanRule(const RelModel& model)
@@ -650,6 +832,184 @@ Cost JoinToParallelHashJoinRule::LocalCost(const Binding& b,
   return model_.rel_cost().ParallelHashJoin(
       LeafProps(memo, b, 0), LeafProps(memo, b, 1), RootProps(memo, b),
       model_.options().parallel_ways);
+}
+
+// --- LeftOuterJoinToHashRule -------------------------------------------------
+
+LeftOuterJoinToHashRule::LeftOuterJoinToHashRule(const RelModel& model)
+    : ImplementationRule("left_outer_join_to_hash",
+                         Pattern::Op(model.ops().left_outer_join,
+                                     {Pattern::Any(), Pattern::Any()}),
+                         model.ops().hash_left_outer_join),
+      model_(model) {}
+
+std::vector<AlgorithmAlternative> LeftOuterJoinToHashRule::Applicability(
+    const Binding& b, const Memo& memo, const PhysPropsPtr& required,
+    const PhysProps* excluded) const {
+  (void)b;
+  (void)memo;
+  (void)excluded;
+  // Like hybrid hash join: no input requirements, no promised properties.
+  PhysPropsPtr delivered = model_.AnyProps();
+  if (!delivered->Covers(*required)) return {};
+  AlgorithmAlternative alt;
+  alt.input_props = {model_.AnyProps(), model_.AnyProps()};
+  alt.delivered = std::move(delivered);
+  return {std::move(alt)};
+}
+
+Cost LeftOuterJoinToHashRule::LocalCost(const Binding& b,
+                                        const Memo& memo) const {
+  return model_.rel_cost().HashLeftOuterJoin(LeafProps(memo, b, 0),
+                                             LeafProps(memo, b, 1),
+                                             RootProps(memo, b));
+}
+
+// --- SemijoinToHashRule ------------------------------------------------------
+
+SemijoinToHashRule::SemijoinToHashRule(const RelModel& model)
+    : ImplementationRule("semijoin_to_hash",
+                         Pattern::Op(model.ops().semijoin,
+                                     {Pattern::Any(), Pattern::Any()}),
+                         model.ops().hash_semijoin),
+      model_(model) {}
+
+std::vector<AlgorithmAlternative> SemijoinToHashRule::Applicability(
+    const Binding& b, const Memo& memo, const PhysPropsPtr& required,
+    const PhysProps* excluded) const {
+  (void)b;
+  (void)memo;
+  (void)excluded;
+  // The output is a filtered copy of the outer stream: order, uniqueness,
+  // and partitioning all survive, so the requirement passes through to the
+  // outer input (the inner side only feeds the key set).
+  return {AlgorithmAlternative{{required, model_.AnyProps()}, required}};
+}
+
+Cost SemijoinToHashRule::LocalCost(const Binding& b, const Memo& memo) const {
+  return model_.rel_cost().HashSemijoin(LeafProps(memo, b, 0),
+                                        LeafProps(memo, b, 1),
+                                        RootProps(memo, b));
+}
+
+// --- AntijoinToHashRule ------------------------------------------------------
+
+AntijoinToHashRule::AntijoinToHashRule(const RelModel& model)
+    : ImplementationRule("antijoin_to_hash",
+                         Pattern::Op(model.ops().antijoin,
+                                     {Pattern::Any(), Pattern::Any()}),
+                         model.ops().hash_antijoin),
+      model_(model) {}
+
+std::vector<AlgorithmAlternative> AntijoinToHashRule::Applicability(
+    const Binding& b, const Memo& memo, const PhysPropsPtr& required,
+    const PhysProps* excluded) const {
+  (void)b;
+  (void)memo;
+  (void)excluded;
+  return {AlgorithmAlternative{{required, model_.AnyProps()}, required}};
+}
+
+Cost AntijoinToHashRule::LocalCost(const Binding& b, const Memo& memo) const {
+  return model_.rel_cost().HashAntijoin(LeafProps(memo, b, 0),
+                                        LeafProps(memo, b, 1),
+                                        RootProps(memo, b));
+}
+
+// --- DistinctToHashDistinctRule ----------------------------------------------
+
+DistinctToHashDistinctRule::DistinctToHashDistinctRule(const RelModel& model)
+    : ImplementationRule("distinct_to_hash_distinct",
+                         Pattern::Op(model.ops().distinct, {Pattern::Any()}),
+                         model.ops().hash_distinct),
+      model_(model) {}
+
+std::vector<AlgorithmAlternative> DistinctToHashDistinctRule::Applicability(
+    const Binding& b, const Memo& memo, const PhysPropsPtr& required,
+    const PhysProps* excluded) const {
+  (void)b;
+  (void)memo;
+  (void)excluded;
+  PhysPropsPtr delivered = model_.Unique();  // hashing destroys any order
+  if (!delivered->Covers(*required)) return {};
+  AlgorithmAlternative alt;
+  alt.input_props = {model_.AnyProps()};
+  alt.delivered = std::move(delivered);
+  return {std::move(alt)};
+}
+
+Cost DistinctToHashDistinctRule::LocalCost(const Binding& b,
+                                           const Memo& memo) const {
+  return model_.rel_cost().HashDistinct(LeafProps(memo, b, 0),
+                                        RootProps(memo, b));
+}
+
+// --- DistinctToSortDistinctRule ----------------------------------------------
+
+DistinctToSortDistinctRule::DistinctToSortDistinctRule(const RelModel& model)
+    : ImplementationRule("distinct_to_sort_distinct",
+                         Pattern::Op(model.ops().distinct, {Pattern::Any()}),
+                         model.ops().sort_distinct),
+      model_(model) {}
+
+std::vector<AlgorithmAlternative> DistinctToSortDistinctRule::Applicability(
+    const Binding& b, const Memo& memo, const PhysPropsPtr& required,
+    const PhysProps* excluded) const {
+  (void)excluded;
+  // Sorts internally on the full column order, then drops adjacent
+  // duplicates: delivers sorted AND unique without input requirements.
+  const RelLogicalProps& in = LeafProps(memo, b, 0);
+  std::vector<Symbol> order;
+  order.reserve(in.schema().size());
+  for (const auto& c : in.schema()) order.push_back(c.name);
+  PhysPropsPtr delivered = model_.SortedUnique(std::move(order));
+  if (!delivered->Covers(*required)) return {};
+  AlgorithmAlternative alt;
+  alt.input_props = {model_.AnyProps()};
+  alt.delivered = std::move(delivered);
+  return {std::move(alt)};
+}
+
+Cost DistinctToSortDistinctRule::LocalCost(const Binding& b,
+                                           const Memo& memo) const {
+  return model_.rel_cost().SortDistinct(LeafProps(memo, b, 0),
+                                        RootProps(memo, b));
+}
+
+OpArgPtr DistinctToSortDistinctRule::PlanArg(const Binding& b,
+                                             const Memo& memo) const {
+  const RelLogicalProps& in = LeafProps(memo, b, 0);
+  std::vector<Symbol> order;
+  order.reserve(in.schema().size());
+  for (const auto& c : in.schema()) order.push_back(c.name);
+  return SortArg::Make(model_.symbols(), SortOrder{std::move(order)});
+}
+
+// --- SubqueryToNestedRule ----------------------------------------------------
+
+SubqueryToNestedRule::SubqueryToNestedRule(const RelModel& model)
+    : ImplementationRule("subquery_to_nested",
+                         Pattern::Op(model.ops().subquery,
+                                     {Pattern::Any(), Pattern::Any()}),
+                         model.ops().nested_subq),
+      model_(model) {}
+
+std::vector<AlgorithmAlternative> SubqueryToNestedRule::Applicability(
+    const Binding& b, const Memo& memo, const PhysPropsPtr& required,
+    const PhysProps* excluded) const {
+  (void)b;
+  (void)memo;
+  (void)excluded;
+  // Streams the outer input, rescanning the inner per tuple: another
+  // subset-of-outer operator, so requirements pass through to the outer.
+  return {AlgorithmAlternative{{required, model_.AnyProps()}, required}};
+}
+
+Cost SubqueryToNestedRule::LocalCost(const Binding& b,
+                                     const Memo& memo) const {
+  return model_.rel_cost().NestedSubquery(LeafProps(memo, b, 0),
+                                          LeafProps(memo, b, 1),
+                                          RootProps(memo, b));
 }
 
 // --- SortEnforcerRule --------------------------------------------------------

@@ -110,6 +110,105 @@ class SelectThroughAggregateRule final : public TransformationRule {
   const RelModel& model_;
 };
 
+/// SUBQUERY[x IN s](?outer, ?sub) -> SEMIJOIN[x = s](?outer, ?sub): the
+/// uncorrelated `IN (SELECT ...)` unnesting — the membership test is an
+/// existence test, so the nested predicate becomes a join the optimizer can
+/// reorder and hash ("Query Optimization in the Wild" names unnesting as a
+/// headline gap between textbook and industrial optimizers).
+class UnnestInToSemijoinRule final : public TransformationRule {
+ public:
+  explicit UnnestInToSemijoinRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SUBQUERY[EXISTS, x = s](?outer, ?sub) -> SEMIJOIN[x = s](?outer, ?sub):
+/// the correlated `EXISTS (SELECT ... WHERE s = x)` unnesting.
+class UnnestExistsToSemijoinRule final : public TransformationRule {
+ public:
+  explicit UnnestExistsToSemijoinRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SUBQUERY[NOT ...](?outer, ?sub) -> ANTIJOIN(?outer, ?sub): `NOT IN` and
+/// `NOT EXISTS` keep the outer tuples WITHOUT a partner.
+class UnnestToAntijoinRule final : public TransformationRule {
+ public:
+  explicit UnnestToAntijoinRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SELECT[p](LEFT_OUTER_JOIN(?a, ?b)) -> SELECT[p](JOIN(?a, ?b)) when p
+/// references the inner (?b) side: every predicate of this model rejects
+/// NULL, so the padded tuples cannot survive the selection and the outer
+/// join reduces to an inner join — unlocking the whole join-reordering
+/// rule set for the query.
+class OuterJoinToJoinRule final : public TransformationRule {
+ public:
+  explicit OuterJoinToJoinRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SEMIJOIN[p2](SEMIJOIN[p1](?a, ?b), ?c) -> SEMIJOIN[p1](SEMIJOIN[p2](?a,
+/// ?c), ?b): consecutive existence filters on the same outer input commute
+/// (both predicates reference only ?a's schema), letting the optimizer
+/// apply the most selective one first.
+class SemijoinReorderRule final : public TransformationRule {
+ public:
+  explicit SemijoinReorderRule(const RelModel& model);
+  bool Condition(const Binding& binding, const Memo& memo) const override;
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// DISTINCT(DISTINCT(?x)) -> DISTINCT(?x).
+class DistinctCollapseRule final : public TransformationRule {
+ public:
+  explicit DistinctCollapseRule(const RelModel& model);
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SEMIJOIN(?a, DISTINCT(?b)) -> SEMIJOIN(?a, ?b): the existence test is
+/// insensitive to duplicates on the inner side.
+class SemijoinAbsorbDistinctRule final : public TransformationRule {
+ public:
+  explicit SemijoinAbsorbDistinctRule(const RelModel& model);
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// ANTIJOIN(?a, DISTINCT(?b)) -> ANTIJOIN(?a, ?b).
+class AntijoinAbsorbDistinctRule final : public TransformationRule {
+ public:
+  explicit AntijoinAbsorbDistinctRule(const RelModel& model);
+  RexPtr Apply(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
 // --- implementation rules ---------------------------------------------------
 
 /// GET -> FILE_SCAN; delivers the stored order of the file.
@@ -281,6 +380,96 @@ class AggToSortAggRule final : public ImplementationRule {
 class JoinToParallelHashJoinRule final : public ImplementationRule {
  public:
   explicit JoinToParallelHashJoinRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// LEFT_OUTER_JOIN -> HASH_LEFT_OUTER_JOIN: builds on the inner (right)
+/// input, probes with the outer, NULL-pads unmatched probes. Like hybrid
+/// hash join it promises no output properties.
+class LeftOuterJoinToHashRule final : public ImplementationRule {
+ public:
+  explicit LeftOuterJoinToHashRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SEMIJOIN -> HASH_SEMIJOIN: builds a key set on the inner input and
+/// streams the outer through it. The output is a subset of the outer
+/// stream, so any required property is passed through to the outer input
+/// (order, uniqueness, partitioning all survive filtering).
+class SemijoinToHashRule final : public ImplementationRule {
+ public:
+  explicit SemijoinToHashRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// ANTIJOIN -> HASH_ANTIJOIN; property pass-through as HASH_SEMIJOIN.
+class AntijoinToHashRule final : public ImplementationRule {
+ public:
+  explicit AntijoinToHashRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// DISTINCT -> HASH_DISTINCT (uniqueness, no order — the operator analogue
+/// of the HASH_DEDUP enforcer).
+class DistinctToHashDistinctRule final : public ImplementationRule {
+ public:
+  explicit DistinctToHashDistinctRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// DISTINCT -> SORT_DISTINCT: sorts on the full column order and drops
+/// adjacent duplicates; delivers sorted AND unique output (a second
+/// property-establishing alternative, mirroring SORT_DEDUP).
+class DistinctToSortDistinctRule final : public ImplementationRule {
+ public:
+  explicit DistinctToSortDistinctRule(const RelModel& model);
+  std::vector<AlgorithmAlternative> Applicability(
+      const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
+      const PhysProps* excluded) const override;
+  Cost LocalCost(const Binding& binding, const Memo& memo) const override;
+  OpArgPtr PlanArg(const Binding& binding, const Memo& memo) const override;
+
+ private:
+  const RelModel& model_;
+};
+
+/// SUBQUERY -> NESTED_SUBQ: the naive correlated execution (rescan the
+/// inner input per outer tuple). Its quadratic cost is what makes the
+/// unnesting transformations win; it exists so un-unnested plans are
+/// executable and so the speedup is measurable.
+class SubqueryToNestedRule final : public ImplementationRule {
+ public:
+  explicit SubqueryToNestedRule(const RelModel& model);
   std::vector<AlgorithmAlternative> Applicability(
       const Binding& binding, const Memo& memo, const PhysPropsPtr& required,
       const PhysProps* excluded) const override;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace volcano::rel {
@@ -30,6 +32,7 @@ struct Token {
   };
   Kind kind;
   std::string text;
+  size_t pos = 0;  // byte offset in the source text, for error payloads
 };
 
 StatusOr<std::vector<Token>> Lex(std::string_view sql) {
@@ -49,7 +52,7 @@ StatusOr<std::vector<Token>> Lex(std::string_view sql) {
         ++pos;
       }
       out.push_back(Token{Token::Kind::kIdent,
-                          std::string(sql.substr(start, pos - start))});
+                          std::string(sql.substr(start, pos - start)), start});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -62,30 +65,30 @@ StatusOr<std::vector<Token>> Lex(std::string_view sql) {
         ++pos;
       }
       out.push_back(Token{Token::Kind::kInt,
-                          std::string(sql.substr(start, pos - start))});
+                          std::string(sql.substr(start, pos - start)), start});
       continue;
     }
     switch (c) {
-      case ',': out.push_back({Token::Kind::kComma, ","}); ++pos; break;
-      case '*': out.push_back({Token::Kind::kStar, "*"}); ++pos; break;
-      case '(': out.push_back({Token::Kind::kLParen, "("}); ++pos; break;
-      case ')': out.push_back({Token::Kind::kRParen, ")"}); ++pos; break;
-      case '=': out.push_back({Token::Kind::kEq, "="}); ++pos; break;
+      case ',': out.push_back({Token::Kind::kComma, ",", pos}); ++pos; break;
+      case '*': out.push_back({Token::Kind::kStar, "*", pos}); ++pos; break;
+      case '(': out.push_back({Token::Kind::kLParen, "(", pos}); ++pos; break;
+      case ')': out.push_back({Token::Kind::kRParen, ")", pos}); ++pos; break;
+      case '=': out.push_back({Token::Kind::kEq, "=", pos}); ++pos; break;
       case '<':
         if (pos + 1 < sql.size() && sql[pos + 1] == '=') {
-          out.push_back({Token::Kind::kLe, "<="});
+          out.push_back({Token::Kind::kLe, "<=", pos});
           pos += 2;
         } else {
-          out.push_back({Token::Kind::kLt, "<"});
+          out.push_back({Token::Kind::kLt, "<", pos});
           ++pos;
         }
         break;
       case '>':
         if (pos + 1 < sql.size() && sql[pos + 1] == '=') {
-          out.push_back({Token::Kind::kGe, ">="});
+          out.push_back({Token::Kind::kGe, ">=", pos});
           pos += 2;
         } else {
-          out.push_back({Token::Kind::kGt, ">"});
+          out.push_back({Token::Kind::kGt, ">", pos});
           ++pos;
         }
         break;
@@ -96,7 +99,7 @@ StatusOr<std::vector<Token>> Lex(std::string_view sql) {
             .WithDetail("position", std::to_string(pos));
     }
   }
-  out.push_back({Token::Kind::kEnd, ""});
+  out.push_back({Token::Kind::kEnd, "", sql.size()});
   return out;
 }
 
@@ -115,6 +118,9 @@ bool KeywordIs(const Token& t, std::string_view kw) {
 // Parser / translator
 // ---------------------------------------------------------------------------
 
+/// Deepest allowed subquery nesting (the top-level query is depth 0).
+constexpr int kMaxSubqueryDepth = 3;
+
 struct Selection {
   Symbol attr;
   CmpOp op;
@@ -124,6 +130,51 @@ struct Selection {
 struct JoinPred {
   Symbol left;
   Symbol right;
+};
+
+/// `... LEFT [OUTER] JOIN rel ON outer_attr = inner_attr`.
+struct OuterJoinClause {
+  Symbol rel;         // the nullable-side relation
+  Symbol outer_attr;  // attribute of an already-joined relation
+  Symbol inner_attr;  // attribute of `rel`
+};
+
+struct QueryBlock;
+
+/// `attr [NOT] IN (block)` or `[NOT] EXISTS (block)`.
+struct SubqueryClause {
+  Symbol outer_attr;  // IN only; EXISTS correlates through a WHERE predicate
+  SubqueryKind kind;
+  bool negated;
+  std::unique_ptr<QueryBlock> body;
+};
+
+/// One SELECT...FROM...WHERE block; the top-level query and every subquery
+/// body parse into this shape.
+struct QueryBlock {
+  bool select_star = false;
+  bool count_star = false;
+  bool distinct = false;
+  std::vector<Symbol> select_list;
+  std::vector<Symbol> from;  // comma-listed (inner-joined) relations
+  std::vector<OuterJoinClause> outer_joins;
+  std::vector<Selection> selections;
+  std::vector<JoinPred> joins;
+  std::vector<SubqueryClause> subqueries;
+  std::optional<Symbol> group_by;
+  struct Having {
+    bool on_count;  // COUNT(*) vs. the grouping attribute
+    CmpOp op;
+    int64_t constant;
+  };
+  std::optional<Having> having;
+  std::vector<Symbol> order_by;  // top level only
+};
+
+/// An equality predicate tying a subquery body to its enclosing block.
+struct Correlation {
+  Symbol outer_attr;
+  Symbol inner_attr;
 };
 
 class SqlParser {
@@ -149,31 +200,87 @@ class SqlParser {
       return Status::InvalidArgument("expected " + std::string(kw) +
                                      ", found '" + Peek().text + "'")
           .WithDetail("expected", std::string(kw))
-          .WithDetail("found", Peek().text);
+          .WithDetail("found", Peek().text)
+          .WithDetail("position", std::to_string(Peek().pos));
     }
+    return Status::OK();
+  }
+  Status ExpectToken(Token::Kind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument("expected " + std::string(what) +
+                                     ", found '" + Peek().text + "'")
+          .WithDetail("expected", std::string(what))
+          .WithDetail("found", Peek().text)
+          .WithDetail("position", std::to_string(Peek().pos));
+    }
+    Advance();
     return Status::OK();
   }
 
   StatusOr<Symbol> ExpectAttribute() {
     if (Peek().kind != Token::Kind::kIdent) {
       return Status::InvalidArgument("expected attribute, found '" +
-                                     Peek().text + "'");
+                                     Peek().text + "'")
+          .WithDetail("expected", "attribute")
+          .WithDetail("found", Peek().text)
+          .WithDetail("position", std::to_string(Peek().pos));
     }
+    size_t at = Peek().pos;
     std::string name = Advance().text;
     Symbol sym = model_.symbols().Lookup(name);
     if (!sym.valid() || !model_.catalog().RelationOf(sym).valid()) {
       return Status::InvalidArgument("unknown attribute " + name)
-          .WithDetail("attribute", name);
+          .WithDetail("attribute", name)
+          .WithDetail("position", std::to_string(at));
     }
     return sym;
   }
 
-  Status ParseSelectList();
-  Status ParseFrom();
-  Status ParseWhere();
-  Status ParseGroupBy();
-  Status ParseOrderBy();
-  StatusOr<ExprPtr> Translate();
+  StatusOr<CmpOp> ParseCmpOp() {
+    CmpOp op;
+    switch (Peek().kind) {
+      case Token::Kind::kEq: op = CmpOp::kEq; break;
+      case Token::Kind::kLt: op = CmpOp::kLess; break;
+      case Token::Kind::kLe: op = CmpOp::kLessEq; break;
+      case Token::Kind::kGt: op = CmpOp::kGreater; break;
+      case Token::Kind::kGe: op = CmpOp::kGreaterEq; break;
+      default:
+        return Status::InvalidArgument("expected comparison, found '" +
+                                       Peek().text + "'")
+            .WithDetail("expected", "comparison")
+            .WithDetail("found", Peek().text)
+            .WithDetail("position", std::to_string(Peek().pos));
+    }
+    Advance();
+    return op;
+  }
+
+  StatusOr<int64_t> ExpectInt() {
+    if (Peek().kind != Token::Kind::kInt) {
+      return Status::InvalidArgument("expected integer, found '" +
+                                     Peek().text + "'")
+          .WithDetail("expected", "integer")
+          .WithDetail("found", Peek().text)
+          .WithDetail("position", std::to_string(Peek().pos));
+    }
+    return std::stoll(Advance().text);
+  }
+
+  StatusOr<std::unique_ptr<QueryBlock>> ParseBlock(int depth);
+  Status ParseSelectList(QueryBlock* q);
+  Status ParseFrom(QueryBlock* q);
+  Status ParseWhere(QueryBlock* q, int depth);
+  Status ParseGroupBy(QueryBlock* q);
+  Status ParseHaving(QueryBlock* q);
+  Status ParseOrderBy(QueryBlock* q);
+
+  /// Translates one block. For a subquery body, `outer_rels` names the
+  /// enclosing block's relations and `correlations_out` receives the
+  /// equality predicates that referenced them; the top level passes null.
+  StatusOr<ExprPtr> TranslateBlock(QueryBlock& q,
+                                   const std::vector<Symbol>* outer_rels,
+                                   std::vector<Correlation>* correlations_out,
+                                   bool top_level);
 
   /// Estimated selectivity of `attr op constant` under uniformity on
   /// [0, distinct).
@@ -195,25 +302,15 @@ class SqlParser {
   size_t pos_ = 0;
   const RelModel& model_;
   SymbolTable& symbols_;
-
-  bool select_star_ = false;
-  bool count_star_ = false;
-  std::vector<Symbol> select_list_;
-  std::vector<Symbol> from_;
-  std::vector<Selection> selections_;
-  std::vector<JoinPred> joins_;
-  std::optional<Symbol> group_by_;
-  std::vector<Symbol> order_by_;
-  bool distinct_ = false;
 };
 
-Status SqlParser::ParseSelectList() {
+Status SqlParser::ParseSelectList(QueryBlock* q) {
   Status s = Expect("SELECT");
   if (!s.ok()) return s;
-  if (Consume("DISTINCT")) distinct_ = true;
+  if (Consume("DISTINCT")) q->distinct = true;
   if (Peek().kind == Token::Kind::kStar) {
     Advance();
-    select_star_ = true;
+    q->select_star = true;
     return Status::OK();
   }
   while (true) {
@@ -231,11 +328,11 @@ Status SqlParser::ParseSelectList() {
         return Status::InvalidArgument("expected ) after COUNT(*");
       }
       Advance();
-      count_star_ = true;
+      q->count_star = true;
     } else {
       StatusOr<Symbol> attr = ExpectAttribute();
       if (!attr.ok()) return attr.status();
-      select_list_.push_back(*attr);
+      q->select_list.push_back(*attr);
     }
     if (Peek().kind != Token::Kind::kComma) break;
     Advance();
@@ -243,130 +340,323 @@ Status SqlParser::ParseSelectList() {
   return Status::OK();
 }
 
-Status SqlParser::ParseFrom() {
+Status SqlParser::ParseFrom(QueryBlock* q) {
   Status s = Expect("FROM");
   if (!s.ok()) return s;
-  while (true) {
+  auto listed = [&](Symbol rel) {
+    if (std::find(q->from.begin(), q->from.end(), rel) != q->from.end()) {
+      return true;
+    }
+    for (const OuterJoinClause& oj : q->outer_joins) {
+      if (oj.rel == rel) return true;
+    }
+    return false;
+  };
+  auto parse_relation = [&]() -> StatusOr<Symbol> {
     if (Peek().kind != Token::Kind::kIdent) {
       return Status::InvalidArgument("expected relation name, found '" +
-                                     Peek().text + "'");
+                                     Peek().text + "'")
+          .WithDetail("expected", "relation name")
+          .WithDetail("found", Peek().text)
+          .WithDetail("position", std::to_string(Peek().pos));
     }
+    size_t at = Peek().pos;
     std::string name = Advance().text;
     Symbol rel = model_.symbols().Lookup(name);
     if (!rel.valid() || model_.catalog().FindRelation(rel) == nullptr) {
       return Status::InvalidArgument("unknown relation " + name)
-          .WithDetail("relation", name);
+          .WithDetail("relation", name)
+          .WithDetail("position", std::to_string(at));
     }
-    if (std::find(from_.begin(), from_.end(), rel) != from_.end()) {
+    if (listed(rel)) {
       return Status::InvalidArgument("relation listed twice: " + name)
-          .WithDetail("relation", name);
+          .WithDetail("relation", name)
+          .WithDetail("position", std::to_string(at));
     }
-    from_.push_back(rel);
-    if (Peek().kind != Token::Kind::kComma) break;
+    return rel;
+  };
+
+  StatusOr<Symbol> first = parse_relation();
+  if (!first.ok()) return first.status();
+  q->from.push_back(*first);
+  while (true) {
+    if (Peek().kind == Token::Kind::kComma) {
+      Advance();
+      StatusOr<Symbol> rel = parse_relation();
+      if (!rel.ok()) return rel.status();
+      q->from.push_back(*rel);
+      continue;
+    }
+    if (KeywordIs(Peek(), "RIGHT") || KeywordIs(Peek(), "FULL")) {
+      return Status::InvalidArgument("only LEFT [OUTER] JOIN is supported, "
+                                     "found '" +
+                                     Peek().text + "'")
+          .WithDetail("expected", "LEFT")
+          .WithDetail("found", Peek().text)
+          .WithDetail("position", std::to_string(Peek().pos));
+    }
+    if (!KeywordIs(Peek(), "LEFT")) break;
     Advance();
+    Consume("OUTER");  // optional
+    Status s2 = Expect("JOIN");
+    if (!s2.ok()) return s2;
+    StatusOr<Symbol> rel = parse_relation();
+    if (!rel.ok()) return rel.status();
+    s2 = Expect("ON");
+    if (!s2.ok()) return s2;
+    StatusOr<Symbol> a = ExpectAttribute();
+    if (!a.ok()) return a.status();
+    s2 = ExpectToken(Token::Kind::kEq, "=");
+    if (!s2.ok()) return s2;
+    StatusOr<Symbol> b = ExpectAttribute();
+    if (!b.ok()) return b.status();
+    const Catalog& catalog = model_.catalog();
+    OuterJoinClause oj;
+    oj.rel = *rel;
+    if (catalog.RelationOf(*a) == *rel && catalog.RelationOf(*b) != *rel) {
+      oj.inner_attr = *a;
+      oj.outer_attr = *b;
+    } else if (catalog.RelationOf(*b) == *rel &&
+               catalog.RelationOf(*a) != *rel) {
+      oj.inner_attr = *b;
+      oj.outer_attr = *a;
+    } else {
+      return Status::InvalidArgument(
+          "ON clause must equate one attribute of the joined relation with "
+          "one of a preceding relation");
+    }
+    q->outer_joins.push_back(oj);
   }
   return Status::OK();
 }
 
-Status SqlParser::ParseWhere() {
+Status SqlParser::ParseWhere(QueryBlock* q, int depth) {
   if (!Consume("WHERE")) return Status::OK();
   while (true) {
-    StatusOr<Symbol> left = ExpectAttribute();
-    if (!left.ok()) return left.status();
-
-    CmpOp op;
-    switch (Peek().kind) {
-      case Token::Kind::kEq: op = CmpOp::kEq; break;
-      case Token::Kind::kLt: op = CmpOp::kLess; break;
-      case Token::Kind::kLe: op = CmpOp::kLessEq; break;
-      case Token::Kind::kGt: op = CmpOp::kGreater; break;
-      case Token::Kind::kGe: op = CmpOp::kGreaterEq; break;
-      default:
-        return Status::InvalidArgument("expected comparison, found '" +
-                                       Peek().text + "'");
-    }
-    Advance();
-
-    if (Peek().kind == Token::Kind::kInt) {
-      int64_t constant = std::stoll(Advance().text);
-      selections_.push_back(Selection{*left, op, constant});
+    if (KeywordIs(Peek(), "NOT") || KeywordIs(Peek(), "EXISTS")) {
+      // [NOT] EXISTS ( SELECT ... )
+      bool negated = Consume("NOT");
+      Status s = Expect("EXISTS");
+      if (!s.ok()) return s;
+      s = ExpectToken(Token::Kind::kLParen, "(");
+      if (!s.ok()) return s;
+      StatusOr<std::unique_ptr<QueryBlock>> body = ParseBlock(depth + 1);
+      if (!body.ok()) return body.status();
+      s = ExpectToken(Token::Kind::kRParen, ")");
+      if (!s.ok()) return s;
+      q->subqueries.push_back(SubqueryClause{
+          Symbol(), SubqueryKind::kExists, negated, std::move(*body)});
     } else {
-      StatusOr<Symbol> right = ExpectAttribute();
-      if (!right.ok()) return right.status();
-      if (op != CmpOp::kEq) {
-        return Status::InvalidArgument(
-            "only equi-join predicates between attributes are supported");
+      StatusOr<Symbol> left = ExpectAttribute();
+      if (!left.ok()) return left.status();
+
+      if (KeywordIs(Peek(), "NOT") || KeywordIs(Peek(), "IN")) {
+        // attr [NOT] IN ( SELECT ... )
+        bool negated = Consume("NOT");
+        Status s = Expect("IN");
+        if (!s.ok()) return s;
+        s = ExpectToken(Token::Kind::kLParen, "(");
+        if (!s.ok()) return s;
+        StatusOr<std::unique_ptr<QueryBlock>> body = ParseBlock(depth + 1);
+        if (!body.ok()) return body.status();
+        s = ExpectToken(Token::Kind::kRParen, ")");
+        if (!s.ok()) return s;
+        q->subqueries.push_back(SubqueryClause{
+            *left, SubqueryKind::kIn, negated, std::move(*body)});
+      } else {
+        StatusOr<CmpOp> op = ParseCmpOp();
+        if (!op.ok()) return op.status();
+
+        if (Peek().kind == Token::Kind::kInt) {
+          int64_t constant = std::stoll(Advance().text);
+          q->selections.push_back(Selection{*left, *op, constant});
+        } else {
+          StatusOr<Symbol> right = ExpectAttribute();
+          if (!right.ok()) return right.status();
+          if (*op != CmpOp::kEq) {
+            return Status::InvalidArgument(
+                "only equi-join predicates between attributes are supported");
+          }
+          if (model_.catalog().RelationOf(*left) ==
+              model_.catalog().RelationOf(*right)) {
+            return Status::InvalidArgument(
+                "join predicate must reference two different relations");
+          }
+          q->joins.push_back(JoinPred{*left, *right});
+        }
       }
-      if (model_.catalog().RelationOf(*left) ==
-          model_.catalog().RelationOf(*right)) {
-        return Status::InvalidArgument(
-            "join predicate must reference two different relations");
-      }
-      joins_.push_back(JoinPred{*left, *right});
     }
     if (!Consume("AND")) break;
   }
   return Status::OK();
 }
 
-Status SqlParser::ParseGroupBy() {
+Status SqlParser::ParseGroupBy(QueryBlock* q) {
   if (!Consume("GROUP")) return Status::OK();
   Status s = Expect("BY");
   if (!s.ok()) return s;
   StatusOr<Symbol> attr = ExpectAttribute();
   if (!attr.ok()) return attr.status();
-  group_by_ = *attr;
+  q->group_by = *attr;
   return Status::OK();
 }
 
-Status SqlParser::ParseOrderBy() {
+Status SqlParser::ParseHaving(QueryBlock* q) {
+  if (!Consume("HAVING")) return Status::OK();
+  if (!q->group_by.has_value()) {
+    return Status::InvalidArgument("HAVING requires GROUP BY");
+  }
+  QueryBlock::Having h{};
+  if (KeywordIs(Peek(), "COUNT")) {
+    Advance();
+    Status s = ExpectToken(Token::Kind::kLParen, "(");
+    if (!s.ok()) return s;
+    s = ExpectToken(Token::Kind::kStar, "*");
+    if (!s.ok()) return s;
+    s = ExpectToken(Token::Kind::kRParen, ")");
+    if (!s.ok()) return s;
+    h.on_count = true;
+  } else {
+    StatusOr<Symbol> attr = ExpectAttribute();
+    if (!attr.ok()) return attr.status();
+    if (*attr != *q->group_by) {
+      return Status::InvalidArgument(
+          "HAVING must filter COUNT(*) or the grouping attribute");
+    }
+    h.on_count = false;
+  }
+  StatusOr<CmpOp> op = ParseCmpOp();
+  if (!op.ok()) return op.status();
+  StatusOr<int64_t> constant = ExpectInt();
+  if (!constant.ok()) return constant.status();
+  h.op = *op;
+  h.constant = *constant;
+  q->having = h;
+  return Status::OK();
+}
+
+Status SqlParser::ParseOrderBy(QueryBlock* q) {
   if (!Consume("ORDER")) return Status::OK();
   Status s = Expect("BY");
   if (!s.ok()) return s;
   while (true) {
     StatusOr<Symbol> attr = ExpectAttribute();
     if (!attr.ok()) return attr.status();
-    order_by_.push_back(*attr);
+    q->order_by.push_back(*attr);
     if (Peek().kind != Token::Kind::kComma) break;
     Advance();
   }
   return Status::OK();
 }
 
-StatusOr<ExprPtr> SqlParser::Translate() {
+StatusOr<std::unique_ptr<QueryBlock>> SqlParser::ParseBlock(int depth) {
+  if (depth > kMaxSubqueryDepth) {
+    return Status::InvalidArgument(
+               "subquery nesting exceeds the supported depth of " +
+               std::to_string(kMaxSubqueryDepth))
+        .WithDetail("expected",
+                    "subquery depth <= " + std::to_string(kMaxSubqueryDepth))
+        .WithDetail("found", "subquery depth " + std::to_string(depth))
+        .WithDetail("position", std::to_string(Peek().pos));
+  }
+  auto q = std::make_unique<QueryBlock>();
+  Status s = ParseSelectList(q.get());
+  if (!s.ok()) return s;
+  s = ParseFrom(q.get());
+  if (!s.ok()) return s;
+  s = ParseWhere(q.get(), depth);
+  if (!s.ok()) return s;
+  if (depth == 0) {
+    s = ParseGroupBy(q.get());
+    if (!s.ok()) return s;
+    s = ParseHaving(q.get());
+    if (!s.ok()) return s;
+    s = ParseOrderBy(q.get());
+    if (!s.ok()) return s;
+  } else if (KeywordIs(Peek(), "GROUP") || KeywordIs(Peek(), "HAVING") ||
+             KeywordIs(Peek(), "ORDER")) {
+    return Status::InvalidArgument(
+               "GROUP BY, HAVING and ORDER BY are not supported inside "
+               "subqueries")
+        .WithDetail("found", Peek().text)
+        .WithDetail("position", std::to_string(Peek().pos));
+  }
+  return q;
+}
+
+StatusOr<ExprPtr> SqlParser::TranslateBlock(
+    QueryBlock& q, const std::vector<Symbol>* outer_rels,
+    std::vector<Correlation>* correlations_out, bool top_level) {
   const Catalog& catalog = model_.catalog();
 
-  // Every referenced attribute must belong to a FROM relation.
-  auto check_in_from = [&](Symbol attr) {
+  // All relations this block introduces (inner-joined and outer-joined).
+  std::vector<Symbol> local = q.from;
+  for (const OuterJoinClause& oj : q.outer_joins) local.push_back(oj.rel);
+
+  auto in_local = [&](Symbol attr) {
     Symbol rel = catalog.RelationOf(attr);
-    return std::find(from_.begin(), from_.end(), rel) != from_.end();
+    return std::find(local.begin(), local.end(), rel) != local.end();
   };
-  for (Symbol attr : select_list_) {
-    if (!check_in_from(attr)) {
+  auto in_outer = [&](Symbol attr) {
+    if (outer_rels == nullptr) return false;
+    Symbol rel = catalog.RelationOf(attr);
+    return std::find(outer_rels->begin(), outer_rels->end(), rel) !=
+           outer_rels->end();
+  };
+
+  // Every referenced attribute must belong to a FROM relation.
+  for (Symbol attr : q.select_list) {
+    if (!in_local(attr)) {
       return Status::InvalidArgument("attribute not in FROM relations: " +
                                      model_.symbols().Name(attr));
     }
   }
-  for (const Selection& sel : selections_) {
-    if (!check_in_from(sel.attr)) {
+  for (const Selection& sel : q.selections) {
+    if (!in_local(sel.attr)) {
       return Status::InvalidArgument("attribute not in FROM relations: " +
                                      model_.symbols().Name(sel.attr));
     }
   }
-  for (const JoinPred& j : joins_) {
-    if (!check_in_from(j.left) || !check_in_from(j.right)) {
+  if (q.group_by.has_value() && !in_local(*q.group_by)) {
+    return Status::InvalidArgument("GROUP BY attribute not in FROM");
+  }
+  for (const SubqueryClause& sc : q.subqueries) {
+    if (sc.kind == SubqueryKind::kIn && !in_local(sc.outer_attr)) {
+      return Status::InvalidArgument("attribute not in FROM relations: " +
+                                     model_.symbols().Name(sc.outer_attr));
+    }
+  }
+
+  // Split the equality predicates: both sides local → join; one side in the
+  // enclosing block → correlation (subquery bodies only).
+  std::vector<JoinPred> joins;
+  for (const JoinPred& j : q.joins) {
+    bool l_local = in_local(j.left);
+    bool r_local = in_local(j.right);
+    if (l_local && r_local) {
+      joins.push_back(j);
+    } else if (l_local && in_outer(j.right)) {
+      correlations_out->push_back(Correlation{j.right, j.left});
+    } else if (r_local && in_outer(j.left)) {
+      correlations_out->push_back(Correlation{j.left, j.right});
+    } else {
       return Status::InvalidArgument(
           "join predicate references a relation missing from FROM");
     }
   }
-  if (group_by_.has_value() && !check_in_from(*group_by_)) {
-    return Status::InvalidArgument("GROUP BY attribute not in FROM");
-  }
 
-  // Per-relation leaf: GET plus the relation's selections.
+  // Per-relation leaf: GET plus the relation's selections. Selections on an
+  // outer-joined (nullable-side) relation do NOT sink here — SQL applies
+  // WHERE after the join, so they filter the padded rows above the join.
+  auto is_outer_joined = [&](Symbol rel) {
+    for (const OuterJoinClause& oj : q.outer_joins) {
+      if (oj.rel == rel) return true;
+    }
+    return false;
+  };
   auto leaf = [&](Symbol rel) {
     ExprPtr e = model_.Get(rel);
-    for (const Selection& sel : selections_) {
+    for (const Selection& sel : q.selections) {
       if (catalog.RelationOf(sel.attr) != rel) continue;
       e = model_.Select(std::move(e), sel.attr, sel.op, sel.constant,
                         EstimateSelectivity(sel.attr, sel.op, sel.constant));
@@ -376,33 +666,34 @@ StatusOr<ExprPtr> SqlParser::Translate() {
 
   // Connect the FROM relations with the join predicates: repeatedly attach
   // a predicate with exactly one side already in the tree.
-  std::vector<Symbol> in_tree{from_[0]};
-  ExprPtr root = leaf(from_[0]);
-  std::vector<bool> used(joins_.size(), false);
+  std::vector<Symbol> in_tree{q.from[0]};
+  ExprPtr root = leaf(q.from[0]);
+  std::vector<bool> used(joins.size(), false);
   auto contains = [&](Symbol rel) {
     return std::find(in_tree.begin(), in_tree.end(), rel) != in_tree.end();
   };
-  for (size_t round = 1; round < from_.size(); ++round) {
+  for (size_t round = 1; round < q.from.size(); ++round) {
     bool attached = false;
-    for (size_t j = 0; j < joins_.size() && !attached; ++j) {
+    for (size_t j = 0; j < joins.size() && !attached; ++j) {
       if (used[j]) continue;
-      Symbol lrel = catalog.RelationOf(joins_[j].left);
-      Symbol rrel = catalog.RelationOf(joins_[j].right);
+      Symbol lrel = catalog.RelationOf(joins[j].left);
+      Symbol rrel = catalog.RelationOf(joins[j].right);
       Symbol tree_attr, new_attr, new_rel;
       if (contains(lrel) && !contains(rrel)) {
-        tree_attr = joins_[j].left;
-        new_attr = joins_[j].right;
+        tree_attr = joins[j].left;
+        new_attr = joins[j].right;
         new_rel = rrel;
       } else if (contains(rrel) && !contains(lrel)) {
-        tree_attr = joins_[j].right;
-        new_attr = joins_[j].left;
+        tree_attr = joins[j].right;
+        new_attr = joins[j].left;
         new_rel = lrel;
       } else {
         continue;  // both in (redundant/cyclic) or neither yet
       }
-      if (std::find(from_.begin(), from_.end(), new_rel) == from_.end()) {
+      if (is_outer_joined(new_rel)) {
         return Status::InvalidArgument(
-            "join predicate references relation missing from FROM: " +
+            "equality predicate on an outer-joined relation must be its ON "
+            "clause: " +
             model_.symbols().Name(new_rel));
       }
       used[j] = true;
@@ -416,7 +707,7 @@ StatusOr<ExprPtr> SqlParser::Translate() {
           "are not supported)");
     }
   }
-  for (size_t j = 0; j < joins_.size(); ++j) {
+  for (size_t j = 0; j < joins.size(); ++j) {
     if (!used[j]) {
       return Status::InvalidArgument(
           "redundant or cyclic join predicate not representable in a join "
@@ -424,54 +715,126 @@ StatusOr<ExprPtr> SqlParser::Translate() {
     }
   }
 
-  // GROUP BY.
-  if (group_by_.has_value()) {
-    if (!count_star_ || select_list_.size() != 1 ||
-        select_list_[0] != *group_by_) {
+  // Outer joins attach above the inner-join tree, in clause order.
+  for (const OuterJoinClause& oj : q.outer_joins) {
+    if (!contains(catalog.RelationOf(oj.outer_attr))) {
+      return Status::InvalidArgument(
+          "LEFT JOIN ON clause must reference a preceding relation: " +
+          model_.symbols().Name(oj.outer_attr));
+    }
+    root = model_.LeftOuterJoin(std::move(root), model_.Get(oj.rel),
+                                oj.outer_attr, oj.inner_attr);
+    in_tree.push_back(oj.rel);
+  }
+  // WHERE predicates on nullable-side relations filter above the outer
+  // join. Last clause first, so the topmost LEFT JOIN gets its filter
+  // directly on top — the SELECT(LEFT_OUTER_JOIN) shape the null-rejection
+  // simplification rule matches.
+  for (auto oj = q.outer_joins.rbegin(); oj != q.outer_joins.rend(); ++oj) {
+    for (const Selection& sel : q.selections) {
+      if (catalog.RelationOf(sel.attr) != oj->rel) continue;
+      root = model_.Select(std::move(root), sel.attr, sel.op, sel.constant,
+                           EstimateSelectivity(sel.attr, sel.op,
+                                               sel.constant));
+    }
+  }
+
+  // Subquery predicates (WHERE, so below any aggregation).
+  for (SubqueryClause& sc : q.subqueries) {
+    std::vector<Correlation> correlations;
+    StatusOr<ExprPtr> body =
+        TranslateBlock(*sc.body, &local, &correlations, /*top_level=*/false);
+    if (!body.ok()) return body.status();
+    Symbol outer_attr, inner_attr;
+    if (sc.kind == SubqueryKind::kIn) {
+      if (!correlations.empty()) {
+        return Status::InvalidArgument(
+            "correlated IN subqueries are not supported; use EXISTS");
+      }
+      if (sc.body->select_star || sc.body->select_list.size() != 1) {
+        return Status::InvalidArgument(
+            "IN subquery must select exactly one attribute");
+      }
+      outer_attr = sc.outer_attr;
+      inner_attr = sc.body->select_list[0];
+    } else {
+      if (correlations.size() != 1) {
+        return Status::InvalidArgument(
+            "EXISTS subquery must be correlated through exactly one "
+            "equality predicate");
+      }
+      outer_attr = correlations[0].outer_attr;
+      inner_attr = correlations[0].inner_attr;
+    }
+    root = model_.Subquery(std::move(root), *body, outer_attr, inner_attr,
+                           sc.kind, sc.negated);
+  }
+
+  if (!top_level) {
+    if (q.count_star) {
+      return Status::InvalidArgument("COUNT(*) requires GROUP BY");
+    }
+    // DISTINCT in a subquery body is the logical operator — the absorption
+    // rules then prove it redundant under the semi/antijoin.
+    if (q.distinct) root = model_.Distinct(std::move(root));
+    return root;
+  }
+
+  // GROUP BY / HAVING.
+  if (q.group_by.has_value()) {
+    if (!q.count_star || q.select_list.size() != 1 ||
+        q.select_list[0] != *q.group_by) {
       return Status::InvalidArgument(
           "GROUP BY queries must have the shape SELECT <group attr>, "
           "COUNT(*)");
     }
     Symbol count_attr = symbols_.Intern("count(*)");
-    return model_.Aggregate(std::move(root), *group_by_, count_attr);
+    root = model_.Aggregate(std::move(root), *q.group_by, count_attr);
+    if (q.having.has_value()) {
+      // HAVING is a post-aggregate SELECT on the aggregate's two-column
+      // output. No catalog statistics exist for count(*), so its
+      // selectivity is a fixed guess.
+      Symbol attr = q.having->on_count ? count_attr : *q.group_by;
+      double sel = q.having->on_count
+                       ? 0.5
+                       : EstimateSelectivity(attr, q.having->op,
+                                             q.having->constant);
+      root = model_.Select(std::move(root), attr, q.having->op,
+                           q.having->constant, sel);
+    }
+    return root;
   }
-  if (count_star_) {
+  if (q.count_star) {
     return Status::InvalidArgument("COUNT(*) requires GROUP BY");
   }
 
   // Projection.
-  if (!select_star_) {
-    root = model_.Project(std::move(root), select_list_);
+  if (!q.select_star) {
+    root = model_.Project(std::move(root), q.select_list);
   }
   return root;
 }
 
 StatusOr<ParsedQuery> SqlParser::Run() {
-  Status s = ParseSelectList();
-  if (!s.ok()) return s;
-  s = ParseFrom();
-  if (!s.ok()) return s;
-  s = ParseWhere();
-  if (!s.ok()) return s;
-  s = ParseGroupBy();
-  if (!s.ok()) return s;
-  s = ParseOrderBy();
-  if (!s.ok()) return s;
+  StatusOr<std::unique_ptr<QueryBlock>> block = ParseBlock(0);
+  if (!block.ok()) return block.status();
+  QueryBlock& q = **block;
   if (Peek().kind != Token::Kind::kEnd) {
     return Status::InvalidArgument("trailing input: '" + Peek().text + "'")
-        .WithDetail("found", Peek().text);
+        .WithDetail("found", Peek().text)
+        .WithDetail("position", std::to_string(Peek().pos));
   }
 
   // ORDER BY attributes must survive into the final result.
-  for (Symbol attr : order_by_) {
+  for (Symbol attr : q.order_by) {
     bool visible;
-    if (group_by_.has_value()) {
-      visible = attr == *group_by_;
-    } else if (select_star_) {
+    if (q.group_by.has_value()) {
+      visible = attr == *q.group_by;
+    } else if (q.select_star) {
       visible = true;
     } else {
-      visible = std::find(select_list_.begin(), select_list_.end(), attr) !=
-                select_list_.end();
+      visible = std::find(q.select_list.begin(), q.select_list.end(), attr) !=
+                q.select_list.end();
     }
     if (!visible) {
       return Status::InvalidArgument(
@@ -480,7 +843,8 @@ StatusOr<ParsedQuery> SqlParser::Run() {
     }
   }
 
-  StatusOr<ExprPtr> expr = Translate();
+  StatusOr<ExprPtr> expr =
+      TranslateBlock(q, nullptr, nullptr, /*top_level=*/true);
   if (!expr.ok()) return expr.status();
 
   ParsedQuery out;
@@ -489,12 +853,12 @@ StatusOr<ParsedQuery> SqlParser::Run() {
   // logical operator: the optimizer chooses between the sort-based and the
   // hash-based dedup enforcer, or gets the property for free (aggregation,
   // intersection).
-  if (distinct_) {
-    out.required = order_by_.empty() ? model_.Unique()
-                                     : model_.SortedUnique(order_by_);
+  if (q.distinct) {
+    out.required = q.order_by.empty() ? model_.Unique()
+                                      : model_.SortedUnique(q.order_by);
   } else {
     out.required =
-        order_by_.empty() ? model_.AnyProps() : model_.Sorted(order_by_);
+        q.order_by.empty() ? model_.AnyProps() : model_.Sorted(q.order_by);
   }
   return out;
 }
@@ -515,8 +879,9 @@ StatusOr<ParsedQuery> ParseSql(std::string_view sql, const RelModel& model,
 StatusOr<std::string> NormalizeSql(std::string_view sql,
                                    const Catalog& catalog) {
   static constexpr std::string_view kKeywords[] = {
-      "SELECT", "DISTINCT", "COUNT", "FROM", "WHERE",
-      "AND",    "GROUP",    "ORDER", "BY",
+      "SELECT", "DISTINCT", "COUNT",  "FROM", "WHERE", "AND",    "GROUP",
+      "ORDER",  "BY",       "LEFT",   "OUTER", "JOIN", "ON",     "IN",
+      "EXISTS", "NOT",      "HAVING",
   };
   StatusOr<std::vector<Token>> tokens = Lex(sql);
   if (!tokens.ok()) return tokens.status();

@@ -5,21 +5,32 @@
 // 2.2) — this is that parser, for a compact SQL subset:
 //
 //   SELECT [DISTINCT] * | attr [, attr ...] | attr, COUNT(*)
-//   FROM rel [, rel ...]
+//   FROM rel [, rel ...] [LEFT [OUTER] JOIN rel ON R.x = S.y]...
 //   [WHERE conjunct [AND conjunct ...]]
-//   [GROUP BY attr]
+//   [GROUP BY attr [HAVING COUNT(*) <op> c | attr <op> c]]
 //   [ORDER BY attr [, attr ...]]
 //
-// where a conjunct is either an equi-join predicate `R.x = S.y` (two
-// attributes of different relations) or a selection `R.x <op> constant`.
-// Attribute names are the catalog's qualified names (e.g. "emp.a0").
+// where a conjunct is an equi-join predicate `R.x = S.y` (two attributes of
+// different relations), a selection `R.x <op> constant`, a membership test
+// `R.x [NOT] IN (SELECT S.y FROM ...)`, or an existence test
+// `[NOT] EXISTS (SELECT ... WHERE S.y = R.x ...)` (correlated through
+// exactly one equality). Subquery bodies are full blocks (joins, nested
+// subqueries up to depth 3, SELECT DISTINCT — the logical DISTINCT
+// operator); GROUP BY / HAVING / ORDER BY stay top-level only. RIGHT and
+// FULL joins are rejected with a structured error. Attribute names are the
+// catalog's qualified names (e.g. "emp.a0").
 //
 // Translation: selections are attached to their base relation's GET, join
 // predicates connect the FROM relations into a join tree in the order they
 // appear (queries whose join graph is disconnected — cross products — are
-// rejected), GROUP BY becomes AGGREGATE, a projection list becomes PROJECT,
-// and ORDER BY becomes the required physical property vector. Selectivities
-// are estimated from catalog statistics (uniformity assumption).
+// rejected), LEFT JOIN becomes LEFT_OUTER_JOIN above the inner-join tree
+// (WHERE filters on the nullable side stay above it, giving the
+// null-rejection rule its SELECT(LEFT_OUTER_JOIN) shape), IN/EXISTS become
+// SUBQUERY nodes the unnesting rules rewrite into semi/antijoins, GROUP BY
+// becomes AGGREGATE, HAVING a post-aggregate SELECT, a projection list
+// becomes PROJECT, and ORDER BY becomes the required physical property
+// vector. Selectivities are estimated from catalog statistics (uniformity
+// assumption). Errors carry {expected, found, position} detail payloads.
 
 #ifndef VOLCANO_RELATIONAL_SQL_H_
 #define VOLCANO_RELATIONAL_SQL_H_

@@ -676,6 +676,17 @@ void Optimizer::AssignAdaptiveOrderKeys(std::vector<Move>* moves) {
   }
 }
 
+bool Optimizer::HasMoveStats() const {
+  if (has_move_stats_) return true;
+  for (const RuleCounters& rc : metrics_.implementations) {
+    if (rc.winners > 0) return has_move_stats_ = true;
+  }
+  for (const RuleCounters& rc : metrics_.enforcers) {
+    if (rc.winners > 0) return has_move_stats_ = true;
+  }
+  return false;
+}
+
 void Optimizer::ExploreGroup(GroupId group) {
   // The greedy fallback plans over the memo as-is; deriving new expressions
   // would make its running time proportional to the transformation closure
@@ -962,9 +973,17 @@ Optimizer::Result Optimizer::FindBestPlan(GroupId group,
     if (big_join_mode_) {
       // Big-join escalation: among equal-promise moves, pursue the ones
       // with the smallest input cardinalities first so the tight seeded
-      // bound prunes the expensive orders instead of costing them.
-      AssignMoveOrderKeys(&moves);
-      SortMovesByPromiseAndKey(moves);
+      // bound prunes the expensive orders instead of costing them. Once
+      // the cumulative rule tables have recorded winners, the learned
+      // ordering (promise × win rate × cardinality discount — the
+      // best-first engine's expansion key) replaces the static one.
+      if (HasMoveStats()) {
+        AssignAdaptiveOrderKeys(&moves);
+        search_internal::SortMovesByScore(moves);
+      } else {
+        AssignMoveOrderKeys(&moves);
+        SortMovesByPromiseAndKey(moves);
+      }
     } else {
       SortMovesByPromise(moves);
     }

@@ -371,6 +371,14 @@ class Optimizer {
   /// by search_internal::SortMovesByScore.
   void AssignAdaptiveOrderKeys(std::vector<Move>* moves);
 
+  /// True once the cumulative per-rule tables have recorded at least one
+  /// winner — the point where MoveWinRate carries real signal. Until then
+  /// every rate is the Laplace prior and adaptive ordering would just be a
+  /// noisier spelling of the static one, so the big-join pursue paths keep
+  /// the cardinality key. Latches true — winners never un-happen, and the
+  /// metrics are cumulative across ResetForReuse, so the latch is too.
+  bool HasMoveStats() const;
+
   const DataModel& model_;
   SearchOptions options_;
   Memo memo_;
@@ -385,6 +393,7 @@ class Optimizer {
   ScratchPool<Binding> binding_pool_;
   SearchStats stats_;
   SearchMetrics metrics_;
+  mutable bool has_move_stats_ = false;  ///< HasMoveStats latch
   OptimizeOutcome outcome_;
   // Budget-trip latch. Atomic because parallel workers hit budget
   // checkpoints concurrently; the first CAS from kNone wins.

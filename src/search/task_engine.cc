@@ -880,9 +880,17 @@ void TaskEngine::StepGoal(GoalFrame* f) {
       // --- order the set of moves by promise -------------------------------
       if (opt_.big_join_mode_) {
         // Big-join escalation: equal-promise moves pursue the smallest
-        // input cardinalities first (see Optimizer::AssignMoveOrderKeys).
-        opt_.AssignMoveOrderKeys(&f->moves);
-        search_internal::SortMovesByPromiseAndKey(f->moves);
+        // input cardinalities first (see Optimizer::AssignMoveOrderKeys) —
+        // until the cumulative rule tables have recorded winners, at which
+        // point the learned key (promise × win rate × cardinality
+        // discount, the best-first expansion ordering above) takes over.
+        if (opt_.HasMoveStats()) {
+          opt_.AssignAdaptiveOrderKeys(&f->moves);
+          search_internal::SortMovesByScore(f->moves);
+        } else {
+          opt_.AssignMoveOrderKeys(&f->moves);
+          search_internal::SortMovesByPromiseAndKey(f->moves);
+        }
       } else {
         search_internal::SortMovesByPromise(f->moves);
       }

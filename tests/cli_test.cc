@@ -55,6 +55,36 @@ TEST(Cli, ParseAndSemanticErrorsAreThree) {
   EXPECT_EQ(RunVopt("--catalog /no/such/file \"SELECT * FROM emp\""), 3);
 }
 
+TEST(Cli, UnsupportedDecisionSupportSqlIsThree) {
+  // RIGHT/FULL joins are structured rejections, not crashes.
+  EXPECT_EQ(RunVopt("\"SELECT * FROM emp RIGHT JOIN dept ON "
+                    "emp.a1 = dept.a0\""),
+            3);
+  EXPECT_EQ(RunVopt("\"SELECT * FROM emp FULL JOIN dept ON "
+                    "emp.a1 = dept.a0\""),
+            3);
+  // Subquery nesting beyond the supported depth of 3.
+  EXPECT_EQ(RunVopt("\"SELECT * FROM emp WHERE EXISTS (SELECT * FROM dept "
+                    "WHERE dept.a0 = emp.a1 AND EXISTS (SELECT * FROM emp "
+                    "WHERE emp.a1 = dept.a1 AND EXISTS (SELECT * FROM dept "
+                    "WHERE dept.a0 = emp.a2 AND EXISTS (SELECT * FROM emp "
+                    "WHERE emp.a1 = dept.a1))))\""),
+            3);
+  // Shape rules: correlated IN, uncorrelated EXISTS, HAVING w/o GROUP BY.
+  EXPECT_EQ(RunVopt("\"SELECT * FROM emp WHERE emp.a0 IN (SELECT dept.a0 "
+                    "FROM dept WHERE dept.a1 = emp.a2)\""),
+            3);
+  EXPECT_EQ(RunVopt("\"SELECT * FROM emp WHERE EXISTS (SELECT * FROM dept "
+                    "WHERE dept.a1 < 3)\""),
+            3);
+  EXPECT_EQ(RunVopt("\"SELECT * FROM emp HAVING COUNT(*) > 3\""), 3);
+  // The supported surface still works (and exits 0).
+  EXPECT_EQ(RunVopt("\"SELECT * FROM emp LEFT JOIN dept ON "
+                    "emp.a1 = dept.a0\""),
+            0);
+  EXPECT_EQ(RunVopt("\"SELECT DISTINCT emp.a1 FROM emp\""), 0);
+}
+
 TEST(Cli, StrictBudgetTripIsFour) {
   EXPECT_EQ(RunVopt("--strict --max-calls 1 "
                     "\"SELECT * FROM emp, dept WHERE emp.a1 = dept.a0 "

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "relational/join_graph.h"
 #include "relational/query_gen.h"
 #include "relational/rel_plan_cost.h"
 #include "search/optimizer.h"
@@ -229,6 +230,79 @@ TEST(JoinSeed, PhysicalOnlyCostsTheGivenShape) {
   EXPECT_GE(cm.Total((*ps)->cost()),
             cm.Total((*pf)->cost()) * (1 - 1e-9));
   EXPECT_EQ(shaped.stats().transformations_applied, 0u);
+}
+
+TEST(JoinSeed, WarmRuleStatsPreservePlansAtAndBelowThreshold) {
+  // The big-join pursue paths switch from the static cardinality move key
+  // to the learned win-rate key once the cumulative rule tables hold
+  // winners. That switch is gated on big_join_mode_, so at the escalation
+  // threshold and below a reused optimizer whose tables are warm from a
+  // prior query must still produce byte-identical plans — on both engines.
+  for (auto engine :
+       {SearchOptions::Engine::kTask, SearchOptions::Engine::kRecursive}) {
+    for (int n : {4, 6, 8}) {
+      rel::WorkloadOptions wopts;
+      wopts.num_relations = n;
+      wopts.order_by_prob = 0.25;
+      rel::Workload w = rel::GenerateWorkload(wopts, 11);
+
+      SearchOptions so;
+      so.engine = engine;
+      so.join_seed = true;
+      so.join_seed_threshold = 12;  // complexity at n<=8 stays below
+      Optimizer opt(*w.model, SearchConfig::FromOptions(so).value());
+
+      StatusOr<PlanPtr> cold = opt.Optimize(*w.query, w.required);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+      std::string cold_line = PlanToLine(**cold, w.model->registry());
+      // The first query recorded winners, so the reused optimizer now has
+      // learned stats — and must not act on them below the threshold.
+      ASSERT_GT(opt.metrics().implementations.size(), 0u);
+
+      opt.ResetForReuse();
+      StatusOr<PlanPtr> warm = opt.Optimize(*w.query, w.required);
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+      EXPECT_EQ(cold_line, PlanToLine(**warm, w.model->registry()))
+          << "engine=" << static_cast<int>(engine) << " n=" << n;
+      const CostModel& cm = w.model->cost_model();
+      EXPECT_DOUBLE_EQ(cm.Total((*cold)->cost()), cm.Total((*warm)->cost()));
+    }
+  }
+}
+
+TEST(JoinSeed, WarmRuleStatsKeepBigJoinsValidAndFloored) {
+  // Above the threshold the learned ordering may legitimately change which
+  // moves the budgeted search reaches first; what must hold is that a
+  // warmed optimizer still returns a valid plan no worse than the greedy
+  // seed floor.
+  rel::Workload w = rel::GenerateWorkload(
+      rel::JoinScalingOptions(rel::WorkloadOptions::JoinGraph::kChain, 16),
+      5);
+
+  SearchOptions so;
+  so.join_seed = true;
+  so.join_seed_threshold = 10;
+  so.join_budget_ms = 100.0;
+  Optimizer opt(*w.model, SearchConfig::FromOptions(so).value());
+
+  StatusOr<PlanPtr> cold = opt.Optimize(*w.query, w.required);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  // Seed floor for comparison: the greedy order, costed physical-only.
+  ExprPtr reordered = rel::GreedyReorderQuery(*w.query, *w.model);
+  ASSERT_NE(reordered, nullptr);
+  Optimizer shaped(*w.model,
+                   SearchConfig::Builder().physical_only(true).Build().value());
+  StatusOr<PlanPtr> seed = shaped.Optimize(*reordered, w.required);
+  ASSERT_TRUE(seed.ok());
+  const CostModel& cm = w.model->cost_model();
+
+  opt.ResetForReuse();
+  StatusOr<PlanPtr> warm = opt.Optimize(*w.query, w.required);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(rel::ValidatePlan(**warm, *w.model).ok());
+  EXPECT_LE(cm.Total((*warm)->cost()),
+            cm.Total((*seed)->cost()) * (1 + 1e-9));
 }
 
 }  // namespace

@@ -92,6 +92,104 @@ TEST(Sql, ComparisonOperators) {
   }
 }
 
+TEST(Sql, LeftJoinBecomesOuterJoin) {
+  Fixture f;
+  StatusOr<ParsedQuery> q =
+      f.Parse("SELECT * FROM emp LEFT JOIN dept ON emp.a1 = dept.a0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(f.Render(*q),
+            "LEFT_OUTER_JOIN[emp.a1 = dept.a0](GET[emp], GET[dept])");
+  // OUTER is optional noise.
+  StatusOr<ParsedQuery> q2 =
+      f.Parse("SELECT * FROM emp LEFT OUTER JOIN dept ON emp.a1 = dept.a0");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(f.Render(*q), f.Render(*q2));
+}
+
+TEST(Sql, NullableSideFilterStaysAboveOuterJoin) {
+  // A WHERE filter on the nullable (inner) side cannot be pushed below the
+  // outer join; it stays above, producing the SELECT(LEFT_OUTER_JOIN)
+  // shape the null-rejection simplification rule matches. The outer-side
+  // filter still attaches to its base relation.
+  Fixture f;
+  StatusOr<ParsedQuery> q = f.Parse(
+      "SELECT * FROM emp LEFT JOIN dept ON emp.a1 = dept.a0 "
+      "WHERE dept.a1 < 3 AND emp.a2 = 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(f.Render(*q),
+            "SELECT[dept.a1 < 3](LEFT_OUTER_JOIN[emp.a1 = dept.a0]("
+            "SELECT[emp.a2 = 1](GET[emp]), GET[dept]))");
+}
+
+TEST(Sql, InSubqueryBecomesSubqueryNode) {
+  Fixture f;
+  StatusOr<ParsedQuery> q = f.Parse(
+      "SELECT emp.a0 FROM emp WHERE emp.a1 IN "
+      "(SELECT dept.a0 FROM dept WHERE dept.a1 < 3)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(f.Render(*q),
+            "PROJECT[emp.a0](SUBQUERY[emp.a1 in dept.a0](GET[emp], "
+            "SELECT[dept.a1 < 3](GET[dept])))");
+}
+
+TEST(Sql, ExistsAndNegationsBecomeSubqueryNodes) {
+  Fixture f;
+  StatusOr<ParsedQuery> q = f.Parse(
+      "SELECT emp.a0 FROM emp WHERE NOT EXISTS "
+      "(SELECT * FROM dept WHERE dept.a0 = emp.a1)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(f.Render(*q),
+            "PROJECT[emp.a0](SUBQUERY[emp.a1 not exists dept.a0](GET[emp], "
+            "GET[dept]))");
+
+  StatusOr<ParsedQuery> q2 = f.Parse(
+      "SELECT emp.a0 FROM emp WHERE emp.a1 NOT IN (SELECT dept.a0 FROM "
+      "dept)");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(f.Render(*q2),
+            "PROJECT[emp.a0](SUBQUERY[emp.a1 not in dept.a0](GET[emp], "
+            "GET[dept]))");
+}
+
+TEST(Sql, DistinctIsRequiredPropertyAtTopLevelAndOperatorInBodies) {
+  Fixture f;
+  StatusOr<ParsedQuery> top = f.Parse("SELECT DISTINCT emp.a2 FROM emp");
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_EQ(f.Render(*top), "PROJECT[emp.a2](GET[emp])");
+  EXPECT_EQ(top->required->ToString(), "any unique");
+
+  StatusOr<ParsedQuery> ordered =
+      f.Parse("SELECT DISTINCT emp.a2 FROM emp ORDER BY emp.a2");
+  ASSERT_TRUE(ordered.ok());
+  EXPECT_EQ(ordered->required->ToString(), "sorted(emp.a2) unique");
+
+  StatusOr<ParsedQuery> body = f.Parse(
+      "SELECT emp.a0 FROM emp WHERE emp.a0 IN "
+      "(SELECT DISTINCT dept.a0 FROM dept)");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_EQ(f.Render(*body),
+            "PROJECT[emp.a0](SUBQUERY[emp.a0 in dept.a0](GET[emp], "
+            "DISTINCT(GET[dept])))");
+}
+
+TEST(Sql, HavingBecomesPostAggregateSelect) {
+  Fixture f;
+  StatusOr<ParsedQuery> on_count = f.Parse(
+      "SELECT emp.a1, COUNT(*) FROM emp GROUP BY emp.a1 "
+      "HAVING COUNT(*) > 20");
+  ASSERT_TRUE(on_count.ok()) << on_count.status().ToString();
+  EXPECT_EQ(f.Render(*on_count),
+            "SELECT[count(*) > 20](AGGREGATE[emp.a1 -> count count(*)]("
+            "GET[emp]))");
+
+  StatusOr<ParsedQuery> on_attr = f.Parse(
+      "SELECT emp.a1, COUNT(*) FROM emp GROUP BY emp.a1 HAVING emp.a1 < 7");
+  ASSERT_TRUE(on_attr.ok()) << on_attr.status().ToString();
+  EXPECT_EQ(f.Render(*on_attr),
+            "SELECT[emp.a1 < 7](AGGREGATE[emp.a1 -> count count(*)]("
+            "GET[emp]))");
+}
+
 TEST(SqlErrors, UnknownRelationAndAttribute) {
   Fixture f;
   EXPECT_FALSE(f.Parse("SELECT * FROM ghosts").ok());
@@ -170,6 +268,87 @@ TEST(SqlErrors, DetailPayloads) {
   }
 }
 
+TEST(SqlErrors, RightJoinRejectedWithStructuredPayload) {
+  Fixture f;
+  StatusOr<ParsedQuery> q =
+      f.Parse("SELECT * FROM emp RIGHT JOIN dept ON emp.a1 = dept.a0");
+  ASSERT_FALSE(q.ok());
+  ASSERT_NE(q.status().FindDetail("expected"), nullptr);
+  EXPECT_EQ(*q.status().FindDetail("expected"), "LEFT");
+  ASSERT_NE(q.status().FindDetail("found"), nullptr);
+  EXPECT_EQ(*q.status().FindDetail("found"), "RIGHT");
+  ASSERT_NE(q.status().FindDetail("position"), nullptr);
+  EXPECT_EQ(*q.status().FindDetail("position"), "18");
+
+  StatusOr<ParsedQuery> full =
+      f.Parse("SELECT * FROM emp FULL JOIN dept ON emp.a1 = dept.a0");
+  ASSERT_FALSE(full.ok());
+  ASSERT_NE(full.status().FindDetail("found"), nullptr);
+  EXPECT_EQ(*full.status().FindDetail("found"), "FULL");
+}
+
+TEST(SqlErrors, SubqueryDepthLimit) {
+  Fixture f;
+  // Three levels of nesting are supported...
+  EXPECT_TRUE(f.Parse(
+                   "SELECT * FROM emp WHERE EXISTS (SELECT * FROM dept WHERE "
+                   "dept.a0 = emp.a1 AND EXISTS (SELECT * FROM emp WHERE "
+                   "emp.a1 = dept.a1 AND EXISTS (SELECT * FROM dept WHERE "
+                   "dept.a0 = emp.a2)))")
+                  .ok());
+  // ...the fourth is rejected with a structured payload.
+  StatusOr<ParsedQuery> q = f.Parse(
+      "SELECT * FROM emp WHERE EXISTS (SELECT * FROM dept WHERE "
+      "dept.a0 = emp.a1 AND EXISTS (SELECT * FROM emp WHERE "
+      "emp.a1 = dept.a1 AND EXISTS (SELECT * FROM dept WHERE "
+      "dept.a0 = emp.a2 AND EXISTS (SELECT * FROM emp WHERE "
+      "emp.a1 = dept.a1))))");
+  ASSERT_FALSE(q.ok());
+  ASSERT_NE(q.status().FindDetail("expected"), nullptr);
+  EXPECT_EQ(*q.status().FindDetail("expected"), "subquery depth <= 3");
+  ASSERT_NE(q.status().FindDetail("found"), nullptr);
+  EXPECT_EQ(*q.status().FindDetail("found"), "subquery depth 4");
+  EXPECT_NE(q.status().FindDetail("position"), nullptr);
+}
+
+TEST(SqlErrors, SubqueryShapeRules) {
+  Fixture f;
+  // IN bodies must be uncorrelated with exactly one select-list attribute.
+  EXPECT_FALSE(f.Parse("SELECT * FROM emp WHERE emp.a0 IN "
+                       "(SELECT dept.a0 FROM dept WHERE dept.a1 = emp.a2)")
+                   .ok());
+  EXPECT_FALSE(f.Parse("SELECT * FROM emp WHERE emp.a0 IN "
+                       "(SELECT dept.a0, dept.a1 FROM dept)")
+                   .ok());
+  EXPECT_FALSE(
+      f.Parse("SELECT * FROM emp WHERE emp.a0 IN (SELECT * FROM dept)").ok());
+  // EXISTS bodies must correlate through exactly one equality.
+  EXPECT_FALSE(f.Parse("SELECT * FROM emp WHERE EXISTS "
+                       "(SELECT * FROM dept WHERE dept.a1 < 3)")
+                   .ok());
+  EXPECT_FALSE(f.Parse("SELECT * FROM emp WHERE EXISTS "
+                       "(SELECT * FROM dept WHERE dept.a0 = emp.a1 AND "
+                       "dept.a1 = emp.a2)")
+                   .ok());
+  // Subquery bodies are blocks, not full queries: no GROUP BY / HAVING /
+  // ORDER BY inside.
+  EXPECT_FALSE(f.Parse("SELECT * FROM emp WHERE emp.a0 IN "
+                       "(SELECT dept.a0 FROM dept GROUP BY dept.a0)")
+                   .ok());
+  EXPECT_FALSE(f.Parse("SELECT * FROM emp WHERE emp.a0 IN "
+                       "(SELECT dept.a0 FROM dept ORDER BY dept.a0)")
+                   .ok());
+}
+
+TEST(SqlErrors, HavingRequiresGroupBy) {
+  Fixture f;
+  EXPECT_FALSE(f.Parse("SELECT * FROM emp HAVING COUNT(*) > 3").ok());
+  // HAVING may only reference COUNT(*) or the grouping attribute.
+  EXPECT_FALSE(f.Parse("SELECT emp.a1, COUNT(*) FROM emp GROUP BY emp.a1 "
+                       "HAVING emp.a2 < 3")
+                   .ok());
+}
+
 // Catalog mutators report the offending object the same way.
 TEST(SqlErrors, CatalogDetailPayloads) {
   Fixture f;
@@ -211,6 +390,53 @@ TEST(SqlNormalize, CatalogSpellingsArePreserved) {
   StatusOr<std::string> s = NormalizeSql("SELECT * FROM from", f.catalog);
   ASSERT_TRUE(s.ok()) << s.status().ToString();
   EXPECT_EQ(*s, "SELECT * FROM from");
+}
+
+TEST(SqlNormalize, DecisionSupportKeywordsFold) {
+  // The new surface's keywords are part of the signature alphabet and fold
+  // case like the old ones — two spellings of the same query must share a
+  // cache entry.
+  Fixture f;
+  StatusOr<std::string> a = NormalizeSql(
+      "SELECT DISTINCT emp.a0 FROM emp LEFT OUTER JOIN dept ON "
+      "emp.a1 = dept.a0 WHERE NOT EXISTS (SELECT * FROM loc WHERE "
+      "loc.a0 = dept.a1)",
+      f.catalog);
+  StatusOr<std::string> b = NormalizeSql(
+      "select distinct emp.a0 from emp left outer join dept on "
+      "emp.a1 = dept.a0 where not exists (select * from loc where "
+      "loc.a0 = dept.a1)",
+      f.catalog);
+  ASSERT_TRUE(a.ok() && b.ok()) << a.status().ToString();
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(a->find("DISTINCT"), std::string::npos);
+  EXPECT_NE(a->find("EXISTS"), std::string::npos);
+}
+
+TEST(SqlNormalize, DistinctTwinsNeverCollide) {
+  // Regression guard for the plan cache: a DISTINCT query and its
+  // non-DISTINCT twin parse to different required properties, so their
+  // signatures must differ — a collision would serve a deduplicating plan
+  // for a query that wants duplicates (or vice versa). Same for HAVING
+  // and LEFT JOIN twins, which change the algebra itself.
+  Fixture f;
+  const char* twins[][2] = {
+      {"SELECT DISTINCT emp.a1 FROM emp", "SELECT emp.a1 FROM emp"},
+      {"SELECT emp.a1, COUNT(*) FROM emp GROUP BY emp.a1 "
+       "HAVING COUNT(*) > 3",
+       "SELECT emp.a1, COUNT(*) FROM emp GROUP BY emp.a1"},
+      {"SELECT * FROM emp LEFT JOIN dept ON emp.a1 = dept.a0",
+       "SELECT * FROM emp, dept WHERE emp.a1 = dept.a0"},
+      {"SELECT emp.a0 FROM emp WHERE emp.a1 IN (SELECT dept.a0 FROM dept)",
+       "SELECT emp.a0 FROM emp WHERE emp.a1 NOT IN "
+       "(SELECT dept.a0 FROM dept)"},
+  };
+  for (const auto& t : twins) {
+    StatusOr<std::string> a = NormalizeSql(t[0], f.catalog);
+    StatusOr<std::string> b = NormalizeSql(t[1], f.catalog);
+    ASSERT_TRUE(a.ok() && b.ok()) << t[0];
+    EXPECT_NE(*a, *b) << t[0];
+  }
 }
 
 TEST(SqlNormalize, LexErrorsPropagate) {

@@ -10,7 +10,7 @@
 //
 // Usage:
 //   plan_digest [--verbose] [--engine=task|recursive|best-first]
-//               [--workers=N] [--join-seed]
+//               [--workers=N] [--join-seed] [--tpch]
 //
 // --engine and --workers select the search engine; every combination must
 // print the same digest (tests/engine_differential_test.cc holds the
@@ -18,6 +18,12 @@
 // (DESIGN.md §12), which is digest-preserving below the escalation
 // threshold — the whole grid, so the flag must not change the digest
 // either; tools/bench_report --join-scaling enforces this.
+//
+// --tpch swaps the generated-workload grid for the TPC-H-shaped SQL family
+// (query_gen.h), going through ParseSql — so this digest also covers the
+// front-end's translation, the unnesting/outer-join rules, and the
+// DISTINCT/HAVING paths. It is a separate committed value with the same
+// cross-engine invariance contract; tools/bench_report --tpch enforces it.
 //
 // Output (stdout):
 //   <lines, only with --verbose>
@@ -30,6 +36,7 @@
 #include <string>
 
 #include "relational/query_gen.h"
+#include "relational/sql.h"
 #include "search/optimizer.h"
 #include "search/search_config.h"
 #include "support/hash.h"
@@ -37,9 +44,11 @@
 int main(int argc, char** argv) {
   using namespace volcano;
   bool verbose = false;
+  bool tpch = false;
   SearchOptions base;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
+    if (std::strcmp(argv[i], "--tpch") == 0) tpch = true;
     if (std::strcmp(argv[i], "--engine=recursive") == 0) {
       base.engine = SearchOptions::Engine::kRecursive;
     }
@@ -66,6 +75,32 @@ int main(int argc, char** argv) {
     }
     if (verbose) std::printf("%s\n", line.c_str());
   };
+
+  if (tpch) {
+    rel::TpchWorkload tw = rel::MakeTpchWorkload();
+    for (const rel::TpchQuery& q : tw.queries) {
+      StatusOr<rel::ParsedQuery> parsed =
+          rel::ParseSql(q.sql, *tw.model, tw.catalog->symbols());
+      std::string line = q.name;
+      if (!parsed.ok()) {
+        line += " status=" + parsed.status().ToString();
+      } else {
+        Optimizer opt(*tw.model, SearchConfig::FromOptions(base).value());
+        StatusOr<PlanPtr> plan = opt.Optimize(*parsed->expr, parsed->required);
+        if (!plan.ok()) {
+          line += " status=" + plan.status().ToString();
+        } else {
+          line += " cost=" + tw.model->cost_model().ToString((*plan)->cost()) +
+                  " plan=" + PlanToLine(**plan, tw.model->registry());
+        }
+      }
+      fold(line);
+      ++queries;
+    }
+    std::printf("digest: %016llx\n", static_cast<unsigned long long>(digest));
+    std::printf("queries: %d\n", queries);
+    return 0;
+  }
 
   for (int order_by = 0; order_by <= 1; ++order_by) {
     for (int n = 2; n <= 10; ++n) {
